@@ -1,0 +1,238 @@
+// Package spotserve_bench regenerates every table and figure of the
+// paper's evaluation as Go benchmarks. Each benchmark reports, besides
+// ns/op for the simulation itself, custom metrics carrying the figure's
+// headline numbers (latencies in seconds, speedup factors, costs) so that
+//
+//	go test -bench=. -benchmem
+//
+// replays the full evaluation and prints the reproduced results.
+package spotserve_bench
+
+import (
+	"testing"
+
+	"spotserve/internal/config"
+	"spotserve/internal/cost"
+	"spotserve/internal/experiments"
+	"spotserve/internal/model"
+	"spotserve/internal/trace"
+	"spotserve/internal/workload"
+)
+
+// BenchmarkTable1 regenerates Table 1: minimum GPU counts and l_exe(B=1)
+// for the three models.
+func BenchmarkTable1(b *testing.B) {
+	var rows []experiments.Table1Row
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Table1()
+	}
+	for _, r := range rows {
+		b.ReportMetric(float64(r.MinGPUs), r.Model+"_minGPUs")
+		b.ReportMetric(r.LexeB1, r.Model+"_lexe_s")
+	}
+}
+
+// BenchmarkFigure5 regenerates the availability traces including the
+// Algorithm-1 on-demand mixes.
+func BenchmarkFigure5(b *testing.B) {
+	var rows []experiments.Figure5Row
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Figure5(1)
+	}
+	for _, r := range rows {
+		b.ReportMetric(float64(r.MinTotal), r.Name+"_min")
+		b.ReportMetric(float64(r.Max), r.Name+"_max")
+	}
+}
+
+// benchScenario runs one (system, model, trace) cell and reports its P99.
+func benchScenario(b *testing.B, sys experiments.System, spec model.Spec, tr trace.Trace, mix bool) {
+	var p99, avg float64
+	for i := 0; i < b.N; i++ {
+		sc := experiments.DefaultScenario(sys, spec, tr, 1)
+		sc.AllowOnDemand = mix
+		res := experiments.Run(sc)
+		p99, avg = res.Stats.Latency.P99, res.Stats.Latency.Avg
+	}
+	b.ReportMetric(p99, "P99_s")
+	b.ReportMetric(avg, "Avg_s")
+}
+
+// BenchmarkFigure6 regenerates the end-to-end latency comparison, one
+// sub-benchmark per (model, trace, system) cell.
+func BenchmarkFigure6(b *testing.B) {
+	for _, spec := range model.All() {
+		for _, tr := range []trace.Trace{trace.AS(), trace.BS()} {
+			for _, mix := range []bool{false, true} {
+				name := tr.Name
+				if mix {
+					name += "+O"
+				}
+				for _, sys := range experiments.Systems() {
+					spec, tr, mix, sys := spec, tr, mix, sys
+					b.Run(spec.Name+"/"+name+"/"+string(sys), func(b *testing.B) {
+						benchScenario(b, sys, spec, tr, mix)
+					})
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFigure7 regenerates the monetary-cost study on GPT-20B and
+// reports the best spot-vs-on-demand saving.
+func BenchmarkFigure7(b *testing.B) {
+	var rows []experiments.Figure7Row
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Figure7(1)
+	}
+	var spotCost, odCost float64
+	for _, r := range rows {
+		if r.CostPerToken <= 0 {
+			continue
+		}
+		if r.System == experiments.SpotServe && (spotCost == 0 || r.CostPerToken < spotCost) {
+			spotCost = r.CostPerToken
+		}
+		if r.System == experiments.OnDemandOnly && (odCost == 0 || r.CostPerToken < odCost) {
+			odCost = r.CostPerToken
+		}
+	}
+	b.ReportMetric(spotCost, "spot_cost_1e-5USD/tok")
+	b.ReportMetric(odCost, "ondemand_cost_1e-5USD/tok")
+	if odCost > 0 {
+		b.ReportMetric((1-spotCost/odCost)*100, "saving_%")
+	}
+}
+
+// BenchmarkFigure8 regenerates the fluctuating-workload study and reports
+// SpotServe's P99 improvement over both baselines.
+func BenchmarkFigure8(b *testing.B) {
+	var rows []experiments.Figure8Row
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Figure8(1)
+	}
+	p99 := map[string]map[experiments.System]float64{}
+	for _, r := range rows {
+		if p99[r.Trace] == nil {
+			p99[r.Trace] = map[experiments.System]float64{}
+		}
+		p99[r.Trace][r.System] = r.Summary.P99
+	}
+	for tr, m := range p99 {
+		if m[experiments.SpotServe] > 0 {
+			b.ReportMetric(m[experiments.Reparallel]/m[experiments.SpotServe], tr+"_vsReparallel_x")
+			b.ReportMetric(m[experiments.Reroute]/m[experiments.SpotServe], tr+"_vsReroute_x")
+		}
+	}
+}
+
+// BenchmarkFigure9 regenerates the ablation study and reports the total
+// degradation factor of the fully ablated system per trace (the paper's
+// 1.61× on A_S and 3.41× on B_S).
+func BenchmarkFigure9(b *testing.B) {
+	var rows []experiments.Figure9Row
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Figure9(1)
+	}
+	base := map[string]float64{}
+	last := map[string]float64{}
+	for _, r := range rows {
+		if r.Variant == "SpotServe" {
+			base[r.Trace] = r.Summary.P99
+		}
+		if r.Variant == "-DeviceMapper" {
+			last[r.Trace] = r.Summary.P99
+		}
+	}
+	for tr := range base {
+		if base[tr] > 0 {
+			b.ReportMetric(last[tr]/base[tr], tr+"_ablation_x")
+		}
+	}
+}
+
+// BenchmarkMinMem regenerates the §6.2 migration-buffer observation.
+func BenchmarkMinMem(b *testing.B) {
+	var rows []experiments.MinMemRow
+	for i := 0; i < b.N; i++ {
+		rows = experiments.MinMem()
+	}
+	for _, r := range rows {
+		b.ReportMetric(float64(r.MemOptMinGPUs), r.Model+"_memopt")
+		b.ReportMetric(float64(r.NaiveMinGPUs), r.Model+"_naive")
+	}
+}
+
+// BenchmarkConfigOptimizer measures Algorithm 1's decision latency — the
+// paper notes the online optimizer costs well under a second.
+func BenchmarkConfigOptimizer(b *testing.B) {
+	est := cost.NewEstimator(cost.DefaultParams(), model.GPT20B)
+	sc := experiments.DefaultScenario(experiments.SpotServe, model.GPT20B, trace.AS(), 1)
+	_ = sc
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Fresh optimizer each round so the memo does not trivialize it.
+		o := newOptimizer(est)
+		_ = o.Propose(10, 0.35)
+	}
+}
+
+// BenchmarkWorkloadGen measures arrival generation throughput.
+func BenchmarkWorkloadGen(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, err := workload.Generate(workload.Options{
+			Horizon: 1200, Rate: workload.ConstantRate(1.5), CV: 6,
+			SeqIn: 512, SeqOut: 128, Seed: int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEndToEndSimulation measures the wall-clock cost of one full
+// 20-minute serving simulation (SpotServe, GPT-20B, trace B_S).
+func BenchmarkEndToEndSimulation(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sc := experiments.DefaultScenario(experiments.SpotServe, model.GPT20B, trace.BS(), 1)
+		_ = experiments.Run(sc)
+	}
+}
+
+// newOptimizer mirrors core.NewOptimizer without importing internal/core
+// symbols beyond what the bench needs.
+func newOptimizer(est *cost.Estimator) *benchOptimizer {
+	return &benchOptimizer{est: est}
+}
+
+type benchOptimizer struct{ est *cost.Estimator }
+
+// Propose enumerates candidate configurations the way Algorithm 1 does and
+// picks the throughput-feasible latency minimum; this standalone copy keeps
+// the benchmark honest about the enumeration cost.
+func (o *benchOptimizer) Propose(nInstances int, alpha float64) config.Config {
+	limits := config.DefaultLimits()
+	gpus := nInstances * 4
+	best := config.Zero
+	bestL := 0.0
+	for _, bsz := range limits.Bs {
+		for _, s := range o.est.FeasibleShapes(limits, bsz, cost.DefaultMaxTokens, false) {
+			for d := 1; d*s.GPUsPerPipeline() <= gpus; d++ {
+				c := config.Config{D: d, P: s.P, M: s.M, B: bsz}
+				l := o.est.Exec(c.P, c.M, c.B, cost.DefaultSeqIn, cost.DefaultSeqOut)
+				phi := float64(c.D) * float64(c.B) / l
+				if phi < alpha {
+					continue
+				}
+				if best.IsZero() || l < bestL {
+					best, bestL = c, l
+				}
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,49 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [-exp all|table1|fig5|fig6|fig7|fig8|fig9|minmem] [-seed N]
+//
+// Each experiment prints a text rendition of the corresponding table or
+// figure, including SpotServe-vs-baseline factors where the paper reports
+// them. Runs are deterministic for a fixed seed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"spotserve/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: all, table1, fig5, fig6, fig7, fig8, fig9, minmem")
+	seed := flag.Int64("seed", 1, "random seed (runs are deterministic per seed)")
+	flag.Parse()
+
+	run := func(name string, fn func()) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		start := time.Now()
+		fn()
+		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	run("table1", func() { fmt.Print(experiments.RenderTable1(experiments.Table1())) })
+	run("minmem", func() { fmt.Print(experiments.RenderMinMem(experiments.MinMem())) })
+	run("fig5", func() { fmt.Print(experiments.RenderFigure5(experiments.Figure5(*seed))) })
+	run("fig6", func() { fmt.Print(experiments.RenderFigure6(experiments.Figure6(*seed))) })
+	run("fig7", func() { fmt.Print(experiments.RenderFigure7(experiments.Figure7(*seed))) })
+	run("fig8", func() { fmt.Print(experiments.RenderFigure8(experiments.Figure8(*seed))) })
+	run("fig9", func() { fmt.Print(experiments.RenderFigure9(experiments.Figure9(*seed))) })
+
+	switch *exp {
+	case "all", "table1", "fig5", "fig6", "fig7", "fig8", "fig9", "minmem":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,44 @@
+// Command profiler prints the offline cost profile the optimizer consults
+// (§5: "we design a cost model and implement an offline profiler ... to
+// estimate the required inference latency, system throughput and the
+// context migration overheads in advance").
+//
+// Usage:
+//
+//	profiler [-model GPT-20B] [-sin 512] [-sout 128]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"spotserve/internal/config"
+	"spotserve/internal/cost"
+	"spotserve/internal/model"
+)
+
+func main() {
+	name := flag.String("model", "GPT-20B", "model: OPT-6.7B, GPT-20B, LLaMA-30B, or all")
+	sin := flag.Int("sin", cost.DefaultSeqIn, "input sequence length")
+	sout := flag.Int("sout", cost.DefaultSeqOut, "output sequence length")
+	flag.Parse()
+
+	specs := model.All()
+	if *name != "all" {
+		s, ok := model.ByName(*name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown model %q\n", *name)
+			os.Exit(2)
+		}
+		specs = []model.Spec{s}
+	}
+	for _, spec := range specs {
+		est := cost.NewEstimator(cost.DefaultParams(), spec)
+		p := est.BuildProfile(config.DefaultLimits(), *sin, *sout)
+		fmt.Print(p.String())
+		min, shape := est.MinGPUs(config.DefaultLimits(), *sin+*sout, false)
+		fmt.Printf("→ minimum pipeline: %d GPUs at (P=%d,M=%d); %d/%d shapes feasible\n\n",
+			min, shape.P, shape.M, p.FeasibleCount(), len(p.Entries))
+	}
+}

@@ -1,0 +1,103 @@
+// Command spotserve runs one serving scenario from flags and prints the
+// outcome: latency distribution, cost, migration counters and the
+// configuration timeline.
+//
+// Examples:
+//
+//	spotserve -model GPT-20B -trace BS -system spotserve
+//	spotserve -model LLaMA-30B -trace AS -system reroute -rate 0.2
+//	spotserve -model GPT-20B -trace BS -mix -fluctuating
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"spotserve/internal/experiments"
+	"spotserve/internal/model"
+	"spotserve/internal/trace"
+	"spotserve/internal/workload"
+)
+
+func main() {
+	modelName := flag.String("model", "GPT-20B", "model: OPT-6.7B, GPT-20B, LLaMA-30B")
+	traceName := flag.String("trace", "AS", "availability trace: AS, BS, A'S, B'S, or a JSON file path")
+	system := flag.String("system", "spotserve", "system: spotserve, reparallel, reroute")
+	rate := flag.Float64("rate", 0, "arrival rate req/s (default: the paper's per-model rate)")
+	cv := flag.Float64("cv", 6, "arrival coefficient of variance")
+	mix := flag.Bool("mix", false, "allow on-demand instance mixing (+O)")
+	fluct := flag.Bool("fluctuating", false, "use the MAF-style fluctuating arrival profile")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	spec, ok := model.ByName(*modelName)
+	if !ok {
+		fatalf("unknown model %q (want OPT-6.7B, GPT-20B or LLaMA-30B)", *modelName)
+	}
+	tr, ok := trace.ByName(*traceName)
+	if !ok {
+		data, err := os.ReadFile(*traceName)
+		if err != nil {
+			fatalf("trace %q is not built in and not a readable file: %v", *traceName, err)
+		}
+		tr, err = trace.Unmarshal(data)
+		if err != nil {
+			fatalf("parse trace: %v", err)
+		}
+	}
+	var sys experiments.System
+	switch *system {
+	case "spotserve":
+		sys = experiments.SpotServe
+	case "reparallel", "reparallelization":
+		sys = experiments.Reparallel
+	case "reroute", "rerouting":
+		sys = experiments.Reroute
+	default:
+		fatalf("unknown system %q", *system)
+	}
+
+	sc := experiments.DefaultScenario(sys, spec, tr, *seed)
+	sc.CV = *cv
+	sc.AllowOnDemand = *mix
+	if *rate > 0 {
+		sc.Rate = *rate
+	}
+	if *fluct {
+		sc.RateFn = workload.StepRate(workload.MAFSteps(sc.Rate))
+	}
+
+	res := experiments.Run(sc)
+	st := res.Stats
+
+	fmt.Printf("system    : %s\n", sys)
+	fmt.Printf("model     : %s\n", spec.Name)
+	fmt.Printf("trace     : %s (%.0f s horizon, +O mixing %v)\n", tr.Name, tr.Horizon, *mix)
+	fmt.Printf("workload  : rate %.2f req/s, CV %.0f, fluctuating %v\n", sc.Rate, sc.CV, *fluct)
+	fmt.Printf("requests  : %d submitted, %d completed\n", st.Submitted, st.Completed)
+	fmt.Printf("latency   : %s\n", st.Latency)
+	fmt.Printf("cost      : %.2f USD (%.3f ×1e-5 USD/token)\n", st.CostUSD,
+		costPerToken(st.CostUSD, st.Completed, sc))
+	fmt.Printf("events    : %d migrations, %d reloads, %d cache give-ups, %d tokens recovered, %d on-demand allocs\n",
+		st.Migrations, st.Reloads, st.CacheGiveUps, st.TokensRecovered, st.OnDemandAllocated)
+	if len(st.ConfigLog) > 0 {
+		fmt.Println("config timeline:")
+		for _, c := range st.ConfigLog {
+			fmt.Printf("  t=%6.0fs  %-22v %s\n", c.At, c.Config, c.Reason)
+		}
+	}
+}
+
+func costPerToken(usd float64, completed int, sc experiments.Scenario) float64 {
+	tokens := float64(completed * 128)
+	if tokens == 0 {
+		return 0
+	}
+	return usd / tokens * 1e5
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(2)
+}

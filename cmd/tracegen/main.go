@@ -1,0 +1,61 @@
+// Command tracegen generates, inspects, and exports spot availability
+// traces.
+//
+// Examples:
+//
+//	tracegen -show AS                      # print an embedded trace
+//	tracegen -name mytrace -seed 42 \
+//	         -horizon 1200 -start 10 -min 2 -max 12 > mytrace.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"spotserve/internal/trace"
+)
+
+func main() {
+	show := flag.String("show", "", "print an embedded trace (AS, BS, A'S, B'S) and exit")
+	name := flag.String("name", "generated", "name for the generated trace")
+	horizon := flag.Float64("horizon", 1200, "trace length in seconds")
+	start := flag.Int("start", 10, "initial instance count")
+	min := flag.Int("min", 2, "minimum instance count")
+	max := flag.Int("max", 12, "maximum instance count")
+	dwell := flag.Float64("dwell", 90, "mean seconds between availability changes")
+	down := flag.Float64("downbias", 0.55, "probability a change is a preemption")
+	step := flag.Int("maxstep", 2, "largest single change")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	var tr trace.Trace
+	if *show != "" {
+		var ok bool
+		tr, ok = trace.ByName(*show)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown embedded trace %q\n", *show)
+			os.Exit(2)
+		}
+	} else {
+		var err error
+		tr, err = trace.Generate(trace.GenOptions{
+			Name: *name, Horizon: *horizon, Start: *start,
+			Min: *min, Max: *max, MeanDwell: *dwell,
+			DownBias: *down, MaxStep: *step, Seed: *seed,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "generate: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	data, err := tr.Marshal()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "marshal: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(string(data))
+	fmt.Fprintf(os.Stderr, "# %s: %d events over %.0f s, count range [%d, %d]\n",
+		tr.Name, len(tr.Events), tr.Horizon, tr.MinCount(), tr.MaxCount())
+}

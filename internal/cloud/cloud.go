@@ -1,0 +1,382 @@
+// Package cloud simulates a cloud provider offering preemptible (spot) and
+// on-demand GPU instances, in the style of AWS g4dn: four GPUs per
+// instance, a grace period between preemption notice and termination, an
+// acquisition delay for new instances, and per-second billing at different
+// spot and on-demand prices.
+//
+// Spot availability is driven by replaying a trace.Trace: the fleet holds
+// exactly the offered spot instances (the paper's N_t), so preemptions and
+// acquisitions arrive as notifications exactly like the real cloud's.
+// On-demand instances are allocated and released dynamically by the serving
+// system (Algorithm 1 lines 8/10).
+package cloud
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"spotserve/internal/metrics"
+	"spotserve/internal/sim"
+	"spotserve/internal/trace"
+)
+
+// Kind distinguishes instance markets.
+type Kind int
+
+const (
+	// Spot instances are cheap but preemptible.
+	Spot Kind = iota
+	// OnDemand instances are stable but expensive.
+	OnDemand
+)
+
+func (k Kind) String() string {
+	if k == Spot {
+		return "spot"
+	}
+	return "on-demand"
+}
+
+// State is the lifecycle state of an instance.
+type State int
+
+const (
+	// Pending: requested, still provisioning (acquisition delay).
+	Pending State = iota
+	// Running: ready to host inference engines.
+	Running
+	// Noticed: received a preemption notice; terminates at Deadline.
+	Noticed
+	// Terminated: gone; its GPUs are unusable.
+	Terminated
+)
+
+func (s State) String() string {
+	switch s {
+	case Pending:
+		return "pending"
+	case Running:
+		return "running"
+	case Noticed:
+		return "noticed"
+	default:
+		return "terminated"
+	}
+}
+
+// GPU is one device slot of an instance.
+type GPU struct {
+	// ID is globally unique across the simulation.
+	ID int64
+	// Slot is the device index within the instance.
+	Slot int
+	// Inst is the owning instance.
+	Inst *Instance
+}
+
+// Instance is one cloud VM with GPUs.
+type Instance struct {
+	ID       int64
+	Kind     Kind
+	State    State
+	GPUs     []*GPU
+	Launched float64 // when the request was placed
+	ReadyAt  float64 // when it became Running (valid once Running)
+	// Deadline is the termination time once Noticed.
+	Deadline float64
+}
+
+// Alive reports whether the instance still has usable GPUs (Running or in
+// its grace period).
+func (i *Instance) Alive() bool { return i.State == Running || i.State == Noticed }
+
+func (i *Instance) String() string {
+	return fmt.Sprintf("inst%d(%s,%s)", i.ID, i.Kind, i.State)
+}
+
+// Params configures the simulated provider.
+type Params struct {
+	GPUsPerInstance int
+	// GracePeriod is the notice-to-termination window for spot instances.
+	GracePeriod float64
+	// AcquireDelay is request-to-Running provisioning time.
+	AcquireDelay float64
+	// SpotUSDPerHour / OnDemandUSDPerHour are instance prices (the paper
+	// quotes 1.9 vs 3.9 USD/h for g4dn.12xlarge).
+	SpotUSDPerHour     float64
+	OnDemandUSDPerHour float64
+	// Seed drives the provider's internal choices (which instance to
+	// preempt).
+	Seed int64
+}
+
+// DefaultParams mirrors the paper's testbed.
+func DefaultParams() Params {
+	return Params{
+		GPUsPerInstance:    4,
+		GracePeriod:        30,
+		AcquireDelay:       120,
+		SpotUSDPerHour:     1.9,
+		OnDemandUSDPerHour: 3.9,
+		Seed:               1,
+	}
+}
+
+// Listener receives the cloud's ahead-of-time notifications — the same
+// interface the real provider exposes to SpotServe's instance manager.
+type Listener interface {
+	// InstanceReady fires when a Pending instance becomes Running.
+	InstanceReady(inst *Instance)
+	// PreemptionNotice fires when a spot instance's grace period starts;
+	// the instance terminates at deadline.
+	PreemptionNotice(inst *Instance, deadline float64)
+	// InstanceTerminated fires when an instance is reclaimed or released.
+	InstanceTerminated(inst *Instance)
+}
+
+// Cloud is the simulated provider.
+type Cloud struct {
+	sim      *sim.Simulator
+	params   Params
+	listener Listener
+	rng      *rand.Rand
+	meter    *metrics.CostMeter
+
+	nextInstID int64
+	nextGPUID  int64
+	instances  map[int64]*Instance
+}
+
+// New builds a provider bound to the simulator. The listener may be set
+// later with SetListener but must be non-nil before any event fires.
+func New(s *sim.Simulator, p Params, l Listener) *Cloud {
+	if p.GPUsPerInstance <= 0 || p.GracePeriod < 0 || p.AcquireDelay < 0 {
+		panic(fmt.Sprintf("cloud: invalid params %+v", p))
+	}
+	return &Cloud{
+		sim:       s,
+		params:    p,
+		listener:  l,
+		rng:       rand.New(rand.NewSource(p.Seed)),
+		meter:     metrics.NewCostMeter(s.Now),
+		instances: make(map[int64]*Instance),
+	}
+}
+
+// SetListener installs the notification sink.
+func (c *Cloud) SetListener(l Listener) { c.listener = l }
+
+// Params returns the provider configuration.
+func (c *Cloud) Params() Params { return c.params }
+
+// CostUSD returns the total accrued instance cost.
+func (c *Cloud) CostUSD() float64 { return c.meter.TotalUSD() }
+
+// newInstance allocates the instance and GPU records.
+func (c *Cloud) newInstance(kind Kind) *Instance {
+	inst := &Instance{
+		ID:       c.nextInstID,
+		Kind:     kind,
+		State:    Pending,
+		Launched: c.sim.Now(),
+	}
+	c.nextInstID++
+	for s := 0; s < c.params.GPUsPerInstance; s++ {
+		inst.GPUs = append(inst.GPUs, &GPU{ID: c.nextGPUID, Slot: s, Inst: inst})
+		c.nextGPUID++
+	}
+	c.instances[inst.ID] = inst
+	return inst
+}
+
+func (c *Cloud) priceOf(kind Kind) float64 {
+	if kind == Spot {
+		return c.params.SpotUSDPerHour
+	}
+	return c.params.OnDemandUSDPerHour
+}
+
+func (c *Cloud) makeReady(inst *Instance) {
+	if inst.State != Pending {
+		return // preempted while provisioning
+	}
+	inst.State = Running
+	inst.ReadyAt = c.sim.Now()
+	c.meter.Start(inst.ID, c.priceOf(inst.Kind))
+	c.listener.InstanceReady(inst)
+}
+
+func (c *Cloud) terminate(inst *Instance) {
+	if inst.State == Terminated {
+		return
+	}
+	inst.State = Terminated
+	c.meter.Stop(inst.ID)
+	c.listener.InstanceTerminated(inst)
+}
+
+// launchSpot creates spot instances that become Running after delay.
+func (c *Cloud) launchSpot(n int, delay float64) {
+	for i := 0; i < n; i++ {
+		inst := c.newInstance(Spot)
+		if delay <= 0 {
+			c.makeReady(inst)
+		} else {
+			c.sim.After(delay, func() { c.makeReady(inst) })
+		}
+	}
+}
+
+// preemptSpot issues preemption notices to n random live spot instances.
+func (c *Cloud) preemptSpot(n int) {
+	victims := c.liveSpot()
+	c.rng.Shuffle(len(victims), func(i, j int) {
+		victims[i], victims[j] = victims[j], victims[i]
+	})
+	if n > len(victims) {
+		n = len(victims)
+	}
+	for _, inst := range victims[:n] {
+		inst := inst
+		if inst.State == Pending {
+			// Reclaimed before it ever provisioned.
+			c.terminate(inst)
+			continue
+		}
+		inst.State = Noticed
+		inst.Deadline = c.sim.Now() + c.params.GracePeriod
+		c.listener.PreemptionNotice(inst, inst.Deadline)
+		c.sim.At(inst.Deadline, func() { c.terminate(inst) })
+	}
+}
+
+// liveSpot returns non-terminated spot instances in deterministic ID order
+// (excluding ones already under notice).
+func (c *Cloud) liveSpot() []*Instance {
+	var out []*Instance
+	for _, inst := range c.instances {
+		if inst.Kind == Spot && (inst.State == Running || inst.State == Pending) {
+			out = append(out, inst)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ReplayTrace schedules the spot fleet to follow tr: the initial count is
+// provisioned Running at t=0 (the system starts initialized, as in §6.3),
+// later increases arrive after the acquisition delay, and decreases trigger
+// grace-period preemption notices at the event time.
+func (c *Cloud) ReplayTrace(tr trace.Trace) error {
+	if err := tr.Validate(); err != nil {
+		return err
+	}
+	prev := 0
+	for idx, ev := range tr.Events {
+		ev := ev
+		delta := ev.Count - prev
+		prev = ev.Count
+		if delta == 0 {
+			continue
+		}
+		if idx == 0 {
+			// Initial fleet: ready immediately at t=0.
+			c.sim.At(0, func() { c.launchSpot(delta, 0) })
+			continue
+		}
+		d := delta
+		c.sim.At(ev.At, func() {
+			if d > 0 {
+				c.launchSpot(d, c.params.AcquireDelay)
+			} else {
+				c.preemptSpot(-d)
+			}
+		})
+	}
+	return nil
+}
+
+// Prealloc provisions n instances of the given kind, Running immediately —
+// used to start experiments from an initialized fleet (e.g. the
+// on-demand-only baseline of Figure 7).
+func (c *Cloud) Prealloc(n int, kind Kind) []*Instance {
+	var out []*Instance
+	for i := 0; i < n; i++ {
+		inst := c.newInstance(kind)
+		c.makeReady(inst)
+		out = append(out, inst)
+	}
+	return out
+}
+
+// AllocOnDemand requests n on-demand instances; they become Running after
+// the acquisition delay. The created (Pending) instances are returned.
+func (c *Cloud) AllocOnDemand(n int) []*Instance {
+	var out []*Instance
+	for i := 0; i < n; i++ {
+		inst := c.newInstance(OnDemand)
+		c.sim.After(c.params.AcquireDelay, func() { c.makeReady(inst) })
+		out = append(out, inst)
+	}
+	return out
+}
+
+// Release returns an instance to the provider (Algorithm 1 line 10 frees
+// over-provisioned instances, on-demand first). Releasing a spot instance
+// simply stops using (and paying for) it.
+func (c *Cloud) Release(inst *Instance) {
+	c.terminate(inst)
+}
+
+// Running returns all Running-or-Noticed instances in ID order.
+func (c *Cloud) Alive() []*Instance {
+	var out []*Instance
+	for _, inst := range c.instances {
+		if inst.Alive() {
+			out = append(out, inst)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// AliveCount returns len(Alive()) split by kind.
+func (c *Cloud) AliveCount() (spot, onDemand int) {
+	for _, inst := range c.instances {
+		if !inst.Alive() {
+			continue
+		}
+		if inst.Kind == Spot {
+			spot++
+		} else {
+			onDemand++
+		}
+	}
+	return
+}
+
+// PendingCount returns the number of provisioning instances by kind.
+func (c *Cloud) PendingCount() (spot, onDemand int) {
+	for _, inst := range c.instances {
+		if inst.State != Pending {
+			continue
+		}
+		if inst.Kind == Spot {
+			spot++
+		} else {
+			onDemand++
+		}
+	}
+	return
+}
+
+// UsableGPUs returns the GPUs of instances that are Running or Noticed
+// (grace period still usable), in deterministic order.
+func (c *Cloud) UsableGPUs() []*GPU {
+	var out []*GPU
+	for _, inst := range c.Alive() {
+		out = append(out, inst.GPUs...)
+	}
+	return out
+}

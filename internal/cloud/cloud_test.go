@@ -1,0 +1,340 @@
+package cloud
+
+import (
+	"math"
+	"testing"
+
+	"spotserve/internal/sim"
+	"spotserve/internal/trace"
+)
+
+// recorder captures listener callbacks with their times.
+type recorder struct {
+	s          *sim.Simulator
+	ready      []ev
+	notices    []ev
+	terminated []ev
+}
+
+type ev struct {
+	at       float64
+	id       int64
+	deadline float64
+}
+
+func (r *recorder) InstanceReady(i *Instance) {
+	r.ready = append(r.ready, ev{at: r.s.Now(), id: i.ID})
+}
+func (r *recorder) PreemptionNotice(i *Instance, deadline float64) {
+	r.notices = append(r.notices, ev{at: r.s.Now(), id: i.ID, deadline: deadline})
+}
+func (r *recorder) InstanceTerminated(i *Instance) {
+	r.terminated = append(r.terminated, ev{at: r.s.Now(), id: i.ID})
+}
+
+func newCloud(t *testing.T) (*sim.Simulator, *Cloud, *recorder) {
+	t.Helper()
+	s := sim.New()
+	r := &recorder{s: s}
+	c := New(s, DefaultParams(), r)
+	return s, c, r
+}
+
+func TestInitialFleetReadyAtZero(t *testing.T) {
+	s, c, r := newCloud(t)
+	tr := trace.Trace{Name: "t", Horizon: 100, Events: []trace.Event{{At: 0, Count: 3}}}
+	if err := c.ReplayTrace(tr); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(1)
+	if len(r.ready) != 3 {
+		t.Fatalf("ready = %d, want 3", len(r.ready))
+	}
+	for _, e := range r.ready {
+		if e.at != 0 {
+			t.Fatalf("initial instance ready at %v, want 0", e.at)
+		}
+	}
+	spot, od := c.AliveCount()
+	if spot != 3 || od != 0 {
+		t.Fatalf("alive = %d/%d", spot, od)
+	}
+	if got := len(c.UsableGPUs()); got != 12 {
+		t.Fatalf("usable GPUs = %d, want 12", got)
+	}
+}
+
+func TestAcquisitionDelay(t *testing.T) {
+	s, c, r := newCloud(t)
+	tr := trace.Trace{Name: "t", Horizon: 1000, Events: []trace.Event{
+		{At: 0, Count: 1}, {At: 100, Count: 3},
+	}}
+	if err := c.ReplayTrace(tr); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(219)
+	if len(r.ready) != 1 {
+		t.Fatalf("ready before delay = %d, want 1", len(r.ready))
+	}
+	s.Run(221)
+	if len(r.ready) != 3 {
+		t.Fatalf("ready after delay = %d, want 3", len(r.ready))
+	}
+	if r.ready[1].at != 220 { // 100 + 120s AcquireDelay
+		t.Fatalf("acquired instance ready at %v, want 220", r.ready[1].at)
+	}
+}
+
+func TestPreemptionNoticeAndGrace(t *testing.T) {
+	s, c, r := newCloud(t)
+	tr := trace.Trace{Name: "t", Horizon: 1000, Events: []trace.Event{
+		{At: 0, Count: 4}, {At: 50, Count: 2},
+	}}
+	if err := c.ReplayTrace(tr); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(49)
+	if len(r.notices) != 0 {
+		t.Fatal("premature notices")
+	}
+	s.Run(79)
+	if len(r.notices) != 2 {
+		t.Fatalf("notices = %d, want 2", len(r.notices))
+	}
+	for _, n := range r.notices {
+		if n.at != 50 || n.deadline != 80 {
+			t.Fatalf("notice at %v deadline %v, want 50/80", n.at, n.deadline)
+		}
+	}
+	if len(r.terminated) != 0 {
+		t.Fatal("terminated before grace expired")
+	}
+	// Noticed instances remain usable through the grace period.
+	spot, _ := c.AliveCount()
+	if spot != 4 {
+		t.Fatalf("alive during grace = %d, want 4", spot)
+	}
+	s.Run(81)
+	if len(r.terminated) != 2 {
+		t.Fatalf("terminated = %d, want 2", len(r.terminated))
+	}
+	spot, _ = c.AliveCount()
+	if spot != 2 {
+		t.Fatalf("alive after grace = %d, want 2", spot)
+	}
+}
+
+func TestPreemptPendingInstance(t *testing.T) {
+	s, c, r := newCloud(t)
+	// +2 at t=10 (ready at 130), but -2 at t=50 while still pending.
+	tr := trace.Trace{Name: "t", Horizon: 1000, Events: []trace.Event{
+		{At: 0, Count: 0}, {At: 10, Count: 2}, {At: 50, Count: 0},
+	}}
+	if err := c.ReplayTrace(tr); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(500)
+	if len(r.ready) != 0 {
+		t.Fatalf("pending instances became ready: %v", r.ready)
+	}
+	if len(r.terminated) != 2 {
+		t.Fatalf("terminated = %d, want 2", len(r.terminated))
+	}
+	// Reclaiming a pending instance needs no grace notice.
+	if len(r.notices) != 0 {
+		t.Fatalf("notices for pending instances: %v", r.notices)
+	}
+}
+
+func TestOnDemandAllocRelease(t *testing.T) {
+	s, c, r := newCloud(t)
+	var insts []*Instance
+	s.At(0, func() { insts = c.AllocOnDemand(2) })
+	s.Run(300)
+	if len(r.ready) != 2 {
+		t.Fatalf("ready = %d", len(r.ready))
+	}
+	_, od := c.AliveCount()
+	if od != 2 {
+		t.Fatalf("on-demand alive = %d", od)
+	}
+	s.At(300, func() { c.Release(insts[0]) })
+	s.Run(301)
+	_, od = c.AliveCount()
+	if od != 1 {
+		t.Fatalf("on-demand after release = %d", od)
+	}
+	if len(r.terminated) != 1 {
+		t.Fatalf("terminated = %d", len(r.terminated))
+	}
+}
+
+func TestBilling(t *testing.T) {
+	s, c, _ := newCloud(t)
+	// One spot instance running 0→3600 s at 1.9 USD/h.
+	tr := trace.Trace{Name: "t", Horizon: 7200, Events: []trace.Event{
+		{At: 0, Count: 1}, {At: 3570, Count: 0}, // notice at 3570, dead at 3600
+	}}
+	if err := c.ReplayTrace(tr); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(7200)
+	if got := c.CostUSD(); math.Abs(got-1.9) > 1e-6 {
+		t.Fatalf("cost = %v, want 1.9", got)
+	}
+}
+
+func TestBillingOnDemandDearer(t *testing.T) {
+	s1 := sim.New()
+	c1 := New(s1, DefaultParams(), &recorder{s: s1})
+	s1.At(0, func() { c1.AllocOnDemand(1) })
+	s1.Run(3720) // ready at 120, runs 3600 s
+	spotCost := func() float64 {
+		s2 := sim.New()
+		c2 := New(s2, DefaultParams(), &recorder{s: s2})
+		tr := trace.Trace{Name: "t", Horizon: 7200, Events: []trace.Event{{At: 0, Count: 1}}}
+		if err := c2.ReplayTrace(tr); err != nil {
+			t.Fatal(err)
+		}
+		s2.Run(3600)
+		return c2.CostUSD()
+	}()
+	if c1.CostUSD() <= spotCost {
+		t.Fatalf("on-demand %v should cost more than spot %v", c1.CostUSD(), spotCost)
+	}
+}
+
+func TestDeterministicPreemptionChoice(t *testing.T) {
+	run := func() []int64 {
+		s := sim.New()
+		r := &recorder{s: s}
+		c := New(s, DefaultParams(), r)
+		tr := trace.Trace{Name: "t", Horizon: 1000, Events: []trace.Event{
+			{At: 0, Count: 6}, {At: 10, Count: 3},
+		}}
+		if err := c.ReplayTrace(tr); err != nil {
+			t.Fatal(err)
+		}
+		s.Run(1000)
+		var ids []int64
+		for _, n := range r.notices {
+			ids = append(ids, n.id)
+		}
+		return ids
+	}
+	a, b := run(), run()
+	if len(a) != 3 || len(b) != 3 {
+		t.Fatalf("notices = %d/%d, want 3", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("preemption choice not deterministic")
+		}
+	}
+}
+
+func TestTraceCountTracksAlive(t *testing.T) {
+	s, c, _ := newCloud(t)
+	tr := trace.BS()
+	if err := c.ReplayTrace(tr); err != nil {
+		t.Fatal(err)
+	}
+	// After every event settles (past acquire delay and grace), the alive
+	// count matches the trace count.
+	for _, probe := range []float64{55, 500, 1100} {
+		probe := probe
+		s.At(probe+150, func() {
+			spot, _ := c.AliveCount()
+			pend, _ := c.PendingCount()
+			want := tr.CountAt(probe + 150)
+			if spot+pend < want-1 || spot > want+1 {
+				t.Errorf("t=%v: alive=%d pending=%d trace=%d", probe+150, spot, pend, want)
+			}
+		})
+	}
+	s.Run(1200)
+}
+
+func TestInstanceStateStrings(t *testing.T) {
+	if Pending.String() != "pending" || Running.String() != "running" ||
+		Noticed.String() != "noticed" || Terminated.String() != "terminated" {
+		t.Fatal("state strings wrong")
+	}
+	if Spot.String() != "spot" || OnDemand.String() != "on-demand" {
+		t.Fatal("kind strings wrong")
+	}
+}
+
+func TestPrealloc(t *testing.T) {
+	s, c, r := newCloud(t)
+	s.At(0, func() { c.Prealloc(3, OnDemand) })
+	s.Run(1)
+	if len(r.ready) != 3 {
+		t.Fatalf("ready = %d, want 3 (Prealloc is immediate)", len(r.ready))
+	}
+	_, od := c.AliveCount()
+	if od != 3 {
+		t.Fatalf("on-demand alive = %d", od)
+	}
+	// Billed at the on-demand rate from t=0.
+	s.Run(3600)
+	want := 3 * 3.9
+	if got := c.CostUSD(); math.Abs(got-want) > 1e-6 {
+		t.Fatalf("cost = %v, want %v", got, want)
+	}
+}
+
+func TestReleaseNoticedInstanceStopsBilling(t *testing.T) {
+	s, c, r := newCloud(t)
+	tr := trace.Trace{Name: "t", Horizon: 1000, Events: []trace.Event{
+		{At: 0, Count: 2}, {At: 100, Count: 1},
+	}}
+	if err := c.ReplayTrace(tr); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(104) // notice issued at t=100
+	if len(r.notices) != 1 {
+		t.Fatalf("notices = %d", len(r.notices))
+	}
+	// Releasing the noticed instance early ends its bill at t=105, not 130.
+	s.At(105, func() {
+		var noticed *Instance
+		for _, inst := range c.Alive() {
+			if inst.State == Noticed {
+				noticed = inst
+			}
+		}
+		if noticed == nil {
+			t.Fatal("no noticed instance")
+		}
+		c.Release(noticed)
+	})
+	s.Run(1000)
+	// Instance 0 or 1 ran 0→1000 (kept), the other 0→105 (released).
+	want := (1000 + 105) / 3600.0 * 1.9
+	if got := c.CostUSD(); math.Abs(got-want) > 1e-6 {
+		t.Fatalf("cost = %v, want %v", got, want)
+	}
+	// The grace-deadline termination event must not double-fire.
+	if len(r.terminated) != 1 {
+		t.Fatalf("terminated = %d, want 1", len(r.terminated))
+	}
+}
+
+func TestUsableGPUsDeterministicOrder(t *testing.T) {
+	s, c, _ := newCloud(t)
+	tr := trace.Trace{Name: "t", Horizon: 100, Events: []trace.Event{{At: 0, Count: 3}}}
+	if err := c.ReplayTrace(tr); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(1)
+	g := c.UsableGPUs()
+	for i := 1; i < len(g); i++ {
+		if g[i].ID <= g[i-1].ID {
+			t.Fatal("GPUs not in ID order")
+		}
+	}
+	if len(g) != 12 {
+		t.Fatalf("gpus = %d", len(g))
+	}
+}

@@ -1,0 +1,129 @@
+// Package config defines the parallel-configuration vocabulary shared by the
+// whole system: C = (D, P, M, B) per §3.2 of the paper, where D is the data
+// (pipeline replication) degree, P the pipeline-model degree, M the
+// tensor-model degree, and B the maximum mini-batch size per pipeline, plus
+// the pipeline-stage-shard topology positions (d, p, m) that GPUs bind to.
+package config
+
+import "fmt"
+
+// Config is a parallel configuration C = (D, P, M, B).
+type Config struct {
+	// D is the data-parallel degree: the number of independent inference
+	// pipelines.
+	D int
+	// P is the pipeline-model-parallel degree: stages per pipeline.
+	P int
+	// M is the tensor-model-parallel degree: shards per stage.
+	M int
+	// B is the maximum mini-batch size served by one pipeline at a time.
+	B int
+}
+
+// Zero is the empty configuration (no pipelines), used when no instances are
+// available.
+var Zero = Config{}
+
+// GPUs returns the number of GPUs the configuration occupies.
+func (c Config) GPUs() int { return c.D * c.P * c.M }
+
+// GPUsPerPipeline returns P×M.
+func (c Config) GPUsPerPipeline() int { return c.P * c.M }
+
+// ConcurrentRequests returns D×B, the number of requests the configuration
+// serves simultaneously (footnote 2 of the paper).
+func (c Config) ConcurrentRequests() int { return c.D * c.B }
+
+// IsZero reports whether the configuration serves nothing.
+func (c Config) IsZero() bool { return c.D == 0 || c.P == 0 || c.M == 0 }
+
+// Validate checks structural sanity (positivity); model- and memory-level
+// feasibility lives in the cost package.
+func (c Config) Validate() error {
+	if c.D <= 0 || c.P <= 0 || c.M <= 0 || c.B <= 0 {
+		return fmt.Errorf("config: non-positive degree in %v", c)
+	}
+	return nil
+}
+
+// String renders the configuration like the paper: (D=2, P=3, M=4, B=8).
+func (c Config) String() string {
+	return fmt.Sprintf("(D=%d,P=%d,M=%d,B=%d)", c.D, c.P, c.M, c.B)
+}
+
+// Same reports whether two configurations have identical parallel degrees
+// (ignoring batch size).
+func (c Config) Same(o Config) bool {
+	return c.D == o.D && c.P == o.P && c.M == o.M
+}
+
+// Position is a pipeline-stage-shard topology position (d, p, m): the m-th
+// tensor shard of the p-th pipeline stage in the d-th pipeline. All indices
+// are 0-based (the paper uses 1-based).
+type Position struct {
+	D, P, M int
+}
+
+func (p Position) String() string {
+	return fmt.Sprintf("(d=%d,p=%d,m=%d)", p.D, p.P, p.M)
+}
+
+// Positions enumerates every topology position of c in deterministic
+// d-major, then stage, then shard order.
+func (c Config) Positions() []Position {
+	out := make([]Position, 0, c.GPUs())
+	for d := 0; d < c.D; d++ {
+		for p := 0; p < c.P; p++ {
+			for m := 0; m < c.M; m++ {
+				out = append(out, Position{D: d, P: p, M: m})
+			}
+		}
+	}
+	return out
+}
+
+// Index returns the rank of position pos in the Positions() ordering.
+func (c Config) Index(pos Position) int {
+	return pos.D*c.P*c.M + pos.P*c.M + pos.M
+}
+
+// Limits bounds the configuration search space.
+type Limits struct {
+	// MaxP caps the pipeline degree (the paper explores small P; deep
+	// pipelines add latency without memory benefit at this scale).
+	MaxP int
+	// Ms is the set of allowed tensor-parallel degrees.
+	Ms []int
+	// Bs is the set of allowed batch sizes ("B is selected from
+	// {1,2,4,8}" per §6.1).
+	Bs []int
+}
+
+// DefaultLimits mirrors the paper's search space.
+func DefaultLimits() Limits {
+	return Limits{
+		MaxP: 12,
+		Ms:   []int{1, 2, 4, 8},
+		Bs:   []int{1, 2, 4, 8},
+	}
+}
+
+// EnumerateShapes lists all (P, M) shapes allowed by the limits for a model
+// with the given layer and head counts: M must divide heads, P must divide
+// the layer count (pipeline stages hold whole layers and the engine requires
+// even stages), and P may not exceed MaxP.
+func (l Limits) EnumerateShapes(layers, heads int) []Config {
+	var out []Config
+	for p := 1; p <= l.MaxP && p <= layers; p++ {
+		if layers%p != 0 {
+			continue
+		}
+		for _, m := range l.Ms {
+			if heads%m != 0 {
+				continue
+			}
+			out = append(out, Config{D: 1, P: p, M: m})
+		}
+	}
+	return out
+}

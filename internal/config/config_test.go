@@ -1,0 +1,110 @@
+package config
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGPUs(t *testing.T) {
+	c := Config{D: 2, P: 3, M: 4, B: 8}
+	if c.GPUs() != 24 {
+		t.Fatalf("GPUs = %d, want 24", c.GPUs())
+	}
+	if c.GPUsPerPipeline() != 12 {
+		t.Fatalf("GPUsPerPipeline = %d, want 12", c.GPUsPerPipeline())
+	}
+	if c.ConcurrentRequests() != 16 {
+		t.Fatalf("ConcurrentRequests = %d, want 16", c.ConcurrentRequests())
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Config{D: 1, P: 1, M: 1, B: 1}).Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	for _, c := range []Config{{}, {D: 1, P: 1, M: 1}, {D: -1, P: 1, M: 1, B: 1}} {
+		if err := c.Validate(); err == nil {
+			t.Errorf("invalid config accepted: %v", c)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	got := Config{D: 2, P: 3, M: 4, B: 8}.String()
+	if got != "(D=2,P=3,M=4,B=8)" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestPositionsOrderAndIndex(t *testing.T) {
+	c := Config{D: 2, P: 2, M: 2, B: 1}
+	ps := c.Positions()
+	if len(ps) != 8 {
+		t.Fatalf("len(Positions) = %d, want 8", len(ps))
+	}
+	// d-major order.
+	want := []Position{
+		{0, 0, 0}, {0, 0, 1}, {0, 1, 0}, {0, 1, 1},
+		{1, 0, 0}, {1, 0, 1}, {1, 1, 0}, {1, 1, 1},
+	}
+	for i := range want {
+		if ps[i] != want[i] {
+			t.Fatalf("Positions[%d] = %v, want %v", i, ps[i], want[i])
+		}
+		if c.Index(ps[i]) != i {
+			t.Fatalf("Index(%v) = %d, want %d", ps[i], c.Index(ps[i]), i)
+		}
+	}
+}
+
+// Property: Index is the inverse of Positions for arbitrary shapes.
+func TestQuickIndexRoundTrip(t *testing.T) {
+	f := func(d, p, m uint8) bool {
+		c := Config{D: int(d%4) + 1, P: int(p%4) + 1, M: int(m%4) + 1, B: 1}
+		for i, pos := range c.Positions() {
+			if c.Index(pos) != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnumerateShapes(t *testing.T) {
+	l := DefaultLimits()
+	shapes := l.EnumerateShapes(48, 48)
+	// M=8 allowed (48%8==0)? 48 % 8 = 0 → yes.
+	seen := map[Config]bool{}
+	for _, s := range shapes {
+		if s.P > 12 || s.P < 1 {
+			t.Fatalf("shape %v exceeds MaxP", s)
+		}
+		if 48%s.M != 0 {
+			t.Fatalf("shape %v has M not dividing heads", s)
+		}
+		seen[s] = true
+	}
+	if !seen[(Config{D: 1, P: 3, M: 4})] {
+		t.Fatal("expected (P=3,M=4) in GPT-20B shapes")
+	}
+	// Heads=52 (real LLaMA-30B) would exclude M=8.
+	for _, s := range l.EnumerateShapes(60, 52) {
+		if s.M == 8 {
+			t.Fatal("M=8 allowed with 52 heads")
+		}
+	}
+}
+
+func TestSame(t *testing.T) {
+	a := Config{D: 2, P: 2, M: 8, B: 4}
+	b := Config{D: 2, P: 2, M: 8, B: 8}
+	if !a.Same(b) {
+		t.Fatal("Same should ignore batch size")
+	}
+	if a.Same(Config{D: 1, P: 2, M: 8, B: 4}) {
+		t.Fatal("Same should compare degrees")
+	}
+}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"spotserve/internal/config"
+	"spotserve/internal/cost"
+)
+
+// Arranger implements the interruption arranger (§4.1): the just-in-time
+// decision of how many more decoding iterations a pipeline may run before
+// it must hand over to context migration, and whether migrating the cache
+// is worthwhile at all.
+type Arranger struct {
+	Est *cost.Estimator
+	// Enabled gates JIT arrangement: when false (Figure 9 ablation) the
+	// engine is suspended immediately on notice and no cache context is
+	// migrated.
+	Enabled bool
+}
+
+// PreemptionBudget returns the latest virtual time decoding may continue
+// before migration must start, given the preemption deadline and the
+// migration duration T_mig. This is the S_t = argmax formulation: run as
+// many iterations as fit into T⁻ − T_mig.
+func (a *Arranger) PreemptionBudget(deadline, tMig float64) float64 {
+	return deadline - tMig
+}
+
+// MayContinue reports whether a pipeline should decode one more iteration:
+// the iteration (estimated at the batch's current length) must finish
+// before the migration-start budget. The engine consults this from its
+// IterationDone hook — deciding before feeding a new batch into the
+// engine, as the paper specifies.
+func (a *Arranger) MayContinue(now float64, cfg config.Config, batchSize, curLen int, budget float64) bool {
+	iter := a.Est.DecodeIter(cfg.P, cfg.M, batchSize, curLen)
+	return now+iter <= budget
+}
+
+// CacheWorthMigrating decides reroute-vs-migrate (§4.1 last paragraph):
+// migrating the cache only pays off when recomputing the committed tokens
+// would cost more than moving them (T_mig < l_exe(S_t | C_t)). committed
+// is the batch's minimum committed token count; cacheMigTime the marginal
+// time to move the cache context.
+func (a *Arranger) CacheWorthMigrating(cfg config.Config, batchSize, seqIn, committed int, cacheMigTime float64) bool {
+	if !a.Enabled || committed <= 0 {
+		return false
+	}
+	recompute := a.Est.InitPhase(cfg.P, cfg.M, batchSize, seqIn) +
+		a.Est.ExecPartial(cfg.P, cfg.M, batchSize, seqIn, 0, committed)
+	return cacheMigTime < recompute
+}
+
+// AcquisitionJoinTime returns when a newly acquired instance should join:
+// decoding continues until the instance is actually ready (S_t = argmin
+// {l_exe(S) ≥ T⁺}) — joining earlier would stall serving, later would
+// waste the new capacity.
+func (a *Arranger) AcquisitionJoinTime(readyAt float64) float64 {
+	return readyAt
+}

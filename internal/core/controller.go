@@ -1,0 +1,289 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"spotserve/internal/config"
+	"spotserve/internal/cost"
+)
+
+// Optimizer is the adaptive configuration optimizer of Algorithm 1: given
+// the available instance count N_t and the observed arrival rate α_t it
+// proposes the next parallel configuration C_{t+1}, balancing throughput,
+// latency and monetary cost.
+type Optimizer struct {
+	Est    *cost.Estimator
+	Limits config.Limits
+	// GPUsPerInstance converts instance counts to GPU counts.
+	GPUsPerInstance int
+	// MaxInstances caps how many instances line 8 may request ("cloud
+	// has enough instances for C").
+	MaxInstances int
+	// SeqIn / SeqOut are the workload's sequence lengths.
+	SeqIn, SeqOut int
+	// MaxTokens is the per-request KV budget for memory feasibility.
+	MaxTokens int
+	// NaiveBuffer selects the migration-buffer memory model (true when
+	// the memory-optimized migration planner is ablated, shrinking the
+	// feasible space — §6.2).
+	NaiveBuffer bool
+	// ReservePool is the number of extra instances kept as a candidate
+	// pool for smoother substitution (two in the paper's experiments).
+	ReservePool int
+	// SLOLatency, when positive, switches the objective from latency
+	// minimization to SLO attainment: any configuration with
+	// l_req ≤ SLOLatency is acceptable and the cheapest one wins (§3.2
+	// mentions this alternative target).
+	SLOLatency float64
+
+	execMemo map[[3]int]float64
+}
+
+// NewOptimizer builds an optimizer with the paper's defaults.
+func NewOptimizer(est *cost.Estimator) *Optimizer {
+	return &Optimizer{
+		Est:             est,
+		Limits:          config.DefaultLimits(),
+		GPUsPerInstance: est.Params.GPUsPerInstance,
+		MaxInstances:    12,
+		SeqIn:           cost.DefaultSeqIn,
+		SeqOut:          cost.DefaultSeqOut,
+		MaxTokens:       cost.DefaultMaxTokens,
+		ReservePool:     2,
+	}
+}
+
+// Proposal is the optimizer's decision.
+type Proposal struct {
+	// Config is C_{t+1}.
+	Config config.Config
+	// WantInstances is #Instances(C_{t+1}) plus the reserve pool: the
+	// fleet size the instance manager should target (Δ = WantInstances −
+	// N_t, allocating on-demand+spot when positive, freeing on-demand
+	// first when negative).
+	WantInstances int
+	// Saturated is true when even the best configuration cannot reach
+	// α_t (line 5 path: maximize throughput).
+	Saturated bool
+}
+
+// candidate enumerates every feasible configuration using at most gpus
+// devices, with D maximized per shape and every allowed batch size.
+func (o *Optimizer) candidates(gpus int) []config.Config {
+	var out []config.Config
+	for _, b := range o.Limits.Bs {
+		for _, s := range o.Est.FeasibleShapes(o.Limits, b, o.MaxTokens, o.NaiveBuffer) {
+			per := s.GPUsPerPipeline()
+			for d := 1; d*per <= gpus; d++ {
+				out = append(out, config.Config{D: d, P: s.P, M: s.M, B: b})
+			}
+		}
+	}
+	return out
+}
+
+// lreq estimates the end-to-end request latency of configuration c under
+// arrival rate alpha: the model execution latency plus the expected
+// batch-assembly wait (a request waits for up to B−1 peers arriving at
+// rate α).
+func (o *Optimizer) lreq(c config.Config, alpha float64) float64 {
+	l := o.exec(c)
+	if alpha > 1e-9 && c.B > 1 {
+		l += float64(c.B-1) / (2 * alpha)
+	}
+	return l
+}
+
+// exec memoizes l_exe per (P, M, B) shape: the optimizer evaluates the same
+// shape at many data-parallel degrees (the paper's latency estimation is
+// likewise done offline in advance, §3.2).
+func (o *Optimizer) exec(c config.Config) float64 {
+	key := [3]int{c.P, c.M, c.B}
+	if o.execMemo == nil {
+		o.execMemo = make(map[[3]int]float64)
+	}
+	if v, ok := o.execMemo[key]; ok {
+		return v
+	}
+	v := o.Est.Exec(c.P, c.M, c.B, o.SeqIn, o.SeqOut)
+	o.execMemo[key] = v
+	return v
+}
+
+// phi returns the serving throughput φ(C).
+func (o *Optimizer) phi(c config.Config) float64 {
+	l := o.exec(c)
+	if c.IsZero() || l <= 0 {
+		return 0
+	}
+	return float64(c.D) * float64(c.B) / l
+}
+
+// Propose implements Algorithm 1's ConfigOptimizer(N_t, C_t, α_t) when the
+// fleet may grow to the provider's capacity (on-demand mixing allowed).
+func (o *Optimizer) Propose(nInstances int, alpha float64) Proposal {
+	return o.ProposeCapped(nInstances, alpha, o.MaxInstances)
+}
+
+// ProposeBounded restricts line 2's "cloud has enough instances for C" to
+// the currently available fleet — the spot-only mode where the system
+// cannot allocate on demand and must live within N_t.
+func (o *Optimizer) ProposeBounded(nInstances int, alpha float64) Proposal {
+	return o.ProposeCapped(nInstances, alpha, nInstances)
+}
+
+// ProposeCapped is the general form: capacity bounds how many instances the
+// chosen configuration may occupy.
+func (o *Optimizer) ProposeCapped(nInstances int, alpha float64, capacity int) Proposal {
+	if capacity > o.MaxInstances {
+		capacity = o.MaxInstances
+	}
+	maxGPUs := capacity * o.GPUsPerInstance
+
+	// Line 2: does any configuration the cloud can host reach α_t?
+	all := o.candidates(maxGPUs)
+	var meet []config.Config
+	for _, c := range all {
+		if o.phi(c) >= alpha {
+			meet = append(meet, c)
+		}
+	}
+
+	var chosen config.Config
+	saturated := false
+	if len(meet) > 0 {
+		// Line 3: minimize l_req subject to φ(C) ≥ α_t; among ties use
+		// fewer instances (cheaper), then deterministic order. Under an
+		// SLO objective, any config meeting the SLO qualifies and the
+		// cheapest wins.
+		sort.Slice(meet, func(i, j int) bool { return lessConfig(meet[i], meet[j]) })
+		if o.SLOLatency > 0 {
+			chosen = o.chooseSLO(meet, alpha)
+		} else {
+			chosen = o.chooseMinLatency(meet, alpha)
+		}
+	} else {
+		// Line 5: saturate — maximize throughput with what N_t offers.
+		saturated = true
+		chosen = o.chooseMaxThroughput(o.candidates(nInstances * o.GPUsPerInstance))
+		if chosen.IsZero() {
+			// Not even one pipeline fits; request the minimum viable
+			// fleet and serve nothing meanwhile.
+			_, shape := o.Est.MinGPUs(o.Limits, o.MaxTokens, o.NaiveBuffer)
+			if !shape.IsZero() {
+				shape.B = o.Limits.Bs[len(o.Limits.Bs)-1]
+				chosen = shape
+			}
+		}
+	}
+
+	want := 0
+	if !chosen.IsZero() {
+		want = ceilDiv(chosen.GPUs(), o.GPUsPerInstance) + o.ReservePool
+		if want > o.MaxInstances {
+			want = o.MaxInstances
+		}
+	}
+	return Proposal{Config: chosen, WantInstances: want, Saturated: saturated}
+}
+
+// latencyTolerance is the window within which configurations count as
+// achieving "similar minimum inference latency" (§3.2), letting the cheaper
+// one win.
+const latencyTolerance = 0.10
+
+func (o *Optimizer) chooseMinLatency(meet []config.Config, alpha float64) config.Config {
+	minL := math.Inf(1)
+	for _, c := range meet {
+		if l := o.lreq(c, alpha); l < minL {
+			minL = l
+		}
+	}
+	// Among configurations achieving similar minimum latency, pick the
+	// one with the lowest monetary cost (fewest GPUs), then the lowest
+	// latency, then deterministic order.
+	var best config.Config
+	bestL := math.Inf(1)
+	found := false
+	for _, c := range meet {
+		l := o.lreq(c, alpha)
+		if l > minL*(1+latencyTolerance) {
+			continue
+		}
+		switch {
+		case !found,
+			c.GPUs() < best.GPUs(),
+			c.GPUs() == best.GPUs() && l < bestL-1e-9:
+			best, bestL, found = c, l, true
+		}
+	}
+	return best
+}
+
+func (o *Optimizer) chooseSLO(meet []config.Config, alpha float64) config.Config {
+	var best config.Config
+	found := false
+	for _, c := range meet {
+		if o.lreq(c, alpha) > o.SLOLatency {
+			continue
+		}
+		if !found || c.GPUs() < best.GPUs() {
+			best, found = c, true
+		}
+	}
+	if !found {
+		return o.chooseMinLatency(meet, alpha)
+	}
+	return best
+}
+
+func (o *Optimizer) chooseMaxThroughput(cands []config.Config) config.Config {
+	var best config.Config
+	bestPhi := -1.0
+	sort.Slice(cands, func(i, j int) bool { return lessConfig(cands[i], cands[j]) })
+	for _, c := range cands {
+		p := o.phi(c)
+		if p > bestPhi+1e-12 {
+			best, bestPhi = c, p
+		}
+	}
+	return best
+}
+
+// lessConfig is a deterministic total order on configurations.
+func lessConfig(a, b config.Config) bool {
+	if a.GPUs() != b.GPUs() {
+		return a.GPUs() < b.GPUs()
+	}
+	if a.D != b.D {
+		return a.D < b.D
+	}
+	if a.P != b.P {
+		return a.P < b.P
+	}
+	if a.M != b.M {
+		return a.M < b.M
+	}
+	return a.B < b.B
+}
+
+// FitToInstances shrinks a configuration's data-parallel degree to fit the
+// available GPU budget, used when the controller is ablated (no shape
+// switching) or by the Rerouting baseline (drop pipelines).
+func FitToInstances(c config.Config, gpus int) config.Config {
+	if c.IsZero() {
+		return c
+	}
+	per := c.GPUsPerPipeline()
+	d := gpus / per
+	if d <= 0 {
+		return config.Zero
+	}
+	if d < c.D {
+		c.D = d
+	}
+	return c
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }

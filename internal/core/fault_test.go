@@ -1,0 +1,123 @@
+package core
+
+import (
+	"testing"
+
+	"spotserve/internal/cloud"
+	"spotserve/internal/model"
+	"spotserve/internal/sim"
+	"spotserve/internal/trace"
+	"spotserve/internal/workload"
+)
+
+// runWithCloudParams runs a scenario with custom cloud parameters —
+// failure injection via hostile grace periods and acquisition delays.
+func runWithCloudParams(t *testing.T, cp cloud.Params, tr trace.Trace, spec model.Spec, rate float64, seed int64) Stats {
+	t.Helper()
+	s := sim.New()
+	cl := cloud.New(s, cp, nil)
+	opts := DefaultOptions(spec)
+	opts.CostParams.GracePeriod = cp.GracePeriod
+	opts.CostParams.AcquireDelay = cp.AcquireDelay
+	opts.BaseRate = rate
+	srv := NewServer(s, cl, opts)
+	srv.Install()
+	if err := cl.ReplayTrace(tr); err != nil {
+		t.Fatal(err)
+	}
+	reqs, err := workload.Generate(workload.Options{
+		Horizon: tr.Horizon, Rate: workload.ConstantRate(rate), CV: 6,
+		SeqIn: opts.SeqIn, SeqOut: opts.SeqOut, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.LoadWorkload(reqs, tr.Horizon)
+	s.Run(tr.Horizon + 900)
+	return srv.Stats()
+}
+
+// TestTinyGracePeriodSurvives injects a hostile 1-second grace period: no
+// migration can finish in time, so instances crash out from under running
+// pipelines. The system must take the §4.2 crash path (requests restart)
+// and still drain the workload.
+func TestTinyGracePeriodSurvives(t *testing.T) {
+	cp := cloud.DefaultParams()
+	cp.GracePeriod = 1
+	st := runWithCloudParams(t, cp, trace.AS(), model.GPT20B, 0.35, 31)
+	if st.Completed < st.Submitted*8/10 {
+		t.Fatalf("completed only %d of %d with 1 s grace", st.Completed, st.Submitted)
+	}
+	// With no usable grace, some batches must have crashed.
+	if st.CacheGiveUps == 0 {
+		t.Fatal("no cache give-ups despite un-migratable grace period")
+	}
+}
+
+// TestZeroGracePeriod is the extreme: termination coincides with notice.
+func TestZeroGracePeriod(t *testing.T) {
+	cp := cloud.DefaultParams()
+	cp.GracePeriod = 0
+	tr := trace.Trace{Name: "harsh", Horizon: 600, Events: []trace.Event{
+		{At: 0, Count: 6}, {At: 120, Count: 4}, {At: 240, Count: 6}, {At: 360, Count: 3},
+	}}
+	st := runWithCloudParams(t, cp, tr, model.OPT6B7, 0.8, 32)
+	if st.Completed < st.Submitted/2 {
+		t.Fatalf("completed only %d of %d with zero grace", st.Completed, st.Submitted)
+	}
+}
+
+// TestLongAcquisitionDelay makes new instances take five minutes to
+// provision: the acquisition path must still fold them in eventually.
+func TestLongAcquisitionDelay(t *testing.T) {
+	cp := cloud.DefaultParams()
+	cp.AcquireDelay = 300
+	tr := trace.Trace{Name: "slow-grow", Horizon: 900, Events: []trace.Event{
+		{At: 0, Count: 3}, {At: 100, Count: 8},
+	}}
+	st := runWithCloudParams(t, cp, tr, model.GPT20B, 0.35, 33)
+	if st.Completed != st.Submitted {
+		t.Fatalf("completed %d of %d", st.Completed, st.Submitted)
+	}
+	grown := false
+	for _, c := range st.ConfigLog {
+		if c.Reason == "acquisition" {
+			grown = true
+		}
+	}
+	if !grown {
+		t.Fatal("acquired instances never joined")
+	}
+}
+
+// TestRestartsAreCounted checks that requests that lose progress report
+// their restarts, and that under the full system restarts stay rare
+// compared to an arranger-less run.
+func TestRestartsAreCounted(t *testing.T) {
+	cp := cloud.DefaultParams()
+	cp.GracePeriod = 1 // force crashes
+	stCrash := runWithCloudParams(t, cp, trace.BS(), model.GPT20B, 0.35, 34)
+	stNormal := runScenario(t, model.GPT20B, trace.BS(), 0.35, AllFeatures(), 34)
+	if stCrash.CacheGiveUps <= stNormal.CacheGiveUps {
+		t.Fatalf("crashy run give-ups %d not above normal %d",
+			stCrash.CacheGiveUps, stNormal.CacheGiveUps)
+	}
+}
+
+// TestOverlappingGraceWindows issues three preemption notices inside one
+// grace window; the fold-in logic must produce a single consistent
+// migration rather than corrupting state.
+func TestOverlappingGraceWindows(t *testing.T) {
+	tr := trace.Trace{Name: "overlap", Horizon: 600, Events: []trace.Event{
+		{At: 0, Count: 10}, {At: 100, Count: 8}, {At: 110, Count: 6}, {At: 120, Count: 5},
+	}}
+	st := runScenario(t, model.GPT20B, tr, 0.35, AllFeatures(), 35)
+	if st.Completed != st.Submitted {
+		t.Fatalf("completed %d of %d", st.Completed, st.Submitted)
+	}
+	// Capacity settles at 5 instances = 20 GPUs; the final config fits.
+	last := st.ConfigLog[len(st.ConfigLog)-1]
+	if last.Config.GPUs() > 20 {
+		t.Fatalf("final config %v exceeds surviving capacity", last.Config)
+	}
+}

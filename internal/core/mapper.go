@@ -1,0 +1,292 @@
+// Package core implements SpotServe's control plane — the paper's primary
+// contribution: the parallelization controller (§3.2, Algorithm 1), the
+// device mapper (§3.3, Kuhn–Munkres matching), the migration planner (§3.4,
+// Algorithm 2), the interruption arranger with stateful inference recovery
+// (§4), and the inference server that drives them end to end.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"spotserve/internal/cloud"
+	"spotserve/internal/config"
+	"spotserve/internal/km"
+	"spotserve/internal/model"
+)
+
+// DeviceContext is the mapper's view of one GPU's context daemon: what
+// model and cache context the device currently holds.
+type DeviceContext struct {
+	GPU *cloud.GPU
+	// ModelCtx is the resident parameter shard (possibly empty).
+	ModelCtx model.Rect
+	// CachePipeline is the old pipeline index whose KV cache is resident
+	// (-1 when none).
+	CachePipeline int
+	// CacheRect / CacheTokens describe the resident cache.
+	CacheRect   model.Rect
+	CacheTokens int
+}
+
+// MapperOptions tunes the device mapper.
+type MapperOptions struct {
+	// UseKM enables optimal Kuhn–Munkres matching; when false, devices
+	// are assigned to positions in arbitrary (ID) order — the ablation
+	// baseline of Figure 9.
+	UseKM bool
+	// Hierarchical enables the two-step intra-/inter-instance matching
+	// for multi-GPU instances (§3.3 "two-step matching").
+	Hierarchical bool
+	// Inherit maps new pipeline index → old pipeline index whose
+	// interrupted requests (and KV cache) the new pipeline adopts.
+	// Pipelines absent from the map inherit nothing.
+	Inherit map[int]int
+}
+
+// Mapping is the device mapper's output.
+type Mapping struct {
+	Target config.Config
+	// Assign binds every topology position of Target to a GPU.
+	Assign map[config.Position]*cloud.GPU
+	// Spare lists usable GPUs left out of the mesh (the candidate pool).
+	Spare []*cloud.GPU
+	// ReusedModelBytes / ReusedCacheBytes quantify context reuse achieved
+	// by the matching (the KM objective value, split by kind).
+	ReusedModelBytes float64
+	ReusedCacheBytes float64
+	// TotalModelBytes is the parameter bytes the full target mesh needs;
+	// TotalModelBytes − ReusedModelBytes must be migrated or reloaded.
+	TotalModelBytes float64
+}
+
+// edgeWeights computes the reusable model and cache bytes when placing
+// device u at position v of the target configuration.
+func edgeWeights(spec model.Spec, u DeviceContext, target config.Config, v config.Position, inherit map[int]int) (modelBytes, cacheBytes float64) {
+	want := model.PositionRect(spec, target.P, target.M, v.P, v.M)
+	modelBytes = u.ModelCtx.OverlapParamBytes(spec, want)
+	if u.CachePipeline >= 0 && u.CacheTokens > 0 {
+		if oldD, ok := inherit[v.D]; ok && oldD == u.CachePipeline {
+			inter := u.CacheRect.Intersect(want)
+			if !inter.Empty() {
+				cacheBytes = float64(u.CacheTokens) * spec.KVBytesPerTokenLayer() *
+					float64(inter.Layers()) * inter.FracWidth()
+			}
+		}
+	}
+	return modelBytes, cacheBytes
+}
+
+// MapDevices maps available GPUs onto the pipeline-stage-shard positions of
+// the target configuration, maximizing reusable context bytes. It returns
+// an error when fewer GPUs are available than the target needs.
+func MapDevices(spec model.Spec, devices []DeviceContext, target config.Config, opt MapperOptions) (Mapping, error) {
+	if err := target.Validate(); err != nil {
+		return Mapping{}, err
+	}
+	need := target.GPUs()
+	if len(devices) < need {
+		return Mapping{}, fmt.Errorf("core: mapping needs %d GPUs, have %d", need, len(devices))
+	}
+	// Deterministic input order.
+	devs := append([]DeviceContext(nil), devices...)
+	sort.Slice(devs, func(i, j int) bool { return devs[i].GPU.ID < devs[j].GPU.ID })
+	positions := target.Positions()
+
+	m := Mapping{
+		Target: target,
+		Assign: make(map[config.Position]*cloud.GPU, need),
+	}
+	for _, pos := range positions {
+		m.TotalModelBytes += model.PositionRect(spec, target.P, target.M, pos.P, pos.M).ParamBytes(spec)
+	}
+
+	var left []int // indices into devs chosen for the mesh, aligned to positions
+	var err error
+	switch {
+	case !opt.UseKM:
+		left = identityAssign(len(positions))
+	case opt.Hierarchical:
+		left, err = hierarchicalMatch(spec, devs, target, positions, opt.Inherit)
+		if err != nil {
+			// Irregular instance shapes (partially preempted instances,
+			// uneven blocks) break the block structure; fall back to the
+			// globally optimal flat matching.
+			left, err = flatMatch(spec, devs, target, positions, opt.Inherit)
+		}
+	default:
+		left, err = flatMatch(spec, devs, target, positions, opt.Inherit)
+	}
+	if err != nil {
+		return Mapping{}, err
+	}
+
+	used := make(map[int]bool, need)
+	for pi, di := range left {
+		pos := positions[pi]
+		m.Assign[pos] = devs[di].GPU
+		used[di] = true
+		mb, cb := edgeWeights(spec, devs[di], target, pos, opt.Inherit)
+		m.ReusedModelBytes += mb
+		m.ReusedCacheBytes += cb
+	}
+	for di := range devs {
+		if !used[di] {
+			m.Spare = append(m.Spare, devs[di].GPU)
+		}
+	}
+	return m, nil
+}
+
+// identityAssign maps position i to device i.
+func identityAssign(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// flatMatch runs one global KM over all devices × positions.
+func flatMatch(spec model.Spec, devs []DeviceContext, target config.Config, positions []config.Position, inherit map[int]int) ([]int, error) {
+	w := km.NewMatrix(len(devs), len(positions))
+	for i, u := range devs {
+		for j, v := range positions {
+			mb, cb := edgeWeights(spec, u, target, v, inherit)
+			w[i][j] = mb + cb
+		}
+	}
+	a, err := km.Solve(w)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, len(positions))
+	for j, i := range a.Right {
+		if i < 0 {
+			return nil, fmt.Errorf("core: position %v unmatched", positions[j])
+		}
+		out[j] = i
+	}
+	return out, nil
+}
+
+// hierarchicalMatch exploits the instance hierarchy: step 1 matches
+// instances to blocks of GPUsPerInstance consecutive positions with KM over
+// block-level weights (themselves optimal 4×4 matchings); step 2 solves the
+// per-pair GPU-level assignment. Consecutive positions share a stage
+// whenever M ≥ GPUs/instance, so tensor-parallel all-reduce groups land on
+// the fast intra-instance interconnect.
+func hierarchicalMatch(spec model.Spec, devs []DeviceContext, target config.Config, positions []config.Position, inherit map[int]int) ([]int, error) {
+	// Group devices by instance (preserving device order).
+	instOrder := []int64{}
+	byInst := map[int64][]int{}
+	for i, d := range devs {
+		id := d.GPU.Inst.ID
+		if _, ok := byInst[id]; !ok {
+			instOrder = append(instOrder, id)
+		}
+		byInst[id] = append(byInst[id], i)
+	}
+	per := 0
+	for _, g := range byInst {
+		if len(g) > per {
+			per = len(g)
+		}
+	}
+	if per == 0 {
+		return nil, fmt.Errorf("core: no devices")
+	}
+	// Position blocks of `per` consecutive positions.
+	var blocks [][]int
+	for s := 0; s < len(positions); s += per {
+		e := s + per
+		if e > len(positions) {
+			e = len(positions)
+		}
+		idx := make([]int, 0, e-s)
+		for k := s; k < e; k++ {
+			idx = append(idx, k)
+		}
+		blocks = append(blocks, idx)
+	}
+
+	// Block-level weight = optimal within-pair matching value. Pairs
+	// where the instance has fewer GPUs than the block needs are
+	// infeasible.
+	pairAssign := make(map[[2]int][]int) // (instIdx, blockIdx) → per-position device index
+	w := km.NewMatrix(len(instOrder), len(blocks))
+	feasible := make(map[[2]int]bool)
+	for ii, instID := range instOrder {
+		gset := byInst[instID]
+		for bi, block := range blocks {
+			if len(gset) < len(block) {
+				w[ii][bi] = 0
+				continue
+			}
+			sub := km.NewMatrix(len(gset), len(block))
+			for a, di := range gset {
+				for b, pj := range block {
+					mb, cb := edgeWeights(spec, devs[di], target, positions[pj], inherit)
+					sub[a][b] = mb + cb
+				}
+			}
+			sa, err := km.Solve(sub)
+			if err != nil {
+				return nil, err
+			}
+			w[ii][bi] = sa.Weight
+			assign := make([]int, len(block))
+			for b := range block {
+				assign[b] = gset[sa.Right[b]]
+			}
+			pairAssign[[2]int{ii, bi}] = assign
+			feasible[[2]int{ii, bi}] = true
+		}
+	}
+	top, err := km.Solve(w)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, len(positions))
+	for bi, block := range blocks {
+		ii := top.Right[bi]
+		if ii < 0 || !feasible[[2]int{ii, bi}] {
+			return nil, fmt.Errorf("core: block %d has no feasible instance", bi)
+		}
+		assign := pairAssign[[2]int{ii, bi}]
+		for b, pj := range block {
+			out[pj] = assign[b]
+		}
+	}
+	return out, nil
+}
+
+// KeepBatches implements the cache-discard rule of §3.3: when the new
+// configuration serves fewer concurrent requests than the old one
+// (D_{t+1}×B_{t+1} < D_t×B_t), keep the batches with the most decoding
+// progress and discard the rest (they will be recomputed). Batches are
+// identified by their old pipeline index; progress is the summed committed
+// tokens. It returns old pipeline indices to keep, most-progressed first,
+// capped at newD.
+func KeepBatches(progressByOldPipeline map[int]int, newD int) []int {
+	type kv struct{ d, prog int }
+	var all []kv
+	for d, p := range progressByOldPipeline {
+		all = append(all, kv{d, p})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].prog != all[j].prog {
+			return all[i].prog > all[j].prog
+		}
+		return all[i].d < all[j].d
+	})
+	if len(all) > newD {
+		all = all[:newD]
+	}
+	out := make([]int, 0, len(all))
+	for _, x := range all {
+		out = append(out, x.d)
+	}
+	sort.Ints(out)
+	return out
+}

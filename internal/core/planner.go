@@ -1,0 +1,380 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"spotserve/internal/cloud"
+	"spotserve/internal/config"
+	"spotserve/internal/cost"
+	"spotserve/internal/model"
+)
+
+// Transfer is one context-migration instruction: move Bytes of layer
+// context (or KV cache when Layer < 0) to GPU To. From is nil when no live
+// replica exists and the context must be fetched from cloud storage — the
+// §4.2 fault-tolerance fallback.
+type Transfer struct {
+	// Layer is the transformer layer index, or CacheLayer for KV cache.
+	Layer int
+	To    *cloud.GPU
+	From  *cloud.GPU
+	Bytes float64
+	// Inter marks a transfer crossing the instance network.
+	Inter bool
+}
+
+// CacheLayer marks cache-context transfers in a Plan.
+const CacheLayer = -1
+
+// PlanOptions tunes the migration planner.
+type PlanOptions struct {
+	// Progressive enables the progressive migration schedule: front
+	// pipeline stages start serving while later stages still migrate.
+	Progressive bool
+	// MemOpt enables the memory-optimized layer ordering of Algorithm 2.
+	MemOpt bool
+	// UmaxBytes is the per-instance migration-buffer cap U_max.
+	UmaxBytes float64
+	// MigrateCache prioritizes KV-cache context so interrupted requests
+	// resume without recomputation (stateful recovery, §4).
+	MigrateCache bool
+	// Inherit maps new pipeline index → old pipeline index whose KV
+	// cache must follow the batch (same map given to the mapper).
+	Inherit map[int]int
+}
+
+// Plan is a complete context-migration plan for one configuration update.
+type Plan struct {
+	Target config.Config
+	// Cache lists the prioritized cache-context transfers (§3.4: cache
+	// first, for interruption fault tolerance).
+	Cache []Transfer
+	// LayerOrder is the layer migration order O from Algorithm 2.
+	LayerOrder []int
+	// ByLayer groups parameter transfers per layer.
+	ByLayer map[int][]Transfer
+	// StageOfLayer maps each layer to its pipeline stage in Target.
+	StageOfLayer map[int]int
+	// TotalBytes / StorageBytes / ReusedBytes summarize data movement.
+	TotalBytes   float64
+	StorageBytes float64
+	// PeakBufferBytes is the highest in-flight buffer usage per instance
+	// under the chosen order.
+	PeakBufferBytes map[int64]float64
+}
+
+// PlanMigration builds the migration plan that realizes `mapping` starting
+// from the devices' current contexts. devices must include every GPU in the
+// mapping (sources may be any device in the list, including ones about to
+// be preempted — they remain usable during the grace period).
+func PlanMigration(spec model.Spec, est *cost.Estimator, devices []DeviceContext, mapping Mapping, opt PlanOptions) (*Plan, error) {
+	target := mapping.Target
+	if err := target.Validate(); err != nil {
+		return nil, err
+	}
+	byGPU := make(map[int64]DeviceContext, len(devices))
+	for _, d := range devices {
+		byGPU[d.GPU.ID] = d
+	}
+
+	plan := &Plan{
+		Target:          target,
+		ByLayer:         make(map[int][]Transfer),
+		StageOfLayer:    make(map[int]int),
+		PeakBufferBytes: make(map[int64]float64),
+	}
+	for l := 0; l < spec.Layers; l++ {
+		plan.StageOfLayer[l] = model.StageOf(spec.Layers, target.P, l)
+	}
+
+	// Deterministic position order.
+	positions := target.Positions()
+
+	// Parameter transfers: per (position, layer) compute missing bytes.
+	for _, pos := range positions {
+		gpu := mapping.Assign[pos]
+		if gpu == nil {
+			return nil, fmt.Errorf("core: plan missing GPU for %v", pos)
+		}
+		held := byGPU[gpu.ID].ModelCtx
+		want := model.PositionRect(spec, target.P, target.M, pos.P, pos.M)
+		for layer := want.LayerLo; layer < want.LayerHi; layer++ {
+			lw := want.LayerRect(layer)
+			missing := lw.ParamBytes(spec) - held.OverlapParamBytes(spec, lw)
+			if missing <= 1 { // sub-byte float residue
+				continue
+			}
+			src := findSource(byGPU, devices, gpu, lw)
+			tr := Transfer{
+				Layer: layer,
+				To:    gpu,
+				From:  src,
+				Bytes: missing,
+				Inter: src == nil || src.Inst.ID != gpu.Inst.ID,
+			}
+			if src == nil {
+				plan.StorageBytes += missing
+			}
+			plan.ByLayer[layer] = append(plan.ByLayer[layer], tr)
+			plan.TotalBytes += missing
+		}
+	}
+
+	// Cache transfers (prioritized): every position of an inheriting
+	// pipeline needs the cache slice of its (layers × frac) rectangle.
+	if opt.MigrateCache {
+		for _, pos := range positions {
+			gpu := mapping.Assign[pos]
+			dc := byGPU[gpu.ID]
+			oldD, ok := opt.Inherit[pos.D]
+			if !ok {
+				continue
+			}
+			want := model.PositionRect(spec, target.P, target.M, pos.P, pos.M)
+			tokens, src := cacheSource(devices, oldD, want)
+			if tokens == 0 {
+				continue
+			}
+			needBytes := float64(tokens) * spec.KVBytesPerTokenLayer() *
+				float64(want.Layers()) * want.FracWidth()
+			// Subtract cache the receiver already holds for this batch.
+			if dc.CachePipeline == oldD {
+				inter := dc.CacheRect.Intersect(want)
+				if !inter.Empty() {
+					needBytes -= float64(dc.CacheTokens) * spec.KVBytesPerTokenLayer() *
+						float64(inter.Layers()) * inter.FracWidth()
+				}
+			}
+			if needBytes <= 1 {
+				continue
+			}
+			tr := Transfer{
+				Layer: CacheLayer,
+				To:    gpu,
+				From:  src,
+				Bytes: needBytes,
+				Inter: src == nil || src.Inst.ID != gpu.Inst.ID,
+			}
+			plan.Cache = append(plan.Cache, tr)
+			plan.TotalBytes += needBytes
+		}
+	}
+
+	plan.LayerOrder = orderLayers(spec, plan, byGPU, mapping, opt)
+	return plan, nil
+}
+
+// cacheSource finds a device holding cache of old pipeline d overlapping
+// rect, returning its token count and GPU.
+func cacheSource(devices []DeviceContext, oldD int, want model.Rect) (int, *cloud.GPU) {
+	for _, dc := range devices {
+		if dc.CachePipeline != oldD || dc.CacheTokens == 0 {
+			continue
+		}
+		if !dc.CacheRect.Intersect(want).Empty() {
+			return dc.CacheTokens, dc.GPU
+		}
+	}
+	return 0, nil
+}
+
+// findSource locates a live device holding model context overlapping rect,
+// preferring one on the receiver's own instance.
+func findSource(byGPU map[int64]DeviceContext, devices []DeviceContext, to *cloud.GPU, want model.Rect) *cloud.GPU {
+	var fallback *cloud.GPU
+	for _, dc := range devices {
+		if dc.GPU.ID == to.ID {
+			continue
+		}
+		if dc.ModelCtx.Intersect(want).Empty() {
+			continue
+		}
+		if dc.GPU.Inst.ID == to.Inst.ID {
+			return dc.GPU
+		}
+		if fallback == nil {
+			fallback = dc.GPU
+		}
+	}
+	return fallback
+}
+
+// orderLayers implements Algorithm 2's MemOptMigPlanner. The memory model
+// follows §3.4: migrating a layer's context makes every receiver's memory
+// grow by the incoming bytes, while every holder of that layer's old
+// context can release the part it does not keep once the layer's transfers
+// complete ("the sender's memory can be released while the receivers'
+// memory consumption will increase"). The net growth over the starting
+// footprint is the migration buffer; layers whose migration would push any
+// instance's buffer beyond U_max are deferred and then emitted in min-max
+// order (line 19). The naive order (MemOpt=false) is plain layer order
+// with unbounded buffer.
+func orderLayers(spec model.Spec, plan *Plan, byGPU map[int64]DeviceContext, mapping Mapping, opt PlanOptions) []int {
+	layers := make([]int, 0, len(plan.ByLayer))
+	for l := range plan.ByLayer {
+		layers = append(layers, l)
+	}
+	sort.Ints(layers)
+	if len(layers) == 0 {
+		return nil
+	}
+
+	// newRect[gpu] is the context each GPU keeps after migration.
+	newRect := map[int64]model.Rect{}
+	for pos, g := range mapping.Assign {
+		newRect[g.ID] = model.PositionRect(spec, mapping.Target.P, mapping.Target.M, pos.P, pos.M)
+	}
+
+	// gpuIDs fixes an iteration order so float accumulation (and thus
+	// the plan) is deterministic.
+	gpuIDs := make([]int64, 0, len(byGPU))
+	for id := range byGPU {
+		gpuIDs = append(gpuIDs, id)
+	}
+	sort.Slice(gpuIDs, func(i, j int) bool { return gpuIDs[i] < gpuIDs[j] })
+
+	// deltaOf computes each instance's net memory change when layer l
+	// migrates: incoming transfer bytes minus releasable old context.
+	deltaOf := func(l int) map[int64]float64 {
+		d := map[int64]float64{}
+		for _, tr := range plan.ByLayer[l] {
+			d[tr.To.Inst.ID] += tr.Bytes
+		}
+		for _, id := range gpuIDs {
+			dc := byGPU[id]
+			oldL := dc.ModelCtx.LayerRect(l)
+			if oldL.Empty() {
+				continue
+			}
+			keep := oldL.OverlapParamBytes(spec, newRect[dc.GPU.ID])
+			release := oldL.ParamBytes(spec) - keep
+			if release > 0 {
+				d[dc.GPU.Inst.ID] -= release
+			}
+		}
+		return d
+	}
+
+	usage := map[int64]float64{}
+	apply := func(l int) {
+		for inst, by := range deltaOf(l) {
+			usage[inst] += by
+			if usage[inst] > plan.PeakBufferBytes[inst] {
+				plan.PeakBufferBytes[inst] = usage[inst]
+			}
+		}
+	}
+	maxAfter := func(l int) float64 {
+		d := deltaOf(l)
+		peak := 0.0
+		for _, u := range usage {
+			if u > peak {
+				peak = u
+			}
+		}
+		for inst, by := range d {
+			if u := usage[inst] + by; u > peak {
+				peak = u
+			}
+		}
+		return peak
+	}
+
+	if !opt.MemOpt {
+		for _, l := range layers {
+			apply(l)
+		}
+		return layers
+	}
+
+	var order []int
+	deferred := map[int]bool{}
+	for _, l := range layers {
+		if maxAfter(l) <= opt.UmaxBytes {
+			apply(l)
+			order = append(order, l)
+		} else {
+			deferred[l] = true
+		}
+	}
+	for len(deferred) > 0 {
+		bestL, bestV := -1, 0.0
+		var keys []int
+		for l := range deferred {
+			keys = append(keys, l)
+		}
+		sort.Ints(keys)
+		for _, l := range keys {
+			v := maxAfter(l)
+			if bestL < 0 || v < bestV {
+				bestL, bestV = l, v
+			}
+		}
+		apply(bestL)
+		order = append(order, bestL)
+		delete(deferred, bestL)
+	}
+	return order
+}
+
+// Timeline is the realized schedule of a plan: when each stage of the new
+// configuration can start serving, relative to migration start.
+type Timeline struct {
+	// CacheDone is when all cache context has arrived.
+	CacheDone float64
+	// StageReady[p] is when stage p's context is fully resident.
+	StageReady []float64
+	// Duration is when the entire migration completes.
+	Duration float64
+}
+
+// Schedule simulates the plan's data movement: each receiving GPU processes
+// its transfers serially (NIC-bound) in plan order — cache context first
+// (§3.4), then layers in LayerOrder — while distinct receivers proceed in
+// parallel. With Progressive disabled every stage becomes ready only at
+// full completion.
+func (pl *Plan) Schedule(est *cost.Estimator, progressive bool) Timeline {
+	busy := map[int64]float64{} // per receiving GPU
+	tl := Timeline{StageReady: make([]float64, pl.Target.P)}
+
+	run := func(tr Transfer) float64 {
+		d := est.TransferTime(tr.Bytes, tr.Inter)
+		if tr.From == nil {
+			// Storage fetch: bandwidth-limited cold load.
+			d = tr.Bytes / est.Params.StorageBWPerGPU
+		}
+		busy[tr.To.ID] += d
+		return busy[tr.To.ID]
+	}
+
+	for _, tr := range pl.Cache {
+		end := run(tr)
+		if end > tl.CacheDone {
+			tl.CacheDone = end
+		}
+	}
+	for _, l := range pl.LayerOrder {
+		st := pl.StageOfLayer[l]
+		for _, tr := range pl.ByLayer[l] {
+			end := run(tr)
+			if end > tl.StageReady[st] {
+				tl.StageReady[st] = end
+			}
+		}
+	}
+	for _, t := range tl.StageReady {
+		if t > tl.Duration {
+			tl.Duration = t
+		}
+	}
+	if tl.CacheDone > tl.Duration {
+		tl.Duration = tl.CacheDone
+	}
+	if !progressive {
+		for p := range tl.StageReady {
+			tl.StageReady[p] = tl.Duration
+		}
+	}
+	return tl
+}

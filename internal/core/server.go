@@ -1,0 +1,980 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"spotserve/internal/cloud"
+	"spotserve/internal/config"
+	"spotserve/internal/cost"
+	"spotserve/internal/engine"
+	"spotserve/internal/metrics"
+	"spotserve/internal/model"
+	"spotserve/internal/predict"
+	"spotserve/internal/sim"
+	"spotserve/internal/workload"
+)
+
+// Features toggles SpotServe's optimizations, enabling the Figure 9
+// ablation study. All-true is the full system.
+type Features struct {
+	// Controller enables the adaptive configuration optimizer
+	// (Algorithm 1); disabled, the server keeps its initial shape and
+	// only adjusts the data-parallel degree to fit the fleet.
+	Controller bool
+	// DeviceMapper enables KM matching; disabled, GPUs are bound to
+	// positions in arbitrary order (model context still maintained).
+	DeviceMapper bool
+	// Hierarchical enables two-step intra-/inter-instance matching.
+	Hierarchical bool
+	// MigrationPlanner enables the progressive, memory-optimized plan of
+	// Algorithm 2; disabled, migration is blocking with the naive order
+	// and the naive (2× resident) buffer memory model.
+	MigrationPlanner bool
+	// Arranger enables JIT interruption arrangement and cache-context
+	// migration (stateful inference recovery, §4); disabled, pipelines
+	// stop immediately on notice and interrupted requests recompute.
+	Arranger bool
+	// AllowOnDemand lets Algorithm 1 allocate on-demand instances when
+	// spot capacity is insufficient (the +O traces).
+	AllowOnDemand bool
+	// AdaptivePool sizes the candidate pool from an online availability
+	// predictor instead of the fixed reserve of §3.2 — the §8
+	// future-work direction (instance availability prediction).
+	AdaptivePool bool
+}
+
+// AllFeatures returns the full SpotServe system.
+func AllFeatures() Features {
+	return Features{
+		Controller:       true,
+		DeviceMapper:     true,
+		Hierarchical:     true,
+		MigrationPlanner: true,
+		Arranger:         true,
+	}
+}
+
+// Options configures a Server.
+type Options struct {
+	Spec       model.Spec
+	CostParams cost.Params
+	Limits     config.Limits
+	Features   Features
+	// SeqIn/SeqOut are the workload sequence lengths.
+	SeqIn, SeqOut int
+	// AlphaWindow is the look-back window for estimating the arrival
+	// rate α_t ("we estimate α_t by observing the request arrivals
+	// within a short past duration (e.g., 30 s)").
+	AlphaWindow float64
+	// CheckInterval is how often the workload monitor re-evaluates the
+	// configuration.
+	CheckInterval float64
+	// MaxInstances caps the fleet (provider capacity).
+	MaxInstances int
+	// BaseRate seeds the α estimate before enough arrivals are observed.
+	BaseRate float64
+	// SLOLatency forwards to the optimizer (0 = latency minimization).
+	SLOLatency float64
+}
+
+// DefaultOptions fills the paper's defaults for a model.
+func DefaultOptions(spec model.Spec) Options {
+	return Options{
+		Spec:          spec,
+		CostParams:    cost.DefaultParams(),
+		Limits:        config.DefaultLimits(),
+		Features:      AllFeatures(),
+		SeqIn:         cost.DefaultSeqIn,
+		SeqOut:        cost.DefaultSeqOut,
+		AlphaWindow:   30,
+		CheckInterval: 30,
+		MaxInstances:  12,
+		BaseRate:      workload.DefaultRates()[spec.Name],
+	}
+}
+
+// ConfigChange records one reconfiguration for the Figure 8 timeline.
+type ConfigChange struct {
+	At     float64
+	Config config.Config
+	Reason string
+}
+
+// Stats is the serving outcome of one run.
+type Stats struct {
+	Submitted, Completed int
+	Latency              metrics.Summary
+	Latencies            *metrics.Latencies
+	CostUSD              float64
+	// PerRequest holds (arrival time, end-to-end latency) samples.
+	PerRequest metrics.Series
+	ConfigLog  []ConfigChange
+	// Migrations counts context migrations; Reloads counts full restarts
+	// from storage; CacheGiveUps counts fault-tolerance cache drops.
+	Migrations, Reloads, CacheGiveUps int
+	// TokensRecovered counts committed tokens carried across migrations
+	// by stateful recovery.
+	TokensRecovered int
+	// OnDemandAllocated counts on-demand instance allocations.
+	OnDemandAllocated int
+}
+
+// Server is SpotServe's inference server: request manager, instance
+// manager and meta-context manager over one model deployment (Figure 3).
+type Server struct {
+	sim   *sim.Simulator
+	cloud *cloud.Cloud
+	est   *cost.Estimator
+	eng   *engine.Engine
+	optz  *Optimizer
+	arr   *Arranger
+	opts  Options
+
+	cfg    config.Config
+	assign map[config.Position]*cloud.GPU
+	pipes  map[int]*engine.Pipeline
+	// initialShape remembers the boot configuration for the
+	// controller-ablated mode.
+	initialShape config.Config
+
+	queue     []*engine.RequestState
+	recovered map[int]*engine.Batch // new pipeline id → batch to resume
+
+	arrivals []float64
+
+	// reconfiguration state
+	pendingReconfig bool
+	reconfigReason  string
+	stopBudget      map[int]float64 // pipeline id → latest decode time
+	migrating       bool
+	epoch           int
+	dying           map[int64]bool // instance IDs under preemption notice
+
+	// pred forecasts preemption pressure for the adaptive pool.
+	pred *predict.Predictor
+
+	stats   Stats
+	horizon float64
+}
+
+// NewServer wires a server to a simulator and cloud. Call Install as the
+// cloud's listener before running.
+func NewServer(s *sim.Simulator, cl *cloud.Cloud, opts Options) *Server {
+	est := cost.NewEstimator(opts.CostParams, opts.Spec)
+	optz := NewOptimizer(est)
+	optz.Limits = opts.Limits
+	optz.MaxInstances = opts.MaxInstances
+	optz.SeqIn, optz.SeqOut = opts.SeqIn, opts.SeqOut
+	optz.NaiveBuffer = !opts.Features.MigrationPlanner
+	optz.SLOLatency = opts.SLOLatency
+	srv := &Server{
+		sim:        s,
+		cloud:      cl,
+		est:        est,
+		optz:       optz,
+		arr:        &Arranger{Est: est, Enabled: opts.Features.Arranger},
+		opts:       opts,
+		assign:     map[config.Position]*cloud.GPU{},
+		pipes:      map[int]*engine.Pipeline{},
+		recovered:  map[int]*engine.Batch{},
+		stopBudget: map[int]float64{},
+		dying:      map[int64]bool{},
+	}
+	srv.eng = engine.New(s, est, (*serverHooks)(srv))
+	if opts.Features.AdaptivePool {
+		p, err := predict.New(predict.DefaultOptions())
+		if err != nil {
+			panic(err)
+		}
+		srv.pred = p
+	}
+	return srv
+}
+
+// Engine exposes the engine (tests, experiments).
+func (s *Server) Engine() *engine.Engine { return s.eng }
+
+// Config returns the current parallel configuration.
+func (s *Server) Config() config.Config { return s.cfg }
+
+// Stats returns a snapshot of the serving statistics.
+func (s *Server) Stats() Stats {
+	st := s.stats
+	st.CostUSD = s.cloud.CostUSD()
+	if st.Latencies != nil {
+		st.Latency = st.Latencies.Summarize()
+	}
+	return st
+}
+
+// LoadWorkload schedules request arrivals and the workload monitor; horizon
+// bounds the periodic checks.
+func (s *Server) LoadWorkload(reqs []workload.Request, horizon float64) {
+	s.horizon = horizon
+	if s.stats.Latencies == nil {
+		s.stats.Latencies = &metrics.Latencies{}
+	}
+	for _, r := range reqs {
+		r := r
+		s.stats.Submitted++
+		s.sim.At(r.At, func() { s.submit(r) })
+	}
+	// Workload monitor ticks, continuing through the drain window so a
+	// poor configuration chosen near the horizon still gets corrected.
+	for t := s.opts.CheckInterval; t < horizon+1800; t += s.opts.CheckInterval {
+		t := t
+		s.sim.At(t, func() { s.workloadCheck() })
+	}
+	// Bootstrap after the cloud's t=0 events.
+	s.sim.At(0, func() { s.bootstrap() })
+}
+
+func (s *Server) submit(r workload.Request) {
+	s.arrivals = append(s.arrivals, r.At)
+	s.queue = append(s.queue, &engine.RequestState{Req: r})
+	s.tryDispatch()
+}
+
+// backlogDrainTarget is how quickly the optimizer should aim to drain a
+// standing queue, in seconds. Queued requests translate into extra
+// required throughput.
+const backlogDrainTarget = 120.0
+
+// alphaT estimates the required serving rate: the observed arrival rate
+// over the look-back window, floored at the configured base rate (bursty
+// CV=6 arrivals make short windows wildly noisy), plus backlog pressure so
+// that a standing queue forces a higher-throughput configuration.
+func (s *Server) alphaT() float64 {
+	now := s.sim.Now()
+	w := s.opts.AlphaWindow
+	if now < w {
+		w = now
+	}
+	observed := 0.0
+	if w > 0 {
+		n := 0
+		for i := len(s.arrivals) - 1; i >= 0; i-- {
+			if s.arrivals[i] < now-w {
+				break
+			}
+			n++
+		}
+		observed = float64(n) / w
+	}
+	if observed < s.opts.BaseRate {
+		observed = s.opts.BaseRate
+	}
+	return observed + float64(len(s.queue))/backlogDrainTarget
+}
+
+// usableGPUs returns GPUs of running, not-dying instances.
+func (s *Server) usableGPUs() []*cloud.GPU {
+	var out []*cloud.GPU
+	for _, inst := range s.cloud.Alive() {
+		if s.dying[inst.ID] || inst.State != cloud.Running {
+			continue
+		}
+		out = append(out, inst.GPUs...)
+	}
+	return out
+}
+
+// deviceContexts snapshots daemon contexts for the given GPUs.
+func (s *Server) deviceContexts(gpus []*cloud.GPU) []DeviceContext {
+	out := make([]DeviceContext, 0, len(gpus))
+	for _, g := range gpus {
+		d := s.eng.Daemon(g)
+		out = append(out, DeviceContext{
+			GPU:           g,
+			ModelCtx:      d.ModelCtx,
+			CachePipeline: d.CachePipeline,
+			CacheRect:     d.CacheRect,
+			CacheTokens:   d.CacheTokens,
+		})
+	}
+	return out
+}
+
+// bootstrap installs the initial deployment at t=0 with contexts already
+// resident (the evaluation starts from an initialized system, §6.3).
+func (s *Server) bootstrap() {
+	if !s.cfg.IsZero() {
+		return
+	}
+	gpus := s.usableGPUs()
+	n := len(gpus) / s.opts.CostParams.GPUsPerInstance
+	prop := s.propose(n)
+	// Grow the fleet toward the unbounded proposal (on-demand mixing),
+	// but deploy what fits right now.
+	s.manageFleet(prop)
+	target := prop.Config
+	if target.GPUs() > len(gpus) {
+		alpha := s.alphaT()
+		if s.opts.Features.Controller {
+			target = s.optz.ProposeBounded(n, alpha).Config
+		} else {
+			target = FitToInstances(target, len(gpus))
+		}
+	}
+	if target.IsZero() || target.GPUs() > len(gpus) {
+		return
+	}
+	s.initialShape = target
+	s.installConfig(target, nil, "bootstrap")
+	s.tryDispatch()
+}
+
+// propose runs the configuration optimizer over nInstances usable
+// instances.
+func (s *Server) propose(nInstances int) Proposal {
+	alpha := s.alphaT()
+	if s.pred != nil {
+		// Adaptive candidate pool: expected near-term preemptions
+		// translate into extra standby instances.
+		s.optz.ReservePool = s.pred.RecommendedPool(s.sim.Now(), 2)
+	}
+	if !s.opts.Features.Controller && !s.initialShape.IsZero() {
+		c := FitToInstances(s.initialShape, nInstances*s.opts.CostParams.GPUsPerInstance)
+		return Proposal{Config: c, WantInstances: nInstances}
+	}
+	if s.opts.Features.AllowOnDemand {
+		return s.optz.Propose(nInstances, alpha)
+	}
+	return s.optz.ProposeBounded(nInstances, alpha)
+}
+
+// manageFleet allocates or releases instances toward the proposal
+// (Algorithm 1 lines 6–10): allocate on-demand when allowed, free
+// on-demand first, and keep the reserve pool.
+func (s *Server) manageFleet(prop Proposal) {
+	spot, od := s.cloud.AliveCount()
+	pSpot, pOD := s.cloud.PendingCount()
+	have := spot + od + pSpot + pOD - len(s.dying) // dying instances don't count
+	want := prop.WantInstances
+	switch {
+	case want > have && s.opts.Features.AllowOnDemand:
+		n := want - have
+		s.cloud.AllocOnDemand(n)
+		s.stats.OnDemandAllocated += n
+	case want < have && od+pOD > 0:
+		// Free surplus on-demand instances (never spot: their
+		// availability is the market's, and they are the cheap ones).
+		surplus := have - want
+		for _, inst := range s.cloud.Alive() {
+			if surplus == 0 {
+				break
+			}
+			if inst.Kind != cloud.OnDemand || s.dying[inst.ID] {
+				continue
+			}
+			if s.instanceInUse(inst) {
+				continue
+			}
+			s.cloud.Release(inst)
+			surplus--
+		}
+	}
+}
+
+// instanceInUse reports whether any GPU of inst is in the current mesh.
+func (s *Server) instanceInUse(inst *cloud.Instance) bool {
+	for _, g := range s.assign {
+		if g.Inst.ID == inst.ID {
+			return true
+		}
+	}
+	return false
+}
+
+// installConfig binds cfg over the current usable GPUs with the given
+// stage-ready schedule (nil = ready now) and rebuilds pipelines. Contexts
+// on the daemons are set to their new rectangles.
+func (s *Server) installConfig(cfg config.Config, ready []float64, reason string) {
+	gpus := s.usableGPUs()
+	devs := s.deviceContexts(gpus)
+	mapping, err := MapDevices(s.opts.Spec, devs, cfg, MapperOptions{
+		UseKM:        s.opts.Features.DeviceMapper,
+		Hierarchical: s.opts.Features.Hierarchical,
+	})
+	if err != nil {
+		// Not enough GPUs — should have been prevented by the caller.
+		panic(fmt.Sprintf("core: installConfig: %v", err))
+	}
+	s.applyMapping(cfg, mapping, ready, reason)
+}
+
+// applyMapping installs an already-computed mapping.
+func (s *Server) applyMapping(cfg config.Config, mapping Mapping, ready []float64, reason string) {
+	s.cfg = cfg
+	s.assign = mapping.Assign
+	s.pipes = map[int]*engine.Pipeline{}
+	now := s.sim.Now()
+	for d := 0; d < cfg.D; d++ {
+		bind := map[config.Position]*cloud.GPU{}
+		for p := 0; p < cfg.P; p++ {
+			for m := 0; m < cfg.M; m++ {
+				pos := config.Position{D: d, P: p, M: m}
+				bind[pos] = mapping.Assign[pos]
+			}
+		}
+		pipe, err := s.eng.NewPipeline(d, cfg, bind)
+		if err != nil {
+			panic(fmt.Sprintf("core: applyMapping: %v", err))
+		}
+		if ready != nil {
+			for p := 0; p < cfg.P; p++ {
+				pipe.SetStageReady(p, ready[p])
+			}
+		}
+		s.pipes[d] = pipe
+	}
+	// Daemons now hold their new model context.
+	for pos, g := range mapping.Assign {
+		d := s.eng.Daemon(g)
+		d.ModelCtx = model.PositionRect(s.opts.Spec, cfg.P, cfg.M, pos.P, pos.M)
+	}
+	s.stats.ConfigLog = append(s.stats.ConfigLog, ConfigChange{At: now, Config: cfg, Reason: reason})
+}
+
+// tryDispatch feeds idle pipelines: recovered batches first (they resume on
+// their inheriting pipeline), then fresh batches from the queue.
+func (s *Server) tryDispatch() {
+	if s.pendingReconfig || s.migrating {
+		return
+	}
+	ids := make([]int, 0, len(s.pipes))
+	for id := range s.pipes {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		pipe := s.pipes[id]
+		if pipe.Busy() {
+			continue
+		}
+		if b, ok := s.recovered[id]; ok {
+			delete(s.recovered, id)
+			if b.Size() > 0 {
+				pipe.Start(b)
+				continue
+			}
+		}
+		if len(s.queue) == 0 {
+			continue
+		}
+		n := s.cfg.B
+		if n > len(s.queue) {
+			n = len(s.queue)
+		}
+		b := &engine.Batch{Requests: s.queue[:n]}
+		s.queue = append([]*engine.RequestState(nil), s.queue[n:]...)
+		pipe.Start(b)
+	}
+}
+
+// workloadCheck is the periodic monitor. Per §3.2 the optimizer "mainly
+// works when the current serving capability is not compatible with α_t":
+// reconfiguration triggers on overload (φ(C) below the observed rate) or on
+// clear over-provisioning, never on burst noise.
+func (s *Server) workloadCheck() {
+	if s.pendingReconfig || s.migrating || s.cfg.IsZero() {
+		return
+	}
+	alpha := s.alphaT()
+	phiCur := s.optz.phi(s.cfg)
+	overload := phiCur < alpha*0.98
+	overProvisioned := alpha > 0 && phiCur > alpha*2.5
+	if !overload && !overProvisioned {
+		return
+	}
+	n := len(s.usableGPUs()) / s.opts.CostParams.GPUsPerInstance
+	prop := s.propose(n)
+	s.manageFleet(prop)
+	if prop.Config.IsZero() || prop.Config == s.cfg {
+		return
+	}
+	if overProvisioned && prop.Config.GPUs() >= s.cfg.GPUs() {
+		return // shrinking was the point
+	}
+	if prop.Config.GPUs() > len(s.usableGPUs()) {
+		// Growth waits for instance acquisition (InstanceReady).
+		return
+	}
+	s.beginReconfig(prop.Config, "workload", 0)
+}
+
+// beginReconfig starts a configuration update: pipelines run until their
+// JIT budgets, then context migration executes. deadline > 0 carries the
+// earliest preemption deadline driving the budget.
+func (s *Server) beginReconfig(target config.Config, reason string, deadline float64) {
+	s.epoch++
+	s.pendingReconfig = true
+	s.reconfigReason = reason
+	s.stopBudget = map[int]float64{}
+
+	// Estimate T_mig to size the JIT budget: plan against the target now.
+	tMig := s.estimateMigration(target)
+	now := s.sim.Now()
+	budget := now
+	if deadline > 0 && s.opts.Features.Arranger {
+		budget = s.arr.PreemptionBudget(deadline, tMig)
+		if budget < now {
+			budget = now
+		}
+	}
+	anyBusy := false
+	for id, pipe := range s.pipes {
+		if !pipe.Busy() {
+			continue
+		}
+		anyBusy = true
+		s.stopBudget[id] = budget
+		if !s.opts.Features.Arranger || budget <= now {
+			pipe.RequestStop()
+		}
+	}
+	if !anyBusy {
+		s.executeMigration(target)
+	}
+	// Failsafe: if pipelines have not stopped by the budget (an
+	// iteration misestimate), force the boundary stop.
+	if anyBusy && budget > now {
+		epoch := s.epoch
+		s.sim.At(budget, func() {
+			if epoch != s.epoch || !s.pendingReconfig {
+				return
+			}
+			for _, pipe := range s.pipes {
+				if pipe.Busy() {
+					pipe.RequestStop()
+				}
+			}
+		})
+	}
+}
+
+// estimateMigration predicts the migration duration for a target config
+// from the current contexts (used to size JIT budgets).
+func (s *Server) estimateMigration(target config.Config) float64 {
+	gpus := s.usableGPUs()
+	if target.IsZero() || target.GPUs() > len(gpus) {
+		return 0
+	}
+	devs := s.deviceContexts(gpus)
+	mapping, err := MapDevices(s.opts.Spec, devs, target, MapperOptions{
+		UseKM:        s.opts.Features.DeviceMapper,
+		Hierarchical: s.opts.Features.Hierarchical,
+	})
+	if err != nil {
+		return 0
+	}
+	all := s.deviceContexts(s.cloud.UsableGPUs())
+	plan, err := PlanMigration(s.opts.Spec, s.est, all, mapping, s.planOptions(nil))
+	if err != nil {
+		return 0
+	}
+	return plan.Schedule(s.est, s.opts.Features.MigrationPlanner).Duration
+}
+
+func (s *Server) planOptions(inherit map[int]int) PlanOptions {
+	return PlanOptions{
+		Progressive:  s.opts.Features.MigrationPlanner,
+		MemOpt:       s.opts.Features.MigrationPlanner,
+		UmaxBytes:    s.opts.CostParams.BufMaxBytes,
+		MigrateCache: s.opts.Features.Arranger,
+		Inherit:      inherit,
+	}
+}
+
+// pipelinesIdle reports whether every pipeline stopped decoding.
+func (s *Server) pipelinesIdle() bool {
+	for _, pipe := range s.pipes {
+		if pipe.Busy() {
+			return false
+		}
+	}
+	return true
+}
+
+// executeMigration performs the context migration to `target` (recomputed
+// against the live fleet), resuming recovered batches afterwards.
+func (s *Server) executeMigration(target config.Config) {
+	s.pendingReconfig = false
+	gpus := s.usableGPUs()
+	gpuBudget := len(gpus)
+	if target.IsZero() || target.GPUs() > gpuBudget {
+		// The fleet shrank since the proposal; re-propose.
+		prop := s.propose(gpuBudget / s.opts.CostParams.GPUsPerInstance)
+		target = prop.Config
+		if target.IsZero() || target.GPUs() > gpuBudget {
+			// Nothing can serve; park everything in the queue.
+			s.parkAllBatches()
+			s.cfg = config.Zero
+			s.pipes = map[int]*engine.Pipeline{}
+			s.assign = map[config.Position]*cloud.GPU{}
+			return
+		}
+	}
+
+	// 1. Collect interrupted batches and decide which keep their cache
+	//    (§3.3 discard rule + §4.1 reroute-vs-migrate).
+	kept, inherit := s.collectBatches(target)
+
+	// 2. Device mapping (KM) over surviving GPUs.
+	devs := s.deviceContexts(gpus)
+	mapping, err := MapDevices(s.opts.Spec, devs, target, MapperOptions{
+		UseKM:        s.opts.Features.DeviceMapper,
+		Hierarchical: s.opts.Features.Hierarchical,
+		Inherit:      inherit,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("core: executeMigration: %v", err))
+	}
+
+	// 3. Migration plan: sources include grace-period instances.
+	all := s.deviceContexts(s.cloud.UsableGPUs())
+	plan, err := PlanMigration(s.opts.Spec, s.est, all, mapping, s.planOptions(inherit))
+	if err != nil {
+		panic(fmt.Sprintf("core: planMigration: %v", err))
+	}
+	tl := plan.Schedule(s.est, s.opts.Features.MigrationPlanner)
+	if plan.StorageBytes > 0 {
+		s.stats.Reloads++
+		// Cold shards pay the engine init alongside the load.
+		grow := s.opts.CostParams.EngineInitTime
+		for i := range tl.StageReady {
+			tl.StageReady[i] += grow
+		}
+		tl.Duration += grow
+	} else {
+		s.stats.Migrations++
+	}
+
+	// 4. Install the new configuration with progressive stage readiness.
+	now := s.sim.Now()
+	ready := make([]float64, target.P)
+	for p := range ready {
+		ready[p] = now + tl.StageReady[p]
+	}
+	s.migrating = true
+	s.applyMapping(target, mapping, ready, s.reconfigReason)
+
+	// 5. Recovered batches resume once their cache has arrived.
+	s.recovered = kept
+	epoch := s.epoch
+	s.sim.At(now+tl.CacheDone, func() {
+		if epoch != s.epoch {
+			return
+		}
+		s.migrating = false
+		s.tryDispatch()
+	})
+}
+
+// collectBatches drains paused/idle batches from the old pipelines,
+// deciding which batches keep their KV cache. It returns the batches keyed
+// by their new pipeline index and the inheritance map.
+func (s *Server) collectBatches(target config.Config) (map[int]*engine.Batch, map[int]int) {
+	paused := map[int]*engine.Batch{}
+	progress := map[int]int{}
+	for id, pipe := range s.pipes {
+		var b *engine.Batch
+		if pipe.Busy() {
+			b = pipe.Abort() // only sub-iteration work is lost
+		} else if rb, ok := s.recovered[id]; ok {
+			b = rb
+		}
+		if b == nil || b.Size() == 0 {
+			continue
+		}
+		paused[id] = b
+		progress[id] = b.Progress()
+	}
+	s.recovered = map[int]*engine.Batch{}
+
+	keepIDs := KeepBatches(progress, target.D)
+	keepSet := map[int]bool{}
+	for _, id := range keepIDs {
+		keepSet[id] = true
+	}
+
+	kept := map[int]*engine.Batch{}
+	inherit := map[int]int{}
+	newD := 0
+	for _, oldD := range keepIDs {
+		b := paused[oldD]
+		// Reroute-vs-migrate: small progress is cheaper to recompute.
+		cacheMig := s.est.TransferTime(cacheBytesOf(s.opts.Spec, b), true)
+		if !s.arr.CacheWorthMigrating(s.cfg, max(b.Size(), 1), s.opts.SeqIn, b.MinCommitted(), cacheMig) {
+			keepSet[oldD] = false
+			continue
+		}
+		kept[newD] = b
+		inherit[newD] = oldD
+		s.stats.TokensRecovered += b.Progress()
+		newD++
+	}
+	// Discarded batches restart from scratch at the queue front.
+	var requeue []*engine.RequestState
+	ids := make([]int, 0, len(paused))
+	for id := range paused {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		if keepSet[id] {
+			continue
+		}
+		b := paused[id]
+		s.stats.CacheGiveUps++
+		for _, r := range b.Requests {
+			if r.Done() {
+				continue
+			}
+			r.Committed = 0
+			r.Restarts++
+			requeue = append(requeue, r)
+		}
+	}
+	s.queue = append(requeue, s.queue...)
+	return kept, inherit
+}
+
+// cacheBytesOf is the full KV footprint of a batch.
+func cacheBytesOf(spec model.Spec, b *engine.Batch) float64 {
+	return float64(b.TotalTokens()) * spec.KVBytesPerToken()
+}
+
+// parkAllBatches aborts everything and requeues requests (no capacity).
+func (s *Server) parkAllBatches() {
+	var requeue []*engine.RequestState
+	ids := make([]int, 0, len(s.pipes))
+	for id := range s.pipes {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		pipe := s.pipes[id]
+		var b *engine.Batch
+		if pipe.Busy() {
+			b = pipe.Abort()
+		} else if rb, ok := s.recovered[id]; ok {
+			b = rb
+		}
+		if b == nil {
+			continue
+		}
+		for _, r := range b.Requests {
+			if !r.Done() {
+				requeue = append(requeue, r)
+			}
+		}
+	}
+	s.recovered = map[int]*engine.Batch{}
+	s.queue = append(requeue, s.queue...)
+}
+
+// --- cloud.Listener ----------------------------------------------------
+
+// Install registers the server as the cloud's listener.
+func (s *Server) Install() { s.cloud.SetListener((*cloudEvents)(s)) }
+
+type cloudEvents Server
+
+func (c *cloudEvents) InstanceReady(inst *cloud.Instance) {
+	s := (*Server)(c)
+	if s.pred != nil && s.sim.Now() > 0 {
+		s.pred.ObserveAcquisition(s.sim.Now(), 1)
+	}
+	if s.stats.Latencies == nil {
+		return // not serving yet
+	}
+	if s.cfg.IsZero() {
+		if s.sim.Now() == 0 {
+			// The very first fleet: contexts are pre-deployed.
+			s.bootstrap()
+			s.tryDispatch()
+			return
+		}
+		// Capacity returning after a total outage: a real cold start —
+		// the reconfiguration will load parameters from storage.
+		n := len(s.usableGPUs()) / s.opts.CostParams.GPUsPerInstance
+		prop := s.propose(n)
+		if !prop.Config.IsZero() && prop.Config.GPUs() <= len(s.usableGPUs()) {
+			s.beginReconfig(prop.Config, "recovery", 0)
+		}
+		return
+	}
+	// Acquisition path: join at readiness (§4.1) — reconfigure now.
+	if s.pendingReconfig || s.migrating {
+		return // will be folded into the in-flight reconfiguration
+	}
+	n := len(s.usableGPUs()) / s.opts.CostParams.GPUsPerInstance
+	prop := s.propose(n)
+	if prop.Config.IsZero() || prop.Config.GPUs() > len(s.usableGPUs()) {
+		return
+	}
+	if prop.Config == s.cfg {
+		return // pool instance; keep as candidate
+	}
+	s.beginReconfig(prop.Config, "acquisition", 0)
+}
+
+func (c *cloudEvents) PreemptionNotice(inst *cloud.Instance, deadline float64) {
+	s := (*Server)(c)
+	s.dying[inst.ID] = true
+	if s.pred != nil {
+		s.pred.ObservePreemption(s.sim.Now(), 1)
+	}
+	if s.stats.Latencies == nil {
+		return
+	}
+	if !s.instanceInUse(inst) {
+		// A pool instance died; nothing to migrate.
+		return
+	}
+	n := len(s.usableGPUs()) / s.opts.CostParams.GPUsPerInstance
+	prop := s.propose(n)
+	s.manageFleet(prop)
+	target := prop.Config
+	if target.GPUs() > len(s.usableGPUs()) {
+		target = FitToInstances(target, len(s.usableGPUs()))
+	}
+	s.beginReconfig(target, "preemption", deadline)
+}
+
+func (c *cloudEvents) InstanceTerminated(inst *cloud.Instance) {
+	s := (*Server)(c)
+	delete(s.dying, inst.ID)
+	for _, g := range inst.GPUs {
+		s.eng.DropDaemon(g.ID)
+	}
+	if s.stats.Latencies == nil {
+		return
+	}
+	// If the instance was still in the mesh (migration did not happen in
+	// time — overlapping interruptions, §4.2), the affected pipelines
+	// crash: caches are lost and requests restart.
+	if !s.instanceInUse(inst) {
+		return
+	}
+	dead := map[int]bool{}
+	for pos, g := range s.assign {
+		if g.Inst.ID == inst.ID {
+			dead[pos.D] = true
+		}
+	}
+	var requeue []*engine.RequestState
+	ids := make([]int, 0, len(dead))
+	for d := range dead {
+		ids = append(ids, d)
+	}
+	sort.Ints(ids)
+	for _, d := range ids {
+		pipe := s.pipes[d]
+		if pipe == nil {
+			continue
+		}
+		var b *engine.Batch
+		if pipe.Busy() {
+			b = pipe.Abort()
+		} else if rb, ok := s.recovered[d]; ok {
+			delete(s.recovered, d)
+			b = rb
+		}
+		if b == nil {
+			continue
+		}
+		s.stats.CacheGiveUps++
+		for _, r := range b.Requests {
+			if r.Done() {
+				continue
+			}
+			r.Committed = 0
+			r.Restarts++
+			requeue = append(requeue, r)
+		}
+	}
+	s.queue = append(requeue, s.queue...)
+	// Rebuild on the survivors.
+	n := len(s.usableGPUs()) / s.opts.CostParams.GPUsPerInstance
+	prop := s.propose(n)
+	target := FitToInstances(prop.Config, len(s.usableGPUs()))
+	s.epoch++
+	s.pendingReconfig = true
+	s.reconfigReason = "crash"
+	for _, pipe := range s.pipes {
+		if pipe.Busy() {
+			pipe.RequestStop()
+		}
+	}
+	if s.pipelinesIdle() {
+		s.executeMigration(target)
+		s.tryDispatch()
+	}
+}
+
+// --- engine.Hooks -------------------------------------------------------
+
+type serverHooks Server
+
+func (h *serverHooks) IterationDone(p *engine.Pipeline) bool {
+	s := (*Server)(h)
+	if !s.pendingReconfig {
+		return true
+	}
+	budget, ok := s.stopBudget[p.ID]
+	if !ok || !s.opts.Features.Arranger {
+		return false
+	}
+	b := p.Batch()
+	return s.arr.MayContinue(s.sim.Now(), s.cfg, b.Size(), b.MaxSeqLen(), budget)
+}
+
+func (h *serverHooks) RequestDone(p *engine.Pipeline, r *engine.RequestState) {
+	s := (*Server)(h)
+	lat := r.DoneAt - r.Req.At
+	s.stats.Completed++
+	s.stats.Latencies.Add(lat)
+	s.stats.PerRequest.Add(r.Req.At, lat)
+}
+
+func (h *serverHooks) BatchDone(p *engine.Pipeline) {
+	s := (*Server)(h)
+	if s.pendingReconfig {
+		if s.pipelinesIdle() {
+			s.executeMigration(s.pendingTarget())
+			s.tryDispatch()
+		}
+		return
+	}
+	s.tryDispatch()
+}
+
+func (h *serverHooks) BatchPaused(p *engine.Pipeline, b *engine.Batch) {
+	s := (*Server)(h)
+	// Hold the batch for recovery under its old pipeline id.
+	if b != nil && b.Size() > 0 {
+		s.recovered[p.ID] = b
+	}
+	if s.pendingReconfig && s.pipelinesIdle() {
+		s.executeMigration(s.pendingTarget())
+		s.tryDispatch()
+	}
+}
+
+// pendingTarget recomputes the reconfiguration target at migration time
+// (the fleet may have changed while pipelines drained).
+func (s *Server) pendingTarget() config.Config {
+	n := len(s.usableGPUs()) / s.opts.CostParams.GPUsPerInstance
+	prop := s.propose(n)
+	return FitToInstances(prop.Config, len(s.usableGPUs()))
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"testing"
+
+	"spotserve/internal/cloud"
+	"spotserve/internal/model"
+	"spotserve/internal/sim"
+	"spotserve/internal/trace"
+	"spotserve/internal/workload"
+)
+
+// runScenario builds a full stack and runs a trace + workload to the end.
+func runScenario(t *testing.T, spec model.Spec, tr trace.Trace, rate float64, feat Features, seed int64) Stats {
+	t.Helper()
+	s := sim.New()
+	cp := cloud.DefaultParams()
+	cp.Seed = seed
+	cl := cloud.New(s, cp, nil)
+	opts := DefaultOptions(spec)
+	opts.Features = feat
+	opts.BaseRate = rate
+	srv := NewServer(s, cl, opts)
+	srv.Install()
+	if err := cl.ReplayTrace(tr); err != nil {
+		t.Fatal(err)
+	}
+	reqs, err := workload.Generate(workload.Options{
+		Horizon: tr.Horizon, Rate: workload.ConstantRate(rate), CV: 6,
+		SeqIn: opts.SeqIn, SeqOut: opts.SeqOut, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.LoadWorkload(reqs, tr.Horizon)
+	// Run past the horizon to drain in-flight requests.
+	s.Run(tr.Horizon + 600)
+	return srv.Stats()
+}
+
+func steadyTrace(n int, horizon float64) trace.Trace {
+	return trace.Trace{Name: "steady", Horizon: horizon,
+		Events: []trace.Event{{At: 0, Count: n}}}
+}
+
+func TestServeSteadyStateCompletesAll(t *testing.T) {
+	st := runScenario(t, model.OPT6B7, steadyTrace(6, 600), 1.0, AllFeatures(), 1)
+	if st.Completed != st.Submitted {
+		t.Fatalf("completed %d of %d", st.Completed, st.Submitted)
+	}
+	if st.Latency.Avg <= 0 {
+		t.Fatal("no latency recorded")
+	}
+	// No preemptions → no migrations beyond possible workload reconfigs,
+	// and certainly no reloads or cache give-ups.
+	if st.Reloads != 0 {
+		t.Fatalf("reloads = %d on a steady trace", st.Reloads)
+	}
+	if st.CacheGiveUps != 0 {
+		t.Fatalf("cache give-ups = %d on a steady trace", st.CacheGiveUps)
+	}
+	if st.CostUSD <= 0 {
+		t.Fatal("no cost accrued")
+	}
+}
+
+func TestServeLatencyNearModelOptimum(t *testing.T) {
+	// Queueing under CV=6 bursts puts the average well above l_exe even
+	// on the paper's testbed (Figure 6 shows 20–40 s averages for
+	// OPT-6.7B against a 5.4 s l_exe). Bound the average loosely and
+	// make sure the floor (fastest request) is near the model optimum.
+	st := runScenario(t, model.OPT6B7, steadyTrace(8, 600), 0.5, AllFeatures(), 2)
+	if st.Completed == 0 {
+		t.Fatal("nothing completed")
+	}
+	if st.Latency.Avg > 40 {
+		t.Fatalf("avg latency %v s too high for light load", st.Latency.Avg)
+	}
+	if min := st.Latencies.Percentile(0); min < 4 || min > 12 {
+		t.Fatalf("fastest request %v s, want near l_exe ≈ 5.4 s", min)
+	}
+}
+
+func TestServeSurvivesPreemptions(t *testing.T) {
+	st := runScenario(t, model.GPT20B, trace.AS(), 0.35, AllFeatures(), 3)
+	if st.Completed < st.Submitted*9/10 {
+		t.Fatalf("completed only %d of %d under trace AS", st.Completed, st.Submitted)
+	}
+	if st.Migrations == 0 {
+		t.Fatal("no context migrations on a preemption trace")
+	}
+	if len(st.ConfigLog) < 2 {
+		t.Fatalf("config log too short: %v", st.ConfigLog)
+	}
+}
+
+func TestServeStatefulRecoveryCarriesTokens(t *testing.T) {
+	st := runScenario(t, model.GPT20B, trace.BS(), 0.35, AllFeatures(), 4)
+	if st.TokensRecovered == 0 {
+		t.Fatal("stateful recovery never carried tokens across a migration")
+	}
+}
+
+func TestServeArrangerAblationLosesProgress(t *testing.T) {
+	full := runScenario(t, model.GPT20B, trace.BS(), 0.35, AllFeatures(), 5)
+	noArr := AllFeatures()
+	noArr.Arranger = false
+	cut := runScenario(t, model.GPT20B, trace.BS(), 0.35, noArr, 5)
+	if cut.TokensRecovered != 0 {
+		t.Fatalf("ablated arranger still recovered %d tokens", cut.TokensRecovered)
+	}
+	if full.TokensRecovered == 0 {
+		t.Fatal("full system recovered nothing")
+	}
+}
+
+func TestServeP99DegradesWithAblations(t *testing.T) {
+	// Cumulative ablation, Figure 9 style: each removal should not
+	// improve the P99 tail (allowing small noise), and the fully
+	// ablated system should be clearly worse than the full one.
+	full := runScenario(t, model.GPT20B, trace.BS(), 0.35, AllFeatures(), 6)
+	f := AllFeatures()
+	f.Controller = false
+	noCtl := runScenario(t, model.GPT20B, trace.BS(), 0.35, f, 6)
+	f.MigrationPlanner = false
+	noPlan := runScenario(t, model.GPT20B, trace.BS(), 0.35, f, 6)
+	f.Arranger = false
+	noArr := runScenario(t, model.GPT20B, trace.BS(), 0.35, f, 6)
+	f.DeviceMapper = false
+	f.Hierarchical = false
+	noMap := runScenario(t, model.GPT20B, trace.BS(), 0.35, f, 6)
+
+	t.Logf("P99: full=%.1f -ctl=%.1f -plan=%.1f -arr=%.1f -map=%.1f",
+		full.Latency.P99, noCtl.Latency.P99, noPlan.Latency.P99,
+		noArr.Latency.P99, noMap.Latency.P99)
+	if noMap.Latency.P99 < full.Latency.P99 {
+		t.Fatalf("fully ablated P99 %.1f better than full system %.1f",
+			noMap.Latency.P99, full.Latency.P99)
+	}
+}
+
+func TestServeOnDemandMixingAllocates(t *testing.T) {
+	// A deep capacity dip with on-demand mixing enabled should trigger
+	// on-demand allocation; without it the system must stay spot-only.
+	dip := trace.Trace{Name: "dip", Horizon: 900, Events: []trace.Event{
+		{At: 0, Count: 8}, {At: 200, Count: 2},
+	}}
+	f := AllFeatures()
+	f.AllowOnDemand = true
+	withOD := runScenario(t, model.GPT20B, dip, 0.35, f, 7)
+	if withOD.OnDemandAllocated == 0 {
+		t.Fatal("on-demand mixing never allocated")
+	}
+	spotOnly := runScenario(t, model.GPT20B, dip, 0.35, AllFeatures(), 7)
+	if spotOnly.OnDemandAllocated != 0 {
+		t.Fatal("spot-only run allocated on-demand")
+	}
+}
+
+func TestServeTotalOutageRecovers(t *testing.T) {
+	// Capacity collapses to zero, then returns: the system must park
+	// requests, cold start from storage, and finish the work.
+	tr := trace.Trace{Name: "outage", Horizon: 900, Events: []trace.Event{
+		{At: 0, Count: 4}, {At: 120, Count: 0}, {At: 300, Count: 4},
+	}}
+	st := runScenario(t, model.OPT6B7, tr, 0.3, AllFeatures(), 8)
+	if st.Completed == 0 {
+		t.Fatal("nothing completed after outage recovery")
+	}
+	if st.Reloads == 0 {
+		t.Fatal("cold start did not reload from storage")
+	}
+	if st.Completed < st.Submitted/2 {
+		t.Fatalf("completed only %d of %d", st.Completed, st.Submitted)
+	}
+}
+
+func TestServeDeterministic(t *testing.T) {
+	a := runScenario(t, model.GPT20B, trace.AS(), 0.35, AllFeatures(), 9)
+	b := runScenario(t, model.GPT20B, trace.AS(), 0.35, AllFeatures(), 9)
+	if a.Completed != b.Completed || a.Latency.P99 != b.Latency.P99 ||
+		a.Migrations != b.Migrations || a.CostUSD != b.CostUSD {
+		t.Fatalf("nondeterministic runs: %+v vs %+v", a.Latency, b.Latency)
+	}
+}
+
+func TestServeFluctuatingWorkloadScalesUp(t *testing.T) {
+	// MAF-style overload: the controller should change configurations
+	// (scale up during the plateau, back down after).
+	tr := steadyTrace(10, 1080)
+	s := sim.New()
+	cl := cloud.New(s, cloud.DefaultParams(), nil)
+	opts := DefaultOptions(model.GPT20B)
+	opts.Features.AllowOnDemand = true
+	srv := NewServer(s, cl, opts)
+	srv.Install()
+	if err := cl.ReplayTrace(tr); err != nil {
+		t.Fatal(err)
+	}
+	reqs, err := workload.Generate(workload.Options{
+		Horizon: 1080, Rate: workload.StepRate(workload.MAFSteps(0.35)), CV: 2,
+		SeqIn: opts.SeqIn, SeqOut: opts.SeqOut, Seed: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.LoadWorkload(reqs, 1080)
+	s.Run(1080 + 600)
+	st := srv.Stats()
+	if len(st.ConfigLog) < 2 {
+		t.Fatalf("controller never adapted to the workload: %v", st.ConfigLog)
+	}
+	if st.Completed < st.Submitted*8/10 {
+		t.Fatalf("completed %d of %d under fluctuating load", st.Completed, st.Submitted)
+	}
+}

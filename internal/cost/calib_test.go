@@ -1,0 +1,42 @@
+package cost
+
+import (
+	"testing"
+
+	"spotserve/internal/config"
+	"spotserve/internal/model"
+)
+
+// TestPrintCalibration is a diagnostic that prints the modeled Table-1
+// quantities; run with -v to inspect calibration.
+func TestPrintCalibration(t *testing.T) {
+	p := DefaultParams()
+	type row struct {
+		spec model.Spec
+		P, M int
+	}
+	for _, r := range []row{
+		{model.OPT6B7, 1, 4},
+		{model.GPT20B, 3, 4},
+		{model.LLaMA30B, 2, 8},
+	} {
+		e := NewEstimator(p, r.spec)
+		lexe := e.Exec(r.P, r.M, 1, DefaultSeqIn, DefaultSeqOut)
+		ming, shape := e.MinGPUs(config.DefaultLimits(), DefaultMaxTokens, false)
+		mingNaive, _ := e.MinGPUs(config.DefaultLimits(), DefaultMaxTokens, true)
+		t.Logf("%-10s (P=%d,M=%d): lexe(B=1)=%6.3fs  lexe(B=8)=%6.3fs  minGPUs=%d shape=%v  naiveMinGPUs=%d",
+			r.spec.Name, r.P, r.M, lexe,
+			e.Exec(r.P, r.M, 8, DefaultSeqIn, DefaultSeqOut),
+			ming, shape, mingNaive)
+		// Throughput sanity for Fig. 8 reasoning (GPT-20B).
+		if r.spec.Name == "GPT-20B" {
+			for _, c := range []config.Config{
+				{D: 1, P: 2, M: 8, B: 8},
+				{D: 2, P: 2, M: 8, B: 8},
+				{D: 2, P: 3, M: 4, B: 8},
+			} {
+				t.Logf("  phi%v = %.3f req/s", c, e.Throughput(c, DefaultSeqIn, DefaultSeqOut))
+			}
+		}
+	}
+}

@@ -1,0 +1,281 @@
+// Package cost is the analytical cost model standing in for the paper's
+// offline profiler (§5). It estimates, for any model and parallel
+// configuration: per-iteration decode latency, initial-phase latency,
+// end-to-end execution latency l_exe, serving throughput φ(C), per-GPU
+// memory footprints, context-migration transfer time, and full-restart
+// (parameter reload) time.
+//
+// The constants in DefaultParams are calibrated so that l_exe(B=1) for the
+// three paper models at their Table-1 configurations lands within tolerance
+// of the published numbers, and so that the memory model reproduces the
+// Table-1 minimum GPU counts (and the §6.2 ablation claim that the
+// memory-optimized migration planner lowers GPT-20B's minimum from 16 to 12
+// GPUs). Like the paper's profiler, the model deliberately penalizes
+// resource under-utilization: small batches, over-sharded intra-op
+// parallelism, and small communication volumes.
+package cost
+
+import (
+	"fmt"
+
+	"spotserve/internal/config"
+	"spotserve/internal/model"
+)
+
+// Params holds the hardware and calibration constants of the simulated
+// testbed (AWS g4dn.12xlarge: 4× NVIDIA T4 per instance).
+type Params struct {
+	// GPUsPerInstance is the number of GPUs per cloud instance.
+	GPUsPerInstance int
+
+	// GPUMemBytes is the physical device memory (T4: 16 GB).
+	GPUMemBytes float64
+	// UsableGPUMemBytes is what the serving runtime may occupy with
+	// parameters, KV cache, activations and migration buffers after the
+	// CUDA context and allocator overheads are paid.
+	UsableGPUMemBytes float64
+	// ActivationBytes is the per-GPU activation/workspace reservation.
+	ActivationBytes float64
+	// BufMaxBytes is U_max: the migration-buffer cap enforced by the
+	// memory-optimized migration planner (Algorithm 2).
+	BufMaxBytes float64
+
+	// MemBWBytes is device memory bandwidth (T4: 320 GB/s); decode
+	// iterations are bandwidth-bound.
+	MemBWBytes float64
+	// MemBWEff derates achievable bandwidth (kernel efficiency).
+	MemBWEff float64
+	// ShardPenalty models over-sharded intra-op parallelism: effective
+	// bandwidth is scaled by 1/(1+ShardPenalty×(M−1)).
+	ShardPenalty float64
+	// BatchPenalty inflates per-iteration time by (1+BatchPenalty×(B−1)):
+	// larger batches read more activations/KV and use less efficient
+	// kernels on T4-class GPUs.
+	BatchPenalty float64
+
+	// FlopsFP16 is peak tensor throughput (T4: 65 TFLOPS) and ComputeEff
+	// its achievable fraction; the initial phase is compute-bound.
+	FlopsFP16  float64
+	ComputeEff float64
+
+	// KernelOverhead is fixed per-layer per-iteration launch overhead.
+	KernelOverhead float64
+
+	// IntraBWBytes / InterBWBytes are per-link bandwidths inside an
+	// instance (PCIe/NVLink) and across instances (50 Gbit/s network).
+	IntraBWBytes float64
+	InterBWBytes float64
+	// AlphaIntra / AlphaInter are per-message latencies.
+	AlphaIntra float64
+	AlphaInter float64
+
+	// StorageBWPerGPU is the per-GPU bandwidth when (re)loading
+	// parameters from persistent/cloud storage.
+	StorageBWPerGPU float64
+	// EngineInitTime is the fixed cost of launching and initializing a
+	// distributed inference engine process group.
+	EngineInitTime float64
+
+	// GracePeriod is the cloud's preemption grace period (30 s on AWS).
+	GracePeriod float64
+	// AcquireDelay is the time from requesting a fresh instance to the
+	// instance being ready to initialize ("2 minutes for launching and
+	// initializing in our evaluations", §3.2).
+	AcquireDelay float64
+}
+
+// DefaultParams returns the calibrated g4dn.12xlarge/T4 testbed constants.
+func DefaultParams() Params {
+	return Params{
+		GPUsPerInstance: 4,
+
+		GPUMemBytes:       16.0 * model.GB,
+		UsableGPUMemBytes: 11.5 * model.GB,
+		ActivationBytes:   1.5 * model.GB,
+		BufMaxBytes:       1.0 * model.GB,
+
+		MemBWBytes:   320.0 * model.GB,
+		MemBWEff:     0.62,
+		ShardPenalty: 0.08,
+		BatchPenalty: 0.12,
+
+		FlopsFP16:  65e12,
+		ComputeEff: 0.35,
+
+		KernelOverhead: 50e-6,
+
+		IntraBWBytes: 30.0 * model.GB,
+		InterBWBytes: 6.0 * model.GB,
+		AlphaIntra:   30e-6,
+		AlphaInter:   180e-6,
+
+		StorageBWPerGPU: 0.4 * model.GB,
+		EngineInitTime:  30.0,
+
+		GracePeriod:  30.0,
+		AcquireDelay: 120.0,
+	}
+}
+
+// Validate checks the parameters are physically sensible.
+func (p Params) Validate() error {
+	if p.GPUsPerInstance <= 0 {
+		return fmt.Errorf("cost: GPUsPerInstance = %d", p.GPUsPerInstance)
+	}
+	for name, v := range map[string]float64{
+		"GPUMemBytes": p.GPUMemBytes, "UsableGPUMemBytes": p.UsableGPUMemBytes,
+		"MemBWBytes": p.MemBWBytes, "MemBWEff": p.MemBWEff,
+		"FlopsFP16": p.FlopsFP16, "ComputeEff": p.ComputeEff,
+		"IntraBWBytes": p.IntraBWBytes, "InterBWBytes": p.InterBWBytes,
+		"StorageBWPerGPU": p.StorageBWPerGPU,
+	} {
+		if v <= 0 {
+			return fmt.Errorf("cost: %s = %v must be positive", name, v)
+		}
+	}
+	if p.UsableGPUMemBytes > p.GPUMemBytes {
+		return fmt.Errorf("cost: usable memory %v exceeds physical %v", p.UsableGPUMemBytes, p.GPUMemBytes)
+	}
+	return nil
+}
+
+// Estimator evaluates the cost model for one model spec.
+type Estimator struct {
+	Params Params
+	Spec   model.Spec
+}
+
+// NewEstimator builds an estimator; it panics on invalid inputs because
+// estimators are constructed from static configuration at startup.
+func NewEstimator(p Params, spec model.Spec) *Estimator {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	if err := spec.Validate(); err != nil {
+		panic(err)
+	}
+	return &Estimator{Params: p, Spec: spec}
+}
+
+// NumParams converts the Table-1 serialized size (fp32) to a parameter
+// count for FLOP estimation.
+func (e *Estimator) NumParams() float64 { return e.Spec.ParamBytes / 4 }
+
+// StageParamBytesPerGPU returns the parameter bytes resident on one GPU for
+// shape (P, M), using the largest stage.
+func (e *Estimator) StageParamBytesPerGPU(P, M int) float64 {
+	layers := model.MaxStageLayers(e.Spec.Layers, P)
+	return float64(layers) * e.Spec.LayerParamBytes() / float64(M)
+}
+
+// effMemBW is the achievable per-GPU memory bandwidth at tensor degree M.
+func (e *Estimator) effMemBW(M int) float64 {
+	p := e.Params
+	return p.MemBWBytes * p.MemBWEff / (1 + p.ShardPenalty*float64(M-1))
+}
+
+// linkFor returns (alpha, bandwidth) for a communicator spanning M ranks:
+// intra-instance when the group fits in one instance, otherwise the
+// inter-instance network dominates.
+func (e *Estimator) linkFor(M int) (alpha, bw float64) {
+	if M <= e.Params.GPUsPerInstance {
+		return e.Params.AlphaIntra, e.Params.IntraBWBytes
+	}
+	return e.Params.AlphaInter, e.Params.InterBWBytes
+}
+
+// allReduceTime estimates a ring all-reduce of msgBytes across M ranks.
+func (e *Estimator) allReduceTime(M int, msgBytes float64) float64 {
+	if M <= 1 {
+		return 0
+	}
+	alpha, bw := e.linkFor(M)
+	return alpha + 2*float64(M-1)/float64(M)*msgBytes/bw
+}
+
+// p2pTime estimates a point-to-point activation transfer between stages.
+func (e *Estimator) p2pTime(msgBytes float64) float64 {
+	return e.Params.AlphaInter + msgBytes/e.Params.InterBWBytes
+}
+
+// DecodeIter returns the latency of one incremental decoding iteration
+// (generate one token for each of B requests) at sequence length curLen.
+// The iteration flows through all P stages sequentially; each stage is
+// memory-bandwidth-bound reading its parameter shard plus the KV cache.
+func (e *Estimator) DecodeIter(P, M, B, curLen int) float64 {
+	p := e.Params
+	stageLayers := model.MaxStageLayers(e.Spec.Layers, P)
+	bw := e.effMemBW(M)
+
+	paramRead := e.StageParamBytesPerGPU(P, M) / bw
+	kvRead := float64(B) * float64(curLen) * e.Spec.KVBytesPerTokenLayer() *
+		float64(stageLayers) / float64(M) / bw
+	stageTime := (paramRead + kvRead) * (1 + p.BatchPenalty*float64(B-1))
+	stageTime += float64(stageLayers) * p.KernelOverhead
+
+	// Two all-reduces per transformer layer (attention out-proj and FFN
+	// down-proj) when tensor-parallel.
+	msg := float64(B) * float64(e.Spec.Hidden) * model.BytesPerValue
+	ar := 2 * float64(e.Spec.Layers) * e.allReduceTime(M, msg)
+
+	p2p := float64(P-1) * e.p2pTime(msg)
+
+	return float64(P)*stageTime + ar + p2p
+}
+
+// InitPhase returns the latency of the initial phase: all S_in input tokens
+// of each of B requests processed in parallel (compute-bound).
+func (e *Estimator) InitPhase(P, M, B, sin int) float64 {
+	p := e.Params
+	gpus := float64(P * M)
+	flops := 2 * e.NumParams() * float64(sin) * float64(B)
+	compute := flops / (gpus * p.FlopsFP16 * p.ComputeEff)
+
+	msg := float64(B) * float64(sin) * float64(e.Spec.Hidden) * model.BytesPerValue
+	ar := 2 * float64(e.Spec.Layers) * e.allReduceTime(M, msg)
+	p2p := float64(P-1) * e.p2pTime(msg)
+	kernels := float64(model.MaxStageLayers(e.Spec.Layers, P)*P) * p.KernelOverhead
+	return compute + ar + p2p + kernels
+}
+
+// Exec returns l_exe(S_out | S_in): initial phase plus S_out incremental
+// decoding iterations (equation 1 of the paper).
+func (e *Estimator) Exec(P, M, B, sin, sout int) float64 {
+	t := e.InitPhase(P, M, B, sin)
+	for i := 1; i <= sout; i++ {
+		t += e.DecodeIter(P, M, B, sin+i)
+	}
+	return t
+}
+
+// ExecPartial returns the execution latency of decoding from token
+// `from` (exclusive) to token `to` (inclusive) after the initial phase has
+// already run — used by stateful recovery to price resumed requests.
+func (e *Estimator) ExecPartial(P, M, B, sin, from, to int) float64 {
+	t := 0.0
+	for i := from + 1; i <= to; i++ {
+		t += e.DecodeIter(P, M, B, sin+i)
+	}
+	return t
+}
+
+// Throughput returns φ(C): steady-state serving rate in requests/second.
+// Each pipeline serves batches of B requests taking l_exe each; D pipelines
+// run independently.
+func (e *Estimator) Throughput(c config.Config, sin, sout int) float64 {
+	if c.IsZero() || c.B <= 0 {
+		return 0
+	}
+	l := e.Exec(c.P, c.M, c.B, sin, sout)
+	if l <= 0 {
+		return 0
+	}
+	return float64(c.D) * float64(c.B) / l
+}
+
+// Latency returns the model-only end-to-end latency l_exe for configuration
+// c at the default sequence lengths — the optimizer's l_req proxy before
+// queueing is considered.
+func (e *Estimator) Latency(c config.Config, sin, sout int) float64 {
+	return e.Exec(c.P, c.M, c.B, sin, sout)
+}

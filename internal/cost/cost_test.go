@@ -1,0 +1,296 @@
+package cost
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"spotserve/internal/config"
+	"spotserve/internal/model"
+)
+
+func est(t testing.TB, spec model.Spec) *Estimator {
+	t.Helper()
+	return NewEstimator(DefaultParams(), spec)
+}
+
+func within(t *testing.T, name string, got, want, relTol float64) {
+	t.Helper()
+	if math.Abs(got-want) > relTol*want {
+		t.Errorf("%s = %v, want %v ± %.0f%%", name, got, want, relTol*100)
+	}
+}
+
+// TestTable1Latency pins the calibration against the paper's single-request
+// execution latencies (Table 1: l_exe with B=1, S_in=512, S_out=128).
+func TestTable1Latency(t *testing.T) {
+	cases := []struct {
+		spec  model.Spec
+		P, M  int
+		paper float64
+	}{
+		{model.OPT6B7, 1, 4, 5.447},
+		{model.GPT20B, 3, 4, 14.373},
+		{model.LLaMA30B, 2, 8, 17.540},
+	}
+	for _, c := range cases {
+		e := est(t, c.spec)
+		got := e.Exec(c.P, c.M, 1, DefaultSeqIn, DefaultSeqOut)
+		within(t, c.spec.Name+" l_exe(B=1)", got, c.paper, 0.15)
+	}
+}
+
+// TestTable1MinGPUs pins the memory model against the paper's minimum GPU
+// counts and latency-optimal shapes (Table 1).
+func TestTable1MinGPUs(t *testing.T) {
+	cases := []struct {
+		spec  model.Spec
+		wantN int
+		wantP int
+		wantM int
+	}{
+		{model.OPT6B7, 4, 1, 4},
+		{model.GPT20B, 12, 3, 4},
+		{model.LLaMA30B, 16, 2, 8},
+	}
+	for _, c := range cases {
+		e := est(t, c.spec)
+		n, shape := e.MinGPUs(config.DefaultLimits(), DefaultMaxTokens, false)
+		if n != c.wantN || shape.P != c.wantP || shape.M != c.wantM {
+			t.Errorf("%s: MinGPUs = %d %v, want %d (P=%d,M=%d)",
+				c.spec.Name, n, shape, c.wantN, c.wantP, c.wantM)
+		}
+	}
+}
+
+// TestMemOptEnlargesSpace pins the §6.2 ablation claim: the memory-optimized
+// migration planner reduces GPT-20B's minimum from 16 to 12 GPUs.
+func TestMemOptEnlargesSpace(t *testing.T) {
+	e := est(t, model.GPT20B)
+	l := config.DefaultLimits()
+	naive, _ := e.MinGPUs(l, DefaultMaxTokens, true)
+	opt, _ := e.MinGPUs(l, DefaultMaxTokens, false)
+	if naive != 16 {
+		t.Errorf("naive-buffer min GPUs = %d, want 16", naive)
+	}
+	if opt != 12 {
+		t.Errorf("memopt min GPUs = %d, want 12", opt)
+	}
+}
+
+// TestFigure8ThroughputCrossover pins the overload narrative of §6.3: on
+// GPT-20B with α=0.35 req/s, one (P=2,M=8) pipeline cannot keep up, two
+// can, and (D=2,P=3,M=4) — SpotServe's pick with 7 instances — also can.
+func TestFigure8ThroughputCrossover(t *testing.T) {
+	e := est(t, model.GPT20B)
+	const alpha = 0.35
+	phi1 := e.Throughput(config.Config{D: 1, P: 2, M: 8, B: 8}, DefaultSeqIn, DefaultSeqOut)
+	phi2 := e.Throughput(config.Config{D: 2, P: 2, M: 8, B: 8}, DefaultSeqIn, DefaultSeqOut)
+	phi34 := e.Throughput(config.Config{D: 2, P: 3, M: 4, B: 8}, DefaultSeqIn, DefaultSeqOut)
+	if phi1 >= alpha {
+		t.Errorf("phi(1,2,8,B=8) = %v, want < %v (rerouting overload)", phi1, alpha)
+	}
+	if phi2 < alpha {
+		t.Errorf("phi(2,2,8,B=8) = %v, want >= %v", phi2, alpha)
+	}
+	if phi34 < alpha {
+		t.Errorf("phi(2,3,4,B=8) = %v, want >= %v (SpotServe's alternative)", phi34, alpha)
+	}
+}
+
+func TestDecodeIterMonotonicity(t *testing.T) {
+	e := est(t, model.GPT20B)
+	base := e.DecodeIter(3, 4, 1, 512)
+	if e.DecodeIter(3, 4, 8, 512) <= base {
+		t.Error("larger batch should not be faster per iteration")
+	}
+	if e.DecodeIter(3, 4, 1, 1024) <= base {
+		t.Error("longer context should not be faster (KV reads grow)")
+	}
+	// More tensor shards reduce per-stage latency for the same P until
+	// communication dominates; M=2 vs M=1 must help on a 20B model.
+	if e.DecodeIter(1, 2, 1, 512) >= e.DecodeIter(1, 1, 1, 512) {
+		t.Error("M=2 should beat M=1 on a model this large")
+	}
+}
+
+func TestExecDecomposition(t *testing.T) {
+	// l_exe = initial phase + sum of per-iteration costs (eq. 1).
+	e := est(t, model.OPT6B7)
+	total := e.Exec(1, 4, 2, 512, 16)
+	manual := e.InitPhase(1, 4, 2, 512)
+	for i := 1; i <= 16; i++ {
+		manual += e.DecodeIter(1, 4, 2, 512+i)
+	}
+	if math.Abs(total-manual) > 1e-9 {
+		t.Fatalf("Exec = %v, manual sum = %v", total, manual)
+	}
+}
+
+func TestExecPartial(t *testing.T) {
+	e := est(t, model.OPT6B7)
+	full := e.Exec(1, 4, 1, 512, 128)
+	split := e.InitPhase(1, 4, 1, 512) +
+		e.ExecPartial(1, 4, 1, 512, 0, 50) +
+		e.ExecPartial(1, 4, 1, 512, 50, 128)
+	if math.Abs(full-split) > 1e-9 {
+		t.Fatalf("partial decomposition mismatch: %v vs %v", full, split)
+	}
+	if e.ExecPartial(1, 4, 1, 512, 10, 10) != 0 {
+		t.Fatal("empty partial range should cost zero")
+	}
+}
+
+func TestThroughputScalesWithD(t *testing.T) {
+	e := est(t, model.GPT20B)
+	c1 := config.Config{D: 1, P: 3, M: 4, B: 8}
+	c2 := config.Config{D: 2, P: 3, M: 4, B: 8}
+	if math.Abs(e.Throughput(c2, 512, 128)-2*e.Throughput(c1, 512, 128)) > 1e-9 {
+		t.Fatal("throughput should scale linearly in D")
+	}
+	if e.Throughput(config.Zero, 512, 128) != 0 {
+		t.Fatal("zero config should have zero throughput")
+	}
+}
+
+func TestFeasibilityRules(t *testing.T) {
+	e := est(t, model.GPT20B) // 48 layers, 48 heads
+	mt := DefaultMaxTokens
+	if e.Feasible(config.Config{D: 1, P: 5, M: 4, B: 1}, mt, false) {
+		t.Error("P=5 does not divide 48 layers; should be infeasible")
+	}
+	if e.Feasible(config.Config{D: 1, P: 3, M: 5, B: 1}, mt, false) {
+		t.Error("M=5 does not divide 48 heads; should be infeasible")
+	}
+	if e.Feasible(config.Config{D: 1, P: 1, M: 1, B: 1}, mt, false) {
+		t.Error("a 74.5 GB model cannot fit one 16 GB GPU")
+	}
+	if !e.Feasible(config.Config{D: 4, P: 3, M: 4, B: 8}, mt, false) {
+		t.Error("(D=4,P=3,M=4,B=8) should fit (D does not change per-GPU memory)")
+	}
+}
+
+func TestFeasibleShapesSorted(t *testing.T) {
+	e := est(t, model.GPT20B)
+	shapes := e.FeasibleShapes(config.DefaultLimits(), 1, DefaultMaxTokens, false)
+	if len(shapes) == 0 {
+		t.Fatal("no feasible shapes for GPT-20B")
+	}
+	for i := 1; i < len(shapes); i++ {
+		if shapes[i].GPUsPerPipeline() < shapes[i-1].GPUsPerPipeline() {
+			t.Fatalf("shapes not sorted by GPU count: %v", shapes)
+		}
+	}
+	for _, s := range shapes {
+		if !e.Feasible(s, DefaultMaxTokens, false) {
+			t.Fatalf("FeasibleShapes returned infeasible %v", s)
+		}
+	}
+}
+
+func TestPerGPUMemNaiveBufferLarger(t *testing.T) {
+	e := est(t, model.GPT20B)
+	opt := e.PerGPUMemBytes(3, 4, 8, DefaultMaxTokens, false)
+	naive := e.PerGPUMemBytes(3, 4, 8, DefaultMaxTokens, true)
+	if naive <= opt {
+		t.Fatalf("naive buffer %v should exceed memopt %v", naive, opt)
+	}
+	diff := naive - opt
+	wantDiff := e.StageParamBytesPerGPU(3, 4) - e.Params.BufMaxBytes
+	if math.Abs(diff-wantDiff) > 1 {
+		t.Fatalf("buffer delta = %v, want %v", diff, wantDiff)
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	e := est(t, model.GPT20B)
+	if e.TransferTime(0, true) != 0 {
+		t.Fatal("zero bytes should cost zero")
+	}
+	intra := e.TransferTime(model.GB, false)
+	inter := e.TransferTime(model.GB, true)
+	if inter <= intra {
+		t.Fatal("inter-instance transfer should be slower")
+	}
+	// 1 GB over 6 GB/s ≈ 167 ms plus alpha.
+	if inter < 0.16 || inter > 0.2 {
+		t.Fatalf("1 GB inter transfer = %v s, want ≈0.167", inter)
+	}
+}
+
+func TestReloadVsMigrationGap(t *testing.T) {
+	// The premise of the whole paper: restarting from storage is far more
+	// expensive than migrating context over the network.
+	e := est(t, model.GPT20B)
+	reload := e.ReloadTime(3, 4)
+	migrate := e.TransferTime(e.StageParamBytesPerGPU(3, 4), true)
+	if reload < 5*migrate {
+		t.Fatalf("reload (%v) should dwarf migration (%v)", reload, migrate)
+	}
+	if e.EngineRestartTime() >= e.Params.EngineInitTime {
+		t.Fatal("context-daemon restart should be cheaper than full init")
+	}
+}
+
+func TestValidateParams(t *testing.T) {
+	p := DefaultParams()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+	p.UsableGPUMemBytes = p.GPUMemBytes + 1
+	if err := p.Validate(); err == nil {
+		t.Fatal("usable > physical accepted")
+	}
+	p = DefaultParams()
+	p.MemBWBytes = 0
+	if err := p.Validate(); err == nil {
+		t.Fatal("zero bandwidth accepted")
+	}
+	p = DefaultParams()
+	p.GPUsPerInstance = 0
+	if err := p.Validate(); err == nil {
+		t.Fatal("zero GPUs per instance accepted")
+	}
+}
+
+// Property: Exec is monotone in S_out and additive in iteration count.
+func TestQuickExecMonotone(t *testing.T) {
+	e := est(t, model.OPT6B7)
+	f := func(soutRaw uint8) bool {
+		sout := int(soutRaw%100) + 1
+		a := e.Exec(1, 4, 1, 512, sout)
+		b := e.Exec(1, 4, 1, 512, sout+1)
+		return b > a
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: per-GPU parameter bytes across the whole mesh sum to at least
+// the model size (padding from uneven stages can only add).
+func TestQuickShardBytesCoverModel(t *testing.T) {
+	f := func(pRaw, mRaw uint8) bool {
+		for _, spec := range model.All() {
+			e := NewEstimator(DefaultParams(), spec)
+			P := int(pRaw%8) + 1
+			M := []int{1, 2, 4, 8}[mRaw%4]
+			total := e.StageParamBytesPerGPU(P, M) * float64(P*M)
+			if total < spec.ParamBytes-1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkExec(b *testing.B) {
+	e := NewEstimator(DefaultParams(), model.GPT20B)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = e.Exec(3, 4, 8, DefaultSeqIn, DefaultSeqOut)
+	}
+}

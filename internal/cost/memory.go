@@ -1,0 +1,108 @@
+package cost
+
+import (
+	"math"
+	"sort"
+
+	"spotserve/internal/config"
+	"spotserve/internal/model"
+)
+
+// KVBytesPerGPU returns the KV-cache bytes resident on one GPU for shape
+// (P, M) serving B concurrent requests of up to maxTokens tokens each.
+func (e *Estimator) KVBytesPerGPU(P, M, B, maxTokens int) float64 {
+	stageLayers := model.MaxStageLayers(e.Spec.Layers, P)
+	return float64(B) * float64(maxTokens) * e.Spec.KVBytesPerTokenLayer() *
+		float64(stageLayers) / float64(M)
+}
+
+// PerGPUMemBytes returns the peak per-GPU memory footprint of configuration
+// shape (P, M, B) with sequences up to maxTokens. naiveBuffer selects the
+// migration-buffer model: the naive migration plan stages an entire
+// incoming context alongside the resident one (2× parameters), while the
+// memory-optimized planner (Algorithm 2) caps the buffer at U_max. This is
+// exactly the mechanism behind the §6.2 ablation observation that the
+// memory-optimized planner lowers GPT-20B's minimum GPU count from 16 to 12.
+func (e *Estimator) PerGPUMemBytes(P, M, B, maxTokens int, naiveBuffer bool) float64 {
+	params := e.StageParamBytesPerGPU(P, M)
+	kv := e.KVBytesPerGPU(P, M, B, maxTokens)
+	buf := e.Params.BufMaxBytes
+	if naiveBuffer {
+		buf = params
+	}
+	return params + kv + e.Params.ActivationBytes + buf
+}
+
+// Feasible reports whether configuration c fits in GPU memory with
+// sequences of up to maxTokens tokens.
+func (e *Estimator) Feasible(c config.Config, maxTokens int, naiveBuffer bool) bool {
+	if err := c.Validate(); err != nil {
+		return false
+	}
+	if c.M > e.Spec.Heads || e.Spec.Heads%c.M != 0 {
+		return false
+	}
+	if c.P > e.Spec.Layers || e.Spec.Layers%c.P != 0 {
+		return false
+	}
+	return e.PerGPUMemBytes(c.P, c.M, c.B, maxTokens, naiveBuffer) <= e.Params.UsableGPUMemBytes
+}
+
+// FeasibleShapes returns all (P, M) shapes within limits that fit in memory
+// with batch size B, sorted by GPUs-per-pipeline then latency-optimal order
+// (P ascending within equal GPU counts keeps enumeration deterministic).
+func (e *Estimator) FeasibleShapes(l config.Limits, B, maxTokens int, naiveBuffer bool) []config.Config {
+	var out []config.Config
+	for _, s := range l.EnumerateShapes(e.Spec.Layers, e.Spec.Heads) {
+		c := config.Config{D: 1, P: s.P, M: s.M, B: B}
+		if e.Feasible(c, maxTokens, naiveBuffer) {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		gi, gj := out[i].GPUsPerPipeline(), out[j].GPUsPerPipeline()
+		if gi != gj {
+			return gi < gj
+		}
+		if out[i].P != out[j].P {
+			return out[i].P < out[j].P
+		}
+		return out[i].M < out[j].M
+	})
+	return out
+}
+
+// MinGPUs returns the smallest pipeline GPU count able to serve the model
+// (B=1, default sequence lengths) and the latency-optimal shape at that
+// count — the quantities reported in Table 1. naiveBuffer selects the
+// migration-buffer model as in PerGPUMemBytes.
+func (e *Estimator) MinGPUs(l config.Limits, maxTokens int, naiveBuffer bool) (int, config.Config) {
+	shapes := e.FeasibleShapes(l, 1, maxTokens, naiveBuffer)
+	if len(shapes) == 0 {
+		return 0, config.Zero
+	}
+	minGPUs := shapes[0].GPUsPerPipeline()
+	best := config.Zero
+	bestLat := math.Inf(1)
+	for _, s := range shapes {
+		if s.GPUsPerPipeline() != minGPUs {
+			continue
+		}
+		lat := e.Exec(s.P, s.M, 1, DefaultSeqIn, DefaultSeqOut)
+		if lat < bestLat {
+			bestLat = lat
+			best = s
+		}
+	}
+	return minGPUs, best
+}
+
+// Default sequence lengths used throughout the paper's evaluation (§6.1):
+// S_in = 512 input tokens, S_out = 128 generated tokens.
+const (
+	DefaultSeqIn  = 512
+	DefaultSeqOut = 128
+)
+
+// DefaultMaxTokens is the KV-cache budget per request.
+const DefaultMaxTokens = DefaultSeqIn + DefaultSeqOut

@@ -1,0 +1,34 @@
+package cost
+
+// TransferTime estimates moving `bytes` of context between two GPUs.
+// interInstance selects the network link (true) or the intra-instance
+// interconnect (false).
+func (e *Estimator) TransferTime(bytes float64, interInstance bool) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	if interInstance {
+		return e.Params.AlphaInter + bytes/e.Params.InterBWBytes
+	}
+	return e.Params.AlphaIntra + bytes/e.Params.IntraBWBytes
+}
+
+// ReloadTime returns the cost of restarting an inference pipeline from
+// persistent storage: every GPU loads its parameter shard (in parallel)
+// plus the fixed engine launch/initialization time. This is the restart
+// penalty paid by the Reparallelization baseline on every configuration
+// change, and by SpotServe only when all replicas of some model context
+// were lost (§4.2 fault tolerance).
+func (e *Estimator) ReloadTime(P, M int) float64 {
+	perGPU := e.StageParamBytesPerGPU(P, M) / e.Params.StorageBWPerGPU
+	return perGPU + e.Params.EngineInitTime
+}
+
+// EngineRestartTime is the fixed engine relaunch cost without reloading
+// parameters (context daemon kept them resident) — the cheap path enabled
+// by SpotServe's context management.
+func (e *Estimator) EngineRestartTime() float64 {
+	// Restarting the engine against a live context daemon skips both the
+	// parameter load and most process-group setup.
+	return e.Params.EngineInitTime / 10
+}

@@ -1,0 +1,107 @@
+package cost
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"spotserve/internal/config"
+)
+
+// ProfileEntry is one row of the offline profile: the measured quantities
+// for one (P, M, B) shape. The paper's implementation (§5) profiles these
+// offline so that the online optimizer's decisions take well under a
+// second; this emulates that table.
+type ProfileEntry struct {
+	P, M, B int
+	// ExecLatency is l_exe(S_out | S_in) at the default sequence lengths.
+	ExecLatency float64
+	// InitLatency is the initial-phase latency.
+	InitLatency float64
+	// IterLatency is the steady per-token decode latency (at mid
+	// sequence length).
+	IterLatency float64
+	// ThroughputPerPipeline is B / ExecLatency.
+	ThroughputPerPipeline float64
+	// PerGPUMemBytes is the peak per-GPU footprint (memopt buffer).
+	PerGPUMemBytes float64
+	// Feasible is the memory verdict at the default KV budget.
+	Feasible bool
+}
+
+// Profile is the full offline table for one model.
+type Profile struct {
+	Model   string
+	SeqIn   int
+	SeqOut  int
+	Entries []ProfileEntry
+}
+
+// BuildProfile enumerates every shape in the limits and evaluates the cost
+// model — the offline profiling pass run once per model.
+func (e *Estimator) BuildProfile(l config.Limits, seqIn, seqOut int) Profile {
+	p := Profile{Model: e.Spec.Name, SeqIn: seqIn, SeqOut: seqOut}
+	maxTokens := seqIn + seqOut
+	for _, s := range l.EnumerateShapes(e.Spec.Layers, e.Spec.Heads) {
+		for _, b := range l.Bs {
+			c := config.Config{D: 1, P: s.P, M: s.M, B: b}
+			exec := e.Exec(s.P, s.M, b, seqIn, seqOut)
+			entry := ProfileEntry{
+				P: s.P, M: s.M, B: b,
+				ExecLatency:           exec,
+				InitLatency:           e.InitPhase(s.P, s.M, b, seqIn),
+				IterLatency:           e.DecodeIter(s.P, s.M, b, seqIn+seqOut/2),
+				ThroughputPerPipeline: float64(b) / exec,
+				PerGPUMemBytes:        e.PerGPUMemBytes(s.P, s.M, b, maxTokens, false),
+				Feasible:              e.Feasible(c, maxTokens, false),
+			}
+			p.Entries = append(p.Entries, entry)
+		}
+	}
+	sort.Slice(p.Entries, func(i, j int) bool {
+		a, b := p.Entries[i], p.Entries[j]
+		if a.P != b.P {
+			return a.P < b.P
+		}
+		if a.M != b.M {
+			return a.M < b.M
+		}
+		return a.B < b.B
+	})
+	return p
+}
+
+// Lookup finds the entry for a shape, if profiled.
+func (p Profile) Lookup(P, M, B int) (ProfileEntry, bool) {
+	for _, e := range p.Entries {
+		if e.P == P && e.M == M && e.B == B {
+			return e, true
+		}
+	}
+	return ProfileEntry{}, false
+}
+
+// FeasibleCount returns how many profiled shapes fit in memory.
+func (p Profile) FeasibleCount() int {
+	n := 0
+	for _, e := range p.Entries {
+		if e.Feasible {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders the profile as a table.
+func (p Profile) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "offline profile: %s (S_in=%d, S_out=%d)\n", p.Model, p.SeqIn, p.SeqOut)
+	fmt.Fprintf(&b, "%4s %4s %4s %10s %10s %10s %12s %10s %5s\n",
+		"P", "M", "B", "l_exe", "l_init", "l_iter", "phi/pipe", "GB/GPU", "fits")
+	for _, e := range p.Entries {
+		fmt.Fprintf(&b, "%4d %4d %4d %9.3fs %9.3fs %9.4fs %9.3f/s %10.2f %5v\n",
+			e.P, e.M, e.B, e.ExecLatency, e.InitLatency, e.IterLatency,
+			e.ThroughputPerPipeline, e.PerGPUMemBytes/1e9, e.Feasible)
+	}
+	return b.String()
+}

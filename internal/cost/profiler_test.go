@@ -1,0 +1,98 @@
+package cost
+
+import (
+	"strings"
+	"testing"
+
+	"spotserve/internal/config"
+	"spotserve/internal/model"
+)
+
+func TestBuildProfileCoversShapes(t *testing.T) {
+	e := est(t, model.GPT20B)
+	p := e.BuildProfile(config.DefaultLimits(), DefaultSeqIn, DefaultSeqOut)
+	if p.Model != "GPT-20B" {
+		t.Fatalf("model = %s", p.Model)
+	}
+	// Shapes × batch sizes: every (P|48, M∈{1,2,4,8}, B∈{1,2,4,8}).
+	shapes := config.DefaultLimits().EnumerateShapes(48, 48)
+	want := len(shapes) * 4
+	if len(p.Entries) != want {
+		t.Fatalf("entries = %d, want %d", len(p.Entries), want)
+	}
+	// Table-1 shape is present and feasible.
+	entry, ok := p.Lookup(3, 4, 1)
+	if !ok || !entry.Feasible {
+		t.Fatalf("(3,4,1) entry: %+v ok=%v", entry, ok)
+	}
+	if entry.ExecLatency < 14 || entry.ExecLatency > 18 {
+		t.Fatalf("profiled l_exe = %v", entry.ExecLatency)
+	}
+	if _, ok := p.Lookup(5, 4, 1); ok {
+		t.Fatal("non-dividing P profiled")
+	}
+}
+
+func TestProfileConsistentWithEstimator(t *testing.T) {
+	e := est(t, model.OPT6B7)
+	p := e.BuildProfile(config.DefaultLimits(), DefaultSeqIn, DefaultSeqOut)
+	for _, entry := range p.Entries {
+		want := e.Exec(entry.P, entry.M, entry.B, DefaultSeqIn, DefaultSeqOut)
+		if entry.ExecLatency != want {
+			t.Fatalf("(%d,%d,%d): profile %v != estimator %v",
+				entry.P, entry.M, entry.B, entry.ExecLatency, want)
+		}
+		if entry.ThroughputPerPipeline <= 0 {
+			t.Fatalf("non-positive throughput in %+v", entry)
+		}
+	}
+}
+
+func TestProfileFeasibleCountMatchesMemoryModel(t *testing.T) {
+	for _, spec := range model.All() {
+		e := est(t, spec)
+		p := e.BuildProfile(config.DefaultLimits(), DefaultSeqIn, DefaultSeqOut)
+		n := 0
+		for _, entry := range p.Entries {
+			c := config.Config{D: 1, P: entry.P, M: entry.M, B: entry.B}
+			if e.Feasible(c, DefaultMaxTokens, false) {
+				n++
+			}
+		}
+		if p.FeasibleCount() != n {
+			t.Errorf("%s: FeasibleCount %d != recount %d", spec.Name, p.FeasibleCount(), n)
+		}
+		if n == 0 {
+			t.Errorf("%s: no feasible shapes at all", spec.Name)
+		}
+	}
+}
+
+func TestProfileString(t *testing.T) {
+	e := est(t, model.OPT6B7)
+	p := e.BuildProfile(config.DefaultLimits(), 512, 128)
+	s := p.String()
+	if !strings.Contains(s, "OPT-6.7B") || !strings.Contains(s, "l_exe") {
+		t.Fatalf("render missing headers:\n%s", s)
+	}
+	if len(strings.Split(s, "\n")) < len(p.Entries) {
+		t.Fatal("render shorter than entry count")
+	}
+}
+
+func TestProfileSortedDeterministic(t *testing.T) {
+	e := est(t, model.LLaMA30B)
+	a := e.BuildProfile(config.DefaultLimits(), 512, 128)
+	b := e.BuildProfile(config.DefaultLimits(), 512, 128)
+	for i := range a.Entries {
+		if a.Entries[i] != b.Entries[i] {
+			t.Fatal("profile not deterministic")
+		}
+		if i > 0 {
+			prev, cur := a.Entries[i-1], a.Entries[i]
+			if cur.P < prev.P {
+				t.Fatal("entries not sorted by P")
+			}
+		}
+	}
+}

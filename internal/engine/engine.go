@@ -1,0 +1,411 @@
+// Package engine simulates SpotServe's distributed inference engine (§5):
+// pipelines of GPUs bound to pipeline-stage-shard positions execute
+// incremental decoding iteration by iteration on the virtual clock, and a
+// context daemon per GPU tracks the model context (parameter shard) and
+// cache context (KV cache) resident on the device.
+//
+// The engine is deliberately policy-free: it executes batches and commits
+// progress at token granularity; all decisions — when to stop decoding,
+// what to migrate, where requests resume — are made by the control plane in
+// internal/core through the Hooks interface and the pipeline control
+// methods, mirroring the paper's engine/server split.
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"spotserve/internal/cloud"
+	"spotserve/internal/config"
+	"spotserve/internal/cost"
+	"spotserve/internal/model"
+	"spotserve/internal/sim"
+	"spotserve/internal/workload"
+)
+
+// RequestState tracks one request's inference progress. Progress is only
+// ever advanced at iteration boundaries — the token-level commit that makes
+// stateful recovery possible (§4).
+type RequestState struct {
+	Req workload.Request
+	// Committed is the number of output tokens decoded and committed.
+	// The initial phase commits the first token (eq. 1).
+	Committed int
+	// Restarts counts how many times decoding was restarted from scratch
+	// (cache lost); for reporting.
+	Restarts int
+	// DoneAt is the completion time (valid once Done).
+	DoneAt float64
+}
+
+// Done reports whether all output tokens are committed.
+func (r *RequestState) Done() bool { return r.Committed >= r.Req.SeqOut }
+
+// Remaining returns output tokens still to decode.
+func (r *RequestState) Remaining() int {
+	n := r.Req.SeqOut - r.Committed
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// Batch is a set of requests decoded together by one pipeline. A batch may
+// mix fresh requests with recovered ones that already hold progress.
+type Batch struct {
+	Requests []*RequestState
+}
+
+// Size returns the number of not-yet-done requests.
+func (b *Batch) Size() int {
+	n := 0
+	for _, r := range b.Requests {
+		if !r.Done() {
+			n++
+		}
+	}
+	return n
+}
+
+// MaxSeqLen returns the largest current sequence length in the batch, which
+// bounds the KV read cost of the next iteration.
+func (b *Batch) MaxSeqLen() int {
+	m := 0
+	for _, r := range b.Requests {
+		if l := r.Req.SeqIn + r.Committed; l > m {
+			m = l
+		}
+	}
+	return m
+}
+
+// MinCommitted returns the smallest committed count among active requests.
+func (b *Batch) MinCommitted() int {
+	first := true
+	m := 0
+	for _, r := range b.Requests {
+		if r.Done() {
+			continue
+		}
+		if first || r.Committed < m {
+			m = r.Committed
+			first = false
+		}
+	}
+	return m
+}
+
+// TotalTokens returns Σ (SeqIn + Committed) over all requests: the token
+// count whose KV cache is resident for this batch.
+func (b *Batch) TotalTokens() int {
+	t := 0
+	for _, r := range b.Requests {
+		t += r.Req.SeqIn + r.Committed
+	}
+	return t
+}
+
+// Progress returns Σ Committed — the decoding progress that would be lost
+// without stateful recovery.
+func (b *Batch) Progress() int {
+	t := 0
+	for _, r := range b.Requests {
+		t += r.Committed
+	}
+	return t
+}
+
+// Daemon is the context daemon of one GPU (§3.1): it outlives engine
+// restarts and tracks what context is resident on the device.
+type Daemon struct {
+	GPU *cloud.GPU
+	// ModelCtx is the resident parameter shard (empty when none).
+	ModelCtx model.Rect
+	// CachePipeline identifies whose KV cache is resident (-1 when none):
+	// the pipeline index d of the batch the cache belongs to.
+	CachePipeline int
+	// CacheRect is the (layers × shard fraction) rectangle of the
+	// resident cache.
+	CacheRect model.Rect
+	// CacheTokens is Σ tokens of the cached batch.
+	CacheTokens int
+}
+
+// CacheBytes returns the resident KV-cache bytes.
+func (d *Daemon) CacheBytes(spec model.Spec) float64 {
+	if d.CachePipeline < 0 || d.CacheRect.Empty() {
+		return 0
+	}
+	return float64(d.CacheTokens) * spec.KVBytesPerTokenLayer() *
+		float64(d.CacheRect.Layers()) * d.CacheRect.FracWidth()
+}
+
+// DropCache clears the cache context.
+func (d *Daemon) DropCache() {
+	d.CachePipeline = -1
+	d.CacheRect = model.Rect{}
+	d.CacheTokens = 0
+}
+
+// Hooks lets the control plane observe execution. All callbacks run inside
+// simulator events.
+type Hooks interface {
+	// IterationDone fires after each committed iteration, before the next
+	// iteration is scheduled. Returning false pauses the pipeline with
+	// its batch intact (JIT interruption arrangement).
+	IterationDone(p *Pipeline) bool
+	// RequestDone fires when a request commits its last token.
+	RequestDone(p *Pipeline, r *RequestState)
+	// BatchDone fires when every request of the running batch completed.
+	BatchDone(p *Pipeline)
+	// BatchPaused fires when IterationDone returned false and the batch
+	// was handed back with committed progress.
+	BatchPaused(p *Pipeline, b *Batch)
+}
+
+// Engine owns daemons and pipelines for one serving deployment.
+type Engine struct {
+	Sim   *sim.Simulator
+	Est   *cost.Estimator
+	Hooks Hooks
+
+	daemons map[int64]*Daemon
+}
+
+// New builds an engine. Hooks must be installed before any pipeline runs.
+func New(s *sim.Simulator, est *cost.Estimator, hooks Hooks) *Engine {
+	return &Engine{Sim: s, Est: est, Hooks: hooks, daemons: make(map[int64]*Daemon)}
+}
+
+// Daemon returns (creating on first use) the context daemon of gpu.
+func (e *Engine) Daemon(gpu *cloud.GPU) *Daemon {
+	d, ok := e.daemons[gpu.ID]
+	if !ok {
+		d = &Daemon{GPU: gpu, CachePipeline: -1}
+		e.daemons[gpu.ID] = d
+	}
+	return d
+}
+
+// Daemons returns all daemons in GPU-ID order.
+func (e *Engine) Daemons() []*Daemon {
+	out := make([]*Daemon, 0, len(e.daemons))
+	for _, d := range e.daemons {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].GPU.ID < out[j].GPU.ID })
+	return out
+}
+
+// DropDaemon forgets the daemon of a terminated GPU.
+func (e *Engine) DropDaemon(gpuID int64) { delete(e.daemons, gpuID) }
+
+// Pipeline is one inference pipeline: P×M GPUs serving batches under a
+// parallel configuration.
+type Pipeline struct {
+	eng *Engine
+	// ID is the pipeline index d within the current configuration.
+	ID int
+	// Cfg is the configuration the pipeline serves under.
+	Cfg config.Config
+	// GPUs maps each (p, m) position (with D=ID) to its device.
+	GPUs map[config.Position]*cloud.GPU
+
+	// StageReadyAt gates execution per stage: stage p may not compute
+	// before StageReadyAt[p] (progressive migration overlap, §3.4).
+	StageReadyAt []float64
+
+	batch     *Batch
+	busy      bool
+	iterEv    sim.Handle
+	iterEnd   float64
+	stopASAP  bool
+	iterCount int64
+}
+
+// NewPipeline constructs a pipeline over the given position→GPU binding.
+// The binding must cover every (p, m) position of the configuration.
+func (e *Engine) NewPipeline(id int, cfg config.Config, gpus map[config.Position]*cloud.GPU) (*Pipeline, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	for p := 0; p < cfg.P; p++ {
+		for m := 0; m < cfg.M; m++ {
+			pos := config.Position{D: id, P: p, M: m}
+			if gpus[pos] == nil {
+				return nil, fmt.Errorf("engine: pipeline %d missing GPU for %v", id, pos)
+			}
+		}
+	}
+	return &Pipeline{
+		eng:          e,
+		ID:           id,
+		Cfg:          cfg,
+		GPUs:         gpus,
+		StageReadyAt: make([]float64, cfg.P),
+	}, nil
+}
+
+// Busy reports whether a batch is executing.
+func (p *Pipeline) Busy() bool { return p.busy }
+
+// Batch returns the running (or last paused) batch.
+func (p *Pipeline) Batch() *Batch { return p.batch }
+
+// Iterations returns the number of committed iterations this pipeline ran.
+func (p *Pipeline) Iterations() int64 { return p.iterCount }
+
+// SetStageReady marks stage p usable from time t.
+func (p *Pipeline) SetStageReady(stage int, t float64) {
+	p.StageReadyAt[stage] = t
+}
+
+// gateDelay returns how long the next iteration must additionally wait for
+// trailing stages still migrating: stage s contributes its readiness minus
+// the pipeline time already spent reaching it.
+func (p *Pipeline) gateDelay(iterTime float64) float64 {
+	now := p.eng.Sim.Now()
+	delay := 0.0
+	perStage := iterTime / float64(p.Cfg.P)
+	for s, ready := range p.StageReadyAt {
+		// The wavefront reaches stage s after s×perStage.
+		d := ready - now - float64(s)*perStage
+		if d > delay {
+			delay = d
+		}
+	}
+	return delay
+}
+
+// Start begins (or resumes) executing a batch. Requests that already hold
+// committed progress continue from their committed token — stateful
+// inference recovery. Starting a busy pipeline panics: the control plane
+// must pause or abort first.
+func (p *Pipeline) Start(b *Batch) {
+	if p.busy {
+		panic(fmt.Sprintf("engine: pipeline %d started while busy", p.ID))
+	}
+	if b == nil || b.Size() == 0 {
+		return
+	}
+	p.batch = b
+	p.busy = true
+	p.stopASAP = false
+	p.scheduleNext(true)
+}
+
+// scheduleNext schedules the completion of the next iteration. The first
+// iteration after Start may include the initial phase for fresh requests.
+func (p *Pipeline) scheduleNext(first bool) {
+	b := p.batch
+	bsz := b.Size()
+	if bsz == 0 {
+		p.finish()
+		return
+	}
+	dur := 0.0
+	if first {
+		// Fresh requests (Committed == 0) pay the initial phase; the
+		// phase also commits their first output token. Recovered
+		// requests just re-enter decoding.
+		fresh := 0
+		for _, r := range b.Requests {
+			if !r.Done() && r.Committed == 0 {
+				fresh++
+			}
+		}
+		if fresh > 0 {
+			dur += p.eng.Est.InitPhase(p.Cfg.P, p.Cfg.M, fresh, maxSeqIn(b))
+		} else {
+			dur += p.eng.Est.DecodeIter(p.Cfg.P, p.Cfg.M, bsz, b.MaxSeqLen())
+		}
+	} else {
+		dur += p.eng.Est.DecodeIter(p.Cfg.P, p.Cfg.M, bsz, b.MaxSeqLen())
+	}
+	dur += p.gateDelay(dur)
+	p.iterEnd = p.eng.Sim.Now() + dur
+	p.iterEv = p.eng.Sim.After(dur, func() { p.completeIteration() })
+}
+
+func maxSeqIn(b *Batch) int {
+	m := 0
+	for _, r := range b.Requests {
+		if !r.Done() && r.Req.SeqIn > m {
+			m = r.Req.SeqIn
+		}
+	}
+	return m
+}
+
+// completeIteration commits one token per active request and consults the
+// control plane about continuing.
+func (p *Pipeline) completeIteration() {
+	b := p.batch
+	p.iterCount++
+	for _, r := range b.Requests {
+		if r.Done() {
+			continue
+		}
+		r.Committed++
+		if r.Done() {
+			r.DoneAt = p.eng.Sim.Now()
+			p.eng.Hooks.RequestDone(p, r)
+		}
+	}
+	p.refreshCacheDaemons()
+	if b.Size() == 0 {
+		p.finish()
+		return
+	}
+	cont := p.eng.Hooks.IterationDone(p)
+	if !cont || p.stopASAP {
+		p.pause()
+		return
+	}
+	p.scheduleNext(false)
+}
+
+// refreshCacheDaemons records the batch's KV cache on this pipeline's
+// context daemons after a commit.
+func (p *Pipeline) refreshCacheDaemons() {
+	tokens := p.batch.TotalTokens()
+	for pos, gpu := range p.GPUs {
+		d := p.eng.Daemon(gpu)
+		d.CachePipeline = p.ID
+		d.CacheRect = model.PositionRect(p.eng.Est.Spec, p.Cfg.P, p.Cfg.M, pos.P, pos.M)
+		d.CacheTokens = tokens
+	}
+}
+
+func (p *Pipeline) finish() {
+	p.busy = false
+	p.batch = nil
+	// The completed batch's cache is dead weight; daemons drop it.
+	for _, gpu := range p.GPUs {
+		p.eng.Daemon(gpu).DropCache()
+	}
+	p.eng.Hooks.BatchDone(p)
+}
+
+func (p *Pipeline) pause() {
+	p.busy = false
+	b := p.batch
+	p.batch = nil
+	p.eng.Hooks.BatchPaused(p, b)
+}
+
+// RequestStop asks the pipeline to pause at the next iteration boundary
+// (token-level commit). No-op when idle.
+func (p *Pipeline) RequestStop() { p.stopASAP = true }
+
+// Abort cancels the in-flight iteration immediately. Progress since the
+// last commit is lost (that is the point of committing at token level: at
+// most one iteration of work can ever be lost). The batch, with committed
+// progress, is returned; the pipeline becomes idle.
+func (p *Pipeline) Abort() *Batch {
+	p.iterEv.Cancel()
+	p.busy = false
+	b := p.batch
+	p.batch = nil
+	return b
+}

@@ -1,0 +1,152 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"spotserve/internal/config"
+	"spotserve/internal/model"
+	"spotserve/internal/sim"
+)
+
+// TestQuickInterruptionNeverLosesCommittedWork drives a pipeline with
+// random interruptions (stop requests and aborts at random times) and
+// checks the core stateful-recovery invariant: committed progress is
+// monotone — no interruption pattern can ever reduce it — and resuming
+// always completes the batch.
+func TestQuickInterruptionNeverLosesCommittedWork(t *testing.T) {
+	f := newFixture(t, model.OPT6B7, 1)
+	cfg := config.Config{D: 1, P: 1, M: 4, B: 2}
+	rng := rand.New(rand.NewSource(77))
+	for iter := 0; iter < 40; iter++ {
+		s := sim.New()
+		h := &testHooks{}
+		e := New(s, f.eng.Est, h)
+		p, err := e.NewPipeline(0, cfg, f.bind(0, cfg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := mkBatch(2, 512, 32)
+		s.At(0, func() { p.Start(b) })
+
+		lastProgress := 0
+		check := func() {
+			if got := b.Progress(); got < lastProgress {
+				t.Fatalf("iter %d: progress regressed %d → %d", iter, lastProgress, got)
+			} else {
+				lastProgress = got
+			}
+		}
+		// Random interruptions, each followed by a resume.
+		at := 0.0
+		for k := 0; k < 3; k++ {
+			at += 0.2 + rng.Float64()*1.5
+			abort := rng.Intn(2) == 0
+			s.At(at, func() {
+				if !p.Busy() {
+					return
+				}
+				if abort {
+					p.Abort()
+				} else {
+					p.RequestStop()
+				}
+			})
+			// Resume shortly after (stateful recovery).
+			resumeAt := at + 0.3
+			s.At(resumeAt, func() {
+				check()
+				if !p.Busy() && b.Size() > 0 {
+					p.Start(b)
+				}
+			})
+		}
+		s.RunAll()
+		check()
+		for _, r := range b.Requests {
+			if !r.Done() {
+				t.Fatalf("iter %d: request unfinished after resumes: %+v", iter, r)
+			}
+		}
+	}
+}
+
+// TestQuickPipelineTimingDeterministic replays identical schedules and
+// asserts bit-identical completion times.
+func TestQuickPipelineTimingDeterministic(t *testing.T) {
+	f := newFixture(t, model.GPT20B, 3)
+	cfg := config.Config{D: 1, P: 3, M: 4, B: 4}
+	run := func() float64 {
+		s := sim.New()
+		h := &testHooks{}
+		e := New(s, f.eng.Est, h)
+		p, err := e.NewPipeline(0, cfg, f.bind(0, cfg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.At(0, func() { p.Start(mkBatch(4, 512, 32)) })
+		return s.RunAll()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("nondeterministic pipeline timing: %v vs %v", a, b)
+	}
+}
+
+// TestLargerBatchHigherThroughputLowerPerRequest checks the engine agrees
+// with the cost model's batching economics: a B=8 batch takes longer than
+// a B=1 request, but less than 8× as long.
+func TestLargerBatchHigherThroughputLowerPerRequest(t *testing.T) {
+	f := newFixture(t, model.OPT6B7, 1)
+	cfg1 := config.Config{D: 1, P: 1, M: 4, B: 1}
+	cfg8 := config.Config{D: 1, P: 1, M: 4, B: 8}
+	run := func(cfg config.Config, n int) float64 {
+		s := sim.New()
+		h := &testHooks{}
+		e := New(s, f.eng.Est, h)
+		p, err := e.NewPipeline(0, cfg, f.bind(0, cfg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.At(0, func() { p.Start(mkBatch(n, 512, 64)) })
+		return s.RunAll()
+	}
+	t1 := run(cfg1, 1)
+	t8 := run(cfg8, 8)
+	if t8 <= t1 {
+		t.Fatalf("B=8 (%v) not slower than B=1 (%v)", t8, t1)
+	}
+	if t8 >= 8*t1 {
+		t.Fatalf("B=8 (%v) shows no batching benefit over 8×B=1 (%v)", t8, 8*t1)
+	}
+}
+
+// TestStageReadinessMonotoneCost checks that later stage-readiness times
+// never make the pipeline finish earlier.
+func TestStageReadinessMonotoneCost(t *testing.T) {
+	f := newFixture(t, model.GPT20B, 3)
+	cfg := config.Config{D: 1, P: 3, M: 4, B: 1}
+	run := func(r0, r1, r2 float64) float64 {
+		s := sim.New()
+		h := &testHooks{}
+		e := New(s, f.eng.Est, h)
+		p, err := e.NewPipeline(0, cfg, f.bind(0, cfg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.SetStageReady(0, r0)
+		p.SetStageReady(1, r1)
+		p.SetStageReady(2, r2)
+		s.At(0, func() { p.Start(mkBatch(1, 512, 8)) })
+		return s.RunAll()
+	}
+	base := run(0, 0, 0)
+	prog := run(0, 1, 2)
+	blk := run(2, 2, 2)
+	if prog < base {
+		t.Fatalf("gated run faster than ungated: %v < %v", prog, base)
+	}
+	if blk < prog {
+		t.Fatalf("blocking readiness (%v) beat progressive (%v)", blk, prog)
+	}
+}

@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"testing"
+
+	"spotserve/internal/model"
+	"spotserve/internal/trace"
+)
+
+// TestDebugLLaMAAS is a diagnostic; run with -v to inspect behavior.
+func TestDebugLLaMAAS(t *testing.T) {
+	for _, sys := range []System{SpotServe, Reparallel} {
+		sc := DefaultScenario(sys, model.LLaMA30B, trace.AS(), 1)
+		res := Run(sc)
+		st := res.Stats
+		t.Logf("%s: submitted=%d completed=%d migrations=%d reloads=%d giveups=%d tokensRec=%d",
+			sys, st.Submitted, st.Completed, st.Migrations, st.Reloads, st.CacheGiveUps, st.TokensRecovered)
+		t.Logf("  latency: %v", st.Latency)
+		for _, c := range st.ConfigLog {
+			t.Logf("  t=%6.0f cfg=%v reason=%s", c.At, c.Config, c.Reason)
+		}
+		// Latency of requests arriving in each 200 s window.
+		for w := 0.0; w < 1200; w += 200 {
+			var n int
+			var sum float64
+			for _, s := range st.PerRequest.Samples {
+				if s.At >= w && s.At < w+200 {
+					n++
+					sum += s.Value
+				}
+			}
+			if n > 0 {
+				t.Logf("  window %4.0f-%4.0f: n=%3d avg=%6.1f", w, w+200, n, sum/float64(n))
+			}
+		}
+	}
+}

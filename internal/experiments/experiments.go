@@ -1,0 +1,379 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§6). Each experiment has one entry point returning structured
+// rows; cmd/experiments renders them as text tables, and the repository's
+// benchmarks wrap them so `go test -bench` replays the full evaluation.
+//
+// Experiment index (see DESIGN.md):
+//
+//	Table 1  — model overview: min #GPUs, (P,M), l_exe(B=1)
+//	Figure 5 — availability traces A_S, B_S and the +O mixes
+//	Figure 6 — end-to-end latency, 3 models × 4 traces × 3 systems
+//	Figure 7 — monetary cost vs latency on GPT-20B
+//	Figure 8 — fluctuating (MAF) workload study
+//	Figure 9 — ablation of SpotServe's components
+package experiments
+
+import (
+	"fmt"
+
+	"spotserve/internal/config"
+	"spotserve/internal/core"
+	"spotserve/internal/cost"
+	"spotserve/internal/metrics"
+	"spotserve/internal/model"
+	"spotserve/internal/trace"
+	"spotserve/internal/workload"
+)
+
+// System identifies which serving system a scenario runs.
+type System string
+
+const (
+	SpotServe    System = "SpotServe"
+	Reparallel   System = "Reparallelization"
+	Reroute      System = "Rerouting"
+	OnDemandOnly System = "OnDemand"
+)
+
+// Systems lists the comparison order used in the figures.
+func Systems() []System { return []System{Reroute, Reparallel, SpotServe} }
+
+// Scenario describes one serving run.
+type Scenario struct {
+	System System
+	Spec   model.Spec
+	// Trace is the spot availability trace (ignored for OnDemandOnly).
+	Trace trace.Trace
+	// OnDemandN is the fixed fleet size for OnDemandOnly.
+	OnDemandN int
+	// Rate is the stable arrival rate; RateFn (optional) overrides it
+	// with a fluctuating profile.
+	Rate   float64
+	RateFn workload.RateFn
+	// CV is the arrival burstiness (paper: 6).
+	CV float64
+	// AllowOnDemand enables Algorithm-1 on-demand mixing (+O traces).
+	AllowOnDemand bool
+	// Features overrides SpotServe's feature set when non-nil (ablation).
+	Features *core.Features
+	// Drain extends the run past the trace horizon so queued requests
+	// finish.
+	Drain float64
+	// SampleFleet records instance counts every 10 s (Figure 5).
+	SampleFleet bool
+	Seed        int64
+}
+
+// Result bundles a scenario's outcome.
+type Result struct {
+	Scenario Scenario
+	Stats    core.Stats
+	// SpotCount / OnDemandCount sample the fleet over time when
+	// SampleFleet was set.
+	SpotCount     metrics.Series
+	OnDemandCount metrics.Series
+	// FinalConfig is the configuration at the end of the run.
+	FinalConfig config.Config
+}
+
+// DefaultScenario fills the paper's defaults for a model/system/trace.
+func DefaultScenario(sys System, spec model.Spec, tr trace.Trace, seed int64) Scenario {
+	return Scenario{
+		System: sys,
+		Spec:   spec,
+		Trace:  tr,
+		Rate:   workload.DefaultRates()[spec.Name],
+		CV:     6,
+		Drain:  900,
+		Seed:   seed,
+	}
+}
+
+// Table1Row is one row of Table 1.
+type Table1Row struct {
+	Model   string
+	SizeGB  float64
+	MinGPUs int
+	P, M    int
+	LexeB1  float64
+	// PaperMinGPUs / PaperLexe are the published values for comparison.
+	PaperMinGPUs int
+	PaperLexe    float64
+}
+
+// Table1 regenerates Table 1 from the cost model.
+func Table1() []Table1Row {
+	paper := map[string]struct {
+		min  int
+		lexe float64
+	}{
+		"OPT-6.7B":  {4, 5.447},
+		"GPT-20B":   {12, 14.373},
+		"LLaMA-30B": {16, 17.540},
+	}
+	var rows []Table1Row
+	for _, spec := range model.All() {
+		est := cost.NewEstimator(cost.DefaultParams(), spec)
+		min, shape := est.MinGPUs(config.DefaultLimits(), cost.DefaultMaxTokens, false)
+		rows = append(rows, Table1Row{
+			Model:        spec.Name,
+			SizeGB:       spec.ParamBytes / model.GB,
+			MinGPUs:      min,
+			P:            shape.P,
+			M:            shape.M,
+			LexeB1:       est.Exec(shape.P, shape.M, 1, cost.DefaultSeqIn, cost.DefaultSeqOut),
+			PaperMinGPUs: paper[spec.Name].min,
+			PaperLexe:    paper[spec.Name].lexe,
+		})
+	}
+	return rows
+}
+
+// Figure5Row summarizes one availability trace (real or generated +O).
+type Figure5Row struct {
+	Name          string
+	Spot          metrics.Series
+	OnDemand      metrics.Series
+	MinTotal, Max int
+}
+
+// Figure5 regenerates the four availability traces: A_S and B_S replayed
+// directly, and A_S+O / B_S+O produced by running Algorithm 1 with
+// on-demand mixing over them (as the paper generates its +O traces).
+func Figure5(seed int64) []Figure5Row {
+	var rows []Figure5Row
+	for _, base := range []trace.Trace{trace.AS(), trace.BS()} {
+		// Raw spot trace.
+		var spot metrics.Series
+		for t := 0.0; t < base.Horizon; t += 10 {
+			spot.Add(t, float64(base.CountAt(t)))
+		}
+		rows = append(rows, Figure5Row{
+			Name: base.Name, Spot: spot,
+			MinTotal: base.MinCount(), Max: base.MaxCount(),
+		})
+		// +O mix: replay with the GPT-20B serving stack allowed to
+		// allocate on-demand instances.
+		sc := DefaultScenario(SpotServe, model.GPT20B, base, seed)
+		sc.AllowOnDemand = true
+		sc.SampleFleet = true
+		res := Run(sc)
+		minTotal, maxTotal := fleetExtremes(res)
+		rows = append(rows, Figure5Row{
+			Name:     base.Name + "+O",
+			Spot:     res.SpotCount,
+			OnDemand: res.OnDemandCount,
+			MinTotal: minTotal,
+			Max:      maxTotal,
+		})
+	}
+	return rows
+}
+
+func fleetExtremes(res Result) (min, max int) {
+	min = 1 << 30
+	for i := range res.SpotCount.Samples {
+		tot := int(res.SpotCount.Samples[i].Value)
+		if i < len(res.OnDemandCount.Samples) {
+			tot += int(res.OnDemandCount.Samples[i].Value)
+		}
+		if tot < min {
+			min = tot
+		}
+		if tot > max {
+			max = tot
+		}
+	}
+	if min == 1<<30 {
+		min = 0
+	}
+	return
+}
+
+// Figure6Cell is one (model, trace, system) latency row.
+type Figure6Cell struct {
+	Model   string
+	Trace   string
+	System  System
+	Summary metrics.Summary
+}
+
+// Figure6 regenerates the end-to-end latency comparison: every model on
+// A_S, B_S (spot only) and A_S+O, B_S+O (on-demand mixing), under all
+// three systems.
+func Figure6(seed int64) []Figure6Cell {
+	var out []Figure6Cell
+	for _, spec := range model.All() {
+		for _, tr := range []trace.Trace{trace.AS(), trace.BS()} {
+			for _, mix := range []bool{false, true} {
+				name := tr.Name
+				if mix {
+					name += "+O"
+				}
+				for _, sys := range Systems() {
+					sc := DefaultScenario(sys, spec, tr, seed)
+					sc.AllowOnDemand = mix
+					res := Run(sc)
+					out = append(out, Figure6Cell{
+						Model:   spec.Name,
+						Trace:   name,
+						System:  sys,
+						Summary: res.Stats.Latency,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Figure7Row is one point of the cost/latency plot.
+type Figure7Row struct {
+	System System
+	Trace  string
+	// CostPerToken is USD per generated token ×1e-5 (the paper's axis).
+	CostPerToken float64
+	AvgLatency   float64
+	P99Latency   float64
+}
+
+// Figure7 regenerates the monetary-cost study on GPT-20B: the three
+// systems on all four traces, plus the on-demand-only sweep.
+func Figure7(seed int64) []Figure7Row {
+	var out []Figure7Row
+	spec := model.GPT20B
+	for _, tr := range []trace.Trace{trace.AS(), trace.BS()} {
+		for _, mix := range []bool{false, true} {
+			name := tr.Name
+			if mix {
+				name += "+O"
+			}
+			for _, sys := range Systems() {
+				sc := DefaultScenario(sys, spec, tr, seed)
+				sc.AllowOnDemand = mix
+				res := Run(sc)
+				out = append(out, figure7Point(sys, name, res))
+			}
+		}
+	}
+	// On-demand only: a sweep over fixed fleet sizes (the dashed line).
+	for _, n := range []int{4, 6, 8, 10} {
+		sc := DefaultScenario(OnDemandOnly, spec, trace.Trace{}, seed)
+		sc.OnDemandN = n
+		sc.Trace = trace.Trace{Name: fmt.Sprintf("OD-%d", n), Horizon: 1200,
+			Events: []trace.Event{{At: 0, Count: 0}}}
+		res := Run(sc)
+		out = append(out, figure7Point(OnDemandOnly, sc.Trace.Name, res))
+	}
+	return out
+}
+
+func figure7Point(sys System, name string, res Result) Figure7Row {
+	tokens := float64(res.Stats.Completed * cost.DefaultSeqOut)
+	cpt := 0.0
+	if tokens > 0 {
+		cpt = res.Stats.CostUSD / tokens * 1e5
+	}
+	return Figure7Row{
+		System:       sys,
+		Trace:        name,
+		CostPerToken: cpt,
+		AvgLatency:   res.Stats.Latency.Avg,
+		P99Latency:   res.Stats.Latency.P99,
+	}
+}
+
+// Figure8Row is one system's outcome on the fluctuating workload.
+type Figure8Row struct {
+	System     System
+	Trace      string
+	Summary    metrics.Summary
+	PerRequest metrics.Series
+	ConfigLog  []core.ConfigChange
+}
+
+// Figure8 regenerates the fluctuating-workload study: the rescaled
+// MAF-style arrival profile over the A'_S / B'_S traces with on-demand
+// mixing, for all three systems.
+func Figure8(seed int64) []Figure8Row {
+	var out []Figure8Row
+	spec := model.GPT20B
+	base := workload.DefaultRates()[spec.Name]
+	for _, tr := range []trace.Trace{trace.APrimeS(), trace.BPrimeS()} {
+		for _, sys := range Systems() {
+			sc := DefaultScenario(sys, spec, tr, seed)
+			sc.AllowOnDemand = true
+			sc.RateFn = workload.StepRate(workload.MAFSteps(base))
+			res := Run(sc)
+			out = append(out, Figure8Row{
+				System:     sys,
+				Trace:      tr.Name + "+O",
+				Summary:    res.Stats.Latency,
+				PerRequest: res.Stats.PerRequest,
+				ConfigLog:  res.Stats.ConfigLog,
+			})
+		}
+	}
+	return out
+}
+
+// Figure9Row is one ablation variant's outcome.
+type Figure9Row struct {
+	Variant string
+	Trace   string
+	Summary metrics.Summary
+}
+
+// Figure9 regenerates the ablation study on GPT-20B over A_S and B_S:
+// starting from full SpotServe, components are removed cumulatively —
+// parallelization controller, migration planner, interruption arranger,
+// device mapper (matching the paper's order).
+func Figure9(seed int64) []Figure9Row {
+	variants := []struct {
+		name string
+		mut  func(*core.Features)
+	}{
+		{"SpotServe", func(f *core.Features) {}},
+		{"-Controller", func(f *core.Features) { f.Controller = false }},
+		{"-MigrationPlanner", func(f *core.Features) { f.MigrationPlanner = false }},
+		{"-InterruptionArranger", func(f *core.Features) { f.Arranger = false }},
+		{"-DeviceMapper", func(f *core.Features) { f.DeviceMapper = false; f.Hierarchical = false }},
+	}
+	var out []Figure9Row
+	for _, tr := range []trace.Trace{trace.AS(), trace.BS()} {
+		feat := core.AllFeatures()
+		for _, v := range variants {
+			v.mut(&feat)
+			f := feat
+			sc := DefaultScenario(SpotServe, model.GPT20B, tr, seed)
+			sc.Features = &f
+			res := Run(sc)
+			out = append(out, Figure9Row{
+				Variant: v.name,
+				Trace:   tr.Name,
+				Summary: res.Stats.Latency,
+			})
+		}
+	}
+	return out
+}
+
+// MinMemRow reports the migration-buffer ablation on configuration space.
+type MinMemRow struct {
+	Model         string
+	MemOptMinGPUs int
+	NaiveMinGPUs  int
+}
+
+// MinMem regenerates the §6.2 observation that the memory-optimized
+// migration planner enlarges the configuration space (GPT-20B: 16→12).
+func MinMem() []MinMemRow {
+	var out []MinMemRow
+	for _, spec := range model.All() {
+		est := cost.NewEstimator(cost.DefaultParams(), spec)
+		mo, _ := est.MinGPUs(config.DefaultLimits(), cost.DefaultMaxTokens, false)
+		na, _ := est.MinGPUs(config.DefaultLimits(), cost.DefaultMaxTokens, true)
+		out = append(out, MinMemRow{Model: spec.Name, MemOptMinGPUs: mo, NaiveMinGPUs: na})
+	}
+	return out
+}

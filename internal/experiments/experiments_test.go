@@ -1,0 +1,205 @@
+package experiments
+
+import (
+	"testing"
+
+	"spotserve/internal/model"
+	"spotserve/internal/trace"
+)
+
+func TestTable1MatchesPaper(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.MinGPUs != r.PaperMinGPUs {
+			t.Errorf("%s: min GPUs %d, paper %d", r.Model, r.MinGPUs, r.PaperMinGPUs)
+		}
+		rel := (r.LexeB1 - r.PaperLexe) / r.PaperLexe
+		if rel < -0.15 || rel > 0.15 {
+			t.Errorf("%s: lexe %v vs paper %v (%.0f%%)", r.Model, r.LexeB1, r.PaperLexe, rel*100)
+		}
+	}
+}
+
+func TestFigure5TracesAndMixes(t *testing.T) {
+	rows := Figure5(1)
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4 (AS, AS+O, BS, BS+O)", len(rows))
+	}
+	byName := map[string]Figure5Row{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	for _, name := range []string{"AS", "BS", "AS+O", "BS+O"} {
+		if _, ok := byName[name]; !ok {
+			t.Fatalf("missing trace %s", name)
+		}
+	}
+	// The +O mixes never offer less capacity than the raw spot trace's
+	// deepest dip (on-demand fills in).
+	if byName["BS+O"].MinTotal < byName["BS"].MinTotal {
+		t.Errorf("BS+O min %d below BS min %d", byName["BS+O"].MinTotal, byName["BS"].MinTotal)
+	}
+	// The mixed traces actually contain on-demand instances at some point.
+	if byName["BS+O"].OnDemand.MaxValue() == 0 {
+		t.Error("BS+O never used on-demand instances")
+	}
+}
+
+func TestFigure6ShapeHolds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Figure 6 sweep is long")
+	}
+	cells := Figure6(1)
+	if len(cells) != 3*4*3 {
+		t.Fatalf("cells = %d, want 36", len(cells))
+	}
+	// Headline property: SpotServe's P99 beats both baselines for every
+	// model on every trace (the paper reports 1.3–9.1× gaps). Allow two
+	// violations across the grid for burst noise.
+	type key struct{ model, trace string }
+	p99 := map[key]map[System]float64{}
+	for _, c := range cells {
+		k := key{c.Model, c.Trace}
+		if p99[k] == nil {
+			p99[k] = map[System]float64{}
+		}
+		p99[k][c.System] = c.Summary.P99
+	}
+	violations := 0
+	for k, m := range p99 {
+		if m[SpotServe] >= m[Reparallel] || m[SpotServe] >= m[Reroute] {
+			violations++
+			t.Logf("violation at %v: spot=%.0f reparallel=%.0f reroute=%.0f",
+				k, m[SpotServe], m[Reparallel], m[Reroute])
+		}
+	}
+	if violations > 2 {
+		t.Fatalf("%d of 12 grid points violate the headline ordering", violations)
+	}
+}
+
+func TestFigure7CostAdvantage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cost sweep is long")
+	}
+	rows := Figure7(1)
+	// Find SpotServe's best (cheapest) spot point and the on-demand
+	// sweep: the paper's claim is up to 54% cost savings versus
+	// on-demand serving at comparable latency.
+	var spotCost, odCost float64
+	for _, r := range rows {
+		if r.System == SpotServe && (spotCost == 0 || r.CostPerToken < spotCost) && r.CostPerToken > 0 {
+			spotCost = r.CostPerToken
+		}
+		if r.System == OnDemandOnly && r.CostPerToken > 0 {
+			if odCost == 0 || r.CostPerToken < odCost {
+				odCost = r.CostPerToken
+			}
+		}
+	}
+	if spotCost == 0 || odCost == 0 {
+		t.Fatalf("missing cost points: spot=%v od=%v", spotCost, odCost)
+	}
+	saving := 1 - spotCost/odCost
+	t.Logf("cheapest spot %.3f vs cheapest on-demand %.3f → saving %.0f%%", spotCost, odCost, saving*100)
+	if saving < 0.25 {
+		t.Fatalf("spot saving only %.0f%%, want substantial (paper: 54%%)", saving*100)
+	}
+}
+
+func TestFigure8AdaptsConfiguration(t *testing.T) {
+	rows := Figure8(1)
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	for _, r := range rows {
+		if r.System != SpotServe {
+			continue
+		}
+		if len(r.ConfigLog) < 2 {
+			t.Errorf("%s on %s: SpotServe never adapted (%d entries)",
+				r.System, r.Trace, len(r.ConfigLog))
+		}
+	}
+	// SpotServe beats Reparallelization on P99 for each trace.
+	p99 := map[string]map[System]float64{}
+	for _, r := range rows {
+		if p99[r.Trace] == nil {
+			p99[r.Trace] = map[System]float64{}
+		}
+		p99[r.Trace][r.System] = r.Summary.P99
+	}
+	for tr, m := range p99 {
+		if m[SpotServe] >= m[Reparallel] {
+			t.Errorf("%s: SpotServe P99 %.0f not below Reparallelization %.0f",
+				tr, m[SpotServe], m[Reparallel])
+		}
+	}
+}
+
+func TestFigure9AblationOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation sweep is long")
+	}
+	rows := Figure9(1)
+	if len(rows) != 10 {
+		t.Fatalf("rows = %d, want 10", len(rows))
+	}
+	// Per trace: the fully ablated variant must be clearly worse than
+	// full SpotServe (the paper reports 1.61× on A_S and 3.41× on B_S).
+	byTrace := map[string][]Figure9Row{}
+	for _, r := range rows {
+		byTrace[r.Trace] = append(byTrace[r.Trace], r)
+	}
+	for tr, vs := range byTrace {
+		full := vs[0]
+		last := vs[len(vs)-1]
+		if full.Variant != "SpotServe" || last.Variant != "-DeviceMapper" {
+			t.Fatalf("%s: unexpected variant order %v", tr, vs)
+		}
+		if last.Summary.P99 <= full.Summary.P99 {
+			t.Errorf("%s: ablated P99 %.0f not above full %.0f",
+				tr, last.Summary.P99, full.Summary.P99)
+		}
+	}
+}
+
+func TestMinMemAblation(t *testing.T) {
+	rows := MinMem()
+	for _, r := range rows {
+		if r.Model == "GPT-20B" {
+			if r.MemOptMinGPUs != 12 || r.NaiveMinGPUs != 16 {
+				t.Errorf("GPT-20B min GPUs: memopt %d naive %d, want 12/16",
+					r.MemOptMinGPUs, r.NaiveMinGPUs)
+			}
+		}
+		if r.NaiveMinGPUs < r.MemOptMinGPUs {
+			t.Errorf("%s: naive min %d below memopt %d", r.Model, r.NaiveMinGPUs, r.MemOptMinGPUs)
+		}
+	}
+}
+
+func TestRunOnDemandOnly(t *testing.T) {
+	sc := DefaultScenario(OnDemandOnly, model.OPT6B7, trace.Trace{Name: "od", Horizon: 600,
+		Events: []trace.Event{{At: 0, Count: 0}}}, 1)
+	sc.OnDemandN = 4
+	sc.Rate = 0.5
+	res := Run(sc)
+	if res.Stats.Completed == 0 {
+		t.Fatal("on-demand-only run served nothing")
+	}
+	if res.Stats.CostUSD <= 0 {
+		t.Fatal("on-demand-only accrued no cost")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	sc := DefaultScenario(SpotServe, model.GPT20B, trace.AS(), 7)
+	a, b := Run(sc), Run(sc)
+	if a.Stats.Latency.P99 != b.Stats.Latency.P99 || a.Stats.CostUSD != b.Stats.CostUSD {
+		t.Fatal("Run not deterministic")
+	}
+}

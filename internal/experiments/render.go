@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"spotserve/internal/metrics"
+)
+
+// RenderTable1 formats Table 1 next to the paper's published values.
+func RenderTable1(rows []Table1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: Overview of LLMs evaluated (measured vs paper)\n")
+	fmt.Fprintf(&b, "%-11s %8s %8s %7s  %-12s %12s %10s\n",
+		"Model", "Size", "minGPUs", "(P,M)", "lexe(B=1)", "paper minGPU", "paper lexe")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-11s %6.1fGB %8d  (%d,%d)  %9.3fs %12d %9.3fs\n",
+			r.Model, r.SizeGB, r.MinGPUs, r.P, r.M, r.LexeB1, r.PaperMinGPUs, r.PaperLexe)
+	}
+	return b.String()
+}
+
+// RenderFigure5 draws the availability traces as ASCII step plots.
+func RenderFigure5(rows []Figure5Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 5: spot availability traces (4 GPUs per instance)\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "\n%s  (min total %d, max %d)\n", r.Name, r.MinTotal, r.Max)
+		b.WriteString(sparkline("spot     ", r.Spot, 12))
+		if len(r.OnDemand.Samples) > 0 && r.OnDemand.MaxValue() > 0 {
+			b.WriteString(sparkline("on-demand", r.OnDemand, 12))
+		}
+	}
+	return b.String()
+}
+
+// sparkline renders a series as a coarse one-line plot.
+func sparkline(label string, s metrics.Series, maxV float64) string {
+	if len(s.Samples) == 0 {
+		return fmt.Sprintf("%s (empty)\n", label)
+	}
+	glyphs := []rune(" ▁▂▃▄▅▆▇█")
+	// Downsample to at most 60 columns.
+	step := len(s.Samples) / 60
+	if step < 1 {
+		step = 1
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s |", label)
+	for i := 0; i < len(s.Samples); i += step {
+		v := s.Samples[i].Value
+		idx := int(v / maxV * float64(len(glyphs)-1))
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(glyphs) {
+			idx = len(glyphs) - 1
+		}
+		sb.WriteRune(glyphs[idx])
+	}
+	sb.WriteString("|\n")
+	return sb.String()
+}
+
+// RenderFigure6 formats the latency grid.
+func RenderFigure6(cells []Figure6Cell) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 6: end-to-end serving latency (seconds)\n")
+	fmt.Fprintf(&b, "%-11s %-6s %-18s %8s %8s %8s %8s %8s\n",
+		"Model", "Trace", "System", "Avg", "P90", "P95", "P98", "P99")
+	for _, c := range cells {
+		s := c.Summary
+		fmt.Fprintf(&b, "%-11s %-6s %-18s %8.1f %8.1f %8.1f %8.1f %8.1f\n",
+			c.Model, c.Trace, c.System, s.Avg, s.P90, s.P95, s.P98, s.P99)
+	}
+	b.WriteString("\n")
+	b.WriteString(renderFigure6Speedups(cells))
+	return b.String()
+}
+
+// renderFigure6Speedups reports SpotServe's P99 improvement factors, the
+// paper's headline metric (2.4–9.1×).
+func renderFigure6Speedups(cells []Figure6Cell) string {
+	type key struct{ model, trace string }
+	p99 := map[key]map[System]float64{}
+	var keys []key
+	for _, c := range cells {
+		k := key{c.Model, c.Trace}
+		if p99[k] == nil {
+			p99[k] = map[System]float64{}
+			keys = append(keys, k)
+		}
+		p99[k][c.System] = c.Summary.P99
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].model != keys[j].model {
+			return keys[i].model < keys[j].model
+		}
+		return keys[i].trace < keys[j].trace
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "SpotServe P99 speedup:  vs Reparallelization   vs Rerouting\n")
+	for _, k := range keys {
+		m := p99[k]
+		if m[SpotServe] <= 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-11s %-6s %12.2fx %20.2fx\n",
+			k.model, k.trace, m[Reparallel]/m[SpotServe], m[Reroute]/m[SpotServe])
+	}
+	return b.String()
+}
+
+// RenderFigure7 formats the cost/latency study.
+func RenderFigure7(rows []Figure7Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 7: monetary cost on GPT-20B (cost ×1e-5 USD/token)\n")
+	fmt.Fprintf(&b, "%-18s %-6s %12s %10s %10s\n", "System", "Trace", "Cost/token", "Avg lat", "P99 lat")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-18s %-6s %12.3f %9.1fs %9.1fs\n",
+			r.System, r.Trace, r.CostPerToken, r.AvgLatency, r.P99Latency)
+	}
+	return b.String()
+}
+
+// RenderFigure8 formats the fluctuating-workload study with the
+// configuration timeline (Figures 8e–8h).
+func RenderFigure8(rows []Figure8Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 8: fluctuating (MAF) workload on GPT-20B\n")
+	fmt.Fprintf(&b, "%-18s %-8s %8s %8s %8s\n", "System", "Trace", "Avg", "P98", "P99")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-18s %-8s %8.1f %8.1f %8.1f\n",
+			r.System, r.Trace, r.Summary.Avg, r.Summary.P98, r.Summary.P99)
+	}
+	for _, r := range rows {
+		if r.System != SpotServe || len(r.ConfigLog) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "\nSpotServe configuration timeline on %s:\n", r.Trace)
+		for _, c := range r.ConfigLog {
+			fmt.Fprintf(&b, "  t=%6.0fs  %-22v %s\n", c.At, c.Config, c.Reason)
+		}
+	}
+	return b.String()
+}
+
+// RenderFigure9 formats the ablation with degradation factors relative to
+// the full system (the paper's 1.61×/3.41× stack-up).
+func RenderFigure9(rows []Figure9Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 9: ablation study on GPT-20B\n")
+	fmt.Fprintf(&b, "%-22s %-6s %10s %10s %10s %10s\n",
+		"Variant", "Trace", "Avg", "P99", "Avg×", "P99×")
+	base := map[string]metrics.Summary{}
+	for _, r := range rows {
+		if r.Variant == "SpotServe" {
+			base[r.Trace] = r.Summary
+		}
+	}
+	for _, r := range rows {
+		bf, pf := 1.0, 1.0
+		if bs, ok := base[r.Trace]; ok && bs.Avg > 0 && bs.P99 > 0 {
+			bf = r.Summary.Avg / bs.Avg
+			pf = r.Summary.P99 / bs.P99
+		}
+		fmt.Fprintf(&b, "%-22s %-6s %9.1fs %9.1fs %9.2fx %9.2fx\n",
+			r.Variant, r.Trace, r.Summary.Avg, r.Summary.P99, bf, pf)
+	}
+	return b.String()
+}
+
+// RenderMinMem formats the migration-buffer ablation.
+func RenderMinMem(rows []MinMemRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Minimum GPUs per pipeline (memory-optimized vs naive migration buffer)\n")
+	fmt.Fprintf(&b, "%-11s %10s %8s\n", "Model", "memopt", "naive")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-11s %10d %8d\n", r.Model, r.MemOptMinGPUs, r.NaiveMinGPUs)
+	}
+	return b.String()
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"spotserve/internal/core"
+	"spotserve/internal/metrics"
+)
+
+func TestRenderTable1(t *testing.T) {
+	s := RenderTable1(Table1())
+	for _, want := range []string{"OPT-6.7B", "GPT-20B", "LLaMA-30B", "paper", "minGPUs"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in:\n%s", want, s)
+		}
+	}
+}
+
+func TestRenderMinMem(t *testing.T) {
+	s := RenderMinMem(MinMem())
+	if !strings.Contains(s, "memopt") || !strings.Contains(s, "naive") {
+		t.Fatalf("bad render:\n%s", s)
+	}
+}
+
+func TestRenderFigure6WithSpeedups(t *testing.T) {
+	cells := []Figure6Cell{
+		{Model: "GPT-20B", Trace: "AS", System: SpotServe, Summary: metrics.Summary{Avg: 10, P99: 100}},
+		{Model: "GPT-20B", Trace: "AS", System: Reparallel, Summary: metrics.Summary{Avg: 20, P99: 200}},
+		{Model: "GPT-20B", Trace: "AS", System: Reroute, Summary: metrics.Summary{Avg: 30, P99: 500}},
+	}
+	s := RenderFigure6(cells)
+	if !strings.Contains(s, "2.00x") || !strings.Contains(s, "5.00x") {
+		t.Fatalf("speedups missing:\n%s", s)
+	}
+}
+
+func TestRenderFigure7(t *testing.T) {
+	rows := []Figure7Row{
+		{System: SpotServe, Trace: "BS", CostPerToken: 10.1, AvgLatency: 200, P99Latency: 400},
+		{System: OnDemandOnly, Trace: "OD-4", CostPerToken: 15.2, AvgLatency: 180, P99Latency: 390},
+	}
+	s := RenderFigure7(rows)
+	if !strings.Contains(s, "10.100") || !strings.Contains(s, "OD-4") {
+		t.Fatalf("bad render:\n%s", s)
+	}
+}
+
+func TestRenderFigure8Timeline(t *testing.T) {
+	rows := []Figure8Row{
+		{System: SpotServe, Trace: "A'S+O",
+			Summary:   metrics.Summary{Avg: 70, P98: 140, P99: 150},
+			ConfigLog: []core.ConfigChange{{At: 30, Reason: "workload"}}},
+	}
+	s := RenderFigure8(rows)
+	if !strings.Contains(s, "configuration timeline") || !strings.Contains(s, "workload") {
+		t.Fatalf("timeline missing:\n%s", s)
+	}
+}
+
+func TestRenderFigure9Factors(t *testing.T) {
+	rows := []Figure9Row{
+		{Variant: "SpotServe", Trace: "AS", Summary: metrics.Summary{Avg: 10, P99: 100}},
+		{Variant: "-Controller", Trace: "AS", Summary: metrics.Summary{Avg: 30, P99: 250}},
+	}
+	s := RenderFigure9(rows)
+	if !strings.Contains(s, "2.50x") || !strings.Contains(s, "3.00x") {
+		t.Fatalf("factors missing:\n%s", s)
+	}
+}
+
+func TestRenderFigure5Sparkline(t *testing.T) {
+	var spot metrics.Series
+	for i := 0; i < 100; i++ {
+		spot.Add(float64(i*10), float64(i%12))
+	}
+	rows := []Figure5Row{{Name: "X", Spot: spot, MinTotal: 0, Max: 11}}
+	s := RenderFigure5(rows)
+	if !strings.Contains(s, "X  (min total 0, max 11)") {
+		t.Fatalf("header missing:\n%s", s)
+	}
+	if !strings.Contains(s, "|") {
+		t.Fatal("sparkline missing")
+	}
+	// Empty series degrade gracefully.
+	if !strings.Contains(sparkline("e", metrics.Series{}, 1), "empty") {
+		t.Fatal("empty sparkline not handled")
+	}
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+
+	"spotserve/internal/cloud"
+	"spotserve/internal/core"
+	"spotserve/internal/sim"
+	"spotserve/internal/workload"
+
+	"spotserve/internal/baseline"
+)
+
+// runnable is the common surface of the three serving systems.
+type runnable interface {
+	Install()
+	LoadWorkload(reqs []workload.Request, horizon float64)
+	Stats() core.Stats
+}
+
+type spotAdapter struct{ srv *core.Server }
+
+func (a spotAdapter) Install() { a.srv.Install() }
+func (a spotAdapter) LoadWorkload(reqs []workload.Request, horizon float64) {
+	a.srv.LoadWorkload(reqs, horizon)
+}
+func (a spotAdapter) Stats() core.Stats { return a.srv.Stats() }
+
+// Run executes one scenario to completion and collects its result.
+func Run(sc Scenario) Result {
+	s := sim.New()
+	cp := cloud.DefaultParams()
+	cp.Seed = sc.Seed + 1000
+	cl := cloud.New(s, cp, nil)
+
+	opts := core.DefaultOptions(sc.Spec)
+	opts.BaseRate = sc.Rate
+	if sc.Features != nil {
+		opts.Features = *sc.Features
+	}
+	opts.Features.AllowOnDemand = sc.AllowOnDemand
+
+	var sys runnable
+	switch sc.System {
+	case SpotServe, OnDemandOnly:
+		sys = spotAdapter{core.NewServer(s, cl, opts)}
+	case Reparallel:
+		sys = baseline.NewReparallel(s, cl, opts)
+	case Reroute:
+		sys = baseline.NewReroute(s, cl, opts)
+	default:
+		panic(fmt.Sprintf("experiments: unknown system %q", sc.System))
+	}
+	sys.Install()
+
+	horizon := sc.Trace.Horizon
+	if sc.System == OnDemandOnly {
+		if horizon <= 0 {
+			horizon = 1200
+		}
+		cl.Prealloc(sc.OnDemandN, cloud.OnDemand)
+	} else {
+		if err := cl.ReplayTrace(sc.Trace); err != nil {
+			panic(fmt.Sprintf("experiments: trace %s: %v", sc.Trace.Name, err))
+		}
+	}
+
+	rate := sc.RateFn
+	if rate == nil {
+		rate = workload.ConstantRate(sc.Rate)
+	}
+	cv := sc.CV
+	if cv <= 0 {
+		cv = 6
+	}
+	reqs, err := workload.Generate(workload.Options{
+		Horizon: horizon,
+		Rate:    rate,
+		CV:      cv,
+		SeqIn:   opts.SeqIn,
+		SeqOut:  opts.SeqOut,
+		Seed:    sc.Seed,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("experiments: workload: %v", err))
+	}
+	sys.LoadWorkload(reqs, horizon)
+
+	res := Result{Scenario: sc}
+	if sc.SampleFleet {
+		for t := 0.0; t < horizon; t += 10 {
+			t := t
+			s.At(t, func() {
+				spot, od := cl.AliveCount()
+				res.SpotCount.Add(t, float64(spot))
+				res.OnDemandCount.Add(t, float64(od))
+			})
+		}
+	}
+
+	drain := sc.Drain
+	if drain <= 0 {
+		drain = 900
+	}
+	s.Run(horizon + drain)
+
+	res.Stats = sys.Stats()
+	if srv, ok := sys.(spotAdapter); ok {
+		res.FinalConfig = srv.srv.Config()
+	}
+	return res
+}

@@ -1,0 +1,232 @@
+// Package km implements the Kuhn–Munkres (Hungarian) algorithm for
+// maximum-weight bipartite matching.
+//
+// SpotServe formalizes device mapping as a bipartite matching problem between
+// available GPU devices and pipeline-stage-shard positions of the target
+// parallel configuration (§3.3 of the paper); the edge weight is the number
+// of reusable context bytes. This package provides the O(n³) solver used by
+// the device mapper.
+package km
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense rectangular weight matrix: Matrix[i][j] is the weight of
+// matching left node i to right node j. Weights may be any finite float64;
+// the solver maximizes total weight of a perfect matching on the padded
+// square matrix (missing cells behave as weight 0).
+type Matrix [][]float64
+
+// NewMatrix allocates an r×c matrix of zeros.
+func NewMatrix(r, c int) Matrix {
+	m := make(Matrix, r)
+	cells := make([]float64, r*c)
+	for i := range m {
+		m[i], cells = cells[:c:c], cells[c:]
+	}
+	return m
+}
+
+// Validate checks that the matrix is rectangular and finite.
+func (m Matrix) Validate() error {
+	if len(m) == 0 {
+		return nil
+	}
+	c := len(m[0])
+	for i, row := range m {
+		if len(row) != c {
+			return fmt.Errorf("km: ragged matrix: row %d has %d cols, want %d", i, len(row), c)
+		}
+		for j, w := range row {
+			if math.IsNaN(w) || math.IsInf(w, 0) {
+				return fmt.Errorf("km: non-finite weight at (%d,%d): %v", i, j, w)
+			}
+		}
+	}
+	return nil
+}
+
+// Assignment is the result of a matching. Left[i] is the right node matched
+// to left node i, or -1 when left node i is matched to a padding column
+// (meaning "unassigned"). Right is the inverse view.
+type Assignment struct {
+	Left   []int
+	Right  []int
+	Weight float64
+}
+
+// Solve computes a maximum-weight matching. Rectangular inputs are padded
+// with zero-weight cells to a square matrix, so the matching always assigns
+// min(r, c) real pairs; real pairs with weight 0 may be reported as matched —
+// that is fine for device mapping, where a zero edge means "no reusable
+// context but still a valid placement".
+func Solve(m Matrix) (Assignment, error) {
+	if err := m.Validate(); err != nil {
+		return Assignment{}, err
+	}
+	r := len(m)
+	c := 0
+	if r > 0 {
+		c = len(m[0])
+	}
+	n := r
+	if c > n {
+		n = c
+	}
+	if n == 0 {
+		return Assignment{Left: []int{}, Right: []int{}}, nil
+	}
+
+	// The classic Hungarian algorithm minimizes cost. Convert to a
+	// minimization problem: cost = maxW - w, padded cells cost maxW.
+	maxW := 0.0
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			if m[i][j] > maxW {
+				maxW = m[i][j]
+			}
+		}
+	}
+	cost := func(i, j int) float64 {
+		if i < r && j < c {
+			return maxW - m[i][j]
+		}
+		return maxW
+	}
+
+	// Jonker-style O(n³) implementation with potentials. Arrays are
+	// 1-indexed as in the standard formulation.
+	const inf = math.MaxFloat64
+	u := make([]float64, n+1)
+	v := make([]float64, n+1)
+	p := make([]int, n+1) // p[j]: row matched to column j (0 = none)
+	way := make([]int, n+1)
+
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, n+1)
+		used := make([]bool, n+1)
+		for j := 0; j <= n; j++ {
+			minv[j] = inf
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := inf
+			j1 := -1
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost(i0-1, j-1) - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+			if j0 == 0 {
+				break
+			}
+		}
+	}
+
+	out := Assignment{
+		Left:  make([]int, r),
+		Right: make([]int, c),
+	}
+	for i := range out.Left {
+		out.Left[i] = -1
+	}
+	for j := range out.Right {
+		out.Right[j] = -1
+	}
+	for j := 1; j <= n; j++ {
+		i := p[j] - 1
+		jj := j - 1
+		if i < r && jj < c {
+			out.Left[i] = jj
+			out.Right[jj] = i
+			out.Weight += m[i][jj]
+		}
+	}
+	return out, nil
+}
+
+// BruteForce exhaustively finds the maximum-weight matching. Exponential —
+// only for testing small instances against Solve.
+func BruteForce(m Matrix) Assignment {
+	r := len(m)
+	c := 0
+	if r > 0 {
+		c = len(m[0])
+	}
+	best := Assignment{Weight: math.Inf(-1)}
+	assign := make([]int, r)
+	usedCol := make([]bool, c)
+	var rec func(i int, w float64)
+	rec = func(i int, w float64) {
+		if i == r {
+			if w > best.Weight {
+				best.Weight = w
+				best.Left = append([]int(nil), assign...)
+			}
+			return
+		}
+		// Leave row i unassigned (only allowed if rows exceed cols).
+		if r > c {
+			assign[i] = -1
+			rec(i+1, w)
+		}
+		for j := 0; j < c; j++ {
+			if usedCol[j] {
+				continue
+			}
+			usedCol[j] = true
+			assign[i] = j
+			rec(i+1, w+m[i][j])
+			usedCol[j] = false
+		}
+	}
+	rec(0, 0)
+	if best.Left == nil {
+		best.Left = make([]int, r)
+		for i := range best.Left {
+			best.Left[i] = -1
+		}
+		best.Weight = 0
+	}
+	best.Right = make([]int, c)
+	for j := range best.Right {
+		best.Right[j] = -1
+	}
+	for i, j := range best.Left {
+		if j >= 0 {
+			best.Right[j] = i
+		}
+	}
+	return best
+}

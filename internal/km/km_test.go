@@ -1,0 +1,241 @@
+package km
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func solveOK(t *testing.T, m Matrix) Assignment {
+	t.Helper()
+	a, err := Solve(m)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	return a
+}
+
+func TestEmpty(t *testing.T) {
+	a := solveOK(t, Matrix{})
+	if a.Weight != 0 || len(a.Left) != 0 {
+		t.Fatalf("empty matrix: %+v", a)
+	}
+}
+
+func TestSingle(t *testing.T) {
+	a := solveOK(t, Matrix{{7}})
+	if a.Left[0] != 0 || a.Weight != 7 {
+		t.Fatalf("1x1: %+v", a)
+	}
+}
+
+func TestIdentityDominant(t *testing.T) {
+	m := Matrix{
+		{10, 1, 1},
+		{1, 10, 1},
+		{1, 1, 10},
+	}
+	a := solveOK(t, m)
+	if a.Weight != 30 {
+		t.Fatalf("weight = %v, want 30", a.Weight)
+	}
+	for i := range a.Left {
+		if a.Left[i] != i {
+			t.Fatalf("Left = %v, want identity", a.Left)
+		}
+	}
+}
+
+func TestAntiDiagonal(t *testing.T) {
+	m := Matrix{
+		{0, 0, 5},
+		{0, 5, 0},
+		{5, 0, 0},
+	}
+	a := solveOK(t, m)
+	if a.Weight != 15 {
+		t.Fatalf("weight = %v, want 15", a.Weight)
+	}
+}
+
+func TestRectangularWide(t *testing.T) {
+	// 2 rows, 4 cols: only 2 assignments possible.
+	m := Matrix{
+		{1, 9, 2, 3},
+		{9, 1, 2, 3},
+	}
+	a := solveOK(t, m)
+	if a.Weight != 18 {
+		t.Fatalf("weight = %v, want 18", a.Weight)
+	}
+	if a.Left[0] != 1 || a.Left[1] != 0 {
+		t.Fatalf("Left = %v", a.Left)
+	}
+	unmatched := 0
+	for _, i := range a.Right {
+		if i == -1 {
+			unmatched++
+		}
+	}
+	if unmatched != 2 {
+		t.Fatalf("unmatched cols = %d, want 2", unmatched)
+	}
+}
+
+func TestRectangularTall(t *testing.T) {
+	// 4 rows, 2 cols: 2 rows stay unassigned.
+	m := Matrix{
+		{1, 2},
+		{8, 1},
+		{1, 9},
+		{2, 2},
+	}
+	a := solveOK(t, m)
+	if a.Weight != 17 {
+		t.Fatalf("weight = %v, want 17", a.Weight)
+	}
+	if a.Left[1] != 0 || a.Left[2] != 1 {
+		t.Fatalf("Left = %v", a.Left)
+	}
+}
+
+func TestRaggedRejected(t *testing.T) {
+	_, err := Solve(Matrix{{1, 2}, {1}})
+	if err == nil {
+		t.Fatal("ragged matrix accepted")
+	}
+}
+
+func TestNaNRejected(t *testing.T) {
+	_, err := Solve(Matrix{{math.NaN()}})
+	if err == nil {
+		t.Fatal("NaN weight accepted")
+	}
+}
+
+func TestLeftRightConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 50; iter++ {
+		r, c := 1+rng.Intn(8), 1+rng.Intn(8)
+		m := NewMatrix(r, c)
+		for i := 0; i < r; i++ {
+			for j := 0; j < c; j++ {
+				m[i][j] = rng.Float64() * 100
+			}
+		}
+		a := solveOK(t, m)
+		for i, j := range a.Left {
+			if j >= 0 && a.Right[j] != i {
+				t.Fatalf("inconsistent: Left[%d]=%d but Right[%d]=%d", i, j, j, a.Right[j])
+			}
+		}
+		matched := 0
+		for _, j := range a.Left {
+			if j >= 0 {
+				matched++
+			}
+		}
+		want := r
+		if c < r {
+			want = c
+		}
+		if matched != want {
+			t.Fatalf("matched %d pairs, want %d", matched, want)
+		}
+	}
+}
+
+// Property: Solve matches BruteForce's optimal weight on small random
+// instances, including rectangular ones.
+func TestQuickOptimalVsBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for iter := 0; iter < 300; iter++ {
+		r, c := 1+rng.Intn(5), 1+rng.Intn(5)
+		m := NewMatrix(r, c)
+		for i := 0; i < r; i++ {
+			for j := 0; j < c; j++ {
+				// Integer weights avoid float-compare issues.
+				m[i][j] = float64(rng.Intn(50))
+			}
+		}
+		got := solveOK(t, m)
+		want := BruteForce(m)
+		if math.Abs(got.Weight-want.Weight) > 1e-9 {
+			t.Fatalf("iter %d (%dx%d): Solve weight %v, brute force %v\n%v",
+				iter, r, c, got.Weight, want.Weight, m)
+		}
+	}
+}
+
+// Property: the reported Weight equals the sum of matched edge weights.
+func TestQuickWeightConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r, c := 1+rng.Intn(10), 1+rng.Intn(10)
+		m := NewMatrix(r, c)
+		for i := 0; i < r; i++ {
+			for j := 0; j < c; j++ {
+				m[i][j] = rng.Float64() * 1e6
+			}
+		}
+		a, err := Solve(m)
+		if err != nil {
+			return false
+		}
+		sum := 0.0
+		for i, j := range a.Left {
+			if j >= 0 {
+				sum += m[i][j]
+			}
+		}
+		return math.Abs(sum-a.Weight) < 1e-6*math.Max(1, sum)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: permuting rows permutes the assignment but preserves weight.
+func TestQuickPermutationInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 50; iter++ {
+		n := 2 + rng.Intn(6)
+		m := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				m[i][j] = float64(rng.Intn(30))
+			}
+		}
+		perm := rng.Perm(n)
+		pm := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			copy(pm[perm[i]], m[i])
+		}
+		a := solveOK(t, m)
+		b := solveOK(t, pm)
+		if math.Abs(a.Weight-b.Weight) > 1e-9 {
+			t.Fatalf("permutation changed weight: %v vs %v", a.Weight, b.Weight)
+		}
+	}
+}
+
+func BenchmarkSolve32(b *testing.B)  { benchSolve(b, 32) }
+func BenchmarkSolve128(b *testing.B) { benchSolve(b, 128) }
+
+func benchSolve(b *testing.B, n int) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m[i][j] = rng.Float64() * 1e9
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

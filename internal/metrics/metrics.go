@@ -1,0 +1,213 @@
+// Package metrics provides latency statistics (the average and tail
+// percentiles reported in Figures 6, 8 and 9), monetary cost accounting
+// (Figure 7), and time-series sampling for per-request latency plots.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Latencies collects per-request end-to-end latencies.
+type Latencies struct {
+	values []float64
+	sorted bool
+}
+
+// Add records one latency observation (seconds).
+func (l *Latencies) Add(v float64) {
+	l.values = append(l.values, v)
+	l.sorted = false
+}
+
+// Count returns the number of observations.
+func (l *Latencies) Count() int { return len(l.values) }
+
+// Mean returns the average latency, or 0 with no observations.
+func (l *Latencies) Mean() float64 {
+	if len(l.values) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range l.values {
+		s += v
+	}
+	return s / float64(len(l.values))
+}
+
+// Percentile returns the p-th percentile (0 < p ≤ 100) using the
+// nearest-rank method, or 0 with no observations.
+func (l *Latencies) Percentile(p float64) float64 {
+	if len(l.values) == 0 {
+		return 0
+	}
+	if !l.sorted {
+		sort.Float64s(l.values)
+		l.sorted = true
+	}
+	if p <= 0 {
+		return l.values[0]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(l.values))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(l.values) {
+		rank = len(l.values)
+	}
+	return l.values[rank-1]
+}
+
+// Max returns the largest observation.
+func (l *Latencies) Max() float64 { return l.Percentile(100) }
+
+// Values returns a copy of the observations in insertion-independent
+// (sorted) order.
+func (l *Latencies) Values() []float64 {
+	out := append([]float64(nil), l.values...)
+	sort.Float64s(out)
+	return out
+}
+
+// Summary is the row shape of Figures 6/8/9: average plus tail percentiles.
+type Summary struct {
+	Count                        int
+	Avg                          float64
+	P90, P95, P96, P97, P98, P99 float64
+}
+
+// Summarize computes the standard figure row.
+func (l *Latencies) Summarize() Summary {
+	return Summary{
+		Count: l.Count(),
+		Avg:   l.Mean(),
+		P90:   l.Percentile(90),
+		P95:   l.Percentile(95),
+		P96:   l.Percentile(96),
+		P97:   l.Percentile(97),
+		P98:   l.Percentile(98),
+		P99:   l.Percentile(99),
+	}
+}
+
+// Labels returns the x-axis labels of Figure 6 in order.
+func (s Summary) Labels() []string {
+	return []string{"Avg", "P90", "P95", "P96", "P97", "P98", "P99"}
+}
+
+// Series returns the values matching Labels.
+func (s Summary) Series() []float64 {
+	return []float64{s.Avg, s.P90, s.P95, s.P96, s.P97, s.P98, s.P99}
+}
+
+func (s Summary) String() string {
+	var b strings.Builder
+	labels, vals := s.Labels(), s.Series()
+	for i := range labels {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "%s=%.2fs", labels[i], vals[i])
+	}
+	fmt.Fprintf(&b, "  (n=%d)", s.Count)
+	return b.String()
+}
+
+// CostMeter integrates monetary cost over instance-time.
+type CostMeter struct {
+	totalUSD float64
+	open     map[int64]openBill
+	nowFn    func() float64
+}
+
+type openBill struct {
+	since      float64
+	usdPerHour float64
+}
+
+// NewCostMeter builds a meter reading virtual time from nowFn.
+func NewCostMeter(nowFn func() float64) *CostMeter {
+	return &CostMeter{open: make(map[int64]openBill), nowFn: nowFn}
+}
+
+// Start begins billing entity id at usdPerHour.
+func (c *CostMeter) Start(id int64, usdPerHour float64) {
+	if _, ok := c.open[id]; ok {
+		return
+	}
+	c.open[id] = openBill{since: c.nowFn(), usdPerHour: usdPerHour}
+}
+
+// Stop ends billing entity id, folding its accrued cost into the total.
+func (c *CostMeter) Stop(id int64) {
+	b, ok := c.open[id]
+	if !ok {
+		return
+	}
+	delete(c.open, id)
+	c.totalUSD += (c.nowFn() - b.since) / 3600 * b.usdPerHour
+}
+
+// TotalUSD returns accrued cost including still-open bills priced to now.
+// Open bills are summed in key order so the float result is deterministic.
+func (c *CostMeter) TotalUSD() float64 {
+	t := c.totalUSD
+	now := c.nowFn()
+	ids := make([]int64, 0, len(c.open))
+	for id := range c.open {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		b := c.open[id]
+		t += (now - b.since) / 3600 * b.usdPerHour
+	}
+	return t
+}
+
+// OpenCount returns the number of entities currently billing.
+func (c *CostMeter) OpenCount() int { return len(c.open) }
+
+// Sample is one (time, value) pair of a time series.
+type Sample struct {
+	At    float64
+	Value float64
+}
+
+// Series is an append-only time series (per-request latency over time,
+// instance counts over time, configuration changes, ...).
+type Series struct {
+	Name    string
+	Samples []Sample
+}
+
+// Add appends a sample.
+func (s *Series) Add(at, v float64) {
+	s.Samples = append(s.Samples, Sample{At: at, Value: v})
+}
+
+// MaxValue returns the largest sample value, or 0 when empty.
+func (s Series) MaxValue() float64 {
+	m := 0.0
+	for _, x := range s.Samples {
+		if x.Value > m {
+			m = x.Value
+		}
+	}
+	return m
+}
+
+// ValueAt returns the most recent value at or before t (step semantics), or
+// def when no sample qualifies.
+func (s Series) ValueAt(t, def float64) float64 {
+	v := def
+	for _, x := range s.Samples {
+		if x.At > t {
+			break
+		}
+		v = x.Value
+	}
+	return v
+}

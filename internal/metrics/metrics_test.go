@@ -1,0 +1,143 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyLatencies(t *testing.T) {
+	var l Latencies
+	if l.Mean() != 0 || l.Percentile(99) != 0 || l.Count() != 0 {
+		t.Fatal("empty recorder should return zeros")
+	}
+}
+
+func TestMeanAndPercentiles(t *testing.T) {
+	var l Latencies
+	for i := 1; i <= 100; i++ {
+		l.Add(float64(i))
+	}
+	if l.Mean() != 50.5 {
+		t.Fatalf("Mean = %v, want 50.5", l.Mean())
+	}
+	if got := l.Percentile(99); got != 99 {
+		t.Fatalf("P99 = %v, want 99", got)
+	}
+	if got := l.Percentile(50); got != 50 {
+		t.Fatalf("P50 = %v, want 50", got)
+	}
+	if got := l.Max(); got != 100 {
+		t.Fatalf("Max = %v, want 100", got)
+	}
+	if got := l.Percentile(0); got != 1 {
+		t.Fatalf("P0 = %v, want 1", got)
+	}
+}
+
+func TestAddAfterPercentile(t *testing.T) {
+	var l Latencies
+	l.Add(5)
+	_ = l.Percentile(50)
+	l.Add(1) // must re-sort lazily
+	if got := l.Percentile(1); got != 1 {
+		t.Fatalf("P1 after late add = %v, want 1", got)
+	}
+}
+
+func TestSummarizeMonotone(t *testing.T) {
+	var l Latencies
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 1000; i++ {
+		l.Add(rng.ExpFloat64() * 10)
+	}
+	s := l.Summarize()
+	series := s.Series()
+	for i := 2; i < len(series); i++ { // skip Avg at index 0
+		if series[i] < series[i-1] {
+			t.Fatalf("percentiles not monotone: %v", series)
+		}
+	}
+	if s.Count != 1000 {
+		t.Fatalf("Count = %d", s.Count)
+	}
+	if len(s.Labels()) != len(series) {
+		t.Fatal("labels/series length mismatch")
+	}
+}
+
+// Property: percentile of any p is a value from the data set and bounded by
+// min/max.
+func TestQuickPercentileWithinRange(t *testing.T) {
+	f := func(raw []uint16, pRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var l Latencies
+		for _, r := range raw {
+			l.Add(float64(r))
+		}
+		p := float64(pRaw%100) + 1
+		v := l.Percentile(p)
+		vals := l.Values()
+		if v < vals[0] || v > vals[len(vals)-1] {
+			return false
+		}
+		i := sort.SearchFloat64s(vals, v)
+		return i < len(vals) && vals[i] == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCostMeter(t *testing.T) {
+	now := 0.0
+	c := NewCostMeter(func() float64 { return now })
+	c.Start(1, 3.6) // 3.6 USD/h = 0.001 USD/s
+	now = 1000
+	if got := c.TotalUSD(); math.Abs(got-1.0) > 1e-9 {
+		t.Fatalf("open bill total = %v, want 1.0", got)
+	}
+	c.Stop(1)
+	now = 2000
+	if got := c.TotalUSD(); math.Abs(got-1.0) > 1e-9 {
+		t.Fatalf("closed bill total = %v, want 1.0", got)
+	}
+	if c.OpenCount() != 0 {
+		t.Fatal("bill still open after Stop")
+	}
+	// Double start/stop are idempotent.
+	c.Start(2, 3.6)
+	c.Start(2, 7.2)
+	now = 3000
+	c.Stop(2)
+	c.Stop(2)
+	if got := c.TotalUSD(); math.Abs(got-2.0) > 1e-9 {
+		t.Fatalf("total = %v, want 2.0", got)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Add(0, 10)
+	s.Add(5, 20)
+	s.Add(9, 15)
+	if s.MaxValue() != 20 {
+		t.Fatalf("MaxValue = %v", s.MaxValue())
+	}
+	if got := s.ValueAt(4.9, -1); got != 10 {
+		t.Fatalf("ValueAt(4.9) = %v, want 10", got)
+	}
+	if got := s.ValueAt(5, -1); got != 20 {
+		t.Fatalf("ValueAt(5) = %v, want 20", got)
+	}
+	if got := s.ValueAt(-1, -1); got != -1 {
+		t.Fatalf("ValueAt(-1) = %v, want default", got)
+	}
+	if got := s.ValueAt(100, -1); got != 15 {
+		t.Fatalf("ValueAt(100) = %v, want 15", got)
+	}
+}

@@ -1,0 +1,213 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuiltinSpecsValidate(t *testing.T) {
+	for _, s := range All() {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+	}
+}
+
+func TestValidateRejectsBadSpecs(t *testing.T) {
+	cases := []Spec{
+		{},
+		{Name: "x", Layers: 0, Hidden: 4, Heads: 2, ParamBytes: 1},
+		{Name: "x", Layers: 2, Hidden: 0, Heads: 2, ParamBytes: 1},
+		{Name: "x", Layers: 2, Hidden: 5, Heads: 2, ParamBytes: 1}, // heads ∤ hidden
+		{Name: "x", Layers: 2, Hidden: 4, Heads: 2, ParamBytes: 0},
+	}
+	for i, s := range cases {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: invalid spec accepted: %+v", i, s)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	s, ok := ByName("GPT-20B")
+	if !ok || s.Layers != GPT20B.Layers {
+		t.Fatalf("ByName(GPT-20B) = %+v, %v", s, ok)
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Fatal("ByName(nope) found something")
+	}
+}
+
+func TestTable1Sizes(t *testing.T) {
+	want := map[string]float64{
+		"OPT-6.7B":  25.0 * GB,
+		"GPT-20B":   74.5 * GB,
+		"LLaMA-30B": 111.8 * GB,
+	}
+	for name, bytes := range want {
+		s, ok := ByName(name)
+		if !ok {
+			t.Fatalf("missing %s", name)
+		}
+		if s.ParamBytes != bytes {
+			t.Errorf("%s: ParamBytes = %v, want %v", name, s.ParamBytes, bytes)
+		}
+	}
+}
+
+func TestKVBytes(t *testing.T) {
+	// §2.1 cites ~1.7 GB per sequence on LLaMA-13B (2×5120×2×40×2048).
+	// The same accounting gives a 640-token LLaMA-30B sequence
+	// 2×6656×2×60×640 ≈ 1.02 GB — consistent order of magnitude.
+	got := LLaMA30B.KVBytesPerToken() * 640
+	if got < 0.9*GB || got > 1.2*GB {
+		t.Fatalf("LLaMA-30B 640-token KV = %v GB, want ≈1.02 GB", got/GB)
+	}
+	if LLaMA30B.KVBytesPerTokenLayer()*float64(LLaMA30B.Layers) != LLaMA30B.KVBytesPerToken() {
+		t.Fatal("per-layer × layers != per-token total")
+	}
+}
+
+func TestStageRangeBalanced(t *testing.T) {
+	// 48 layers over 3 stages: 16 each.
+	for p, want := range [][2]int{{0, 16}, {16, 32}, {32, 48}} {
+		lo, hi := StageRange(48, 3, p)
+		if lo != want[0] || hi != want[1] {
+			t.Errorf("StageRange(48,3,%d) = [%d,%d), want %v", p, lo, hi, want)
+		}
+	}
+	// 44 layers over 3 stages: 15,15,14.
+	sizes := []int{}
+	for p := 0; p < 3; p++ {
+		lo, hi := StageRange(44, 3, p)
+		sizes = append(sizes, hi-lo)
+	}
+	if sizes[0] != 15 || sizes[1] != 15 || sizes[2] != 14 {
+		t.Errorf("StageRange(44,3) sizes = %v", sizes)
+	}
+	if MaxStageLayers(44, 3) != 15 {
+		t.Errorf("MaxStageLayers(44,3) = %d", MaxStageLayers(44, 3))
+	}
+	if MaxStageLayers(48, 3) != 16 {
+		t.Errorf("MaxStageLayers(48,3) = %d", MaxStageLayers(48, 3))
+	}
+}
+
+// Property: stage ranges tile [0, L) exactly, in order, for any L ≥ P ≥ 1.
+func TestQuickStageRangesTile(t *testing.T) {
+	f := func(lRaw, pRaw uint8) bool {
+		L := int(lRaw%200) + 1
+		P := int(pRaw%12) + 1
+		if P > L {
+			P = L
+		}
+		next := 0
+		for p := 0; p < P; p++ {
+			lo, hi := StageRange(L, P, p)
+			if lo != next || hi < lo {
+				return false
+			}
+			if hi-lo > MaxStageLayers(L, P) {
+				return false
+			}
+			next = hi
+		}
+		return next == L
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStageOf(t *testing.T) {
+	for layer := 0; layer < 48; layer++ {
+		p := StageOf(48, 3, layer)
+		lo, hi := StageRange(48, 3, p)
+		if layer < lo || layer >= hi {
+			t.Fatalf("StageOf(48,3,%d) = %d with range [%d,%d)", layer, p, lo, hi)
+		}
+	}
+}
+
+func TestShardFrac(t *testing.T) {
+	lo, hi := ShardFrac(4, 2)
+	if lo != 0.5 || hi != 0.75 {
+		t.Fatalf("ShardFrac(4,2) = [%v,%v)", lo, hi)
+	}
+}
+
+func TestPositionRectBytesSumToTotal(t *testing.T) {
+	// Summing the bytes of every position of a partition must recover the
+	// total model size exactly.
+	for _, spec := range All() {
+		for _, pm := range [][2]int{{1, 1}, {2, 4}, {3, 4}, {2, 8}, {4, 2}} {
+			P, M := pm[0], pm[1]
+			total := 0.0
+			for p := 0; p < P; p++ {
+				for m := 0; m < M; m++ {
+					total += PositionRect(spec, P, M, p, m).ParamBytes(spec)
+				}
+			}
+			if math.Abs(total-spec.ParamBytes) > 1 { // 1 byte tolerance
+				t.Errorf("%s (P=%d,M=%d): sum %v != total %v", spec.Name, P, M, total, spec.ParamBytes)
+			}
+		}
+	}
+}
+
+func TestRectIntersect(t *testing.T) {
+	a := Rect{LayerLo: 0, LayerHi: 16, FracLo: 0, FracHi: 0.5}
+	b := Rect{LayerLo: 8, LayerHi: 24, FracLo: 0.25, FracHi: 1}
+	got := a.Intersect(b)
+	want := Rect{LayerLo: 8, LayerHi: 16, FracLo: 0.25, FracHi: 0.5}
+	if got != want {
+		t.Fatalf("Intersect = %+v, want %+v", got, want)
+	}
+	if !a.Intersect(Rect{LayerLo: 20, LayerHi: 30, FracLo: 0, FracHi: 1}).Empty() {
+		t.Fatal("disjoint layers should produce empty intersection")
+	}
+	if !a.Intersect(Rect{LayerLo: 0, LayerHi: 16, FracLo: 0.5, FracHi: 1}).Empty() {
+		t.Fatal("disjoint fractions should produce empty intersection")
+	}
+}
+
+// Property: overlap is symmetric and bounded by either rectangle's bytes.
+func TestQuickOverlapSymmetricBounded(t *testing.T) {
+	spec := GPT20B
+	f := func(a0, a1, b0, b1 uint8, fa, fb uint16) bool {
+		mk := func(l0, l1 uint8, f uint16) Rect {
+			lo, hi := int(l0%48), int(l1%48)+1
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			flo := float64(f%100) / 100
+			fhi := flo + float64(f%50+1)/100
+			if fhi > 1 {
+				fhi = 1
+			}
+			return Rect{LayerLo: lo, LayerHi: hi, FracLo: flo, FracHi: fhi}
+		}
+		a, b := mk(a0, a1, fa), mk(b0, b1, fb)
+		ab := a.OverlapParamBytes(spec, b)
+		ba := b.OverlapParamBytes(spec, a)
+		if math.Abs(ab-ba) > 1e-6 {
+			return false
+		}
+		return ab <= a.ParamBytes(spec)+1e-6 && ab <= b.ParamBytes(spec)+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLayerRect(t *testing.T) {
+	r := Rect{LayerLo: 4, LayerHi: 8, FracLo: 0.25, FracHi: 0.5}
+	lr := r.LayerRect(5)
+	if lr.Layers() != 1 || lr.LayerLo != 5 || lr.FracLo != 0.25 {
+		t.Fatalf("LayerRect(5) = %+v", lr)
+	}
+	if !r.LayerRect(8).Empty() || !r.LayerRect(3).Empty() {
+		t.Fatal("out-of-range layer should be empty")
+	}
+}

@@ -1,0 +1,140 @@
+package model
+
+import "fmt"
+
+// StageRange returns the half-open layer interval [lo, hi) assigned to
+// pipeline stage p (0-based) when l layers are split into P balanced stages.
+// The first l%P stages receive one extra layer, so stage sizes differ by at
+// most one.
+func StageRange(l, P, p int) (lo, hi int) {
+	if P <= 0 || p < 0 || p >= P {
+		panic(fmt.Sprintf("model: StageRange(l=%d, P=%d, p=%d)", l, P, p))
+	}
+	q, r := l/P, l%P
+	lo = p*q + min(p, r)
+	size := q
+	if p < r {
+		size++
+	}
+	return lo, lo + size
+}
+
+// MaxStageLayers returns the largest stage size for l layers over P stages.
+func MaxStageLayers(l, P int) int {
+	if P <= 0 {
+		panic(fmt.Sprintf("model: MaxStageLayers(l=%d, P=%d)", l, P))
+	}
+	q, r := l/P, l%P
+	if r > 0 {
+		return q + 1
+	}
+	return q
+}
+
+// StageOf returns which stage owns layer index layer under P stages.
+func StageOf(l, P, layer int) int {
+	if layer < 0 || layer >= l {
+		panic(fmt.Sprintf("model: StageOf layer %d out of [0,%d)", layer, l))
+	}
+	for p := 0; p < P; p++ {
+		lo, hi := StageRange(l, P, p)
+		if layer >= lo && layer < hi {
+			return p
+		}
+	}
+	panic("model: unreachable")
+}
+
+// ShardFrac returns the tensor-shard fraction interval [fracLo, fracHi)
+// owned by shard m of M tensor-parallel shards.
+func ShardFrac(M, m int) (fracLo, fracHi float64) {
+	if M <= 0 || m < 0 || m >= M {
+		panic(fmt.Sprintf("model: ShardFrac(M=%d, m=%d)", M, m))
+	}
+	return float64(m) / float64(M), float64(m+1) / float64(M)
+}
+
+// Rect is a rectangle of model context: a contiguous run of transformer
+// layers crossed with a tensor-shard fraction interval. The model context
+// held by a GPU at pipeline-stage-shard position (p, m) of a (P, M)
+// partition is exactly one Rect.
+type Rect struct {
+	LayerLo, LayerHi int     // half-open layer interval
+	FracLo, FracHi   float64 // half-open shard-fraction interval
+}
+
+// PositionRect returns the model-context rectangle owned by position (p, m)
+// of a (P, M) partition of spec.
+func PositionRect(spec Spec, P, M, p, m int) Rect {
+	lo, hi := StageRange(spec.Layers, P, p)
+	flo, fhi := ShardFrac(M, m)
+	return Rect{LayerLo: lo, LayerHi: hi, FracLo: flo, FracHi: fhi}
+}
+
+// Empty reports whether the rectangle covers no context.
+func (r Rect) Empty() bool {
+	return r.LayerHi <= r.LayerLo || r.FracHi <= r.FracLo
+}
+
+// Layers returns the number of layers covered.
+func (r Rect) Layers() int {
+	if r.LayerHi <= r.LayerLo {
+		return 0
+	}
+	return r.LayerHi - r.LayerLo
+}
+
+// FracWidth returns the width of the shard-fraction interval.
+func (r Rect) FracWidth() float64 {
+	if r.FracHi <= r.FracLo {
+		return 0
+	}
+	return r.FracHi - r.FracLo
+}
+
+// ParamBytes returns the parameter bytes the rectangle covers for spec.
+func (r Rect) ParamBytes(spec Spec) float64 {
+	return float64(r.Layers()) * r.FracWidth() * spec.LayerParamBytes()
+}
+
+// Intersect returns the rectangle common to r and o (possibly empty).
+func (r Rect) Intersect(o Rect) Rect {
+	out := Rect{
+		LayerLo: max(r.LayerLo, o.LayerLo),
+		LayerHi: min(r.LayerHi, o.LayerHi),
+		FracLo:  maxf(r.FracLo, o.FracLo),
+		FracHi:  minf(r.FracHi, o.FracHi),
+	}
+	if out.Empty() {
+		return Rect{}
+	}
+	return out
+}
+
+// OverlapParamBytes returns the parameter bytes shared between r and o.
+func (r Rect) OverlapParamBytes(spec Spec, o Rect) float64 {
+	return r.Intersect(o).ParamBytes(spec)
+}
+
+// LayerRect returns the sub-rectangle of r restricted to a single layer, or
+// an empty Rect when the layer is outside r.
+func (r Rect) LayerRect(layer int) Rect {
+	if layer < r.LayerLo || layer >= r.LayerHi {
+		return Rect{}
+	}
+	return Rect{LayerLo: layer, LayerHi: layer + 1, FracLo: r.FracLo, FracHi: r.FracHi}
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

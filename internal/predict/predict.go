@@ -1,0 +1,126 @@
+// Package predict implements a lightweight spot-availability predictor —
+// the §8 future-work direction ("combination with ... instance
+// availability prediction [Snape]"). It observes preemption and
+// acquisition events online and estimates near-term preemption risk, which
+// the serving system uses to size its candidate pool of standby instances
+// adaptively instead of the fixed two of §3.2.
+package predict
+
+import (
+	"fmt"
+	"math"
+)
+
+// Options tunes the predictor.
+type Options struct {
+	// HalfLife is the exponential-decay half-life (seconds) for the
+	// event-rate estimates: recent churn dominates.
+	HalfLife float64
+	// Horizon is the look-ahead window the risk estimate targets.
+	Horizon float64
+	// MaxPool bounds the recommended candidate pool.
+	MaxPool int
+}
+
+// DefaultOptions returns a predictor matched to 20-minute spot traces.
+func DefaultOptions() Options {
+	return Options{HalfLife: 180, Horizon: 120, MaxPool: 4}
+}
+
+// Predictor estimates near-term preemption pressure from observed events.
+// It is deliberately simple (exponentially-decayed event rates): the point
+// is the control-plane hook, not the forecasting model.
+type Predictor struct {
+	opts Options
+
+	lastUpdate float64
+	// preemptRate / acquireRate are exponentially decayed events/second.
+	preemptRate float64
+	acquireRate float64
+	// observations counts total events seen.
+	observations int
+}
+
+// New builds a predictor.
+func New(opts Options) (*Predictor, error) {
+	if opts.HalfLife <= 0 || opts.Horizon <= 0 || opts.MaxPool < 0 {
+		return nil, fmt.Errorf("predict: invalid options %+v", opts)
+	}
+	return &Predictor{opts: opts}, nil
+}
+
+// decayTo ages the rate estimates to time now.
+func (p *Predictor) decayTo(now float64) {
+	if now <= p.lastUpdate {
+		return
+	}
+	dt := now - p.lastUpdate
+	f := math.Pow(0.5, dt/p.opts.HalfLife)
+	p.preemptRate *= f
+	p.acquireRate *= f
+	p.lastUpdate = now
+}
+
+// impulse is the rate contribution of a single event: it integrates to one
+// event over the half-life.
+func (p *Predictor) impulse() float64 {
+	return math.Ln2 / p.opts.HalfLife
+}
+
+// ObservePreemption records a preemption notice at time now.
+func (p *Predictor) ObservePreemption(now float64, instances int) {
+	p.decayTo(now)
+	p.preemptRate += float64(instances) * p.impulse()
+	p.observations += instances
+}
+
+// ObserveAcquisition records new capacity arriving at time now.
+func (p *Predictor) ObserveAcquisition(now float64, instances int) {
+	p.decayTo(now)
+	p.acquireRate += float64(instances) * p.impulse()
+	p.observations += instances
+}
+
+// ExpectedPreemptions estimates how many instances will be preempted within
+// the look-ahead horizon starting at now.
+func (p *Predictor) ExpectedPreemptions(now float64) float64 {
+	p.decayTo(now)
+	return p.preemptRate * p.opts.Horizon
+}
+
+// Risk returns a [0, 1] score of near-term preemption pressure: 0 with no
+// recent churn, saturating as expected preemptions approach the pool cap.
+func (p *Predictor) Risk(now float64) float64 {
+	exp := p.ExpectedPreemptions(now)
+	if p.opts.MaxPool == 0 {
+		return clamp01(exp)
+	}
+	return clamp01(exp / float64(p.opts.MaxPool))
+}
+
+// RecommendedPool sizes the candidate pool: the fixed base plus the
+// expected near-term preemptions, capped at MaxPool.
+func (p *Predictor) RecommendedPool(now float64, base int) int {
+	extra := int(math.Ceil(p.ExpectedPreemptions(now)))
+	pool := base + extra
+	if pool > p.opts.MaxPool+base {
+		pool = p.opts.MaxPool + base
+	}
+	if pool < base {
+		pool = base
+	}
+	return pool
+}
+
+// Observations returns the total events seen.
+func (p *Predictor) Observations() int { return p.observations }
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

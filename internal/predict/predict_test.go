@@ -1,0 +1,156 @@
+package predict
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"spotserve/internal/trace"
+)
+
+func newP(t *testing.T) *Predictor {
+	t.Helper()
+	p, err := New(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewRejectsBadOptions(t *testing.T) {
+	bad := []Options{
+		{},
+		{HalfLife: 0, Horizon: 10, MaxPool: 1},
+		{HalfLife: 10, Horizon: 0, MaxPool: 1},
+		{HalfLife: 10, Horizon: 10, MaxPool: -1},
+	}
+	for i, o := range bad {
+		if _, err := New(o); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestColdPredictorIsCalm(t *testing.T) {
+	p := newP(t)
+	if p.Risk(100) != 0 {
+		t.Fatalf("cold risk = %v", p.Risk(100))
+	}
+	if p.RecommendedPool(100, 2) != 2 {
+		t.Fatalf("cold pool = %d, want base 2", p.RecommendedPool(100, 2))
+	}
+}
+
+func TestChurnRaisesRisk(t *testing.T) {
+	p := newP(t)
+	for i := 0; i < 5; i++ {
+		p.ObservePreemption(float64(i*20), 1)
+	}
+	risk := p.Risk(100)
+	if risk <= 0 {
+		t.Fatalf("risk after churn = %v", risk)
+	}
+	if p.RecommendedPool(100, 2) <= 2 {
+		t.Fatalf("pool did not grow: %d", p.RecommendedPool(100, 2))
+	}
+	if p.Observations() != 5 {
+		t.Fatalf("observations = %d", p.Observations())
+	}
+}
+
+func TestRiskDecays(t *testing.T) {
+	p := newP(t)
+	p.ObservePreemption(0, 3)
+	early := p.Risk(1)
+	late := p.Risk(2000) // > 10 half-lives later
+	if late >= early {
+		t.Fatalf("risk did not decay: %v → %v", early, late)
+	}
+	if late > 0.01 {
+		t.Fatalf("risk after 10 half-lives = %v", late)
+	}
+}
+
+func TestHalfLifeSemantics(t *testing.T) {
+	o := DefaultOptions()
+	p, _ := New(o)
+	p.ObservePreemption(0, 4)
+	r0 := p.ExpectedPreemptions(0)
+	r1 := p.ExpectedPreemptions(o.HalfLife)
+	if math.Abs(r1-r0/2) > 1e-9 {
+		t.Fatalf("after one half-life: %v, want %v", r1, r0/2)
+	}
+}
+
+func TestPoolCapped(t *testing.T) {
+	p := newP(t)
+	for i := 0; i < 100; i++ {
+		p.ObservePreemption(float64(i), 2)
+	}
+	pool := p.RecommendedPool(100, 2)
+	if pool > DefaultOptions().MaxPool+2 {
+		t.Fatalf("pool %d exceeds cap", pool)
+	}
+	if p.Risk(100) != 1 {
+		t.Fatalf("risk under extreme churn = %v, want saturated 1", p.Risk(100))
+	}
+}
+
+// Property: risk is always in [0,1] and the pool never drops below base,
+// for any event pattern.
+func TestQuickInvariants(t *testing.T) {
+	f := func(events []uint8) bool {
+		p, err := New(DefaultOptions())
+		if err != nil {
+			return false
+		}
+		now := 0.0
+		for _, e := range events {
+			now += float64(e%60) + 1
+			if e%2 == 0 {
+				p.ObservePreemption(now, int(e%3)+1)
+			} else {
+				p.ObserveAcquisition(now, int(e%3)+1)
+			}
+			r := p.Risk(now)
+			if r < 0 || r > 1 {
+				return false
+			}
+			if p.RecommendedPool(now, 2) < 2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTracksTraceChurn replays an availability trace through the predictor
+// and checks it reports higher risk on the volatile trace B_S than on the
+// calmer decline A_S.
+func TestTracksTraceChurn(t *testing.T) {
+	riskOf := func(tr trace.Trace) float64 {
+		p := newP(t)
+		prev := tr.Events[0].Count
+		total := 0.0
+		n := 0
+		for _, e := range tr.Events[1:] {
+			d := e.Count - prev
+			prev = e.Count
+			if d < 0 {
+				p.ObservePreemption(e.At, -d)
+			} else {
+				p.ObserveAcquisition(e.At, d)
+			}
+			total += p.Risk(e.At)
+			n++
+		}
+		return total / float64(n)
+	}
+	a, b := riskOf(trace.AS()), riskOf(trace.BS())
+	if b <= a {
+		t.Fatalf("B_S mean risk %v not above A_S %v", b, a)
+	}
+}

@@ -1,0 +1,216 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunOrder(t *testing.T) {
+	s := New()
+	var got []int
+	s.At(3, func() { got = append(got, 3) })
+	s.At(1, func() { got = append(got, 1) })
+	s.At(2, func() { got = append(got, 2) })
+	s.RunAll()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	s := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(5, func() { got = append(got, i) })
+	}
+	s.RunAll()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestNowAdvances(t *testing.T) {
+	s := New()
+	s.At(2.5, func() {
+		if s.Now() != 2.5 {
+			t.Errorf("Now() = %v inside event, want 2.5", s.Now())
+		}
+	})
+	end := s.RunAll()
+	if end != 2.5 {
+		t.Fatalf("RunAll returned %v, want 2.5", end)
+	}
+}
+
+func TestAfter(t *testing.T) {
+	s := New()
+	var at float64
+	s.At(10, func() {
+		s.After(5, func() { at = s.Now() })
+	})
+	s.RunAll()
+	if at != 15 {
+		t.Fatalf("After fired at %v, want 15", at)
+	}
+}
+
+func TestAfterNegativeClamps(t *testing.T) {
+	s := New()
+	fired := false
+	s.At(10, func() {
+		s.After(-1, func() { fired = true })
+	})
+	s.RunAll()
+	if !fired {
+		t.Fatal("negative-delay event did not fire")
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	s := New()
+	s.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		s.At(5, func() {})
+	})
+	s.RunAll()
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	fired := false
+	h := s.At(1, func() { fired = true })
+	if !h.Pending() {
+		t.Fatal("handle should be pending before run")
+	}
+	if !h.Cancel() {
+		t.Fatal("cancel of pending event returned false")
+	}
+	if h.Cancel() {
+		t.Fatal("double cancel returned true")
+	}
+	s.RunAll()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestRunUntilHorizon(t *testing.T) {
+	s := New()
+	var got []float64
+	for _, tt := range []float64{1, 2, 3, 4} {
+		tt := tt
+		s.At(tt, func() { got = append(got, tt) })
+	}
+	s.Run(2.5)
+	if len(got) != 2 {
+		t.Fatalf("ran %d events before horizon, want 2", len(got))
+	}
+	if s.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", s.Pending())
+	}
+	s.Run(10)
+	if len(got) != 4 {
+		t.Fatalf("ran %d events total, want 4", len(got))
+	}
+}
+
+func TestStop(t *testing.T) {
+	s := New()
+	n := 0
+	s.At(1, func() { n++; s.Stop() })
+	s.At(2, func() { n++ })
+	s.RunAll()
+	if n != 1 {
+		t.Fatalf("executed %d events after Stop, want 1", n)
+	}
+	// Run can resume afterwards.
+	s.RunAll()
+	if n != 2 {
+		t.Fatalf("executed %d events after resume, want 2", n)
+	}
+}
+
+func TestEmptyRunAdvancesToHorizon(t *testing.T) {
+	s := New()
+	s.Run(100)
+	if s.Now() != 100 {
+		t.Fatalf("Now = %v, want 100", s.Now())
+	}
+}
+
+// Property: for any set of scheduled times, execution order is the sorted
+// order of times (with FIFO among equal times).
+func TestQuickExecutionSorted(t *testing.T) {
+	f := func(raw []uint16) bool {
+		s := New()
+		times := make([]float64, len(raw))
+		for i, r := range raw {
+			times[i] = float64(r) / 7.0
+		}
+		var fired []float64
+		for _, tt := range times {
+			tt := tt
+			s.At(tt, func() { fired = append(fired, tt) })
+		}
+		s.RunAll()
+		if len(fired) != len(times) {
+			return false
+		}
+		return sort.Float64sAreSorted(fired)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cancelling a random subset fires exactly the complement.
+func TestQuickCancelSubset(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 100; iter++ {
+		s := New()
+		n := 1 + rng.Intn(50)
+		fired := make([]bool, n)
+		handles := make([]Handle, n)
+		for i := 0; i < n; i++ {
+			i := i
+			handles[i] = s.At(rng.Float64()*100, func() { fired[i] = true })
+		}
+		cancelled := make([]bool, n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				cancelled[i] = handles[i].Cancel()
+			}
+		}
+		s.RunAll()
+		for i := 0; i < n; i++ {
+			if fired[i] == cancelled[i] {
+				t.Fatalf("event %d: fired=%v cancelled=%v", i, fired[i], cancelled[i])
+			}
+		}
+	}
+}
+
+func BenchmarkSchedulerChurn(b *testing.B) {
+	s := New()
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.After(rng.Float64(), func() {})
+		if i%64 == 63 {
+			s.Run(s.Now() + 0.5)
+		}
+	}
+	s.RunAll()
+}

@@ -1,0 +1,85 @@
+package trace
+
+import "fmt"
+
+// Extract cuts the window [start, start+duration) out of a longer trace
+// and rebases it to t=0 — the operation the paper performs to obtain its
+// 20-minute segments A_S and B_S from a 12-hour recording (§6.1).
+func Extract(tr Trace, start, duration float64) (Trace, error) {
+	if err := tr.Validate(); err != nil {
+		return Trace{}, err
+	}
+	if start < 0 || duration <= 0 || start+duration > tr.Horizon {
+		return Trace{}, fmt.Errorf("trace: extract [%v, %v+%v) outside horizon %v",
+			start, start, duration, tr.Horizon)
+	}
+	out := Trace{
+		Name:    fmt.Sprintf("%s[%.0f:%.0f]", tr.Name, start, start+duration),
+		Horizon: duration,
+	}
+	// The window inherits the count in force at its start.
+	out.Events = append(out.Events, Event{At: 0, Count: tr.CountAt(start)})
+	for _, e := range tr.Events {
+		if e.At <= start || e.At >= start+duration {
+			continue
+		}
+		out.Events = append(out.Events, Event{At: e.At - start, Count: e.Count})
+	}
+	return out, out.Validate()
+}
+
+// Concat joins traces back to back, offsetting each segment's events by
+// the cumulative horizon. Useful for composing long synthetic recordings.
+func Concat(name string, parts ...Trace) (Trace, error) {
+	if len(parts) == 0 {
+		return Trace{}, fmt.Errorf("trace: concat of nothing")
+	}
+	out := Trace{Name: name}
+	offset := 0.0
+	last := -1
+	for i, p := range parts {
+		if err := p.Validate(); err != nil {
+			return Trace{}, fmt.Errorf("trace: concat part %d: %w", i, err)
+		}
+		for _, e := range p.Events {
+			at := e.At + offset
+			if e.Count == last {
+				continue // merge redundant steps across the seam
+			}
+			if at == 0 || e.At > 0 {
+				out.Events = append(out.Events, Event{At: at, Count: e.Count})
+				last = e.Count
+			} else {
+				// A part's t=0 event after the first part becomes a step
+				// at the seam (only if it changes the count).
+				out.Events = append(out.Events, Event{At: at, Count: e.Count})
+				last = e.Count
+			}
+		}
+		offset += p.Horizon
+	}
+	out.Horizon = offset
+	return out, out.Validate()
+}
+
+// TwelveHour synthesizes a 12-hour spot availability recording in the
+// style of the paper's collected g4dn trace, from which representative
+// segments can be extracted.
+func TwelveHour(seed int64) Trace {
+	tr, err := Generate(GenOptions{
+		Name:      "g4dn-12h",
+		Horizon:   12 * 3600,
+		Start:     10,
+		Min:       2,
+		Max:       12,
+		MeanDwell: 140,
+		DownBias:  0.5,
+		MaxStep:   2,
+		Seed:      seed,
+	})
+	if err != nil {
+		// Static options — failure is a programming error.
+		panic(err)
+	}
+	return tr
+}

@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestExtractWindow(t *testing.T) {
+	tr := Trace{Name: "long", Horizon: 1000, Events: []Event{
+		{0, 5}, {100, 7}, {300, 4}, {700, 9},
+	}}
+	got, err := Extract(tr, 200, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Horizon != 300 {
+		t.Fatalf("horizon = %v", got.Horizon)
+	}
+	// Inherits count 7 at window start, then the 300 s event at offset 100.
+	if got.CountAt(0) != 7 {
+		t.Fatalf("CountAt(0) = %d, want 7", got.CountAt(0))
+	}
+	if got.CountAt(100) != 4 {
+		t.Fatalf("CountAt(100) = %d, want 4", got.CountAt(100))
+	}
+	if got.CountAt(299) != 4 {
+		t.Fatalf("CountAt(299) = %d", got.CountAt(299))
+	}
+}
+
+func TestExtractRejectsOutOfRange(t *testing.T) {
+	tr := Trace{Name: "x", Horizon: 100, Events: []Event{{0, 1}}}
+	cases := [][2]float64{{-1, 10}, {0, 0}, {50, 60}, {100, 1}}
+	for _, c := range cases {
+		if _, err := Extract(tr, c[0], c[1]); err == nil {
+			t.Errorf("Extract(%v, %v) accepted", c[0], c[1])
+		}
+	}
+}
+
+// Property: extracting any valid window preserves the step function —
+// CountAt(t) on the extract equals CountAt(start+t) on the source.
+func TestQuickExtractPreservesCounts(t *testing.T) {
+	src := TwelveHour(3)
+	f := func(sRaw, dRaw uint16, probeRaw uint16) bool {
+		start := float64(int(sRaw) % int(src.Horizon-1200))
+		dur := 600 + float64(dRaw%600)
+		got, err := Extract(src, start, dur)
+		if err != nil {
+			return false
+		}
+		probe := float64(probeRaw) / 65535 * (dur - 1)
+		return got.CountAt(probe) == src.CountAt(start+probe)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := Trace{Name: "a", Horizon: 100, Events: []Event{{0, 3}, {50, 5}}}
+	b := Trace{Name: "b", Horizon: 100, Events: []Event{{0, 5}, {30, 2}}}
+	got, err := Concat("ab", a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Horizon != 200 {
+		t.Fatalf("horizon = %v", got.Horizon)
+	}
+	cases := map[float64]int{0: 3, 60: 5, 110: 5, 130: 2, 199: 2}
+	for at, want := range cases {
+		if got.CountAt(at) != want {
+			t.Errorf("CountAt(%v) = %d, want %d", at, got.CountAt(at), want)
+		}
+	}
+	if _, err := Concat("empty"); err == nil {
+		t.Fatal("empty concat accepted")
+	}
+}
+
+func TestTwelveHourSane(t *testing.T) {
+	tr := TwelveHour(1)
+	if tr.Horizon != 12*3600 {
+		t.Fatalf("horizon = %v", tr.Horizon)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Events) < 100 {
+		t.Fatalf("only %d events in 12 h (dwell ≈ 140 s)", len(tr.Events))
+	}
+	// A 20-minute segment extracted from it is a usable experiment trace.
+	seg, err := Extract(tr, 3600, 1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seg.Horizon != 1200 || seg.Validate() != nil {
+		t.Fatalf("bad segment: %+v", seg)
+	}
+}

@@ -1,0 +1,229 @@
+// Package trace provides spot-instance availability traces: the embedded
+// 20-minute segments A_S and B_S reproducing the dynamics of Figure 5, a
+// seeded generator for synthetic traces, and JSON round-tripping so traces
+// can be exported and replayed.
+//
+// A trace is a step function over virtual time giving the number of spot
+// instances the cloud makes available. When the count decreases, the cloud
+// issues preemption notices at the event time and reclaims the instances
+// after the grace period; when it increases, fresh spot instances become
+// available after the acquisition delay.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Event is one step of the availability function: from time At the cloud
+// offers Count spot instances.
+type Event struct {
+	At    float64 `json:"at"`
+	Count int     `json:"count"`
+}
+
+// Trace is a named availability step function over [0, Horizon).
+type Trace struct {
+	Name    string  `json:"name"`
+	Horizon float64 `json:"horizon"`
+	Events  []Event `json:"events"`
+}
+
+// Validate checks ordering and non-negativity.
+func (t Trace) Validate() error {
+	if t.Horizon <= 0 {
+		return fmt.Errorf("trace %q: horizon %v", t.Name, t.Horizon)
+	}
+	if len(t.Events) == 0 || t.Events[0].At != 0 {
+		return fmt.Errorf("trace %q: must start with an event at t=0", t.Name)
+	}
+	prev := -1.0
+	for i, e := range t.Events {
+		if e.At <= prev {
+			return fmt.Errorf("trace %q: event %d at %v not after %v", t.Name, i, e.At, prev)
+		}
+		if e.Count < 0 {
+			return fmt.Errorf("trace %q: negative count at %v", t.Name, e.At)
+		}
+		if e.At >= t.Horizon {
+			return fmt.Errorf("trace %q: event %d at %v beyond horizon %v", t.Name, i, e.At, t.Horizon)
+		}
+		prev = e.At
+	}
+	return nil
+}
+
+// CountAt returns the offered spot-instance count at time tm.
+func (t Trace) CountAt(tm float64) int {
+	n := 0
+	for _, e := range t.Events {
+		if e.At > tm {
+			break
+		}
+		n = e.Count
+	}
+	return n
+}
+
+// MaxCount returns the largest offered count.
+func (t Trace) MaxCount() int {
+	m := 0
+	for _, e := range t.Events {
+		if e.Count > m {
+			m = e.Count
+		}
+	}
+	return m
+}
+
+// MinCount returns the smallest offered count.
+func (t Trace) MinCount() int {
+	if len(t.Events) == 0 {
+		return 0
+	}
+	m := t.Events[0].Count
+	for _, e := range t.Events {
+		if e.Count < m {
+			m = e.Count
+		}
+	}
+	return m
+}
+
+// Marshal serializes the trace to JSON.
+func (t Trace) Marshal() ([]byte, error) {
+	return json.MarshalIndent(t, "", "  ")
+}
+
+// Unmarshal parses a JSON trace and validates it.
+func Unmarshal(data []byte) (Trace, error) {
+	var t Trace
+	if err := json.Unmarshal(data, &t); err != nil {
+		return Trace{}, fmt.Errorf("trace: %w", err)
+	}
+	if err := t.Validate(); err != nil {
+		return Trace{}, err
+	}
+	return t, nil
+}
+
+// AS is the embedded availability segment A_S: a 20-minute window with a
+// gradual capacity decline from 12 to 4 instances and occasional
+// reacquisitions, matching the character of Figure 5 (each instance carries
+// four GPUs).
+func AS() Trace {
+	return Trace{
+		Name:    "AS",
+		Horizon: 1200,
+		Events: []Event{
+			{0, 12}, {120, 11}, {240, 10}, {300, 11}, {420, 9},
+			{540, 8}, {600, 10}, {720, 8}, {840, 7}, {900, 5},
+			{1020, 6}, {1080, 5}, {1140, 4},
+		},
+	}
+}
+
+// BS is the embedded availability segment B_S: a more volatile 20-minute
+// window with deep dips to 3 instances and fast swings.
+func BS() Trace {
+	return Trace{
+		Name:    "BS",
+		Horizon: 1200,
+		Events: []Event{
+			{0, 10}, {60, 8}, {150, 5}, {210, 7}, {330, 5},
+			{390, 3}, {480, 6}, {570, 8}, {660, 4}, {750, 6},
+			{870, 3}, {960, 6}, {1050, 8}, {1140, 6},
+		},
+	}
+}
+
+// APrimeS and BPrimeS are the fluctuating-workload variants used in §6.3
+// (Figures 8c/8d base spot availability before on-demand mixing).
+func APrimeS() Trace {
+	return Trace{
+		Name:    "A'S",
+		Horizon: 1080,
+		Events: []Event{
+			{0, 10}, {120, 9}, {240, 8}, {360, 7}, {450, 9},
+			{600, 10}, {720, 8}, {840, 7}, {960, 8},
+		},
+	}
+}
+
+func BPrimeS() Trace {
+	return Trace{
+		Name:    "B'S",
+		Horizon: 1080,
+		Events: []Event{
+			{0, 10}, {120, 9}, {240, 8}, {330, 7}, {450, 8},
+			{540, 9}, {660, 7}, {780, 6}, {900, 7}, {1020, 8},
+		},
+	}
+}
+
+// ByName returns an embedded trace.
+func ByName(name string) (Trace, bool) {
+	for _, t := range []Trace{AS(), BS(), APrimeS(), BPrimeS()} {
+		if t.Name == name {
+			return t, true
+		}
+	}
+	return Trace{}, false
+}
+
+// GenOptions configures the synthetic trace generator.
+type GenOptions struct {
+	Name     string
+	Horizon  float64 // seconds
+	Start    int     // initial instance count
+	Min, Max int     // bounds on the instance count
+	// MeanDwell is the average time between availability changes.
+	MeanDwell float64
+	// DownBias ∈ [0,1] is the probability a change is a preemption
+	// (0.5 = symmetric random walk).
+	DownBias float64
+	// MaxStep bounds the size of one change.
+	MaxStep int
+	Seed    int64
+}
+
+// Generate produces a random availability trace with the requested
+// statistics. It is deterministic for a fixed seed.
+func Generate(o GenOptions) (Trace, error) {
+	if o.Horizon <= 0 || o.Start < o.Min || o.Start > o.Max || o.Min < 0 ||
+		o.Max < o.Min || o.MeanDwell <= 0 || o.MaxStep < 1 ||
+		o.DownBias < 0 || o.DownBias > 1 {
+		return Trace{}, fmt.Errorf("trace: invalid generator options %+v", o)
+	}
+	rng := rand.New(rand.NewSource(o.Seed))
+	tr := Trace{Name: o.Name, Horizon: o.Horizon}
+	tr.Events = append(tr.Events, Event{At: 0, Count: o.Start})
+	cur := o.Start
+	t := 0.0
+	for {
+		t += rng.ExpFloat64() * o.MeanDwell
+		if t >= o.Horizon {
+			break
+		}
+		step := 1 + rng.Intn(o.MaxStep)
+		if rng.Float64() < o.DownBias {
+			step = -step
+		}
+		next := cur + step
+		if next < o.Min {
+			next = o.Min
+		}
+		if next > o.Max {
+			next = o.Max
+		}
+		if next == cur {
+			continue
+		}
+		cur = next
+		tr.Events = append(tr.Events, Event{At: t, Count: cur})
+	}
+	sort.Slice(tr.Events, func(i, j int) bool { return tr.Events[i].At < tr.Events[j].At })
+	return tr, tr.Validate()
+}

@@ -1,0 +1,171 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEmbeddedTracesValid(t *testing.T) {
+	for _, tr := range []Trace{AS(), BS(), APrimeS(), BPrimeS()} {
+		if err := tr.Validate(); err != nil {
+			t.Errorf("%s: %v", tr.Name, err)
+		}
+	}
+}
+
+func TestEmbeddedTraceShape(t *testing.T) {
+	as, bs := AS(), BS()
+	// Figure 5 character: A_S declines from 12 to 4; B_S is volatile and
+	// dips to 3. 20-minute segments.
+	if as.Horizon != 1200 || bs.Horizon != 1200 {
+		t.Fatal("embedded traces must be 20 minutes")
+	}
+	if as.CountAt(0) != 12 || as.CountAt(1199) != 4 {
+		t.Fatalf("A_S endpoints: %d → %d", as.CountAt(0), as.CountAt(1199))
+	}
+	if bs.MinCount() != 3 {
+		t.Fatalf("B_S min = %d, want 3", bs.MinCount())
+	}
+	if as.MaxCount() != 12 || bs.MaxCount() != 10 {
+		t.Fatalf("max counts: %d, %d", as.MaxCount(), bs.MaxCount())
+	}
+}
+
+func TestCountAtSteps(t *testing.T) {
+	tr := Trace{Name: "x", Horizon: 100, Events: []Event{{0, 5}, {10, 3}, {20, 7}}}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := map[float64]int{0: 5, 9.99: 5, 10: 3, 19: 3, 20: 7, 99: 7}
+	for at, want := range cases {
+		if got := tr.CountAt(at); got != want {
+			t.Errorf("CountAt(%v) = %d, want %d", at, got, want)
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	bad := []Trace{
+		{Name: "no-horizon", Events: []Event{{0, 1}}},
+		{Name: "no-zero", Horizon: 10, Events: []Event{{1, 1}}},
+		{Name: "unsorted", Horizon: 10, Events: []Event{{0, 1}, {5, 2}, {3, 1}}},
+		{Name: "dup", Horizon: 10, Events: []Event{{0, 1}, {0, 2}}},
+		{Name: "negative", Horizon: 10, Events: []Event{{0, -1}}},
+		{Name: "beyond", Horizon: 10, Events: []Event{{0, 1}, {10, 2}}},
+		{Name: "empty", Horizon: 10},
+	}
+	for _, tr := range bad {
+		if err := tr.Validate(); err == nil {
+			t.Errorf("%s: invalid trace accepted", tr.Name)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	orig := BS()
+	data, err := orig.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != orig.Name || len(got.Events) != len(orig.Events) {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	for i := range got.Events {
+		if got.Events[i] != orig.Events[i] {
+			t.Fatalf("event %d: %v != %v", i, got.Events[i], orig.Events[i])
+		}
+	}
+	if _, err := Unmarshal([]byte("{")); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+	if _, err := Unmarshal([]byte(`{"name":"x","horizon":0,"events":[]}`)); err == nil {
+		t.Fatal("invalid trace accepted after parse")
+	}
+}
+
+func TestByName(t *testing.T) {
+	if tr, ok := ByName("AS"); !ok || tr.Name != "AS" {
+		t.Fatal("ByName(AS) failed")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Fatal("ByName(nope) succeeded")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	o := GenOptions{Name: "g", Horizon: 1200, Start: 8, Min: 2, Max: 12,
+		MeanDwell: 60, DownBias: 0.55, MaxStep: 2, Seed: 7}
+	a, err := Generate(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Generate(o)
+	if len(a.Events) != len(b.Events) {
+		t.Fatal("same seed produced different traces")
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatal("same seed produced different events")
+		}
+	}
+	o.Seed = 8
+	c, _ := Generate(o)
+	same := len(a.Events) == len(c.Events)
+	if same {
+		for i := range a.Events {
+			if a.Events[i] != c.Events[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestGenerateRejectsBadOptions(t *testing.T) {
+	bad := []GenOptions{
+		{},
+		{Horizon: 100, Start: 5, Min: 6, Max: 10, MeanDwell: 10, MaxStep: 1},
+		{Horizon: 100, Start: 5, Min: 0, Max: 4, MeanDwell: 10, MaxStep: 1},
+		{Horizon: 100, Start: 5, Min: 0, Max: 10, MeanDwell: 0, MaxStep: 1},
+		{Horizon: 100, Start: 5, Min: 0, Max: 10, MeanDwell: 10, MaxStep: 0},
+		{Horizon: 100, Start: 5, Min: 0, Max: 10, MeanDwell: 10, MaxStep: 1, DownBias: 1.5},
+	}
+	for i, o := range bad {
+		if _, err := Generate(o); err == nil {
+			t.Errorf("case %d: bad options accepted", i)
+		}
+	}
+}
+
+// Property: generated traces are always valid and within bounds.
+func TestQuickGenerateValidBounded(t *testing.T) {
+	f := func(seed int64, startRaw, maxRaw uint8) bool {
+		maxN := int(maxRaw%14) + 2
+		start := int(startRaw) % (maxN + 1)
+		o := GenOptions{Name: "q", Horizon: 600, Start: start, Min: 0, Max: maxN,
+			MeanDwell: 30, DownBias: 0.5, MaxStep: 3, Seed: seed}
+		tr, err := Generate(o)
+		if err != nil {
+			return false
+		}
+		if tr.Validate() != nil {
+			return false
+		}
+		for _, e := range tr.Events {
+			if e.Count < o.Min || e.Count > o.Max {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,242 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	o := Options{Horizon: 600, Rate: ConstantRate(1), CV: 6, SeqIn: 512, SeqOut: 128, Seed: 11}
+	a, err := Generate(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Generate(o)
+	if len(a) != len(b) {
+		t.Fatal("same seed, different arrival counts")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed, different arrivals")
+		}
+	}
+}
+
+func TestArrivalsSortedAndStamped(t *testing.T) {
+	o := Options{Horizon: 300, Rate: ConstantRate(2), CV: 1, SeqIn: 512, SeqOut: 128, Seed: 3}
+	reqs, err := Generate(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sort.SliceIsSorted(reqs, func(i, j int) bool { return reqs[i].At < reqs[j].At }) {
+		t.Fatal("arrivals out of order")
+	}
+	for i, r := range reqs {
+		if r.ID != int64(i) {
+			t.Fatalf("IDs not dense: %d at index %d", r.ID, i)
+		}
+		if r.SeqIn != 512 || r.SeqOut != 128 {
+			t.Fatalf("sequence lengths not stamped: %+v", r)
+		}
+		if r.At < 0 || r.At >= 300 {
+			t.Fatalf("arrival %v outside horizon", r.At)
+		}
+	}
+}
+
+func TestPoissonMeanRate(t *testing.T) {
+	// CV=1 is a Poisson process: count over the horizon ≈ λ·H.
+	o := Options{Horizon: 20000, Rate: ConstantRate(0.5), CV: 1, SeqIn: 1, SeqOut: 1, Seed: 5}
+	reqs, err := Generate(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.5 * 20000
+	got := float64(len(reqs))
+	if math.Abs(got-want)/want > 0.05 {
+		t.Fatalf("arrivals = %v, want ≈%v", got, want)
+	}
+}
+
+func TestGammaCVMatchesTarget(t *testing.T) {
+	// The empirical CV of interarrivals should track the requested CV.
+	for _, cv := range []float64{1, 3, 6} {
+		o := Options{Horizon: 200000, Rate: ConstantRate(1), CV: cv, SeqIn: 1, SeqOut: 1, Seed: 17}
+		reqs, err := Generate(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(reqs) < 1000 {
+			t.Fatalf("cv=%v: only %d arrivals", cv, len(reqs))
+		}
+		var gaps []float64
+		prev := 0.0
+		for _, r := range reqs {
+			gaps = append(gaps, r.At-prev)
+			prev = r.At
+		}
+		mean, sd := meanStd(gaps)
+		got := sd / mean
+		if math.Abs(got-cv)/cv > 0.15 {
+			t.Errorf("cv=%v: empirical %v", cv, got)
+		}
+	}
+}
+
+func meanStd(xs []float64) (mean, sd float64) {
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		sd += (x - mean) * (x - mean)
+	}
+	sd = math.Sqrt(sd / float64(len(xs)))
+	return mean, sd
+}
+
+func TestBurstyIsBurstier(t *testing.T) {
+	// With the same horizon and rate, CV=6 should produce a larger
+	// maximum burst (arrivals within any 10 s window) than CV=1.
+	count := func(cv float64) int {
+		o := Options{Horizon: 10000, Rate: ConstantRate(1), CV: cv, SeqIn: 1, SeqOut: 1, Seed: 23}
+		reqs, _ := Generate(o)
+		best := 0
+		j := 0
+		for i := range reqs {
+			for reqs[i].At-reqs[j].At > 10 {
+				j++
+			}
+			if i-j+1 > best {
+				best = i - j + 1
+			}
+		}
+		return best
+	}
+	if count(6) <= count(1) {
+		t.Fatalf("CV=6 max burst %d not above CV=1 %d", count(6), count(1))
+	}
+}
+
+func TestStepRate(t *testing.T) {
+	r := StepRate([]RateStep{{0, 1}, {10, 5}, {20, 2}})
+	cases := map[float64]float64{-1: 1, 0: 1, 9.9: 1, 10: 5, 19: 5, 25: 2}
+	for at, want := range cases {
+		if got := r(at); got != want {
+			t.Errorf("rate(%v) = %v, want %v", at, got, want)
+		}
+	}
+	if StepRate(nil)(5) != 0 {
+		t.Error("empty steps should give zero rate")
+	}
+}
+
+func TestMAFStepsShape(t *testing.T) {
+	steps := MAFSteps(0.35)
+	r := StepRate(steps)
+	// Overload narrative of §6.3: the plateau after t=330 exceeds the
+	// base capacity region, the tail decays back to it.
+	if r(0) >= 0.35 {
+		t.Errorf("initial rate %v should be below base", r(0))
+	}
+	if r(400) < 0.35*1.5 {
+		t.Errorf("plateau rate %v should be a strong overload", r(400))
+	}
+	if r(1000) > 0.35 {
+		t.Errorf("tail rate %v should return below base", r(1000))
+	}
+	if !sort.SliceIsSorted(steps, func(i, j int) bool { return steps[i].At < steps[j].At }) {
+		t.Error("steps not sorted")
+	}
+}
+
+func TestFluctuatingGeneration(t *testing.T) {
+	// CV=1 here: at CV=6 a single 18-minute window is dominated by burst
+	// noise, so the rate-tracking property is only visible at low CV.
+	o := Options{Horizon: 1080, Rate: StepRate(MAFSteps(0.35)), CV: 1,
+		SeqIn: 512, SeqOut: 128, Seed: 9}
+	reqs, err := Generate(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) == 0 {
+		t.Fatal("no arrivals generated")
+	}
+	// The overload window should contain disproportionately many arrivals.
+	in, out := 0, 0
+	for _, r := range reqs {
+		if r.At >= 270 && r.At < 630 {
+			in++
+		} else {
+			out++
+		}
+	}
+	inRate := float64(in) / 360
+	outRate := float64(out) / (1080 - 360)
+	if inRate <= outRate {
+		t.Fatalf("overload window rate %v not above baseline %v", inRate, outRate)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	good := Options{Horizon: 10, Rate: ConstantRate(1), CV: 1, SeqIn: 1, SeqOut: 1}
+	bad := []func(*Options){
+		func(o *Options) { o.Horizon = 0 },
+		func(o *Options) { o.Rate = nil },
+		func(o *Options) { o.CV = 0 },
+		func(o *Options) { o.SeqIn = 0 },
+		func(o *Options) { o.SeqOut = 0 },
+	}
+	for i, mut := range bad {
+		o := good
+		mut(&o)
+		if _, err := Generate(o); err == nil {
+			t.Errorf("case %d: invalid options accepted", i)
+		}
+	}
+}
+
+func TestZeroRateTerminates(t *testing.T) {
+	o := Options{Horizon: 50, Rate: ConstantRate(0), CV: 1, SeqIn: 1, SeqOut: 1}
+	reqs, err := Generate(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 0 {
+		t.Fatalf("zero rate produced %d arrivals", len(reqs))
+	}
+}
+
+func TestGammaSampleMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, k := range []float64{0.25, 1, 4} {
+		theta := 2.0
+		n := 200000
+		var sum, sq float64
+		for i := 0; i < n; i++ {
+			x := gammaSample(rng, k, theta)
+			if x < 0 {
+				t.Fatalf("negative gamma sample %v", x)
+			}
+			sum += x
+			sq += x * x
+		}
+		mean := sum / float64(n)
+		variance := sq/float64(n) - mean*mean
+		if math.Abs(mean-k*theta)/(k*theta) > 0.05 {
+			t.Errorf("k=%v: mean %v, want %v", k, mean, k*theta)
+		}
+		if math.Abs(variance-k*theta*theta)/(k*theta*theta) > 0.1 {
+			t.Errorf("k=%v: var %v, want %v", k, variance, k*theta*theta)
+		}
+	}
+}
+
+func TestDefaultRates(t *testing.T) {
+	r := DefaultRates()
+	if r["OPT-6.7B"] != 1.5 || r["GPT-20B"] != 0.35 || r["LLaMA-30B"] != 0.2 {
+		t.Fatalf("default rates = %v", r)
+	}
+}
