@@ -1,0 +1,36 @@
+# Standard local CI gate: `make ci` is what a change must pass before it
+# lands. Individual stages are exposed for faster iteration.
+
+GO ?= go
+
+.PHONY: ci build vet test race fuzz bench figures
+
+ci: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The experiments package hosts the parallel sweep worker pool; the full
+# suite under -race is the concurrency gate.
+race:
+	$(GO) test -race ./...
+
+# Short fuzz pass over the JSON trace format (CI smoke; run longer locally
+# with -fuzztime=5m when touching internal/trace).
+fuzz:
+	$(GO) test -fuzz=FuzzParseTrace$$ -fuzztime=15s ./internal/trace/
+	$(GO) test -fuzz=FuzzParseTraceEvents -fuzztime=15s ./internal/trace/
+
+# Replay the paper's full evaluation as benchmarks.
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Regenerate every table and figure on all cores.
+figures:
+	$(GO) run ./cmd/experiments -parallel 0 -seeds 1

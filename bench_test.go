@@ -9,6 +9,8 @@
 package spotserve_bench
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"spotserve/internal/config"
@@ -150,6 +152,49 @@ func BenchmarkFigure9(b *testing.B) {
 			b.ReportMetric(last[tr]/base[tr], tr+"_ablation_x")
 		}
 	}
+}
+
+// BenchmarkFigure6Sweep replays the full 36-scenario Figure 6 grid through
+// the sweep harness at several worker counts. Comparing the serial/1 and
+// parallel/N sub-benchmarks measures the wall-clock speedup of the
+// parallel path (the determinism tests separately prove the results are
+// identical).
+func BenchmarkFigure6Sweep(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 0} {
+		name := fmt.Sprintf("workers=%d", workers)
+		if workers == 0 {
+			name = fmt.Sprintf("workers=GOMAXPROCS(%d)", runtime.GOMAXPROCS(0))
+		}
+		b.Run(name, func(b *testing.B) {
+			var cells []experiments.Figure6Cell
+			for i := 0; i < b.N; i++ {
+				cells = experiments.Figure6Sweep(experiments.Sweep{
+					Parallel: workers, Seeds: []int64{1},
+				})
+			}
+			if len(cells) != 36 {
+				b.Fatalf("cells = %d, want 36", len(cells))
+			}
+		})
+	}
+}
+
+// BenchmarkSweepReplication measures multi-seed replication end to end:
+// one Figure 6 cell replicated at 5 seeds on the full worker pool, with
+// the rendered band as the reported artifact.
+func BenchmarkSweepReplication(b *testing.B) {
+	sw := experiments.Sweep{Seeds: experiments.SeedRange(1, 5)}
+	cell := experiments.DefaultScenario(
+		experiments.SpotServe, model.GPT20B, trace.BS(), 1)
+	var rep experiments.Replication
+	for i := 0; i < b.N; i++ {
+		reps := sw.RunCells([]experiments.Scenario{cell})
+		rep = experiments.NewReplication(reps[0])
+	}
+	band := rep.P99.Band()
+	b.ReportMetric(band.Mean, "P99_mean_s")
+	b.ReportMetric(band.Stderr, "P99_stderr_s")
+	b.ReportMetric(band.Max-band.Min, "P99_spread_s")
 }
 
 // BenchmarkMinMem regenerates the §6.2 migration-buffer observation.

@@ -2,17 +2,23 @@
 //
 // Usage:
 //
-//	experiments [-exp all|table1|fig5|fig6|fig7|fig8|fig9|minmem] [-seed N]
+//	experiments [-exp all|table1|fig5|fig6|fig7|fig8|fig9|minmem]
+//	            [-seed N] [-seeds K] [-parallel W]
 //
 // Each experiment prints a text rendition of the corresponding table or
 // figure, including SpotServe-vs-baseline factors where the paper reports
-// them. Runs are deterministic for a fixed seed.
+// them. Runs are deterministic for a fixed seed: the scenario grid executes
+// on a bounded worker pool (-parallel, default all cores) with results
+// aggregated in scenario order, so the output is byte-identical to a serial
+// run. -seeds K replicates every simulated cell at seeds seed..seed+K-1 and
+// appends mean ±stderr [min,max] bands to the rendered tables.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"spotserve/internal/experiments"
@@ -20,8 +26,15 @@ import (
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to run: all, table1, fig5, fig6, fig7, fig8, fig9, minmem")
-	seed := flag.Int64("seed", 1, "random seed (runs are deterministic per seed)")
+	seed := flag.Int64("seed", 1, "base random seed (runs are deterministic per seed)")
+	seeds := flag.Int("seeds", 1, "replication: run each cell at this many consecutive seeds")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size for the scenario sweep (1 = serial)")
 	flag.Parse()
+
+	sw := experiments.Sweep{
+		Parallel: *parallel,
+		Seeds:    experiments.SeedRange(*seed, *seeds),
+	}
 
 	run := func(name string, fn func()) {
 		if *exp != "all" && *exp != name {
@@ -34,11 +47,11 @@ func main() {
 
 	run("table1", func() { fmt.Print(experiments.RenderTable1(experiments.Table1())) })
 	run("minmem", func() { fmt.Print(experiments.RenderMinMem(experiments.MinMem())) })
-	run("fig5", func() { fmt.Print(experiments.RenderFigure5(experiments.Figure5(*seed))) })
-	run("fig6", func() { fmt.Print(experiments.RenderFigure6(experiments.Figure6(*seed))) })
-	run("fig7", func() { fmt.Print(experiments.RenderFigure7(experiments.Figure7(*seed))) })
-	run("fig8", func() { fmt.Print(experiments.RenderFigure8(experiments.Figure8(*seed))) })
-	run("fig9", func() { fmt.Print(experiments.RenderFigure9(experiments.Figure9(*seed))) })
+	run("fig5", func() { fmt.Print(experiments.RenderFigure5(experiments.Figure5Sweep(sw))) })
+	run("fig6", func() { fmt.Print(experiments.RenderFigure6(experiments.Figure6Sweep(sw))) })
+	run("fig7", func() { fmt.Print(experiments.RenderFigure7(experiments.Figure7Sweep(sw))) })
+	run("fig8", func() { fmt.Print(experiments.RenderFigure8(experiments.Figure8Sweep(sw))) })
+	run("fig9", func() { fmt.Print(experiments.RenderFigure9(experiments.Figure9Sweep(sw))) })
 
 	switch *exp {
 	case "all", "table1", "fig5", "fig6", "fig7", "fig8", "fig9", "minmem":

@@ -7,6 +7,7 @@
 //	spotserve -model GPT-20B -trace BS -system spotserve
 //	spotserve -model LLaMA-30B -trace AS -system reroute -rate 0.2
 //	spotserve -model GPT-20B -trace BS -mix -fluctuating
+//	spotserve -model GPT-20B -trace BS -seeds 5        # replicate, report bands
 package main
 
 import (
@@ -14,6 +15,7 @@ import (
 	"fmt"
 	"os"
 
+	"spotserve/internal/cost"
 	"spotserve/internal/experiments"
 	"spotserve/internal/model"
 	"spotserve/internal/trace"
@@ -28,7 +30,9 @@ func main() {
 	cv := flag.Float64("cv", 6, "arrival coefficient of variance")
 	mix := flag.Bool("mix", false, "allow on-demand instance mixing (+O)")
 	fluct := flag.Bool("fluctuating", false, "use the MAF-style fluctuating arrival profile")
-	seed := flag.Int64("seed", 1, "random seed")
+	seed := flag.Int64("seed", 1, "base random seed")
+	seeds := flag.Int("seeds", 1, "replication: run the scenario at this many consecutive seeds")
+	parallel := flag.Int("parallel", 0, "worker pool size for replication (0 = all cores)")
 	flag.Parse()
 
 	spec, ok := model.ByName(*modelName)
@@ -68,7 +72,9 @@ func main() {
 		sc.RateFn = workload.StepRate(workload.MAFSteps(sc.Rate))
 	}
 
-	res := experiments.Run(sc)
+	sw := experiments.Sweep{Parallel: *parallel, Seeds: experiments.SeedRange(*seed, *seeds)}
+	replicas := sw.RunCells([]experiments.Scenario{sc})[0]
+	res := replicas[0]
 	st := res.Stats
 
 	fmt.Printf("system    : %s\n", sys)
@@ -78,9 +84,16 @@ func main() {
 	fmt.Printf("requests  : %d submitted, %d completed\n", st.Submitted, st.Completed)
 	fmt.Printf("latency   : %s\n", st.Latency)
 	fmt.Printf("cost      : %.2f USD (%.3f ×1e-5 USD/token)\n", st.CostUSD,
-		costPerToken(st.CostUSD, st.Completed, sc))
+		costPerToken(st.CostUSD, st.Completed))
 	fmt.Printf("events    : %d migrations, %d reloads, %d cache give-ups, %d tokens recovered, %d on-demand allocs\n",
 		st.Migrations, st.Reloads, st.CacheGiveUps, st.TokensRecovered, st.OnDemandAllocated)
+	if rep := experiments.NewReplication(replicas); rep.Replicated() {
+		fmt.Printf("replicas  : %d seeds (%d..%d)\n", len(rep.Seeds), *seed, *seed+int64(*seeds)-1)
+		fmt.Printf("  avg lat : %s s\n", rep.Avg.Band())
+		fmt.Printf("  p95 lat : %s s\n", rep.P95.Band())
+		fmt.Printf("  p99 lat : %s s\n", rep.P99.Band())
+		fmt.Printf("  cost    : %s USD\n", rep.Cost.Band())
+	}
 	if len(st.ConfigLog) > 0 {
 		fmt.Println("config timeline:")
 		for _, c := range st.ConfigLog {
@@ -89,8 +102,8 @@ func main() {
 	}
 }
 
-func costPerToken(usd float64, completed int, sc experiments.Scenario) float64 {
-	tokens := float64(completed * 128)
+func costPerToken(usd float64, completed int) float64 {
+	tokens := float64(completed * cost.DefaultSeqOut)
 	if tokens == 0 {
 		return 0
 	}

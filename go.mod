@@ -1,0 +1,3 @@
+module spotserve
+
+go 1.21

@@ -140,9 +140,27 @@ type Figure5Row struct {
 // Figure5 regenerates the four availability traces: A_S and B_S replayed
 // directly, and A_S+O / B_S+O produced by running Algorithm 1 with
 // on-demand mixing over them (as the paper generates its +O traces).
-func Figure5(seed int64) []Figure5Row {
+func Figure5(seed int64) []Figure5Row { return Figure5Sweep(SingleSeed(seed)) }
+
+// Figure5Sweep is Figure5 on the parallel harness. The trace plots are a
+// single-seed visualization, so only the sweep's first seed (or 1) is
+// simulated; the two +O replays still share the worker pool.
+func Figure5Sweep(sw Sweep) []Figure5Row {
+	seed := int64(1)
+	if len(sw.Seeds) > 0 {
+		seed = sw.Seeds[0]
+	}
+	bases := []trace.Trace{trace.AS(), trace.BS()}
+	var mixes []Scenario
+	for _, base := range bases {
+		sc := DefaultScenario(SpotServe, model.GPT20B, base, seed)
+		sc.AllowOnDemand = true
+		sc.SampleFleet = true
+		mixes = append(mixes, sc)
+	}
+	mixed := Sweep{Parallel: sw.Parallel}.runAll(mixes)
 	var rows []Figure5Row
-	for _, base := range []trace.Trace{trace.AS(), trace.BS()} {
+	for i, base := range bases {
 		// Raw spot trace.
 		var spot metrics.Series
 		for t := 0.0; t < base.Horizon; t += 10 {
@@ -154,10 +172,7 @@ func Figure5(seed int64) []Figure5Row {
 		})
 		// +O mix: replay with the GPT-20B serving stack allowed to
 		// allocate on-demand instances.
-		sc := DefaultScenario(SpotServe, model.GPT20B, base, seed)
-		sc.AllowOnDemand = true
-		sc.SampleFleet = true
-		res := Run(sc)
+		res := mixed[i]
 		minTotal, maxTotal := fleetExtremes(res)
 		rows = append(rows, Figure5Row{
 			Name:     base.Name + "+O",
@@ -190,19 +205,27 @@ func fleetExtremes(res Result) (min, max int) {
 	return
 }
 
-// Figure6Cell is one (model, trace, system) latency row.
+// Figure6Cell is one (model, trace, system) latency row. Summary is the
+// first-seed replica (identical to the historical serial output); Reps
+// carries the cross-seed bands when the sweep replicates.
 type Figure6Cell struct {
 	Model   string
 	Trace   string
 	System  System
 	Summary metrics.Summary
+	Reps    Replication
 }
 
 // Figure6 regenerates the end-to-end latency comparison: every model on
 // A_S, B_S (spot only) and A_S+O, B_S+O (on-demand mixing), under all
 // three systems.
-func Figure6(seed int64) []Figure6Cell {
+func Figure6(seed int64) []Figure6Cell { return Figure6Sweep(SingleSeed(seed)) }
+
+// Figure6Sweep runs the 36-cell latency grid through the parallel harness,
+// replicating each cell at every sweep seed.
+func Figure6Sweep(sw Sweep) []Figure6Cell {
 	var out []Figure6Cell
+	var cells []Scenario
 	for _, spec := range model.All() {
 		for _, tr := range []trace.Trace{trace.AS(), trace.BS()} {
 			for _, mix := range []bool{false, true} {
@@ -211,23 +234,28 @@ func Figure6(seed int64) []Figure6Cell {
 					name += "+O"
 				}
 				for _, sys := range Systems() {
-					sc := DefaultScenario(sys, spec, tr, seed)
+					sc := DefaultScenario(sys, spec, tr, 1)
 					sc.AllowOnDemand = mix
-					res := Run(sc)
+					cells = append(cells, sc)
 					out = append(out, Figure6Cell{
-						Model:   spec.Name,
-						Trace:   name,
-						System:  sys,
-						Summary: res.Stats.Latency,
+						Model:  spec.Name,
+						Trace:  name,
+						System: sys,
 					})
 				}
 			}
 		}
 	}
+	reps := sw.seeded().RunCells(cells)
+	for i := range out {
+		out[i].Reps = NewReplication(reps[i])
+		out[i].Summary = out[i].Reps.First
+	}
 	return out
 }
 
-// Figure7Row is one point of the cost/latency plot.
+// Figure7Row is one point of the cost/latency plot. The scalar fields are
+// the first-seed replica; CostBand aggregates cost/token across seeds.
 type Figure7Row struct {
 	System System
 	Trace  string
@@ -235,12 +263,18 @@ type Figure7Row struct {
 	CostPerToken float64
 	AvgLatency   float64
 	P99Latency   float64
+	Reps         Replication
+	CostBand     metrics.Agg
 }
 
 // Figure7 regenerates the monetary-cost study on GPT-20B: the three
 // systems on all four traces, plus the on-demand-only sweep.
-func Figure7(seed int64) []Figure7Row {
+func Figure7(seed int64) []Figure7Row { return Figure7Sweep(SingleSeed(seed)) }
+
+// Figure7Sweep runs the cost study through the parallel harness.
+func Figure7Sweep(sw Sweep) []Figure7Row {
 	var out []Figure7Row
+	var cells []Scenario
 	spec := model.GPT20B
 	for _, tr := range []trace.Trace{trace.AS(), trace.BS()} {
 		for _, mix := range []bool{false, true} {
@@ -249,70 +283,86 @@ func Figure7(seed int64) []Figure7Row {
 				name += "+O"
 			}
 			for _, sys := range Systems() {
-				sc := DefaultScenario(sys, spec, tr, seed)
+				sc := DefaultScenario(sys, spec, tr, 1)
 				sc.AllowOnDemand = mix
-				res := Run(sc)
-				out = append(out, figure7Point(sys, name, res))
+				cells = append(cells, sc)
+				out = append(out, Figure7Row{System: sys, Trace: name})
 			}
 		}
 	}
 	// On-demand only: a sweep over fixed fleet sizes (the dashed line).
 	for _, n := range []int{4, 6, 8, 10} {
-		sc := DefaultScenario(OnDemandOnly, spec, trace.Trace{}, seed)
+		sc := DefaultScenario(OnDemandOnly, spec, trace.Trace{}, 1)
 		sc.OnDemandN = n
 		sc.Trace = trace.Trace{Name: fmt.Sprintf("OD-%d", n), Horizon: 1200,
 			Events: []trace.Event{{At: 0, Count: 0}}}
-		res := Run(sc)
-		out = append(out, figure7Point(OnDemandOnly, sc.Trace.Name, res))
+		cells = append(cells, sc)
+		out = append(out, Figure7Row{System: OnDemandOnly, Trace: sc.Trace.Name})
+	}
+	reps := sw.seeded().RunCells(cells)
+	for i := range out {
+		out[i].Reps = NewReplication(reps[i])
+		first := reps[i][0]
+		out[i].CostPerToken = costPerToken(first)
+		out[i].AvgLatency = first.Stats.Latency.Avg
+		out[i].P99Latency = first.Stats.Latency.P99
+		for _, r := range reps[i] {
+			out[i].CostBand.Add(costPerToken(r))
+		}
 	}
 	return out
 }
 
-func figure7Point(sys System, name string, res Result) Figure7Row {
+// costPerToken converts a replica's accrued USD to the paper's cost axis
+// (×1e-5 USD per generated token).
+func costPerToken(res Result) float64 {
 	tokens := float64(res.Stats.Completed * cost.DefaultSeqOut)
-	cpt := 0.0
-	if tokens > 0 {
-		cpt = res.Stats.CostUSD / tokens * 1e5
+	if tokens <= 0 {
+		return 0
 	}
-	return Figure7Row{
-		System:       sys,
-		Trace:        name,
-		CostPerToken: cpt,
-		AvgLatency:   res.Stats.Latency.Avg,
-		P99Latency:   res.Stats.Latency.P99,
-	}
+	return res.Stats.CostUSD / tokens * 1e5
 }
 
-// Figure8Row is one system's outcome on the fluctuating workload.
+// Figure8Row is one system's outcome on the fluctuating workload. Summary,
+// PerRequest and ConfigLog are the first-seed replica; Reps carries the
+// cross-seed bands.
 type Figure8Row struct {
 	System     System
 	Trace      string
 	Summary    metrics.Summary
 	PerRequest metrics.Series
 	ConfigLog  []core.ConfigChange
+	Reps       Replication
 }
 
 // Figure8 regenerates the fluctuating-workload study: the rescaled
 // MAF-style arrival profile over the A'_S / B'_S traces with on-demand
 // mixing, for all three systems.
-func Figure8(seed int64) []Figure8Row {
+func Figure8(seed int64) []Figure8Row { return Figure8Sweep(SingleSeed(seed)) }
+
+// Figure8Sweep runs the fluctuating-workload study through the parallel
+// harness.
+func Figure8Sweep(sw Sweep) []Figure8Row {
 	var out []Figure8Row
+	var cells []Scenario
 	spec := model.GPT20B
 	base := workload.DefaultRates()[spec.Name]
 	for _, tr := range []trace.Trace{trace.APrimeS(), trace.BPrimeS()} {
 		for _, sys := range Systems() {
-			sc := DefaultScenario(sys, spec, tr, seed)
+			sc := DefaultScenario(sys, spec, tr, 1)
 			sc.AllowOnDemand = true
 			sc.RateFn = workload.StepRate(workload.MAFSteps(base))
-			res := Run(sc)
-			out = append(out, Figure8Row{
-				System:     sys,
-				Trace:      tr.Name + "+O",
-				Summary:    res.Stats.Latency,
-				PerRequest: res.Stats.PerRequest,
-				ConfigLog:  res.Stats.ConfigLog,
-			})
+			cells = append(cells, sc)
+			out = append(out, Figure8Row{System: sys, Trace: tr.Name + "+O"})
 		}
+	}
+	reps := sw.seeded().RunCells(cells)
+	for i := range out {
+		out[i].Reps = NewReplication(reps[i])
+		first := reps[i][0]
+		out[i].Summary = first.Stats.Latency
+		out[i].PerRequest = first.Stats.PerRequest
+		out[i].ConfigLog = first.Stats.ConfigLog
 	}
 	return out
 }
@@ -322,13 +372,17 @@ type Figure9Row struct {
 	Variant string
 	Trace   string
 	Summary metrics.Summary
+	Reps    Replication
 }
 
 // Figure9 regenerates the ablation study on GPT-20B over A_S and B_S:
 // starting from full SpotServe, components are removed cumulatively —
 // parallelization controller, migration planner, interruption arranger,
 // device mapper (matching the paper's order).
-func Figure9(seed int64) []Figure9Row {
+func Figure9(seed int64) []Figure9Row { return Figure9Sweep(SingleSeed(seed)) }
+
+// Figure9Sweep runs the ablation study through the parallel harness.
+func Figure9Sweep(sw Sweep) []Figure9Row {
 	variants := []struct {
 		name string
 		mut  func(*core.Features)
@@ -340,20 +394,22 @@ func Figure9(seed int64) []Figure9Row {
 		{"-DeviceMapper", func(f *core.Features) { f.DeviceMapper = false; f.Hierarchical = false }},
 	}
 	var out []Figure9Row
+	var cells []Scenario
 	for _, tr := range []trace.Trace{trace.AS(), trace.BS()} {
 		feat := core.AllFeatures()
 		for _, v := range variants {
 			v.mut(&feat)
 			f := feat
-			sc := DefaultScenario(SpotServe, model.GPT20B, tr, seed)
+			sc := DefaultScenario(SpotServe, model.GPT20B, tr, 1)
 			sc.Features = &f
-			res := Run(sc)
-			out = append(out, Figure9Row{
-				Variant: v.name,
-				Trace:   tr.Name,
-				Summary: res.Stats.Latency,
-			})
+			cells = append(cells, sc)
+			out = append(out, Figure9Row{Variant: v.name, Trace: tr.Name})
 		}
+	}
+	reps := sw.seeded().RunCells(cells)
+	for i := range out {
+		out[i].Reps = NewReplication(reps[i])
+		out[i].Summary = out[i].Reps.First
 	}
 	return out
 }

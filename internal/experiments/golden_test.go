@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"spotserve/internal/model"
+	"spotserve/internal/trace"
+)
+
+// The golden values below pin the paper's reproduced numbers at fixed
+// inputs. They are exact outputs of the current planner/mapper/engine
+// stack: a diff here means a refactor changed the simulated physics, not
+// just the code — update the goldens only with a justification in the
+// commit message.
+
+// TestGoldenTable1 pins Table 1 exactly (the cost model is closed-form, so
+// full float precision is stable across platforms).
+func TestGoldenTable1(t *testing.T) {
+	want := []Table1Row{
+		{Model: "OPT-6.7B", SizeGB: 25, MinGPUs: 4, P: 1, M: 4,
+			LexeB1: 5.601637292729671, PaperMinGPUs: 4, PaperLexe: 5.447},
+		{Model: "GPT-20B", SizeGB: 74.5, MinGPUs: 12, P: 3, M: 4,
+			LexeB1: 15.873804396260805, PaperMinGPUs: 12, PaperLexe: 14.373},
+		{Model: "LLaMA-30B", SizeGB: 111.8, MinGPUs: 16, P: 2, M: 8,
+			LexeB1: 17.755876809192014, PaperMinGPUs: 16, PaperLexe: 17.540},
+	}
+	got := Table1()
+	if len(got) != len(want) {
+		t.Fatalf("rows = %d, want %d", len(got), len(want))
+	}
+	for i, w := range want {
+		g := got[i]
+		if g.Model != w.Model || g.SizeGB != w.SizeGB || g.MinGPUs != w.MinGPUs ||
+			g.P != w.P || g.M != w.M ||
+			g.PaperMinGPUs != w.PaperMinGPUs || g.PaperLexe != w.PaperLexe {
+			t.Errorf("row %d: %+v, want %+v", i, g, w)
+		}
+		if math.Abs(g.LexeB1-w.LexeB1) > 1e-12 {
+			t.Errorf("%s: lexe %v, want golden %v", g.Model, g.LexeB1, w.LexeB1)
+		}
+	}
+}
+
+// TestGoldenFigure6Cell pins one full end-to-end simulation — SpotServe
+// serving GPT-20B on trace B_S at seed 42 — down to its result
+// fingerprint, so refactors of the planner, mapper or engine cannot
+// silently shift the reproduced figures.
+func TestGoldenFigure6Cell(t *testing.T) {
+	sc := DefaultScenario(SpotServe, model.GPT20B, trace.BS(), 42)
+	res := Run(sc)
+	s := res.Stats.Latency
+
+	if res.Stats.Submitted != 349 || res.Stats.Completed != 349 {
+		t.Errorf("requests = %d/%d, want 349/349", res.Stats.Completed, res.Stats.Submitted)
+	}
+	checks := []struct {
+		name      string
+		got, want float64
+	}{
+		{"avg", s.Avg, 112.63390625800362},
+		{"p90", s.P90, 220.89634896344853},
+		{"p95", s.P95, 235.4528080911166},
+		{"p98", s.P98, 242.87151726058596},
+		{"p99", s.P99, 243.11806914117574},
+		{"costUSD", res.Stats.CostUSD, 6.064166666666667},
+	}
+	for _, c := range checks {
+		if math.Abs(c.got-c.want) > 1e-9 {
+			t.Errorf("%s = %v, want golden %v", c.name, c.got, c.want)
+		}
+	}
+	const goldenFP = "331a3221e335d60394908415b1612d05389e8109584eb012ba99efaa11a323fc"
+	if fp := res.Fingerprint(); fp != goldenFP {
+		t.Errorf("fingerprint %s, want golden %s", fp, goldenFP)
+	}
+}

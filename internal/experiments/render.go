@@ -63,20 +63,46 @@ func sparkline(label string, s metrics.Series, maxV float64) string {
 	return sb.String()
 }
 
-// RenderFigure6 formats the latency grid.
+// RenderFigure6 formats the latency grid. When the cells carry multi-seed
+// replication, two band columns (mean ±stderr [min,max] across seeds) are
+// appended for Avg and P99.
 func RenderFigure6(cells []Figure6Cell) string {
+	bands := anyReplicated(cells, func(c Figure6Cell) Replication { return c.Reps })
 	var b strings.Builder
 	fmt.Fprintf(&b, "Figure 6: end-to-end serving latency (seconds)\n")
-	fmt.Fprintf(&b, "%-11s %-6s %-18s %8s %8s %8s %8s %8s\n",
+	fmt.Fprintf(&b, "%-11s %-6s %-18s %8s %8s %8s %8s %8s",
 		"Model", "Trace", "System", "Avg", "P90", "P95", "P98", "P99")
+	if bands {
+		fmt.Fprintf(&b, "  %-26s %-26s", "Avg band", "P99 band")
+	}
+	b.WriteString("\n")
 	for _, c := range cells {
 		s := c.Summary
-		fmt.Fprintf(&b, "%-11s %-6s %-18s %8.1f %8.1f %8.1f %8.1f %8.1f\n",
+		fmt.Fprintf(&b, "%-11s %-6s %-18s %8.1f %8.1f %8.1f %8.1f %8.1f",
 			c.Model, c.Trace, c.System, s.Avg, s.P90, s.P95, s.P98, s.P99)
+		if bands {
+			fmt.Fprintf(&b, "  %-26s %-26s",
+				c.Reps.Avg.Band(), c.Reps.P99.Band())
+		}
+		b.WriteString("\n")
+	}
+	if bands {
+		fmt.Fprintf(&b, "(bands: mean ±stderr [min,max] over %d seeds)\n", cells[0].Reps.Avg.N)
 	}
 	b.WriteString("\n")
 	b.WriteString(renderFigure6Speedups(cells))
 	return b.String()
+}
+
+// anyReplicated reports whether any row carries multi-seed bands, which is
+// what switches the renderers into band-column mode.
+func anyReplicated[T any](rows []T, rep func(T) Replication) bool {
+	for _, r := range rows {
+		if rep(r).Replicated() {
+			return true
+		}
+	}
+	return false
 }
 
 // renderFigure6Speedups reports SpotServe's P99 improvement factors, the
@@ -112,14 +138,26 @@ func renderFigure6Speedups(cells []Figure6Cell) string {
 	return b.String()
 }
 
-// RenderFigure7 formats the cost/latency study.
+// RenderFigure7 formats the cost/latency study, with cost and P99 bands
+// across seeds when the rows were replicated.
 func RenderFigure7(rows []Figure7Row) string {
+	bands := anyReplicated(rows, func(r Figure7Row) Replication { return r.Reps })
 	var b strings.Builder
 	fmt.Fprintf(&b, "Figure 7: monetary cost on GPT-20B (cost ×1e-5 USD/token)\n")
-	fmt.Fprintf(&b, "%-18s %-6s %12s %10s %10s\n", "System", "Trace", "Cost/token", "Avg lat", "P99 lat")
+	fmt.Fprintf(&b, "%-18s %-6s %12s %10s %10s", "System", "Trace", "Cost/token", "Avg lat", "P99 lat")
+	if bands {
+		fmt.Fprintf(&b, "  %-26s %-26s", "Cost band", "P99 band")
+	}
+	b.WriteString("\n")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-18s %-6s %12.3f %9.1fs %9.1fs\n",
+		fmt.Fprintf(&b, "%-18s %-6s %12.3f %9.1fs %9.1fs",
 			r.System, r.Trace, r.CostPerToken, r.AvgLatency, r.P99Latency)
+		if bands {
+			cb := r.CostBand.Band()
+			fmt.Fprintf(&b, "  %-26s %-26s",
+				fmt.Sprintf("%.3f ±%.3f", cb.Mean, cb.Stderr), r.Reps.P99.Band())
+		}
+		b.WriteString("\n")
 	}
 	return b.String()
 }
@@ -128,11 +166,20 @@ func RenderFigure7(rows []Figure7Row) string {
 // configuration timeline (Figures 8e–8h).
 func RenderFigure8(rows []Figure8Row) string {
 	var b strings.Builder
+	bands := anyReplicated(rows, func(r Figure8Row) Replication { return r.Reps })
 	fmt.Fprintf(&b, "Figure 8: fluctuating (MAF) workload on GPT-20B\n")
-	fmt.Fprintf(&b, "%-18s %-8s %8s %8s %8s\n", "System", "Trace", "Avg", "P98", "P99")
+	fmt.Fprintf(&b, "%-18s %-8s %8s %8s %8s", "System", "Trace", "Avg", "P98", "P99")
+	if bands {
+		fmt.Fprintf(&b, "  %-26s", "P99 band")
+	}
+	b.WriteString("\n")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-18s %-8s %8.1f %8.1f %8.1f\n",
+		fmt.Fprintf(&b, "%-18s %-8s %8.1f %8.1f %8.1f",
 			r.System, r.Trace, r.Summary.Avg, r.Summary.P98, r.Summary.P99)
+		if bands {
+			fmt.Fprintf(&b, "  %-26s", r.Reps.P99.Band())
+		}
+		b.WriteString("\n")
 	}
 	for _, r := range rows {
 		if r.System != SpotServe || len(r.ConfigLog) == 0 {
@@ -150,9 +197,14 @@ func RenderFigure8(rows []Figure8Row) string {
 // the full system (the paper's 1.61×/3.41× stack-up).
 func RenderFigure9(rows []Figure9Row) string {
 	var b strings.Builder
+	bands := anyReplicated(rows, func(r Figure9Row) Replication { return r.Reps })
 	fmt.Fprintf(&b, "Figure 9: ablation study on GPT-20B\n")
-	fmt.Fprintf(&b, "%-22s %-6s %10s %10s %10s %10s\n",
+	fmt.Fprintf(&b, "%-22s %-6s %10s %10s %10s %10s",
 		"Variant", "Trace", "Avg", "P99", "Avg×", "P99×")
+	if bands {
+		fmt.Fprintf(&b, "  %-26s", "P99 band")
+	}
+	b.WriteString("\n")
 	base := map[string]metrics.Summary{}
 	for _, r := range rows {
 		if r.Variant == "SpotServe" {
@@ -165,8 +217,12 @@ func RenderFigure9(rows []Figure9Row) string {
 			bf = r.Summary.Avg / bs.Avg
 			pf = r.Summary.P99 / bs.P99
 		}
-		fmt.Fprintf(&b, "%-22s %-6s %9.1fs %9.1fs %9.2fx %9.2fx\n",
+		fmt.Fprintf(&b, "%-22s %-6s %9.1fs %9.1fs %9.2fx %9.2fx",
 			r.Variant, r.Trace, r.Summary.Avg, r.Summary.P99, bf, pf)
+		if bands {
+			fmt.Fprintf(&b, "  %-26s", r.Reps.P99.Band())
+		}
+		b.WriteString("\n")
 	}
 	return b.String()
 }

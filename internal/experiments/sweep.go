@@ -1,0 +1,222 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"spotserve/internal/metrics"
+)
+
+// Sweep configures the parallel scenario harness. The zero value runs every
+// scenario once, at its own seed, on all available cores.
+type Sweep struct {
+	// Parallel bounds the worker pool; <= 0 means runtime.GOMAXPROCS(0).
+	Parallel int
+	// Seeds are the replication seeds: every cell runs once per seed and
+	// the per-cell results are folded into mean/min/max/stderr bands.
+	// Empty means each scenario keeps its own seed and runs once.
+	Seeds []int64
+}
+
+// SingleSeed is the sweep used by the single-seed figure entry points:
+// serial-equivalent replication at exactly one seed, parallel workers.
+func SingleSeed(seed int64) Sweep { return Sweep{Seeds: []int64{seed}} }
+
+// seeded returns the sweep with Seeds defaulted to {1}. The figure sweeps
+// pin their grid to the sweep seeds, so an empty seed list there means
+// "seed 1 once" rather than RunCells's keep-own-seed mode.
+func (sw Sweep) seeded() Sweep {
+	if len(sw.Seeds) == 0 {
+		sw.Seeds = []int64{1}
+	}
+	return sw
+}
+
+// SeedRange returns n consecutive seeds starting at base, the expansion
+// behind the -seeds N command-line flag.
+func SeedRange(base int64, n int) []int64 {
+	if n < 1 {
+		n = 1
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = base + int64(i)
+	}
+	return out
+}
+
+// workers resolves the effective pool size for n jobs.
+func (sw Sweep) workers(n int) int {
+	w := sw.Parallel
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// RunAll executes the scenarios on a bounded worker pool and returns their
+// results in input order. Each scenario simulates in its own kernel with its
+// own RNGs, so results are byte-identical to running the same slice through
+// Run serially, regardless of worker count or scheduling order. A panic in
+// any worker (malformed scenario) is re-raised on the caller's goroutine.
+func RunAll(scs []Scenario, parallel int) []Result {
+	return Sweep{Parallel: parallel}.runAll(scs)
+}
+
+func (sw Sweep) runAll(scs []Scenario) []Result {
+	results := make([]Result, len(scs))
+	if len(scs) == 0 {
+		return results
+	}
+	workers := sw.workers(len(scs))
+	if workers == 1 {
+		for i, sc := range scs {
+			results[i] = Run(sc)
+		}
+		return results
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	// Panic values are wrapped in a single concrete type: atomic.Value
+	// itself panics when two workers store inconsistently typed values.
+	type capturedPanic struct{ val any }
+	var panicked atomic.Value
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicked.CompareAndSwap(nil, capturedPanic{val: r})
+				}
+			}()
+			for {
+				i := int(next.Add(1))
+				if i >= len(scs) || panicked.Load() != nil {
+					return
+				}
+				results[i] = Run(scs[i])
+			}
+		}()
+	}
+	wg.Wait()
+	if r := panicked.Load(); r != nil {
+		panic(r.(capturedPanic).val)
+	}
+	return results
+}
+
+// RunCells runs every cell scenario once per sweep seed and returns the
+// replicas grouped by cell: out[i][j] is cells[i] simulated at Seeds[j].
+// With no sweep seeds each cell runs once at its own seed. Cell×seed jobs
+// are flattened into one pool so replication parallelizes as well as the
+// grid does.
+func (sw Sweep) RunCells(cells []Scenario) [][]Result {
+	seeds := sw.Seeds
+	perCell := len(seeds)
+	if perCell == 0 {
+		perCell = 1
+	}
+	jobs := make([]Scenario, 0, len(cells)*perCell)
+	for _, c := range cells {
+		if len(seeds) == 0 {
+			jobs = append(jobs, c)
+			continue
+		}
+		for _, seed := range seeds {
+			r := c
+			r.Seed = seed
+			jobs = append(jobs, r)
+		}
+	}
+	flat := sw.runAll(jobs)
+	out := make([][]Result, len(cells))
+	for i := range cells {
+		out[i] = flat[i*perCell : (i+1)*perCell]
+	}
+	return out
+}
+
+// Replication folds one cell's per-seed replicas into mergeable aggregates:
+// mean latency, tail percentiles and monetary cost, each with min/max and
+// stderr bands across seeds.
+type Replication struct {
+	Seeds               []int64
+	Avg, P95, P99, Cost metrics.Agg
+	// First is the replica at the first seed, preserved so single-seed
+	// sweeps stay bit-compatible with the historical serial entry points.
+	First metrics.Summary
+}
+
+// NewReplication aggregates a cell's replicas (as returned by RunCells).
+func NewReplication(rs []Result) Replication {
+	var rep Replication
+	for i, r := range rs {
+		if i == 0 {
+			rep.First = r.Stats.Latency
+		}
+		rep.Seeds = append(rep.Seeds, r.Scenario.Seed)
+		rep.Avg.Add(r.Stats.Latency.Avg)
+		rep.P95.Add(r.Stats.Latency.P95)
+		rep.P99.Add(r.Stats.Latency.P99)
+		rep.Cost.Add(r.Stats.CostUSD)
+	}
+	return rep
+}
+
+// Replicated reports whether the cell ran at more than one seed, i.e.
+// whether the bands carry information beyond the point estimate.
+func (r Replication) Replicated() bool { return r.Avg.N > 1 }
+
+// Fingerprint returns a stable hex digest of everything observable in the
+// result: scenario identity, latency distribution, cost, counters, sampled
+// series and the configuration log. Two runs are byte-identical iff their
+// fingerprints match, which is how the determinism tests compare the
+// parallel sweep against the serial path.
+func (r Result) Fingerprint() string {
+	var b strings.Builder
+	sc := r.Scenario
+	fmt.Fprintf(&b, "sys=%s spec=%s trace=%s odn=%d rate=%g cv=%g mix=%v drain=%g seed=%d\n",
+		sc.System, sc.Spec.Name, sc.Trace.Name, sc.OnDemandN, sc.Rate, sc.CV,
+		sc.AllowOnDemand, sc.Drain, sc.Seed)
+	if sc.Features != nil {
+		fmt.Fprintf(&b, "features=%+v\n", *sc.Features)
+	}
+	st := r.Stats
+	fmt.Fprintf(&b, "sub=%d done=%d cost=%x lat=%+v mig=%d rel=%d give=%d rec=%d od=%d\n",
+		st.Submitted, st.Completed, st.CostUSD, st.Latency,
+		st.Migrations, st.Reloads, st.CacheGiveUps, st.TokensRecovered, st.OnDemandAllocated)
+	if st.Latencies != nil {
+		for _, v := range st.Latencies.Values() {
+			fmt.Fprintf(&b, "%x ", v)
+		}
+		b.WriteString("\n")
+	}
+	for _, s := range st.PerRequest.Samples {
+		fmt.Fprintf(&b, "pr %x %x\n", s.At, s.Value)
+	}
+	for _, c := range st.ConfigLog {
+		fmt.Fprintf(&b, "cfg %x %v %s\n", c.At, c.Config, c.Reason)
+	}
+	for _, s := range r.SpotCount.Samples {
+		fmt.Fprintf(&b, "spot %x %x\n", s.At, s.Value)
+	}
+	for _, s := range r.OnDemandCount.Samples {
+		fmt.Fprintf(&b, "od %x %x\n", s.At, s.Value)
+	}
+	fmt.Fprintf(&b, "final=%v\n", r.FinalConfig)
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:])
+}

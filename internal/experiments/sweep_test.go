@@ -1,0 +1,190 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"spotserve/internal/core"
+	"spotserve/internal/model"
+	"spotserve/internal/trace"
+	"spotserve/internal/workload"
+)
+
+// sweepScenarios builds a deliberately diverse scenario list: every system,
+// several models and traces, on-demand mixing, a fluctuating workload, an
+// ablated feature set, and fleet sampling — so the determinism comparison
+// covers every code path the figures exercise.
+func sweepScenarios(seed int64) []Scenario {
+	var scs []Scenario
+	for _, sys := range Systems() {
+		scs = append(scs, DefaultScenario(sys, model.OPT6B7, trace.AS(), seed))
+	}
+	mix := DefaultScenario(SpotServe, model.GPT20B, trace.BS(), seed)
+	mix.AllowOnDemand = true
+	mix.SampleFleet = true
+	scs = append(scs, mix)
+
+	fluct := DefaultScenario(Reparallel, model.GPT20B, trace.APrimeS(), seed)
+	fluct.AllowOnDemand = true
+	fluct.RateFn = workload.StepRate(workload.MAFSteps(fluct.Rate))
+	scs = append(scs, fluct)
+
+	feat := core.AllFeatures()
+	feat.MigrationPlanner = false
+	abl := DefaultScenario(SpotServe, model.LLaMA30B, trace.BS(), seed)
+	abl.Features = &feat
+	scs = append(scs, abl)
+
+	od := DefaultScenario(OnDemandOnly, model.OPT6B7, trace.Trace{
+		Name: "OD", Horizon: 600, Events: []trace.Event{{At: 0, Count: 0}},
+	}, seed)
+	od.OnDemandN = 4
+	scs = append(scs, od)
+	return scs
+}
+
+// TestParallelMatchesSerial locks in the harness's core guarantee: the
+// parallel sweep produces byte-identical results to the serial path at the
+// same seeds, for every worker count.
+func TestParallelMatchesSerial(t *testing.T) {
+	scs := sweepScenarios(7)
+	serial := RunAll(scs, 1)
+	for _, workers := range []int{2, 4, 8} {
+		par := RunAll(scs, workers)
+		for i := range serial {
+			if sf, pf := serial[i].Fingerprint(), par[i].Fingerprint(); sf != pf {
+				t.Errorf("workers=%d scenario %d (%s/%s/%s): parallel fingerprint %s != serial %s",
+					workers, i, scs[i].System, scs[i].Spec.Name, scs[i].Trace.Name, pf, sf)
+			}
+			// Structural equality too (RateFn is a func value, which
+			// reflect.DeepEqual only matches when nil — drop it).
+			a, b := serial[i], par[i]
+			a.Scenario.RateFn, b.Scenario.RateFn = nil, nil
+			if !reflect.DeepEqual(a, b) {
+				t.Errorf("workers=%d scenario %d: results differ structurally", workers, i)
+			}
+		}
+	}
+}
+
+// TestSerialRerunsAgree asserts two serial runs of the same Scenario are
+// identical — the sim kernel's stable FIFO tie-break guarantee.
+func TestSerialRerunsAgree(t *testing.T) {
+	for _, sc := range sweepScenarios(11)[:4] {
+		a, b := Run(sc), Run(sc)
+		if a.Fingerprint() != b.Fingerprint() {
+			t.Errorf("%s/%s/%s: two serial runs of the same scenario disagree",
+				sc.System, sc.Spec.Name, sc.Trace.Name)
+		}
+	}
+}
+
+// TestRunCellsReplication checks the seed expansion: every cell runs once
+// per sweep seed, replicas land grouped and ordered, and the folded
+// aggregates match the per-replica stats.
+func TestRunCellsReplication(t *testing.T) {
+	seeds := SeedRange(3, 4)
+	sw := Sweep{Parallel: 4, Seeds: seeds}
+	cells := []Scenario{
+		DefaultScenario(SpotServe, model.OPT6B7, trace.AS(), 0),
+		DefaultScenario(Reroute, model.OPT6B7, trace.BS(), 0),
+	}
+	reps := sw.RunCells(cells)
+	if len(reps) != len(cells) {
+		t.Fatalf("cells out = %d, want %d", len(reps), len(cells))
+	}
+	for i, rs := range reps {
+		if len(rs) != len(seeds) {
+			t.Fatalf("cell %d: %d replicas, want %d", i, len(rs), len(seeds))
+		}
+		for j, r := range rs {
+			if r.Scenario.Seed != seeds[j] {
+				t.Errorf("cell %d replica %d: seed %d, want %d", i, j, r.Scenario.Seed, seeds[j])
+			}
+			if r.Scenario.System != cells[i].System {
+				t.Errorf("cell %d replica %d: system %s, want %s", i, j, r.Scenario.System, cells[i].System)
+			}
+		}
+		rep := NewReplication(rs)
+		if rep.Avg.N != len(seeds) || !rep.Replicated() {
+			t.Fatalf("cell %d: replication N = %d, want %d", i, rep.Avg.N, len(seeds))
+		}
+		if rep.First != rs[0].Stats.Latency {
+			t.Errorf("cell %d: First summary is not the first replica's", i)
+		}
+		if rep.Avg.Min() > rep.Avg.Mean() || rep.Avg.Mean() > rep.Avg.Max() {
+			t.Errorf("cell %d: band out of order: min %v mean %v max %v",
+				i, rep.Avg.Min(), rep.Avg.Mean(), rep.Avg.Max())
+		}
+		// Different seeds should actually vary the workload: with 4
+		// seeds, at least one latency statistic must spread.
+		if rep.Avg.Min() == rep.Avg.Max() && rep.Cost.Min() == rep.Cost.Max() {
+			t.Errorf("cell %d: 4 seeds produced zero spread — replication is not replicating", i)
+		}
+	}
+}
+
+// TestRunCellsWithoutSeedsKeepsOwn verifies that an empty seed list leaves
+// each scenario's own seed untouched (the RunAll-compatible mode).
+func TestRunCellsWithoutSeedsKeepsOwn(t *testing.T) {
+	a := DefaultScenario(SpotServe, model.OPT6B7, trace.AS(), 21)
+	b := DefaultScenario(SpotServe, model.OPT6B7, trace.AS(), 22)
+	reps := Sweep{Parallel: 2}.RunCells([]Scenario{a, b})
+	if len(reps) != 2 || len(reps[0]) != 1 || len(reps[1]) != 1 {
+		t.Fatalf("shape = %v, want 2 cells × 1 replica", [2]int{len(reps[0]), len(reps[1])})
+	}
+	if reps[0][0].Scenario.Seed != 21 || reps[1][0].Scenario.Seed != 22 {
+		t.Errorf("seeds = %d,%d, want 21,22", reps[0][0].Scenario.Seed, reps[1][0].Scenario.Seed)
+	}
+}
+
+// TestFigureSweepsMatchSerialEntryPoints pins the compatibility contract:
+// FigureN(seed) and FigureNSweep(SingleSeed(seed)) under any worker count
+// agree with each other.
+func TestFigureSweepsMatchSerialEntryPoints(t *testing.T) {
+	serial := Figure9Sweep(Sweep{Parallel: 1, Seeds: []int64{5}})
+	par := Figure9Sweep(Sweep{Parallel: 8, Seeds: []int64{5}})
+	if !reflect.DeepEqual(serial, par) {
+		t.Fatal("Figure9 parallel sweep differs from serial sweep at the same seed")
+	}
+	entry := Figure9(5)
+	if !reflect.DeepEqual(serial, entry) {
+		t.Fatal("Figure9(seed) differs from Figure9Sweep(SingleSeed(seed))")
+	}
+}
+
+// TestRunAllPanicPropagates asserts a worker panic (malformed scenario)
+// surfaces on the caller's goroutine instead of crashing the process.
+func TestRunAllPanicPropagates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic from unknown system to propagate")
+		}
+	}()
+	scs := []Scenario{
+		DefaultScenario(SpotServe, model.OPT6B7, trace.AS(), 1),
+		{System: System("bogus"), Spec: model.OPT6B7, Trace: trace.AS(), Rate: 1, Seed: 1},
+		// A second panicking scenario: concurrent worker panics must not
+		// crash the process either.
+		{System: System("bogus2"), Spec: model.OPT6B7, Trace: trace.AS(), Rate: 1, Seed: 1},
+		DefaultScenario(Reroute, model.OPT6B7, trace.AS(), 1),
+	}
+	RunAll(scs, 4)
+}
+
+func TestSeedRange(t *testing.T) {
+	got := SeedRange(10, 3)
+	want := []int64{10, 11, 12}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("SeedRange(10,3) = %v, want %v", got, want)
+	}
+	if one := SeedRange(4, 0); len(one) != 1 || one[0] != 4 {
+		t.Errorf("SeedRange(4,0) = %v, want [4]", one)
+	}
+}
+
+func TestRunAllEmpty(t *testing.T) {
+	if out := RunAll(nil, 8); len(out) != 0 {
+		t.Fatalf("RunAll(nil) = %d results", len(out))
+	}
+}

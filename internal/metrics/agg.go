@@ -1,0 +1,103 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// Agg is a mergeable scalar aggregate: count, sum, sum of squares and
+// min/max. Observations can be folded in one at a time with Add or combined
+// across partial aggregates with Merge; both orders yield the same moments,
+// which is what lets the parallel sweep harness aggregate per-seed replicas
+// concurrency-safely and still report deterministic bands.
+type Agg struct {
+	N          int
+	Sum, SumSq float64
+	MinV, MaxV float64
+}
+
+// Add folds one observation into the aggregate.
+func (a *Agg) Add(v float64) {
+	if a.N == 0 || v < a.MinV {
+		a.MinV = v
+	}
+	if a.N == 0 || v > a.MaxV {
+		a.MaxV = v
+	}
+	a.N++
+	a.Sum += v
+	a.SumSq += v * v
+}
+
+// Merge folds another aggregate into this one.
+func (a *Agg) Merge(b Agg) {
+	if b.N == 0 {
+		return
+	}
+	if a.N == 0 || b.MinV < a.MinV {
+		a.MinV = b.MinV
+	}
+	if a.N == 0 || b.MaxV > a.MaxV {
+		a.MaxV = b.MaxV
+	}
+	a.N += b.N
+	a.Sum += b.Sum
+	a.SumSq += b.SumSq
+}
+
+// Mean returns the average observation, or 0 when empty.
+func (a Agg) Mean() float64 {
+	if a.N == 0 {
+		return 0
+	}
+	return a.Sum / float64(a.N)
+}
+
+// Min returns the smallest observation, or 0 when empty.
+func (a Agg) Min() float64 { return a.MinV }
+
+// Max returns the largest observation, or 0 when empty.
+func (a Agg) Max() float64 { return a.MaxV }
+
+// Variance returns the sample variance (n−1 denominator), or 0 with fewer
+// than two observations. Negative rounding residue is clamped to zero.
+func (a Agg) Variance() float64 {
+	if a.N < 2 {
+		return 0
+	}
+	m := a.Mean()
+	v := (a.SumSq - float64(a.N)*m*m) / float64(a.N-1)
+	if v < 0 {
+		v = 0
+	}
+	return v
+}
+
+// Stderr returns the standard error of the mean, or 0 with fewer than two
+// observations.
+func (a Agg) Stderr() float64 {
+	if a.N < 2 {
+		return 0
+	}
+	return math.Sqrt(a.Variance() / float64(a.N))
+}
+
+// Band summarizes the aggregate as a replication band for rendering.
+type Band struct {
+	N                      int
+	Mean, Min, Max, Stderr float64
+}
+
+// Band converts the aggregate to its rendering form.
+func (a Agg) Band() Band {
+	return Band{N: a.N, Mean: a.Mean(), Min: a.Min(), Max: a.Max(), Stderr: a.Stderr()}
+}
+
+// String renders "mean ±stderr [min,max]" (or just the mean for a single
+// observation).
+func (b Band) String() string {
+	if b.N < 2 {
+		return fmt.Sprintf("%.1f", b.Mean)
+	}
+	return fmt.Sprintf("%.1f ±%.1f [%.1f,%.1f]", b.Mean, b.Stderr, b.Min, b.Max)
+}

@@ -1,0 +1,97 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAggMoments(t *testing.T) {
+	var a Agg
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(v)
+	}
+	if a.N != 8 {
+		t.Fatalf("N = %d", a.N)
+	}
+	if a.Mean() != 5 {
+		t.Errorf("mean = %v, want 5", a.Mean())
+	}
+	if a.Min() != 2 || a.Max() != 9 {
+		t.Errorf("min,max = %v,%v, want 2,9", a.Min(), a.Max())
+	}
+	// Sample variance of the classic dataset is 32/7.
+	if got, want := a.Variance(), 32.0/7; math.Abs(got-want) > 1e-9 {
+		t.Errorf("variance = %v, want %v", got, want)
+	}
+	if got, want := a.Stderr(), math.Sqrt(32.0/7/8); math.Abs(got-want) > 1e-9 {
+		t.Errorf("stderr = %v, want %v", got, want)
+	}
+}
+
+// TestAggMergeEquivalence is the property the parallel sweep relies on:
+// folding observations through any partition of Merges equals folding them
+// serially through Add.
+func TestAggMergeEquivalence(t *testing.T) {
+	vals := []float64{3.5, -1, 0, 12, 7.25, 7.25, 100, -4.5, 2}
+	var serial Agg
+	for _, v := range vals {
+		serial.Add(v)
+	}
+	for split := 0; split <= len(vals); split++ {
+		var left, right Agg
+		for _, v := range vals[:split] {
+			left.Add(v)
+		}
+		for _, v := range vals[split:] {
+			right.Add(v)
+		}
+		merged := left
+		merged.Merge(right)
+		if merged != serial {
+			t.Errorf("split %d: merged %+v != serial %+v", split, merged, serial)
+		}
+	}
+}
+
+func TestAggMergeEmpty(t *testing.T) {
+	var a, empty Agg
+	a.Add(5)
+	before := a
+	a.Merge(empty)
+	if a != before {
+		t.Errorf("merging empty changed aggregate: %+v", a)
+	}
+	empty.Merge(a)
+	if empty != a {
+		t.Errorf("merge into empty: %+v != %+v", empty, a)
+	}
+}
+
+func TestAggEmptyAndSingle(t *testing.T) {
+	var a Agg
+	if a.Mean() != 0 || a.Variance() != 0 || a.Stderr() != 0 {
+		t.Errorf("empty aggregate not all-zero: %+v", a)
+	}
+	a.Add(3)
+	if a.Variance() != 0 || a.Stderr() != 0 {
+		t.Errorf("single observation should have zero spread: %+v", a)
+	}
+	b := a.Band()
+	if b.N != 1 || b.Mean != 3 || b.Min != 3 || b.Max != 3 {
+		t.Errorf("band = %+v", b)
+	}
+	if s := b.String(); s != "3.0" {
+		t.Errorf("single-point band renders %q, want \"3.0\"", s)
+	}
+}
+
+func TestBandString(t *testing.T) {
+	var a Agg
+	a.Add(10)
+	a.Add(14)
+	got := a.Band().String()
+	want := "12.0 ±2.0 [10.0,14.0]"
+	if got != want {
+		t.Errorf("band = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,94 @@
+package trace
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzParseTrace hammers the JSON trace format accepted by
+// `cmd/spotserve -trace <file>`: arbitrary input must either yield a trace
+// that passes Validate and survives a marshal→unmarshal round trip, or
+// return an error — never panic and never hand back an invalid trace.
+func FuzzParseTrace(f *testing.F) {
+	for _, tr := range []Trace{AS(), BS(), APrimeS(), BPrimeS()} {
+		data, err := tr.Marshal()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"name":"x","horizon":0,"events":[]}`))
+	f.Add([]byte(`{"name":"x","horizon":100,"events":[{"at":0,"count":-1}]}`))
+	f.Add([]byte(`{"name":"x","horizon":100,"events":[{"at":5,"count":1},{"at":5,"count":2}]}`))
+	f.Add([]byte(`{"name":"x","horizon":1e308,"events":[{"at":0,"count":1},{"at":1e309,"count":2}]}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`not json`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		if verr := tr.Validate(); verr != nil {
+			t.Fatalf("Unmarshal returned an invalid trace: %v\ninput: %q", verr, data)
+		}
+		// The accepted trace must round-trip.
+		out, err := tr.Marshal()
+		if err != nil {
+			t.Fatalf("re-marshal of accepted trace failed: %v", err)
+		}
+		tr2, err := Unmarshal(out)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v\njson: %s", err, out)
+		}
+		if tr.Name != tr2.Name || tr.Horizon != tr2.Horizon || len(tr.Events) != len(tr2.Events) {
+			t.Fatalf("round trip changed the trace: %+v vs %+v", tr, tr2)
+		}
+		// Sanity: the step function is queryable across the horizon.
+		_ = tr.CountAt(0)
+		_ = tr.CountAt(tr.Horizon)
+		_ = tr.MinCount()
+		_ = tr.MaxCount()
+	})
+}
+
+// FuzzParseTraceEvents fuzzes the structured dimensions directly so the
+// validator's ordering and bound checks get dense coverage without relying
+// on the mutator discovering JSON syntax.
+func FuzzParseTraceEvents(f *testing.F) {
+	f.Add(1200.0, 0.0, 12, 120.0, 11, 240.0, 10)
+	f.Add(100.0, 0.0, 1, 0.0, 2, 50.0, 3)
+	f.Add(-5.0, 0.0, 1, 10.0, 2, 20.0, 3)
+	f.Add(100.0, 5.0, 1, 10.0, -2, 200.0, 3)
+
+	f.Fuzz(func(t *testing.T, horizon, at0 float64, c0 int, at1 float64, c1 int, at2 float64, c2 int) {
+		tr := Trace{Name: "fuzz", Horizon: horizon, Events: []Event{
+			{At: at0, Count: c0}, {At: at1, Count: c1}, {At: at2, Count: c2},
+		}}
+		data, err := json.Marshal(tr)
+		if err != nil {
+			t.Skip()
+		}
+		parsed, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		if parsed.Horizon <= 0 {
+			t.Fatalf("accepted non-positive horizon %v", parsed.Horizon)
+		}
+		prev := -1.0
+		for _, e := range parsed.Events {
+			if e.At <= prev && prev >= 0 {
+				t.Fatalf("accepted unordered events: %+v", parsed.Events)
+			}
+			if e.Count < 0 {
+				t.Fatalf("accepted negative count: %+v", e)
+			}
+			if e.At >= parsed.Horizon {
+				t.Fatalf("accepted event beyond horizon: %+v", e)
+			}
+			prev = e.At
+		}
+	})
+}
