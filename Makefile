@@ -3,9 +3,20 @@
 
 GO ?= go
 
-.PHONY: ci build vet test race fuzz bench figures
+# Tier-1 performance benches: the headline simulation-kernel numbers.
+# (-bench patterns are slash-separated: the second element selects the
+# workers=1 sub-benchmark of the Figure 6 sweep.)
+TIER1_BENCH = BenchmarkEndToEndSimulation$$|BenchmarkConfigOptimizer$$|BenchmarkFigure6Sweep$$/workers=1$$
 
-ci: build vet race
+# ns/op baselines are machine-specific. The committed BENCH_baseline.json
+# is the reference box's; on other hardware snapshot your own once
+# (`make bench-baseline BENCH_BASELINE=BENCH_baseline.local.json`) and gate
+# against it.
+BENCH_BASELINE ?= BENCH_baseline.json
+
+.PHONY: ci build vet test race fuzz bench figures bench-baseline bench-check
+
+ci: build vet race bench-check
 
 build:
 	$(GO) build ./...
@@ -30,6 +41,24 @@ fuzz:
 # Replay the paper's full evaluation as benchmarks.
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Snapshot the tier-1 benches to $(BENCH_BASELINE) (min ns/op of 3 runs).
+# Re-run on the reference machine after deliberate performance changes.
+# The bench run lands in a temp file first so a failing/panicking benchmark
+# fails the target instead of vanishing down an unchecked pipe.
+bench-baseline:
+	$(GO) test -run='^$$' -bench='$(TIER1_BENCH)' -benchmem -count=3 . > bench-out.tmp \
+		|| { cat bench-out.tmp; rm -f bench-out.tmp; exit 1; }
+	$(GO) run ./cmd/benchcheck -write -baseline $(BENCH_BASELINE) < bench-out.tmp; \
+		st=$$?; rm -f bench-out.tmp; exit $$st
+
+# Gate: BenchmarkEndToEndSimulation may not regress >10% ns/op vs the
+# baseline (other tier-1 benches are reported, not gated).
+bench-check:
+	$(GO) test -run='^$$' -bench='$(TIER1_BENCH)' -benchmem -count=3 . > bench-out.tmp \
+		|| { cat bench-out.tmp; rm -f bench-out.tmp; exit 1; }
+	$(GO) run ./cmd/benchcheck -check -baseline $(BENCH_BASELINE) -max-regress 0.10 < bench-out.tmp; \
+		st=$$?; rm -f bench-out.tmp; exit $$st
 
 # Regenerate every table and figure on all cores.
 figures:

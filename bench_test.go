@@ -48,11 +48,15 @@ func BenchmarkFigure5(b *testing.B) {
 }
 
 // benchScenario runs one (system, model, trace) cell and reports its P99.
+// Allocations are reported (the simulation hot paths are supposed to be
+// allocation-lean; regressions show up here) and the timer excludes setup.
 func benchScenario(b *testing.B, sys experiments.System, spec model.Spec, tr trace.Trace, mix bool) {
+	sc := experiments.DefaultScenario(sys, spec, tr, 1)
+	sc.AllowOnDemand = mix
 	var p99, avg float64
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sc := experiments.DefaultScenario(sys, spec, tr, 1)
-		sc.AllowOnDemand = mix
 		res := experiments.Run(sc)
 		p99, avg = res.Stats.Latency.P99, res.Stats.Latency.Avg
 	}
@@ -84,6 +88,7 @@ func BenchmarkFigure6(b *testing.B) {
 // BenchmarkFigure7 regenerates the monetary-cost study on GPT-20B and
 // reports the best spot-vs-on-demand saving.
 func BenchmarkFigure7(b *testing.B) {
+	b.ReportAllocs()
 	var rows []experiments.Figure7Row
 	for i := 0; i < b.N; i++ {
 		rows = experiments.Figure7(1)
@@ -110,6 +115,7 @@ func BenchmarkFigure7(b *testing.B) {
 // BenchmarkFigure8 regenerates the fluctuating-workload study and reports
 // SpotServe's P99 improvement over both baselines.
 func BenchmarkFigure8(b *testing.B) {
+	b.ReportAllocs()
 	var rows []experiments.Figure8Row
 	for i := 0; i < b.N; i++ {
 		rows = experiments.Figure8(1)
@@ -133,6 +139,7 @@ func BenchmarkFigure8(b *testing.B) {
 // degradation factor of the fully ablated system per trace (the paper's
 // 1.61× on A_S and 3.41× on B_S).
 func BenchmarkFigure9(b *testing.B) {
+	b.ReportAllocs()
 	var rows []experiments.Figure9Row
 	for i := 0; i < b.N; i++ {
 		rows = experiments.Figure9(1)
@@ -166,6 +173,7 @@ func BenchmarkFigure6Sweep(b *testing.B) {
 			name = fmt.Sprintf("workers=GOMAXPROCS(%d)", runtime.GOMAXPROCS(0))
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			var cells []experiments.Figure6Cell
 			for i := 0; i < b.N; i++ {
 				cells = experiments.Figure6Sweep(experiments.Sweep{

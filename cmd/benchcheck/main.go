@@ -1,0 +1,188 @@
+// Command benchcheck snapshots and gates benchmark results.
+//
+// It reads `go test -bench` output on stdin and either writes a JSON
+// baseline (-write) or compares against one (-check), failing when a gated
+// benchmark regresses beyond the allowed fraction:
+//
+//	go test -run='^$' -bench=... -benchmem -count=3 . | benchcheck -write -baseline BENCH_baseline.json
+//	go test -run='^$' -bench=... -benchmem -count=3 . | benchcheck -check -baseline BENCH_baseline.json
+//
+// With -count > 1 the fastest run per benchmark is kept, damping scheduler
+// noise. `make bench-baseline` / `make bench-check` wrap both modes.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's snapshot.
+type Result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	Iters       int64   `json:"iters"`
+}
+
+// Baseline is the BENCH_baseline.json schema.
+type Baseline struct {
+	// Note documents how the snapshot was taken.
+	Note       string            `json:"note"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+	// History records the performance trajectory across PRs: hand-edited
+	// entries of headline ns/op at each landed optimization. -write
+	// preserves it.
+	History []HistoryEntry `json:"history,omitempty"`
+}
+
+// HistoryEntry is one point of the recorded performance trajectory.
+type HistoryEntry struct {
+	Label      string             `json:"label"`
+	NsPerOp    map[string]float64 `json:"ns_per_op"`
+	CommentOpt string             `json:"comment,omitempty"`
+}
+
+// benchLine matches `BenchmarkName-8  40  123456 ns/op ...`.
+var benchLine = regexp.MustCompile(`^(Benchmark\S*?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(.*)$`)
+
+func parse(r *bufio.Scanner) map[string]Result {
+	out := map[string]Result{}
+	for r.Scan() {
+		m := benchLine.FindStringSubmatch(r.Text())
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			continue
+		}
+		res := Result{NsPerOp: ns, Iters: iters}
+		rest := m[4]
+		if bm := regexp.MustCompile(`([0-9.]+) B/op`).FindStringSubmatch(rest); bm != nil {
+			res.BytesPerOp, _ = strconv.ParseFloat(bm[1], 64)
+		}
+		if am := regexp.MustCompile(`(\d+) allocs/op`).FindStringSubmatch(rest); am != nil {
+			res.AllocsPerOp, _ = strconv.ParseFloat(am[1], 64)
+		}
+		// -count > 1 repeats names: keep the fastest run.
+		if prev, ok := out[name]; !ok || res.NsPerOp < prev.NsPerOp {
+			out[name] = res
+		}
+	}
+	return out
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_baseline.json", "baseline JSON path")
+		write        = flag.Bool("write", false, "write the baseline from stdin results")
+		check        = flag.Bool("check", false, "compare stdin results against the baseline")
+		maxRegress   = flag.Float64("max-regress", 0.10, "allowed fractional ns/op regression for gated benchmarks")
+		gate         = flag.String("gate", "BenchmarkEndToEndSimulation", "comma-separated benchmarks that fail the check on regression")
+	)
+	flag.Parse()
+	if *write == *check {
+		fmt.Fprintln(os.Stderr, "benchcheck: exactly one of -write / -check required")
+		os.Exit(2)
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	cur := parse(sc)
+	if len(cur) == 0 {
+		fmt.Fprintln(os.Stderr, "benchcheck: no benchmark results on stdin")
+		os.Exit(2)
+	}
+
+	if *write {
+		b := Baseline{
+			Note:       "min ns/op over repeated runs; refresh with `make bench-baseline` on the reference machine",
+			Benchmarks: cur,
+		}
+		// Preserve the hand-maintained trajectory across rewrites.
+		if old, err := os.ReadFile(*baselinePath); err == nil {
+			var prev Baseline
+			if json.Unmarshal(old, &prev) == nil {
+				b.History = prev.History
+			}
+		}
+		data, err := json.MarshalIndent(b, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchcheck:", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*baselinePath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchcheck:", err)
+			os.Exit(2)
+		}
+		names := make([]string, 0, len(cur))
+		for n := range cur {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Printf("benchcheck: wrote %s with %d benchmarks:\n", *baselinePath, len(cur))
+		for _, n := range names {
+			fmt.Printf("  %-50s %14.0f ns/op\n", n, cur[n].NsPerOp)
+		}
+		return
+	}
+
+	data, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v (run `make bench-baseline` first)\n", err)
+		os.Exit(2)
+	}
+	var base Baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: bad baseline %s: %v\n", *baselinePath, err)
+		os.Exit(2)
+	}
+
+	gated := map[string]bool{}
+	for _, g := range strings.Split(*gate, ",") {
+		if g = strings.TrimSpace(g); g != "" {
+			gated[g] = true
+		}
+	}
+
+	failed := false
+	names := make([]string, 0, len(cur))
+	for n := range cur {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		got := cur[n]
+		want, ok := base.Benchmarks[n]
+		if !ok {
+			fmt.Printf("  %-50s %14.0f ns/op  (new, no baseline)\n", n, got.NsPerOp)
+			continue
+		}
+		ratio := got.NsPerOp / want.NsPerOp
+		status := "ok"
+		if gated[n] && ratio > 1+*maxRegress {
+			status = fmt.Sprintf("FAIL (> %+.0f%% allowed)", *maxRegress*100)
+			failed = true
+		}
+		fmt.Printf("  %-50s %14.0f ns/op  baseline %14.0f  (%+.1f%%)  %s\n",
+			n, got.NsPerOp, want.NsPerOp, (ratio-1)*100, status)
+	}
+	for n := range gated {
+		if _, ok := cur[n]; !ok {
+			fmt.Fprintf(os.Stderr, "benchcheck: gated benchmark %s missing from input\n", n)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -60,6 +60,7 @@ func NewReparallel(s *sim.Simulator, cl *cloud.Cloud, opts core.Options) *Repara
 		dying: map[int64]bool{},
 	}
 	r.eng = engine.New(s, est, (*reparallelHooks)(r))
+	r.eng.NoFastForward = opts.DisableFastForward
 	return r
 }
 
@@ -332,6 +333,11 @@ func (e *reparallelEvents) InstanceTerminated(inst *cloud.Instance) {
 }
 
 type reparallelHooks Reparallel
+
+// AllowFastForward implements engine.FastForwarder: this baseline never
+// pauses through IterationDone (it aborts pipelines outright on restart),
+// so every run may batch its iteration commits.
+func (h *reparallelHooks) AllowFastForward(p *engine.Pipeline) bool { return true }
 
 func (h *reparallelHooks) IterationDone(p *engine.Pipeline) bool { return true }
 

@@ -57,6 +57,7 @@ func NewReroute(s *sim.Simulator, cl *cloud.Cloud, opts core.Options) *Reroute {
 		used:  map[int64]bool{},
 	}
 	r.eng = engine.New(s, est, (*rerouteHooks)(r))
+	r.eng.NoFastForward = opts.DisableFastForward
 	return r
 }
 
@@ -283,6 +284,11 @@ func (e *rerouteEvents) InstanceTerminated(inst *cloud.Instance) {
 }
 
 type rerouteHooks Reroute
+
+// AllowFastForward implements engine.FastForwarder: rerouting never pauses
+// through IterationDone (dead pipelines are aborted), so every run may
+// batch its iteration commits.
+func (h *rerouteHooks) AllowFastForward(p *engine.Pipeline) bool { return true }
 
 func (h *rerouteHooks) IterationDone(p *engine.Pipeline) bool { return true }
 

@@ -8,12 +8,18 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"spotserve/internal/cloud"
 	"spotserve/internal/config"
 	"spotserve/internal/km"
 	"spotserve/internal/model"
 )
+
+// solverPool recycles KM solver workspaces across mappings: one
+// reconfiguration runs up to #instances × #blocks sub-matchings plus the
+// top-level matching, all through one pooled solver.
+var solverPool = sync.Pool{New: func() any { return km.NewSolver() }}
 
 // DeviceContext is the mapper's view of one GPU's context daemon: what
 // model and cache context the device currently holds.
@@ -101,21 +107,24 @@ func MapDevices(spec model.Spec, devices []DeviceContext, target config.Config, 
 		m.TotalModelBytes += model.PositionRect(spec, target.P, target.M, pos.P, pos.M).ParamBytes(spec)
 	}
 
+	sv := solverPool.Get().(*km.Solver)
+	defer solverPool.Put(sv)
+
 	var left []int // indices into devs chosen for the mesh, aligned to positions
 	var err error
 	switch {
 	case !opt.UseKM:
 		left = identityAssign(len(positions))
 	case opt.Hierarchical:
-		left, err = hierarchicalMatch(spec, devs, target, positions, opt.Inherit)
+		left, err = hierarchicalMatch(sv, spec, devs, target, positions, opt.Inherit)
 		if err != nil {
 			// Irregular instance shapes (partially preempted instances,
 			// uneven blocks) break the block structure; fall back to the
 			// globally optimal flat matching.
-			left, err = flatMatch(spec, devs, target, positions, opt.Inherit)
+			left, err = flatMatch(sv, spec, devs, target, positions, opt.Inherit)
 		}
 	default:
-		left, err = flatMatch(spec, devs, target, positions, opt.Inherit)
+		left, err = flatMatch(sv, spec, devs, target, positions, opt.Inherit)
 	}
 	if err != nil {
 		return Mapping{}, err
@@ -148,7 +157,7 @@ func identityAssign(n int) []int {
 }
 
 // flatMatch runs one global KM over all devices × positions.
-func flatMatch(spec model.Spec, devs []DeviceContext, target config.Config, positions []config.Position, inherit map[int]int) ([]int, error) {
+func flatMatch(sv *km.Solver, spec model.Spec, devs []DeviceContext, target config.Config, positions []config.Position, inherit map[int]int) ([]int, error) {
 	w := km.NewMatrix(len(devs), len(positions))
 	for i, u := range devs {
 		for j, v := range positions {
@@ -156,7 +165,7 @@ func flatMatch(spec model.Spec, devs []DeviceContext, target config.Config, posi
 			w[i][j] = mb + cb
 		}
 	}
-	a, err := km.Solve(w)
+	a, err := sv.Solve(w)
 	if err != nil {
 		return nil, err
 	}
@@ -176,7 +185,7 @@ func flatMatch(spec model.Spec, devs []DeviceContext, target config.Config, posi
 // per-pair GPU-level assignment. Consecutive positions share a stage
 // whenever M ≥ GPUs/instance, so tensor-parallel all-reduce groups land on
 // the fast intra-instance interconnect.
-func hierarchicalMatch(spec model.Spec, devs []DeviceContext, target config.Config, positions []config.Position, inherit map[int]int) ([]int, error) {
+func hierarchicalMatch(sv *km.Solver, spec model.Spec, devs []DeviceContext, target config.Config, positions []config.Position, inherit map[int]int) ([]int, error) {
 	// Group devices by instance (preserving device order).
 	instOrder := []int64{}
 	byInst := map[int64][]int{}
@@ -216,6 +225,7 @@ func hierarchicalMatch(spec model.Spec, devs []DeviceContext, target config.Conf
 	pairAssign := make(map[[2]int][]int) // (instIdx, blockIdx) → per-position device index
 	w := km.NewMatrix(len(instOrder), len(blocks))
 	feasible := make(map[[2]int]bool)
+	var sub scratchMatrix // one buffer reused for every instance×block pair
 	for ii, instID := range instOrder {
 		gset := byInst[instID]
 		for bi, block := range blocks {
@@ -223,14 +233,14 @@ func hierarchicalMatch(spec model.Spec, devs []DeviceContext, target config.Conf
 				w[ii][bi] = 0
 				continue
 			}
-			sub := km.NewMatrix(len(gset), len(block))
+			m := sub.sized(len(gset), len(block))
 			for a, di := range gset {
 				for b, pj := range block {
 					mb, cb := edgeWeights(spec, devs[di], target, positions[pj], inherit)
-					sub[a][b] = mb + cb
+					m[a][b] = mb + cb
 				}
 			}
-			sa, err := km.Solve(sub)
+			sa, err := sv.Solve(m)
 			if err != nil {
 				return nil, err
 			}
@@ -243,7 +253,7 @@ func hierarchicalMatch(spec model.Spec, devs []DeviceContext, target config.Conf
 			feasible[[2]int{ii, bi}] = true
 		}
 	}
-	top, err := km.Solve(w)
+	top, err := sv.Solve(w)
 	if err != nil {
 		return nil, err
 	}
@@ -259,6 +269,31 @@ func hierarchicalMatch(spec model.Spec, devs []DeviceContext, target config.Conf
 		}
 	}
 	return out, nil
+}
+
+// scratchMatrix hands out km.Matrix views over one growing backing array,
+// so the many small sub-matchings of a hierarchical match do not allocate a
+// fresh matrix each. Every cell of a sized view is overwritten by the
+// caller before use.
+type scratchMatrix struct {
+	rows  []([]float64)
+	cells []float64
+}
+
+// sized returns an r×c matrix view, growing the backing storage as needed.
+func (s *scratchMatrix) sized(r, c int) km.Matrix {
+	if cap(s.cells) < r*c {
+		s.cells = make([]float64, r*c)
+	}
+	if cap(s.rows) < r {
+		s.rows = make([][]float64, r)
+	}
+	s.rows = s.rows[:r]
+	cells := s.cells[:r*c]
+	for i := 0; i < r; i++ {
+		s.rows[i] = cells[i*c : (i+1)*c : (i+1)*c]
+	}
+	return km.Matrix(s.rows)
 }
 
 // KeepBatches implements the cache-discard rule of §3.3: when the new

@@ -234,12 +234,53 @@ func orderLayers(spec model.Spec, plan *Plan, byGPU map[int64]DeviceContext, map
 	}
 	sort.Slice(gpuIDs, func(i, j int) bool { return gpuIDs[i] < gpuIDs[j] })
 
-	// deltaOf computes each instance's net memory change when layer l
-	// migrates: incoming transfer bytes minus releasable old context.
-	deltaOf := func(l int) map[int64]float64 {
-		d := map[int64]float64{}
+	// Instances get dense indices (assigned in deterministic first-touch
+	// order) so the per-layer deltas and running usage live in flat slices
+	// instead of maps — the deferred-layer selection below reads them
+	// O(L²) times in the worst case.
+	instIdx := map[int64]int{}
+	instIDs := []int64{}
+	idxOf := func(id int64) int {
+		if i, ok := instIdx[id]; ok {
+			return i
+		}
+		i := len(instIDs)
+		instIdx[id] = i
+		instIDs = append(instIDs, id)
+		return i
+	}
+
+	// instDelta is one instance's net memory change when a layer migrates:
+	// incoming transfer bytes minus releasable old context.
+	type instDelta struct {
+		idx int
+		by  float64
+	}
+	// deltas[li] are layer layers[li]'s per-instance changes, computed once
+	// per layer — recomputing them inside every deferred-layer pass was
+	// O(L²) work.
+	deltas := make([][]instDelta, len(layers))
+	layerPos := make(map[int]int, len(layers))
+	var scratch []float64
+	var touched []int
+	for li, l := range layers {
+		layerPos[l] = li
+		touched = touched[:0]
+		touch := func(idx int) {
+			for len(scratch) <= idx {
+				scratch = append(scratch, 0)
+			}
+			for _, t := range touched {
+				if t == idx {
+					return
+				}
+			}
+			touched = append(touched, idx)
+		}
 		for _, tr := range plan.ByLayer[l] {
-			d[tr.To.Inst.ID] += tr.Bytes
+			idx := idxOf(tr.To.Inst.ID)
+			touch(idx)
+			scratch[idx] += tr.Bytes
 		}
 		for _, id := range gpuIDs {
 			dc := byGPU[id]
@@ -250,71 +291,86 @@ func orderLayers(spec model.Spec, plan *Plan, byGPU map[int64]DeviceContext, map
 			keep := oldL.OverlapParamBytes(spec, newRect[dc.GPU.ID])
 			release := oldL.ParamBytes(spec) - keep
 			if release > 0 {
-				d[dc.GPU.Inst.ID] -= release
+				idx := idxOf(dc.GPU.Inst.ID)
+				touch(idx)
+				scratch[idx] -= release
 			}
 		}
-		return d
+		d := make([]instDelta, len(touched))
+		for i, idx := range touched {
+			d[i] = instDelta{idx: idx, by: scratch[idx]}
+			scratch[idx] = 0
+		}
+		deltas[li] = d
 	}
 
-	usage := map[int64]float64{}
+	usage := make([]float64, len(instIDs))
+	peaks := make([]float64, len(instIDs))
 	apply := func(l int) {
-		for inst, by := range deltaOf(l) {
-			usage[inst] += by
-			if usage[inst] > plan.PeakBufferBytes[inst] {
-				plan.PeakBufferBytes[inst] = usage[inst]
+		for _, d := range deltas[layerPos[l]] {
+			usage[d.idx] += d.by
+			if usage[d.idx] > peaks[d.idx] {
+				peaks[d.idx] = usage[d.idx]
 			}
 		}
 	}
 	maxAfter := func(l int) float64 {
-		d := deltaOf(l)
 		peak := 0.0
 		for _, u := range usage {
 			if u > peak {
 				peak = u
 			}
 		}
-		for inst, by := range d {
-			if u := usage[inst] + by; u > peak {
+		for _, d := range deltas[layerPos[l]] {
+			if u := usage[d.idx] + d.by; u > peak {
 				peak = u
 			}
 		}
 		return peak
+	}
+	// flushPeaks publishes the per-instance peaks; entries appear only for
+	// instances whose buffer ever grew, matching the map-based original.
+	flushPeaks := func() {
+		for i, p := range peaks {
+			if p > 0 {
+				plan.PeakBufferBytes[instIDs[i]] = p
+			}
+		}
 	}
 
 	if !opt.MemOpt {
 		for _, l := range layers {
 			apply(l)
 		}
+		flushPeaks()
 		return layers
 	}
 
-	var order []int
-	deferred := map[int]bool{}
+	order := make([]int, 0, len(layers))
+	var deferred []int // kept sorted ascending; min-maxAfter ties pick the lowest layer
 	for _, l := range layers {
 		if maxAfter(l) <= opt.UmaxBytes {
 			apply(l)
 			order = append(order, l)
 		} else {
-			deferred[l] = true
+			deferred = append(deferred, l)
 		}
 	}
 	for len(deferred) > 0 {
-		bestL, bestV := -1, 0.0
-		var keys []int
-		for l := range deferred {
-			keys = append(keys, l)
-		}
-		sort.Ints(keys)
-		for _, l := range keys {
+		bestI := -1
+		bestV := 0.0
+		for i, l := range deferred {
 			v := maxAfter(l)
-			if bestL < 0 || v < bestV {
-				bestL, bestV = l, v
+			if bestI < 0 || v < bestV {
+				bestI, bestV = i, v
 			}
 		}
+		bestL := deferred[bestI]
 		apply(bestL)
 		order = append(order, bestL)
-		delete(deferred, bestL)
+		deferred = append(deferred[:bestI], deferred[bestI+1:]...)
 	}
+	flushPeaks()
 	return order
 }
 

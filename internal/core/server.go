@@ -76,6 +76,10 @@ type Options struct {
 	BaseRate float64
 	// SLOLatency forwards to the optimizer (0 = latency minimization).
 	SLOLatency float64
+	// DisableFastForward forces the engine into one-event-per-iteration
+	// execution (the reference mode; results are byte-identical either
+	// way, fast-forward is just cheaper).
+	DisableFastForward bool
 }
 
 // DefaultOptions fills the paper's defaults for a model.
@@ -182,6 +186,7 @@ func NewServer(s *sim.Simulator, cl *cloud.Cloud, opts Options) *Server {
 		dying:      map[int64]bool{},
 	}
 	srv.eng = engine.New(s, est, (*serverHooks)(srv))
+	srv.eng.NoFastForward = opts.DisableFastForward
 	if opts.Features.AdaptivePool {
 		p, err := predict.New(predict.DefaultOptions())
 		if err != nil {
@@ -524,7 +529,15 @@ func (s *Server) beginReconfig(target config.Config, reason string, deadline flo
 		}
 	}
 	anyBusy := false
-	for id, pipe := range s.pipes {
+	// Sorted order: interrupting a fast-forward run reschedules its
+	// boundary event, and event scheduling order must be deterministic.
+	ids := make([]int, 0, len(s.pipes))
+	for id := range s.pipes {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		pipe := s.pipes[id]
 		if !pipe.Busy() {
 			continue
 		}
@@ -532,6 +545,10 @@ func (s *Server) beginReconfig(target config.Config, reason string, deadline flo
 		s.stopBudget[id] = budget
 		if !s.opts.Features.Arranger || budget <= now {
 			pipe.RequestStop()
+		} else {
+			// The JIT arranger now needs to see every iteration boundary;
+			// demote any in-flight fast-forward run to stepping.
+			pipe.Interrupt()
 		}
 	}
 	if !anyBusy {
@@ -545,11 +562,7 @@ func (s *Server) beginReconfig(target config.Config, reason string, deadline flo
 			if epoch != s.epoch || !s.pendingReconfig {
 				return
 			}
-			for _, pipe := range s.pipes {
-				if pipe.Busy() {
-					pipe.RequestStop()
-				}
-			}
+			s.stopAllPipelines()
 		})
 	}
 }
@@ -584,6 +597,21 @@ func (s *Server) planOptions(inherit map[int]int) PlanOptions {
 		UmaxBytes:    s.opts.CostParams.BufMaxBytes,
 		MigrateCache: s.opts.Features.Arranger,
 		Inherit:      inherit,
+	}
+}
+
+// stopAllPipelines requests a boundary stop on every busy pipeline in
+// deterministic order (stops may reschedule fast-forward boundary events).
+func (s *Server) stopAllPipelines() {
+	ids := make([]int, 0, len(s.pipes))
+	for id := range s.pipes {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		if pipe := s.pipes[id]; pipe.Busy() {
+			pipe.RequestStop()
+		}
 	}
 }
 
@@ -904,11 +932,7 @@ func (c *cloudEvents) InstanceTerminated(inst *cloud.Instance) {
 	s.epoch++
 	s.pendingReconfig = true
 	s.reconfigReason = "crash"
-	for _, pipe := range s.pipes {
-		if pipe.Busy() {
-			pipe.RequestStop()
-		}
-	}
+	s.stopAllPipelines()
 	if s.pipelinesIdle() {
 		s.executeMigration(target)
 		s.tryDispatch()
@@ -918,6 +942,14 @@ func (c *cloudEvents) InstanceTerminated(inst *cloud.Instance) {
 // --- engine.Hooks -------------------------------------------------------
 
 type serverHooks Server
+
+// AllowFastForward implements engine.FastForwarder: outside a pending
+// reconfiguration IterationDone is a side-effect-free "continue", so the
+// engine may batch iteration commits. beginReconfig interrupts in-flight
+// runs when this promise expires.
+func (h *serverHooks) AllowFastForward(p *engine.Pipeline) bool {
+	return !(*Server)(h).pendingReconfig
+}
 
 func (h *serverHooks) IterationDone(p *engine.Pipeline) bool {
 	s := (*Server)(h)

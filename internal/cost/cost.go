@@ -17,6 +17,7 @@ package cost
 
 import (
 	"fmt"
+	"sync"
 
 	"spotserve/internal/config"
 	"spotserve/internal/model"
@@ -143,6 +144,42 @@ func (p Params) Validate() error {
 type Estimator struct {
 	Params Params
 	Spec   model.Spec
+
+	// memo caches the pure hot-path quantities (per-iteration decode
+	// latency and the cumulative execution-latency tables behind Exec /
+	// ExecPartial). It is nil for Estimators built as struct literals, in
+	// which case every call recomputes from scratch.
+	memo *estMemo
+}
+
+// estMemo holds the memoized cost tables. All tables store values produced
+// by exactly the same floating-point operation sequence as the unmemoized
+// paths, so memoized and fresh Estimators are bit-identical — the golden
+// fingerprint tests depend on this.
+type estMemo struct {
+	mu     sync.Mutex
+	decode map[shapeKey][]float64 // (P,M,B) → DecodeIter indexed by curLen (0 = unfilled)
+	exec   map[execKey]*execTable
+}
+
+// shapeKey identifies a (P, M, B) execution shape.
+type shapeKey struct{ p, m, b int }
+
+// execKey identifies a (P, M, B, S_in) execution-latency table.
+type execKey struct{ p, m, b, sin int }
+
+// execTable holds the two cumulative latency recurrences for one
+// (P, M, B, S_in):
+//
+//	cum[k]     = Exec(k):        cum[0] = InitPhase, cum[k] = cum[k-1] + DecodeIter(sin+k)
+//	partial[k] = ExecPartial(0,k): partial[0] = 0,   partial[k] = partial[k-1] + DecodeIter(sin+k)
+//
+// Both are exactly the accumulation order of the original O(S_out) loops,
+// so lookups reproduce the loop results bit for bit while answering any
+// sout / to in O(1) after the first fill.
+type execTable struct {
+	cum     []float64
+	partial []float64
 }
 
 // NewEstimator builds an estimator; it panics on invalid inputs because
@@ -154,7 +191,10 @@ func NewEstimator(p Params, spec model.Spec) *Estimator {
 	if err := spec.Validate(); err != nil {
 		panic(err)
 	}
-	return &Estimator{Params: p, Spec: spec}
+	return &Estimator{Params: p, Spec: spec, memo: &estMemo{
+		decode: make(map[shapeKey][]float64),
+		exec:   make(map[execKey]*execTable),
+	}}
 }
 
 // NumParams converts the Table-1 serialized size (fp32) to a parameter
@@ -202,7 +242,45 @@ func (e *Estimator) p2pTime(msgBytes float64) float64 {
 // (generate one token for each of B requests) at sequence length curLen.
 // The iteration flows through all P stages sequentially; each stage is
 // memory-bandwidth-bound reading its parameter shard plus the KV cache.
+// Calls are memoized per (P, M, B, curLen), so the simulator's fast-forward
+// loop and Algorithm 1's enumeration pay the full model exactly once per
+// distinct point.
 func (e *Estimator) DecodeIter(P, M, B, curLen int) float64 {
+	if e.memo == nil {
+		return e.decodeIterRaw(P, M, B, curLen)
+	}
+	e.memo.mu.Lock()
+	v := e.decodeLocked(P, M, B, curLen)
+	e.memo.mu.Unlock()
+	return v
+}
+
+// decodeLocked reads (filling on miss) the memoized DecodeIter value.
+// Caller holds memo.mu. DecodeIter is strictly positive, so 0 marks
+// unfilled slots.
+func (e *Estimator) decodeLocked(P, M, B, curLen int) float64 {
+	key := shapeKey{P, M, B}
+	tab := e.memo.decode[key]
+	if curLen < len(tab) && tab[curLen] != 0 {
+		return tab[curLen]
+	}
+	v := e.decodeIterRaw(P, M, B, curLen)
+	if curLen >= len(tab) {
+		if curLen < cap(tab) {
+			tab = tab[:curLen+1]
+		} else {
+			grown := make([]float64, curLen+1, 2*curLen+16)
+			copy(grown, tab)
+			tab = grown
+		}
+		e.memo.decode[key] = tab
+	}
+	tab[curLen] = v
+	return v
+}
+
+// decodeIterRaw is the closed-form model behind DecodeIter.
+func (e *Estimator) decodeIterRaw(P, M, B, curLen int) float64 {
 	p := e.Params
 	stageLayers := model.MaxStageLayers(e.Spec.Layers, P)
 	bw := e.effMemBW(M)
@@ -239,22 +317,77 @@ func (e *Estimator) InitPhase(P, M, B, sin int) float64 {
 }
 
 // Exec returns l_exe(S_out | S_in): initial phase plus S_out incremental
-// decoding iterations (equation 1 of the paper).
+// decoding iterations (equation 1 of the paper). With a memoized Estimator
+// the answer comes from a cumulative prefix table — O(1) per call after the
+// first fill, which is what makes Algorithm 1's enumeration cheap.
 func (e *Estimator) Exec(P, M, B, sin, sout int) float64 {
-	t := e.InitPhase(P, M, B, sin)
-	for i := 1; i <= sout; i++ {
-		t += e.DecodeIter(P, M, B, sin+i)
+	if e.memo == nil {
+		t := e.InitPhase(P, M, B, sin)
+		for i := 1; i <= sout; i++ {
+			t += e.decodeIterRaw(P, M, B, sin+i)
+		}
+		return t
 	}
-	return t
+	e.memo.mu.Lock()
+	t := e.execLocked(P, M, B, sin)
+	for len(t.cum) <= sout {
+		k := len(t.cum)
+		if k == 0 {
+			t.cum = append(t.cum, e.InitPhase(P, M, B, sin))
+		} else {
+			t.cum = append(t.cum, t.cum[k-1]+e.decodeLocked(P, M, B, sin+k))
+		}
+	}
+	v := t.cum[sout]
+	e.memo.mu.Unlock()
+	return v
 }
 
 // ExecPartial returns the execution latency of decoding from token
 // `from` (exclusive) to token `to` (inclusive) after the initial phase has
-// already run — used by stateful recovery to price resumed requests.
+// already run — used by stateful recovery to price resumed requests. The
+// from == 0 form (the arranger's reroute-vs-migrate query) is answered from
+// a cumulative table in O(1).
 func (e *Estimator) ExecPartial(P, M, B, sin, from, to int) float64 {
+	if to <= from {
+		return 0
+	}
+	if e.memo == nil {
+		t := 0.0
+		for i := from + 1; i <= to; i++ {
+			t += e.decodeIterRaw(P, M, B, sin+i)
+		}
+		return t
+	}
+	e.memo.mu.Lock()
+	defer e.memo.mu.Unlock()
+	if from == 0 {
+		t := e.execLocked(P, M, B, sin)
+		for len(t.partial) <= to {
+			k := len(t.partial)
+			if k == 0 {
+				t.partial = append(t.partial, 0)
+			} else {
+				t.partial = append(t.partial, t.partial[k-1]+e.decodeLocked(P, M, B, sin+k))
+			}
+		}
+		return t.partial[to]
+	}
 	t := 0.0
 	for i := from + 1; i <= to; i++ {
-		t += e.DecodeIter(P, M, B, sin+i)
+		t += e.decodeLocked(P, M, B, sin+i)
+	}
+	return t
+}
+
+// execLocked returns (creating on first use) the execution-latency table
+// for one (P, M, B, S_in). Caller holds memo.mu.
+func (e *Estimator) execLocked(P, M, B, sin int) *execTable {
+	key := execKey{P, M, B, sin}
+	t, ok := e.memo.exec[key]
+	if !ok {
+		t = &execTable{}
+		e.memo.exec[key] = t
 	}
 	return t
 }

@@ -163,13 +163,45 @@ type Hooks interface {
 	BatchPaused(p *Pipeline, b *Batch)
 }
 
+// FastForwarder optionally extends Hooks with the fast-forward opt-in.
+//
+// When AllowFastForward(p) returns true at an iteration boundary, the
+// engine may commit the run of iterations up to the next semantic boundary
+// (the earliest request completion) as ONE simulator event instead of one
+// event per iteration; IterationDone is not called at the elided interior
+// boundaries. Returning true is therefore a promise that, until the run's
+// final boundary, IterationDone would have returned true with no observable
+// side effects. A control plane whose promise expires mid-run (e.g. a
+// reconfiguration starts and the JIT arranger now needs per-iteration
+// decisions) must call Pipeline.Interrupt — or RequestStop / Abort, which
+// imply it — to demote the run back to per-iteration stepping from the next
+// boundary on.
+//
+// Fast-forward is an execution-strategy change only: boundary times are
+// accumulated with exactly the per-iteration floating-point operations, and
+// every externally observable read (RequestStop, Abort, Batch, Iterations,
+// Engine.Daemon/Daemons) first commits the boundaries that have already
+// passed on the virtual clock, so traces are byte-identical with and
+// without it.
+type FastForwarder interface {
+	AllowFastForward(p *Pipeline) bool
+}
+
 // Engine owns daemons and pipelines for one serving deployment.
 type Engine struct {
 	Sim   *sim.Simulator
 	Est   *cost.Estimator
 	Hooks Hooks
 
+	// NoFastForward forces one-event-per-iteration execution even when
+	// Hooks implements FastForwarder (the reference mode equivalence tests
+	// compare against).
+	NoFastForward bool
+
 	daemons map[int64]*Daemon
+	// ffPipes are the pipelines currently executing a fast-forward run, in
+	// deterministic (run-start) order; daemon reads sync them first.
+	ffPipes []*Pipeline
 }
 
 // New builds an engine. Hooks must be installed before any pipeline runs.
@@ -177,8 +209,24 @@ func New(s *sim.Simulator, est *cost.Estimator, hooks Hooks) *Engine {
 	return &Engine{Sim: s, Est: est, Hooks: hooks, daemons: make(map[int64]*Daemon)}
 }
 
+// syncAll commits the already-passed boundaries of every in-flight
+// fast-forward run, bringing request progress and daemon contexts up to the
+// current virtual time before an external read.
+func (e *Engine) syncAll() {
+	for _, p := range e.ffPipes {
+		p.sync()
+	}
+}
+
 // Daemon returns (creating on first use) the context daemon of gpu.
 func (e *Engine) Daemon(gpu *cloud.GPU) *Daemon {
+	e.syncAll()
+	return e.daemon(gpu)
+}
+
+// daemon is Daemon without the fast-forward sync — the engine's own commit
+// path uses it to avoid re-entering sync.
+func (e *Engine) daemon(gpu *cloud.GPU) *Daemon {
 	d, ok := e.daemons[gpu.ID]
 	if !ok {
 		d = &Daemon{GPU: gpu, CachePipeline: -1}
@@ -189,6 +237,7 @@ func (e *Engine) Daemon(gpu *cloud.GPU) *Daemon {
 
 // Daemons returns all daemons in GPU-ID order.
 func (e *Engine) Daemons() []*Daemon {
+	e.syncAll()
 	out := make([]*Daemon, 0, len(e.daemons))
 	for _, d := range e.daemons {
 		out = append(out, d)
@@ -221,6 +270,13 @@ type Pipeline struct {
 	iterEnd   float64
 	stopASAP  bool
 	iterCount int64
+
+	// Fast-forward run state: ffTimes holds the boundary times of the
+	// in-flight run (reused buffer), ffDone counts boundaries already
+	// committed by sync, ffActive marks a run in flight.
+	ffTimes  []float64
+	ffDone   int
+	ffActive bool
 }
 
 // NewPipeline constructs a pipeline over the given position→GPU binding.
@@ -249,11 +305,18 @@ func (e *Engine) NewPipeline(id int, cfg config.Config, gpus map[config.Position
 // Busy reports whether a batch is executing.
 func (p *Pipeline) Busy() bool { return p.busy }
 
-// Batch returns the running (or last paused) batch.
-func (p *Pipeline) Batch() *Batch { return p.batch }
+// Batch returns the running (or last paused) batch, with any already-passed
+// fast-forward boundaries committed so its progress is current.
+func (p *Pipeline) Batch() *Batch {
+	p.sync()
+	return p.batch
+}
 
 // Iterations returns the number of committed iterations this pipeline ran.
-func (p *Pipeline) Iterations() int64 { return p.iterCount }
+func (p *Pipeline) Iterations() int64 {
+	p.sync()
+	return p.iterCount
+}
 
 // SetStageReady marks stage p usable from time t.
 func (p *Pipeline) SetStageReady(stage int, t float64) {
@@ -296,12 +359,21 @@ func (p *Pipeline) Start(b *Batch) {
 
 // scheduleNext schedules the completion of the next iteration. The first
 // iteration after Start may include the initial phase for fresh requests.
+// Steady-state iterations fast-forward when the control plane allows it:
+// all iterations up to the next semantic boundary (the earliest request
+// completion) are precomputed and committed by a single simulator event.
 func (p *Pipeline) scheduleNext(first bool) {
 	b := p.batch
 	bsz := b.Size()
 	if bsz == 0 {
 		p.finish()
 		return
+	}
+	if !first && p.canFastForward() {
+		if n := minRemaining(b); n > 1 {
+			p.beginFastForward(n, bsz)
+			return
+		}
 	}
 	dur := 0.0
 	if first {
@@ -325,6 +397,175 @@ func (p *Pipeline) scheduleNext(first bool) {
 	dur += p.gateDelay(dur)
 	p.iterEnd = p.eng.Sim.Now() + dur
 	p.iterEv = p.eng.Sim.After(dur, func() { p.completeIteration() })
+}
+
+// canFastForward reports whether the next run of iterations may be
+// committed in one event: the engine allows it, the control plane opts in,
+// the pipeline has not been asked to stop, and every stage gate lies in the
+// past (so per-iteration gate delays would all be zero).
+func (p *Pipeline) canFastForward() bool {
+	if p.eng.NoFastForward || p.stopASAP {
+		return false
+	}
+	ff, ok := p.eng.Hooks.(FastForwarder)
+	if !ok || !ff.AllowFastForward(p) {
+		return false
+	}
+	now := p.eng.Sim.Now()
+	for _, ready := range p.StageReadyAt {
+		if ready > now {
+			return false
+		}
+	}
+	return true
+}
+
+// minRemaining returns the smallest Remaining among active requests — the
+// number of iterations until the earliest request completion, the next
+// point where batch composition (and hook activity) can change.
+func minRemaining(b *Batch) int {
+	first := true
+	m := 0
+	for _, r := range b.Requests {
+		if r.Done() {
+			continue
+		}
+		if rem := r.Remaining(); first || rem < m {
+			m = rem
+			first = false
+		}
+	}
+	return m
+}
+
+// beginFastForward precomputes the next n iteration boundaries and
+// schedules one event at the last of them. Boundary times accumulate with
+// exactly the floating-point operations of per-iteration scheduling
+// (t_k = t_{k-1} + DecodeIter at the batch's length after k commits), so
+// the committed timeline is bit-identical to stepping.
+func (p *Pipeline) beginFastForward(n, bsz int) {
+	b := p.batch
+	// Sequence-length dynamics within the run: no request completes before
+	// the final boundary, so every active request grows by one token per
+	// iteration while completed requests stay fixed.
+	la, ld := 0, 0
+	for _, r := range b.Requests {
+		l := r.Req.SeqIn + r.Committed
+		if r.Done() {
+			if l > ld {
+				ld = l
+			}
+		} else if l > la {
+			la = l
+		}
+	}
+	times := p.ffTimes[:0]
+	cur := p.eng.Sim.Now()
+	for k := 0; k < n; k++ {
+		curLen := la + k
+		if ld > curLen {
+			curLen = ld
+		}
+		cur += p.eng.Est.DecodeIter(p.Cfg.P, p.Cfg.M, bsz, curLen)
+		times = append(times, cur)
+	}
+	p.ffTimes = times
+	p.ffDone = 0
+	p.ffActive = true
+	p.eng.ffPipes = append(p.eng.ffPipes, p)
+	p.iterEnd = cur
+	p.iterEv = p.eng.Sim.At(cur, func() { p.completeFastForward() })
+}
+
+// sync commits the boundaries of an in-flight fast-forward run that the
+// virtual clock has already passed, so external readers observe exactly the
+// state per-iteration stepping would have produced by now. The run's final
+// boundary is never committed here — its event owns the request
+// completions and hook calls.
+func (p *Pipeline) sync() {
+	if !p.ffActive {
+		return
+	}
+	now := p.eng.Sim.Now()
+	k := p.ffDone
+	last := len(p.ffTimes) - 1 // final boundary stays with its event
+	for k < last && p.ffTimes[k] <= now {
+		k++
+	}
+	if k == p.ffDone {
+		return
+	}
+	p.commitThrough(k)
+}
+
+// commitThrough applies boundaries ffDone..k-1: one committed token per
+// active request each, then one daemon refresh (equal to the state after
+// the last per-iteration refresh). Interior boundaries complete no request,
+// so no hooks fire.
+func (p *Pipeline) commitThrough(k int) {
+	iters := k - p.ffDone
+	if iters <= 0 {
+		return
+	}
+	p.iterCount += int64(iters)
+	for _, r := range p.batch.Requests {
+		if !r.Done() {
+			r.Committed += iters
+		}
+	}
+	p.ffDone = k
+	p.refreshCacheDaemons()
+}
+
+// endFastForward drops the run bookkeeping (the scheduled event is the
+// caller's to cancel or consume).
+func (p *Pipeline) endFastForward() {
+	if !p.ffActive {
+		return
+	}
+	p.ffActive = false
+	pipes := p.eng.ffPipes
+	for i, q := range pipes {
+		if q == p {
+			p.eng.ffPipes = append(pipes[:i], pipes[i+1:]...)
+			break
+		}
+	}
+}
+
+// completeFastForward fires at the run's final boundary: interior
+// boundaries commit silently, then the final boundary goes through the
+// standard completion path (request completions, daemon refresh, hooks,
+// next schedule).
+func (p *Pipeline) completeFastForward() {
+	n := len(p.ffTimes)
+	p.commitThrough(n - 1)
+	p.endFastForward()
+	p.completeIteration()
+}
+
+// Interrupt demotes an in-flight fast-forward run to per-iteration
+// stepping: boundaries already passed are committed, and the next boundary
+// is rescheduled as an ordinary iteration event so IterationDone fires
+// there. Control planes call this when their AllowFastForward promise
+// expires (a reconfiguration starts). No-op unless fast-forwarding.
+func (p *Pipeline) Interrupt() {
+	if !p.ffActive {
+		return
+	}
+	p.sync()
+	next := p.ffDone
+	if next >= len(p.ffTimes)-1 {
+		// Only the final boundary remains and its event is already
+		// scheduled at the correct time; completeIteration will consult
+		// the hooks there.
+		return
+	}
+	p.iterEv.Cancel()
+	t := p.ffTimes[next]
+	p.endFastForward()
+	p.iterEnd = t
+	p.iterEv = p.eng.Sim.At(t, func() { p.completeIteration() })
 }
 
 func maxSeqIn(b *Batch) int {
@@ -370,7 +611,7 @@ func (p *Pipeline) completeIteration() {
 func (p *Pipeline) refreshCacheDaemons() {
 	tokens := p.batch.TotalTokens()
 	for pos, gpu := range p.GPUs {
-		d := p.eng.Daemon(gpu)
+		d := p.eng.daemon(gpu)
 		d.CachePipeline = p.ID
 		d.CacheRect = model.PositionRect(p.eng.Est.Spec, p.Cfg.P, p.Cfg.M, pos.P, pos.M)
 		d.CacheTokens = tokens
@@ -382,7 +623,7 @@ func (p *Pipeline) finish() {
 	p.batch = nil
 	// The completed batch's cache is dead weight; daemons drop it.
 	for _, gpu := range p.GPUs {
-		p.eng.Daemon(gpu).DropCache()
+		p.eng.daemon(gpu).DropCache()
 	}
 	p.eng.Hooks.BatchDone(p)
 }
@@ -395,14 +636,22 @@ func (p *Pipeline) pause() {
 }
 
 // RequestStop asks the pipeline to pause at the next iteration boundary
-// (token-level commit). No-op when idle.
-func (p *Pipeline) RequestStop() { p.stopASAP = true }
+// (token-level commit). An in-flight fast-forward run is demoted to
+// per-iteration stepping so the stop lands on that very boundary. No-op
+// when idle.
+func (p *Pipeline) RequestStop() {
+	p.stopASAP = true
+	p.Interrupt()
+}
 
 // Abort cancels the in-flight iteration immediately. Progress since the
 // last commit is lost (that is the point of committing at token level: at
-// most one iteration of work can ever be lost). The batch, with committed
-// progress, is returned; the pipeline becomes idle.
+// most one iteration of work can ever be lost); boundaries a fast-forward
+// run has already passed count as committed first. The batch, with
+// committed progress, is returned; the pipeline becomes idle.
 func (p *Pipeline) Abort() *Batch {
+	p.sync()
+	p.endFastForward()
 	p.iterEv.Cancel()
 	p.busy = false
 	b := p.batch

@@ -62,6 +62,12 @@ type Scenario struct {
 	// SampleFleet records instance counts every 10 s (Figure 5).
 	SampleFleet bool
 	Seed        int64
+
+	// disableFastForward runs the engine one event per iteration — the
+	// reference mode the fast-forward equivalence test compares against.
+	// Results are byte-identical either way, so it is not part of the
+	// public scenario surface (and not fingerprinted).
+	disableFastForward bool
 }
 
 // Result bundles a scenario's outcome.
@@ -74,6 +80,10 @@ type Result struct {
 	OnDemandCount metrics.Series
 	// FinalConfig is the configuration at the end of the run.
 	FinalConfig config.Config
+	// Steps counts simulator events executed — a diagnostic for the
+	// fast-forward kernel (not part of the result fingerprint: fast-forward
+	// changes the event count, never the results).
+	Steps uint64
 }
 
 // DefaultScenario fills the paper's defaults for a model/system/trace.

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"testing"
+
+	"spotserve/internal/model"
+	"spotserve/internal/trace"
+)
+
+// TestFastForwardEquivalence proves the engine's fast-forward execution is
+// an execution-strategy change only: full serving simulations — SpotServe
+// with all features (JIT arrangement, migrations, preemptions) and both
+// baselines — produce byte-identical result fingerprints whether the
+// engine commits one iteration per event or batches runs of iterations
+// into single events.
+func TestFastForwardEquivalence(t *testing.T) {
+	cells := []Scenario{
+		DefaultScenario(SpotServe, model.GPT20B, trace.BS(), 42),
+		DefaultScenario(SpotServe, model.OPT6B7, trace.AS(), 1),
+		DefaultScenario(Reparallel, model.GPT20B, trace.AS(), 7),
+		DefaultScenario(Reroute, model.GPT20B, trace.BS(), 7),
+	}
+	// On-demand mixing exercises acquisition-driven reconfigurations.
+	cells[1].AllowOnDemand = true
+
+	for _, sc := range cells {
+		sc := sc
+		name := string(sc.System) + "/" + sc.Spec.Name + "/" + sc.Trace.Name
+		t.Run(name, func(t *testing.T) {
+			fast := Run(sc)
+			ref := sc
+			ref.disableFastForward = true
+			slow := Run(ref)
+			// The reference runs with the flag cleared again so the
+			// fingerprinted scenario fields match exactly.
+			slowRes := slow
+			slowRes.Scenario.disableFastForward = false
+			if got, want := fast.Fingerprint(), slowRes.Fingerprint(); got != want {
+				t.Errorf("fast-forward fingerprint %s != per-iteration %s", got, want)
+			}
+			if fast.Stats.Completed != slow.Stats.Completed {
+				t.Errorf("completed: fast %d, per-iteration %d",
+					fast.Stats.Completed, slow.Stats.Completed)
+			}
+		})
+	}
+}
+
+// TestFastForwardFewerEvents checks fast-forward actually collapses events:
+// the speedup comes from committing runs of decode iterations in single
+// simulator events, so the fast path must execute far fewer of them.
+func TestFastForwardFewerEvents(t *testing.T) {
+	sc := DefaultScenario(SpotServe, model.GPT20B, trace.BS(), 42)
+	fast := Run(sc)
+	sc.disableFastForward = true
+	slow := Run(sc)
+	if fast.Steps == 0 || slow.Steps == 0 {
+		t.Fatalf("steps not recorded: fast %d, slow %d", fast.Steps, slow.Steps)
+	}
+	if fast.Steps*2 > slow.Steps {
+		t.Errorf("fast-forward executed %d events vs %d per-iteration — expected under half",
+			fast.Steps, slow.Steps)
+	}
+}

@@ -35,6 +35,7 @@ func Run(sc Scenario) Result {
 
 	opts := core.DefaultOptions(sc.Spec)
 	opts.BaseRate = sc.Rate
+	opts.DisableFastForward = sc.disableFastForward
 	if sc.Features != nil {
 		opts.Features = *sc.Features
 	}
@@ -105,6 +106,7 @@ func Run(sc Scenario) Result {
 	s.Run(horizon + drain)
 
 	res.Stats = sys.Stats()
+	res.Steps = s.Steps()
 	if srv, ok := sys.(spotAdapter); ok {
 		res.FinalConfig = srv.srv.Config()
 	}

@@ -62,7 +62,62 @@ type Assignment struct {
 // min(r, c) real pairs; real pairs with weight 0 may be reported as matched —
 // that is fine for device mapping, where a zero edge means "no reusable
 // context but still a valid placement".
+//
+// Solve allocates a fresh workspace per call; callers solving many matrices
+// (the device mapper runs one sub-matching per instance×block pair of a
+// reconfiguration) should reuse a Solver instead.
 func Solve(m Matrix) (Assignment, error) {
+	var s Solver
+	return s.Solve(m)
+}
+
+// Solver runs the Kuhn–Munkres algorithm with a reusable workspace: the
+// padded cost matrix is a single flat row-major slice and the potential /
+// augmenting-path arrays are preallocated once and recycled across calls,
+// so repeated Solve calls are allocation-free apart from the returned
+// Assignment. A Solver is not safe for concurrent use; its zero value is
+// ready to go.
+type Solver struct {
+	cost   []float64 // flat n×n padded minimization matrix
+	u, v   []float64 // row / column potentials (1-indexed)
+	minv   []float64
+	p, way []int
+	used   []bool
+}
+
+// NewSolver returns an empty Solver. The workspace grows on first use and
+// is retained for subsequent calls.
+func NewSolver() *Solver { return &Solver{} }
+
+// grow sizes the workspace for a padded n×n problem.
+func (s *Solver) grow(n int) {
+	if cap(s.cost) < n*n {
+		s.cost = make([]float64, n*n)
+	}
+	s.cost = s.cost[:n*n]
+	if cap(s.u) < n+1 {
+		s.u = make([]float64, n+1)
+		s.v = make([]float64, n+1)
+		s.minv = make([]float64, n+1)
+		s.p = make([]int, n+1)
+		s.way = make([]int, n+1)
+		s.used = make([]bool, n+1)
+	}
+	s.u = s.u[:n+1]
+	s.v = s.v[:n+1]
+	s.minv = s.minv[:n+1]
+	s.p = s.p[:n+1]
+	s.way = s.way[:n+1]
+	s.used = s.used[:n+1]
+	for j := 0; j <= n; j++ {
+		s.u[j], s.v[j] = 0, 0
+		s.p[j], s.way[j] = 0, 0
+	}
+}
+
+// Solve computes the same maximum-weight matching as the package-level
+// Solve, reusing the Solver's workspace.
+func (s *Solver) Solve(m Matrix) (Assignment, error) {
 	if err := m.Validate(); err != nil {
 		return Assignment{}, err
 	}
@@ -80,7 +135,9 @@ func Solve(m Matrix) (Assignment, error) {
 	}
 
 	// The classic Hungarian algorithm minimizes cost. Convert to a
-	// minimization problem: cost = maxW - w, padded cells cost maxW.
+	// minimization problem: cost = maxW - w, padded cells cost maxW. The
+	// padded matrix is materialized row-major so the innermost loop below
+	// walks memory linearly instead of chasing row pointers or a closure.
 	maxW := 0.0
 	for i := 0; i < r; i++ {
 		for j := 0; j < c; j++ {
@@ -89,39 +146,47 @@ func Solve(m Matrix) (Assignment, error) {
 			}
 		}
 	}
-	cost := func(i, j int) float64 {
-		if i < r && j < c {
-			return maxW - m[i][j]
+	s.grow(n)
+	for i := 0; i < n; i++ {
+		row := s.cost[i*n : (i+1)*n]
+		if i < r {
+			for j := 0; j < c; j++ {
+				row[j] = maxW - m[i][j]
+			}
+			for j := c; j < n; j++ {
+				row[j] = maxW
+			}
+		} else {
+			for j := 0; j < n; j++ {
+				row[j] = maxW
+			}
 		}
-		return maxW
 	}
 
 	// Jonker-style O(n³) implementation with potentials. Arrays are
 	// 1-indexed as in the standard formulation.
 	const inf = math.MaxFloat64
-	u := make([]float64, n+1)
-	v := make([]float64, n+1)
-	p := make([]int, n+1) // p[j]: row matched to column j (0 = none)
-	way := make([]int, n+1)
+	u, v, minv, p, way, used := s.u, s.v, s.minv, s.p, s.way, s.used
 
 	for i := 1; i <= n; i++ {
 		p[0] = i
 		j0 := 0
-		minv := make([]float64, n+1)
-		used := make([]bool, n+1)
 		for j := 0; j <= n; j++ {
 			minv[j] = inf
+			used[j] = false
 		}
 		for {
 			used[j0] = true
 			i0 := p[j0]
 			delta := inf
 			j1 := -1
+			costRow := s.cost[(i0-1)*n : i0*n]
+			ui0 := u[i0]
 			for j := 1; j <= n; j++ {
 				if used[j] {
 					continue
 				}
-				cur := cost(i0-1, j-1) - u[i0] - v[j]
+				cur := costRow[j-1] - ui0 - v[j]
 				if cur < minv[j] {
 					minv[j] = cur
 					way[j] = j0

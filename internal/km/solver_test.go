@@ -1,0 +1,127 @@
+package km
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randMatrix builds a random r×c matrix with small-integer-ish weights
+// (ties included, exercising tie-breaking determinism).
+func randMatrix(rng *rand.Rand, r, c int) Matrix {
+	m := NewMatrix(r, c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			m[i][j] = float64(rng.Intn(20)) * 0.5
+		}
+	}
+	return m
+}
+
+// assignmentsEqual compares two assignments field for field.
+func assignmentsEqual(a, b Assignment) bool {
+	if len(a.Left) != len(b.Left) || len(a.Right) != len(b.Right) || a.Weight != b.Weight {
+		return false
+	}
+	for i := range a.Left {
+		if a.Left[i] != b.Left[i] {
+			return false
+		}
+	}
+	for j := range a.Right {
+		if a.Right[j] != b.Right[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSolverReuseMatchesFreshSolve is the workspace-reuse property test:
+// one Solver handling a long randomized stream of rectangular instances
+// must return, call after call, exactly what a fresh Solve returns — i.e.
+// no state may leak from one solve into the next — and the optimal weight
+// must match BruteForce on instances small enough to enumerate.
+func TestSolverReuseMatchesFreshSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	sv := NewSolver()
+	for iter := 0; iter < 300; iter++ {
+		r := 1 + rng.Intn(6)
+		c := 1 + rng.Intn(6)
+		m := randMatrix(rng, r, c)
+
+		reused, err := sv.Solve(m)
+		if err != nil {
+			t.Fatalf("iter %d: reused solver: %v", iter, err)
+		}
+		fresh, err := Solve(m)
+		if err != nil {
+			t.Fatalf("iter %d: fresh solve: %v", iter, err)
+		}
+		if !assignmentsEqual(reused, fresh) {
+			t.Fatalf("iter %d (%dx%d): reused %+v != fresh %+v", iter, r, c, reused, fresh)
+		}
+		bf := BruteForce(m)
+		if math.Abs(reused.Weight-bf.Weight) > 1e-9 {
+			t.Fatalf("iter %d (%dx%d): solver weight %v != brute-force %v\n%v",
+				iter, r, c, reused.Weight, bf.Weight, m)
+		}
+	}
+}
+
+// TestSolverShrinkAfterLarge drives the workspace through a large instance
+// followed by tiny ones: stale entries beyond the active region must not
+// influence later solves.
+func TestSolverShrinkAfterLarge(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	sv := NewSolver()
+	if _, err := sv.Solve(randMatrix(rng, 40, 40)); err != nil {
+		t.Fatal(err)
+	}
+	for iter := 0; iter < 50; iter++ {
+		m := randMatrix(rng, 1+rng.Intn(4), 1+rng.Intn(4))
+		got, err := sv.Solve(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bf := BruteForce(m)
+		if math.Abs(got.Weight-bf.Weight) > 1e-9 {
+			t.Fatalf("iter %d: weight %v != brute-force %v after large solve", iter, got.Weight, bf.Weight)
+		}
+	}
+}
+
+// TestSolverRepeatedSameMatrix checks a reused solver is deterministic on
+// repeated identical inputs (same assignment, not just same weight).
+func TestSolverRepeatedSameMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	sv := NewSolver()
+	m := randMatrix(rng, 5, 7)
+	first, err := sv.Solve(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		again, err := sv.Solve(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !assignmentsEqual(first, again) {
+			t.Fatalf("call %d: %+v != first %+v", i, again, first)
+		}
+	}
+}
+
+// BenchmarkSolverReuse32 measures the reused-workspace hot path the device
+// mapper rides during reconfigurations.
+func BenchmarkSolverReuse32(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	m := randMatrix(rng, 32, 32)
+	sv := NewSolver()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sv.Solve(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestCancelCompactsQueue is the regression test for the cancelled-event
+// memory leak: dead items used to linger in the heap until popped, so a
+// workload that schedules and cancels in a loop grew the queue without
+// bound. Cancellation must now remove items eagerly.
+func TestCancelCompactsQueue(t *testing.T) {
+	s := New()
+	const rounds = 100_000
+	live := s.At(1e12, func() {})
+	for i := 0; i < rounds; i++ {
+		h := s.At(1e9+float64(i), func() {})
+		if !h.Cancel() {
+			t.Fatalf("round %d: cancel failed", i)
+		}
+		if got := s.Pending(); got != 1 {
+			t.Fatalf("round %d: pending = %d, want 1 (queue must not retain dead items)", i, got)
+		}
+	}
+	if !live.Pending() {
+		t.Fatal("surviving event lost")
+	}
+	if len(s.queue) != 1 {
+		t.Fatalf("queue length = %d after mass cancellation, want 1", len(s.queue))
+	}
+}
+
+// TestItemPoolRecycles checks the free list actually bounds allocations: a
+// schedule/fire loop deep enough to need fresh items only once must keep
+// reusing them afterwards.
+func TestItemPoolRecycles(t *testing.T) {
+	s := New()
+	fired := 0
+	for i := 0; i < 10_000; i++ {
+		s.At(float64(i), func() { fired++ })
+		s.RunAll()
+	}
+	if fired != 10_000 {
+		t.Fatalf("fired = %d", fired)
+	}
+	// One live event at a time → the pool should hold O(1) items.
+	if len(s.free) > 4 {
+		t.Fatalf("free list holds %d items, want a handful", len(s.free))
+	}
+}
+
+// TestHandleInvalidAfterFire pins the generation semantics: once an event
+// fires, its Handle reports not-pending and cannot cancel whatever event
+// has since recycled the pooled item.
+func TestHandleInvalidAfterFire(t *testing.T) {
+	s := New()
+	var h1 Handle
+	h1 = s.At(1, func() {})
+	s.RunAll()
+	if h1.Pending() {
+		t.Fatal("fired handle still pending")
+	}
+	if h1.Cancel() {
+		t.Fatal("fired handle cancelled something")
+	}
+	// The next event reuses the pooled item; the old handle must not be
+	// able to touch it.
+	fired := false
+	h2 := s.At(2, func() { fired = true })
+	if h1.Cancel() || h1.Pending() {
+		t.Fatal("stale handle aliases the recycled item")
+	}
+	s.RunAll()
+	if !fired {
+		t.Fatal("recycled event did not fire")
+	}
+	_ = h2
+}
+
+// TestHandleInvalidAfterCancelRecycle is the same aliasing check through
+// the cancellation path.
+func TestHandleInvalidAfterCancelRecycle(t *testing.T) {
+	s := New()
+	h1 := s.At(1, func() { t.Fatal("cancelled event fired") })
+	h1.Cancel()
+	fired := false
+	s.At(1, func() { fired = true })
+	if h1.Cancel() {
+		t.Fatal("stale handle cancelled the recycled event")
+	}
+	s.RunAll()
+	if !fired {
+		t.Fatal("recycled event did not fire")
+	}
+}
+
+// TestPendingO1MatchesLiveCount cross-checks Pending against brute-force
+// bookkeeping under random schedule/cancel/run churn.
+func TestPendingO1MatchesLiveCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := New()
+	var handles []Handle
+	liveFired := 0
+	scheduled := 0
+	for i := 0; i < 5000; i++ {
+		switch rng.Intn(3) {
+		case 0:
+			handles = append(handles, s.At(s.Now()+rng.Float64()*10, func() { liveFired++ }))
+			scheduled++
+		case 1:
+			if len(handles) > 0 {
+				handles[rng.Intn(len(handles))].Cancel()
+			}
+		case 2:
+			s.Run(s.Now() + rng.Float64())
+		}
+		want := 0
+		for _, h := range handles {
+			if h.Pending() {
+				want++
+			}
+		}
+		if got := s.Pending(); got != want {
+			t.Fatalf("step %d: Pending = %d, want %d", i, got, want)
+		}
+	}
+}
+
+// TestCancelInsideEvent cancels a pending event from within another event
+// and checks heap integrity survives mid-run removal.
+func TestCancelInsideEvent(t *testing.T) {
+	s := New()
+	var hs []Handle
+	fired := make([]bool, 10)
+	for i := 0; i < 10; i++ {
+		i := i
+		hs = append(hs, s.At(float64(i+10), func() { fired[i] = true }))
+	}
+	s.At(5, func() {
+		for i := 1; i < 10; i += 2 {
+			hs[i].Cancel()
+		}
+	})
+	s.RunAll()
+	for i := 0; i < 10; i++ {
+		if want := i%2 == 0; fired[i] != want {
+			t.Fatalf("event %d fired=%v want=%v", i, fired[i], want)
+		}
+	}
+}

@@ -4,6 +4,10 @@
 // executed in nondecreasing time order; events scheduled for the same instant
 // run in scheduling order (stable FIFO tie-break), which keeps every
 // simulation fully deterministic.
+//
+// The kernel is allocation-free on the steady-state hot path: event items are
+// recycled through a free list, cancelled events are compacted out of the
+// heap eagerly (no dead items linger until popped), and Pending is O(1).
 package sim
 
 import (
@@ -15,13 +19,16 @@ import (
 // Event is a callback scheduled to run at a virtual time.
 type Event func()
 
-// item is a scheduled event inside the queue.
+// item is a scheduled event inside the queue. Items are pooled: once an item
+// fires or is cancelled it returns to the simulator's free list and its
+// generation counter advances, invalidating stale Handles.
 type item struct {
 	at    float64
 	seq   uint64
 	fn    Event
 	index int
-	dead  bool
+	gen   uint64
+	owner *Simulator
 }
 
 // eventQueue is a binary heap ordered by (at, seq).
@@ -58,29 +65,40 @@ func (q *eventQueue) Pop() any {
 	return it
 }
 
-// Handle identifies a scheduled event so it can be cancelled.
+// Handle identifies a scheduled event so it can be cancelled. A Handle stays
+// valid forever: once its event has fired or been cancelled, the underlying
+// item's generation moves on and the Handle simply reports not-pending.
 type Handle struct {
-	it *item
+	it  *item
+	gen uint64
 }
 
 // Cancel removes the event from the queue if it has not fired yet.
-// It reports whether the event was still pending.
+// It reports whether the event was still pending. Cancellation is eager:
+// the item leaves the heap immediately (O(log n)) instead of lingering as a
+// dead entry until popped, so mass cancellation cannot grow the queue.
 func (h Handle) Cancel() bool {
-	if h.it == nil || h.it.dead {
+	it := h.it
+	if it == nil || it.gen != h.gen || it.index < 0 {
 		return false
 	}
-	h.it.dead = true
+	s := it.owner
+	heap.Remove(&s.queue, it.index)
+	s.release(it)
 	return true
 }
 
 // Pending reports whether the event has neither fired nor been cancelled.
-func (h Handle) Pending() bool { return h.it != nil && !h.it.dead }
+func (h Handle) Pending() bool {
+	return h.it != nil && h.it.gen == h.gen && h.it.index >= 0
+}
 
 // Simulator owns the virtual clock and the event queue.
 type Simulator struct {
 	now     float64
 	seq     uint64
 	queue   eventQueue
+	free    []*item
 	stopped bool
 	steps   uint64
 }
@@ -96,6 +114,26 @@ func (s *Simulator) Now() float64 { return s.now }
 // Steps returns the number of events executed so far.
 func (s *Simulator) Steps() uint64 { return s.steps }
 
+// alloc takes an item from the free list (or the allocator on a cold path).
+func (s *Simulator) alloc() *item {
+	if n := len(s.free); n > 0 {
+		it := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		return it
+	}
+	return &item{owner: s, index: -1}
+}
+
+// release recycles an item: the generation bump invalidates every Handle
+// still pointing at it before it re-enters the free list.
+func (s *Simulator) release(it *item) {
+	it.gen++
+	it.fn = nil
+	it.index = -1
+	s.free = append(s.free, it)
+}
+
 // At schedules fn to run at absolute virtual time t.
 // Scheduling in the past panics: it indicates a logic error in the model.
 func (s *Simulator) At(t float64, fn Event) Handle {
@@ -105,10 +143,11 @@ func (s *Simulator) At(t float64, fn Event) Handle {
 	if t < s.now {
 		panic(fmt.Sprintf("sim: schedule at %.6f which is before now %.6f", t, s.now))
 	}
-	it := &item{at: t, seq: s.seq, fn: fn}
+	it := s.alloc()
+	it.at, it.seq, it.fn = t, s.seq, fn
 	s.seq++
 	heap.Push(&s.queue, it)
-	return Handle{it: it}
+	return Handle{it: it, gen: it.gen}
 }
 
 // After schedules fn to run delay seconds from now. Negative delays are
@@ -129,17 +168,17 @@ func (s *Simulator) Run(until float64) float64 {
 	s.stopped = false
 	for len(s.queue) > 0 && !s.stopped {
 		it := s.queue[0]
-		if it.dead {
-			heap.Pop(&s.queue)
-			continue
-		}
 		if it.at > until {
 			break
 		}
 		heap.Pop(&s.queue)
 		s.now = it.at
 		s.steps++
-		it.fn()
+		fn := it.fn
+		// Recycle before running: fn may schedule new events, and a fired
+		// event's Handle must already read as not-pending inside fn.
+		s.release(it)
+		fn()
 	}
 	if s.now < until && len(s.queue) == 0 && !math.IsInf(until, 1) {
 		// Advance to the horizon so repeated Run calls are monotonic.
@@ -153,13 +192,8 @@ func (s *Simulator) RunAll() float64 {
 	return s.Run(math.Inf(1))
 }
 
-// Pending returns the number of live events in the queue.
+// Pending returns the number of live events in the queue in O(1): cancelled
+// events are removed eagerly, so the heap holds exactly the live events.
 func (s *Simulator) Pending() int {
-	n := 0
-	for _, it := range s.queue {
-		if !it.dead {
-			n++
-		}
-	}
-	return n
+	return len(s.queue)
 }
