@@ -14,9 +14,19 @@ TIER1_BENCH = BenchmarkEndToEndSimulation$$|BenchmarkConfigOptimizer$$|Benchmark
 # against it.
 BENCH_BASELINE ?= BENCH_baseline.json
 
-.PHONY: ci build vet test race fuzz bench figures bench-baseline bench-check
+.PHONY: ci build vet test race fuzz bench figures bench-baseline bench-check examples
 
-ci: build vet race bench-check
+ci: build vet race examples bench-check
+
+# Smoke gate: every example must build and run to completion (stdout is
+# discarded; a non-zero exit or panic fails the gate).
+EXAMPLES = quickstart spotmarket autoscale faulttolerance scenarios
+examples:
+	$(GO) build ./examples/...
+	@for ex in $(EXAMPLES); do \
+		echo "go run ./examples/$$ex"; \
+		$(GO) run ./examples/$$ex > /dev/null || exit 1; \
+	done
 
 build:
 	$(GO) build ./...

@@ -1,9 +1,11 @@
-// Command experiments regenerates the paper's tables and figures.
+// Command experiments regenerates the paper's tables and figures, and runs
+// scenario-library grids.
 //
 // Usage:
 //
-//	experiments [-exp all|table1|fig5|fig6|fig7|fig8|fig9|minmem]
+//	experiments [-exp all|table1|fig5|fig6|fig7|fig8|fig9|minmem|scenarios]
 //	            [-seed N] [-seeds K] [-parallel W]
+//	            [-avail a,b] [-policies p,q] [-fleets f,g] [-systems spotserve|baselines|all]
 //
 // Each experiment prints a text rendition of the corresponding table or
 // figure, including SpotServe-vs-baseline factors where the paper reports
@@ -12,6 +14,11 @@
 // aggregated in scenario order, so the output is byte-identical to a serial
 // run. -seeds K replicates every simulated cell at seeds seed..seed+K-1 and
 // appends mean ±stderr [min,max] bands to the rendered tables.
+//
+// -exp scenarios sweeps the scenario library (docs/SCENARIOS.md): the
+// cross product of availability models × autoscaling policies × fleet
+// presets, selectable with -avail/-policies/-fleets (comma-separated
+// registry names; empty = the default grid axes).
 package main
 
 import (
@@ -19,16 +26,22 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"spotserve/internal/experiments"
+	"spotserve/internal/scenario"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, table1, fig5, fig6, fig7, fig8, fig9, minmem")
+	exp := flag.String("exp", "all", "experiment to run: all, table1, fig5, fig6, fig7, fig8, fig9, minmem, scenarios")
 	seed := flag.Int64("seed", 1, "base random seed (runs are deterministic per seed)")
 	seeds := flag.Int("seeds", 1, "replication: run each cell at this many consecutive seeds")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size for the scenario sweep (1 = serial)")
+	avail := flag.String("avail", "", "scenario grid: comma-separated availability models (default: all registered)")
+	policies := flag.String("policies", "", "scenario grid: comma-separated autoscaling policies (default: all registered)")
+	fleets := flag.String("fleets", "", "scenario grid: comma-separated fleet presets (default: homog,hetero-speed)")
+	systems := flag.String("systems", "spotserve", "scenario grid: spotserve, baselines, or all")
 	flag.Parse()
 
 	sw := experiments.Sweep{
@@ -52,11 +65,56 @@ func main() {
 	run("fig7", func() { fmt.Print(experiments.RenderFigure7(experiments.Figure7Sweep(sw))) })
 	run("fig8", func() { fmt.Print(experiments.RenderFigure8(experiments.Figure8Sweep(sw))) })
 	run("fig9", func() { fmt.Print(experiments.RenderFigure9(experiments.Figure9Sweep(sw))) })
+	run("scenarios", func() {
+		g := scenario.Grid{
+			Avail:    splitList(*avail),
+			Policies: splitList(*policies),
+			Fleets:   splitList(*fleets),
+			Systems:  systemList(*systems),
+			Seed:     *seed,
+		}
+		rows, err := scenario.GridSweep(g, sw)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scenarios: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Print(scenario.RenderGrid(rows))
+	})
 
 	switch *exp {
-	case "all", "table1", "fig5", "fig6", "fig7", "fig8", "fig9", "minmem":
+	case "all", "table1", "fig5", "fig6", "fig7", "fig8", "fig9", "minmem", "scenarios":
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
+	}
+}
+
+// splitList parses a comma-separated flag value, dropping empty entries.
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// systemList maps the -systems flag to serving systems.
+func systemList(s string) []experiments.System {
+	switch s {
+	case "", "spotserve":
+		return []experiments.System{experiments.SpotServe}
+	case "baselines":
+		return []experiments.System{experiments.Reroute, experiments.Reparallel}
+	case "all":
+		return experiments.Systems()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -systems %q (want spotserve, baselines, or all)\n", s)
+		os.Exit(2)
+		return nil
 	}
 }

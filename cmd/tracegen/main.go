@@ -1,58 +1,150 @@
 // Command tracegen generates, inspects, and exports spot availability
-// traces.
+// traces in the JSON format cmd/spotserve replays.
+//
+// Usage:
+//
+//	tracegen list                      # embedded traces + availability models
+//	tracegen show <name>               # print an embedded trace (AS, BS, A'S, B'S)
+//	tracegen gen -model <m> -seed N    # generate from a scenario-library model
+//	tracegen walk [flags]              # seeded random-walk generator
 //
 // Examples:
 //
-//	tracegen -show AS                      # print an embedded trace
-//	tracegen -name mytrace -seed 42 \
-//	         -horizon 1200 -start 10 -min 2 -max 12 > mytrace.json
+//	tracegen show AS
+//	tracegen gen -model bursty -seed 7 > bursty7.json
+//	tracegen walk -name mytrace -seed 42 -horizon 1200 -start 10 -min 2 -max 12
+//
+// Generated traces print to stdout; a one-line summary goes to stderr.
+// Unknown subcommands exit non-zero with this usage.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
+	"spotserve/internal/scenario"
 	"spotserve/internal/trace"
 )
 
+func usage(w *os.File) {
+	fmt.Fprintf(w, `tracegen — generate, inspect and export spot availability traces
+
+Subcommands:
+  list               list embedded traces and registered availability models
+  show <name>        print an embedded trace (AS, BS, A'S, B'S) as JSON
+  gen  [flags]       generate a trace from a scenario-library availability model
+       -model name     availability model: %s (default diurnal)
+       -seed N         generator seed; same seed = byte-identical trace (default 1)
+  walk [flags]       generate a random-walk trace (the legacy generator)
+       -name s         trace name (default "generated")
+       -horizon secs   trace length in seconds (default 1200)
+       -start n        initial instance count (default 10)
+       -min/-max n     bounds on the instance count (defaults 2, 12)
+       -dwell secs     mean seconds between availability changes (default 90)
+       -downbias p     probability a change is a preemption (default 0.55)
+       -maxstep n      largest single change (default 2)
+       -seed N         generator seed; same seed = byte-identical trace (default 1)
+
+The JSON output replays through cmd/spotserve (-trace file.json) and
+cloud.ReplayTrace; the format is fuzz-tested in internal/trace.
+`, strings.Join(scenario.Models(), ", "))
+}
+
 func main() {
-	show := flag.String("show", "", "print an embedded trace (AS, BS, A'S, B'S) and exit")
-	name := flag.String("name", "generated", "name for the generated trace")
-	horizon := flag.Float64("horizon", 1200, "trace length in seconds")
-	start := flag.Int("start", 10, "initial instance count")
-	min := flag.Int("min", 2, "minimum instance count")
-	max := flag.Int("max", 12, "maximum instance count")
-	dwell := flag.Float64("dwell", 90, "mean seconds between availability changes")
-	down := flag.Float64("downbias", 0.55, "probability a change is a preemption")
-	step := flag.Int("maxstep", 2, "largest single change")
-	seed := flag.Int64("seed", 1, "random seed")
-	flag.Parse()
-
-	var tr trace.Trace
-	if *show != "" {
-		var ok bool
-		tr, ok = trace.ByName(*show)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown embedded trace %q\n", *show)
-			os.Exit(2)
-		}
-	} else {
-		var err error
-		tr, err = trace.Generate(trace.GenOptions{
-			Name: *name, Horizon: *horizon, Start: *start,
-			Min: *min, Max: *max, MeanDwell: *dwell,
-			DownBias: *down, MaxStep: *step, Seed: *seed,
-		})
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "generate: %v\n", err)
-			os.Exit(2)
-		}
+	if len(os.Args) < 2 {
+		usage(os.Stderr)
+		os.Exit(2)
 	}
+	switch os.Args[1] {
+	case "list":
+		cmdList()
+	case "show":
+		cmdShow(os.Args[2:])
+	case "gen":
+		cmdGen(os.Args[2:])
+	case "walk":
+		cmdWalk(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage(os.Stdout)
+	default:
+		fmt.Fprintf(os.Stderr, "tracegen: unknown subcommand %q\n\n", os.Args[1])
+		usage(os.Stderr)
+		os.Exit(2)
+	}
+}
 
+func cmdList() {
+	fmt.Println("embedded traces (tracegen show <name>):")
+	for _, name := range []string{"AS", "BS", "A'S", "B'S"} {
+		tr, _ := trace.ByName(name)
+		fmt.Printf("  %-4s %4.0f s, %2d events, count range [%d, %d]\n",
+			name, tr.Horizon, len(tr.Events), tr.MinCount(), tr.MaxCount())
+	}
+	fmt.Println("availability models (tracegen gen -model <name> -seed N):")
+	for _, name := range scenario.Models() {
+		fmt.Printf("  %s\n", name)
+	}
+}
+
+func cmdShow(args []string) {
+	if len(args) != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracegen show <AS|BS|A'S|B'S>")
+		os.Exit(2)
+	}
+	tr, ok := trace.ByName(args[0])
+	if !ok {
+		fmt.Fprintf(os.Stderr, "tracegen: unknown embedded trace %q (run `tracegen list`)\n", args[0])
+		os.Exit(2)
+	}
+	emit(tr)
+}
+
+func cmdGen(args []string) {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	modelName := fs.String("model", "diurnal",
+		"availability model: "+strings.Join(scenario.Models(), ", "))
+	seed := fs.Int64("seed", 1, "generator seed; the same seed reproduces the trace byte for byte")
+	fs.Parse(args)
+	m, ok := scenario.ModelByName(*modelName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "tracegen: unknown availability model %q (have %s)\n",
+			*modelName, strings.Join(scenario.Models(), ", "))
+		os.Exit(2)
+	}
+	emit(m.Trace(*seed))
+}
+
+func cmdWalk(args []string) {
+	fs := flag.NewFlagSet("walk", flag.ExitOnError)
+	name := fs.String("name", "generated", "name for the generated trace")
+	horizon := fs.Float64("horizon", 1200, "trace length in seconds")
+	start := fs.Int("start", 10, "initial instance count")
+	min := fs.Int("min", 2, "minimum instance count")
+	max := fs.Int("max", 12, "maximum instance count")
+	dwell := fs.Float64("dwell", 90, "mean seconds between availability changes")
+	down := fs.Float64("downbias", 0.55, "probability a change is a preemption")
+	step := fs.Int("maxstep", 2, "largest single change")
+	seed := fs.Int64("seed", 1, "generator seed; the same seed reproduces the trace byte for byte")
+	fs.Parse(args)
+
+	tr, err := trace.Generate(trace.GenOptions{
+		Name: *name, Horizon: *horizon, Start: *start,
+		Min: *min, Max: *max, MeanDwell: *dwell,
+		DownBias: *down, MaxStep: *step, Seed: *seed,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: generate: %v\n", err)
+		os.Exit(2)
+	}
+	emit(tr)
+}
+
+func emit(tr trace.Trace) {
 	data, err := tr.Marshal()
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "marshal: %v\n", err)
+		fmt.Fprintf(os.Stderr, "tracegen: marshal: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Println(string(data))

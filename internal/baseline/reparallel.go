@@ -112,15 +112,30 @@ func (r *Reparallel) usableGPUs() []*cloud.GPU {
 }
 
 func (r *Reparallel) propose() core.Proposal {
-	n := len(r.usableGPUs()) / r.opts.CostParams.GPUsPerInstance
+	gpus := r.usableGPUs()
 	// Same required-rate estimate as SpotServe's controller: base rate
 	// plus backlog pressure (fair comparison — only the reconfiguration
-	// mechanism differs).
+	// mechanism differs). Like the server, the fleet is measured in GPUs
+	// and estimates apply the slowest usable device's speed, so mixed
+	// fleets are planned with the same arithmetic as SpotServe.
 	alpha := r.opts.BaseRate + float64(len(r.queue))/120.0
+	r.optz.SpeedFloor = speedFloor(gpus)
 	if r.opts.Features.AllowOnDemand {
-		return r.optz.Propose(n, alpha)
+		return r.optz.ProposeForGPUs(len(gpus), alpha, r.optz.MaxInstances*r.optz.GPUsPerInstance)
 	}
-	return r.optz.ProposeBounded(n, alpha)
+	return r.optz.ProposeForGPUs(len(gpus), alpha, len(gpus))
+}
+
+// speedFloor returns the slowest GPU's speed multiplier (1.0 when empty or
+// homogeneous) — the conservative correction mixed fleets plan with.
+func speedFloor(gpus []*cloud.GPU) float64 {
+	floor, first := 1.0, true
+	for _, g := range gpus {
+		if sp := g.Inst.GPUSpeed(); first || sp < floor {
+			floor, first = sp, false
+		}
+	}
+	return floor
 }
 
 func (r *Reparallel) bootstrap() {
@@ -129,7 +144,7 @@ func (r *Reparallel) bootstrap() {
 	target := prop.Config
 	gpus := r.usableGPUs()
 	if target.GPUs() > len(gpus) {
-		target = r.optz.ProposeBounded(len(gpus)/r.opts.CostParams.GPUsPerInstance, r.opts.BaseRate).Config
+		target = r.optz.ProposeForGPUs(len(gpus), r.opts.BaseRate, len(gpus)).Config
 	}
 	if target.IsZero() || target.GPUs() > len(gpus) {
 		return
@@ -142,11 +157,10 @@ func (r *Reparallel) manageFleet(prop core.Proposal) {
 	if !r.opts.Features.AllowOnDemand {
 		return
 	}
-	spot, od := r.cloud.AliveCount()
-	pSpot, pOD := r.cloud.PendingCount()
-	have := spot + od + pSpot + pOD - len(r.dying)
-	if prop.WantInstances > have {
-		n := prop.WantInstances - have
+	gpi := r.opts.CostParams.GPUsPerInstance
+	haveGPUs := r.cloud.GPUCount(func(id int64) bool { return r.dying[id] })
+	if prop.WantGPUs > haveGPUs {
+		n := (prop.WantGPUs - haveGPUs + gpi - 1) / gpi
 		r.cloud.AllocOnDemand(n)
 		r.stats.OnDemandAllocated += n
 	}
@@ -170,6 +184,9 @@ func (r *Reparallel) install(cfg config.Config, reason string) {
 		pipe, err := r.eng.NewPipeline(d, cfg, bind)
 		if err != nil {
 			panic(err)
+		}
+		if slow := core.PipelineSlowdown(bind); slow != 1 {
+			pipe.SetSlowdown(slow)
 		}
 		r.pipes[d] = pipe
 	}

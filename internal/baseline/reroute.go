@@ -99,13 +99,16 @@ func (r *Reroute) bootstrap() {
 	optz.Limits = r.opts.Limits
 	optz.MaxInstances = r.opts.MaxInstances
 	optz.SeqIn, optz.SeqOut = r.opts.SeqIn, r.opts.SeqOut
-	n := 0
+	// GPU-denominated fleet measure + speed floor: mixed fleets must not
+	// make the baseline plan for devices that do not exist.
+	var gpus []*cloud.GPU
 	for _, inst := range r.cloud.Alive() {
 		if inst.State == cloud.Running {
-			n++
+			gpus = append(gpus, inst.GPUs...)
 		}
 	}
-	prop := optz.ProposeBounded(n, r.opts.BaseRate)
+	optz.SpeedFloor = speedFloor(gpus)
+	prop := optz.ProposeForGPUs(len(gpus), r.opts.BaseRate, len(gpus))
 	if prop.Config.IsZero() {
 		return
 	}
@@ -164,6 +167,9 @@ func (r *Reroute) spawnPipeline(instant bool) bool {
 	pipe, err := r.eng.NewPipeline(id, cfg, bind)
 	if err != nil {
 		panic(err)
+	}
+	if slow := core.PipelineSlowdown(bind); slow != 1 {
+		pipe.SetSlowdown(slow)
 	}
 	rp := &reroutePipe{id: id, pipe: pipe, gpus: gpus, initializing: !instant}
 	r.pipes[id] = rp

@@ -1,0 +1,40 @@
+package cloud
+
+// FleetView is the observation an Autoscaler receives at each scaling
+// decision point: the fleet state split by market and lifecycle, the
+// serving system's own fleet proposal (Algorithm 1's #Instances(C) plus
+// reserve pool), and the workload pressure signals a policy may react to.
+type FleetView struct {
+	// Now is the virtual time of the decision.
+	Now float64
+	// SpotRunning / SpotPending / OnDemandRunning / OnDemandPending count
+	// instances by market and lifecycle state. Running includes instances
+	// under preemption notice (still usable in their grace period).
+	SpotRunning, SpotPending         int
+	OnDemandRunning, OnDemandPending int
+	// Dying counts instances currently under a preemption notice.
+	Dying int
+	// QueueDepth is the serving system's request backlog.
+	QueueDepth int
+	// Want is the fleet-size target the configuration optimizer itself
+	// proposed (the fixed-target policy returns exactly this).
+	Want int
+	// RecentPreemptions counts preemption notices observed within the
+	// policy look-back window (120 s).
+	RecentPreemptions int
+}
+
+// Autoscaler decides the fleet-size target consulted on preemption/ready
+// events and at periodic workload checks. Implementations must be
+// deterministic: any internal randomness comes from an explicit seed.
+//
+// The returned target is a total instance count; the instance manager
+// grows toward it with on-demand allocations (when allowed) and shrinks by
+// releasing surplus on-demand instances first, exactly as Algorithm 1
+// lines 8/10 do for the fixed target.
+type Autoscaler interface {
+	// Name identifies the policy for fingerprints and catalogs.
+	Name() string
+	// Target returns the desired total instance count for the view.
+	Target(v FleetView) int
+}

@@ -85,6 +85,27 @@ type Instance struct {
 	ReadyAt  float64 // when it became Running (valid once Running)
 	// Deadline is the termination time once Noticed.
 	Deadline float64
+	// Type is the instance class (zero value = legacy homogeneous
+	// baseline: speed and memory multipliers of 1).
+	Type InstanceType
+}
+
+// GPUSpeed returns the per-GPU speed multiplier of the instance's type,
+// defaulting to the baseline 1.0 for instances built without a type.
+func (i *Instance) GPUSpeed() float64 {
+	if i.Type.Speed <= 0 {
+		return 1
+	}
+	return i.Type.Speed
+}
+
+// MemScale returns the memory multiplier of the instance's type (1.0 when
+// untyped).
+func (i *Instance) MemScale() float64 {
+	if i.Type.MemScale <= 0 {
+		return 1
+	}
+	return i.Type.MemScale
 }
 
 // Alive reports whether the instance still has usable GPUs (Running or in
@@ -93,6 +114,43 @@ func (i *Instance) Alive() bool { return i.State == Running || i.State == Notice
 
 func (i *Instance) String() string {
 	return fmt.Sprintf("inst%d(%s,%s)", i.ID, i.Kind, i.State)
+}
+
+// InstanceType describes one class of instance in a (possibly
+// heterogeneous) fleet: its GPU count and the per-GPU speed and memory
+// multipliers relative to the baseline T4 testbed.
+type InstanceType struct {
+	// Name identifies the type, e.g. "g4dn" or "g5-fast".
+	Name string
+	// GPUs is the device count per instance of this type.
+	GPUs int
+	// Speed is the per-GPU compute/bandwidth multiplier relative to the
+	// baseline (1.0 = T4): pipeline iteration time scales by the slowest
+	// member GPU's 1/Speed.
+	Speed float64
+	// MemScale multiplies memory-dependent budgets (the migration-buffer
+	// cap U_max) for instances of this type.
+	MemScale float64
+	// SpotUSDPerHour / OnDemandUSDPerHour are this type's prices.
+	SpotUSDPerHour     float64
+	OnDemandUSDPerHour float64
+}
+
+// Validate checks one instance type.
+func (t InstanceType) Validate() error {
+	switch {
+	case t.Name == "":
+		return fmt.Errorf("cloud: instance type with empty name")
+	case t.GPUs <= 0:
+		return fmt.Errorf("cloud: type %q: GPUs = %d", t.Name, t.GPUs)
+	case t.Speed <= 0:
+		return fmt.Errorf("cloud: type %q: speed multiplier %v", t.Name, t.Speed)
+	case t.MemScale <= 0:
+		return fmt.Errorf("cloud: type %q: memory multiplier %v", t.Name, t.MemScale)
+	case t.SpotUSDPerHour < 0 || t.OnDemandUSDPerHour < 0:
+		return fmt.Errorf("cloud: type %q: negative price", t.Name)
+	}
+	return nil
 }
 
 // Params configures the simulated provider.
@@ -109,6 +167,56 @@ type Params struct {
 	// Seed drives the provider's internal choices (which instance to
 	// preempt).
 	Seed int64
+	// Types, when non-empty, makes the fleet heterogeneous: spot launches
+	// cycle through the types in order (deterministically), while
+	// on-demand allocations use Types[0]. Empty means one homogeneous
+	// implicit type derived from the legacy scalar fields above.
+	Types []InstanceType
+}
+
+// TypeList returns the fleet's instance types: Types when set, otherwise
+// the single implicit type encoded by the legacy scalar fields.
+func (p Params) TypeList() []InstanceType {
+	if len(p.Types) > 0 {
+		return p.Types
+	}
+	return []InstanceType{{
+		Name:               "default",
+		GPUs:               p.GPUsPerInstance,
+		Speed:              1,
+		MemScale:           1,
+		SpotUSDPerHour:     p.SpotUSDPerHour,
+		OnDemandUSDPerHour: p.OnDemandUSDPerHour,
+	}}
+}
+
+// Heterogeneous reports whether the fleet mixes instance types.
+func (p Params) Heterogeneous() bool { return len(p.Types) > 1 }
+
+// Validate checks the provider configuration, including the instance-type
+// table: a zero grace period (instant reclamation) is legal, a negative one
+// is not; acquisition delays may not be negative; every declared type must
+// be well-formed and uniquely named.
+func (p Params) Validate() error {
+	switch {
+	case p.GPUsPerInstance <= 0:
+		return fmt.Errorf("cloud: GPUsPerInstance = %d", p.GPUsPerInstance)
+	case p.GracePeriod < 0:
+		return fmt.Errorf("cloud: negative grace period %v", p.GracePeriod)
+	case p.AcquireDelay < 0:
+		return fmt.Errorf("cloud: negative acquire delay %v", p.AcquireDelay)
+	}
+	seen := make(map[string]bool, len(p.Types))
+	for _, t := range p.Types {
+		if err := t.Validate(); err != nil {
+			return err
+		}
+		if seen[t.Name] {
+			return fmt.Errorf("cloud: duplicate instance type %q", t.Name)
+		}
+		seen[t.Name] = true
+	}
+	return nil
 }
 
 // DefaultParams mirrors the paper's testbed.
@@ -146,13 +254,16 @@ type Cloud struct {
 	nextInstID int64
 	nextGPUID  int64
 	instances  map[int64]*Instance
+	// spotLaunches counts spot launches so heterogeneous fleets cycle
+	// through the type table deterministically.
+	spotLaunches int
 }
 
 // New builds a provider bound to the simulator. The listener may be set
 // later with SetListener but must be non-nil before any event fires.
 func New(s *sim.Simulator, p Params, l Listener) *Cloud {
-	if p.GPUsPerInstance <= 0 || p.GracePeriod < 0 || p.AcquireDelay < 0 {
-		panic(fmt.Sprintf("cloud: invalid params %+v", p))
+	if err := p.Validate(); err != nil {
+		panic(err)
 	}
 	return &Cloud{
 		sim:       s,
@@ -173,16 +284,17 @@ func (c *Cloud) Params() Params { return c.params }
 // CostUSD returns the total accrued instance cost.
 func (c *Cloud) CostUSD() float64 { return c.meter.TotalUSD() }
 
-// newInstance allocates the instance and GPU records.
-func (c *Cloud) newInstance(kind Kind) *Instance {
+// newInstance allocates the instance and GPU records for one type.
+func (c *Cloud) newInstance(kind Kind, typ InstanceType) *Instance {
 	inst := &Instance{
 		ID:       c.nextInstID,
 		Kind:     kind,
 		State:    Pending,
 		Launched: c.sim.Now(),
+		Type:     typ,
 	}
 	c.nextInstID++
-	for s := 0; s < c.params.GPUsPerInstance; s++ {
+	for s := 0; s < typ.GPUs; s++ {
 		inst.GPUs = append(inst.GPUs, &GPU{ID: c.nextGPUID, Slot: s, Inst: inst})
 		c.nextGPUID++
 	}
@@ -190,11 +302,20 @@ func (c *Cloud) newInstance(kind Kind) *Instance {
 	return inst
 }
 
-func (c *Cloud) priceOf(kind Kind) float64 {
-	if kind == Spot {
-		return c.params.SpotUSDPerHour
+// nextSpotType cycles through the fleet's type table in launch order, so a
+// heterogeneous trace replay interleaves types deterministically.
+func (c *Cloud) nextSpotType() InstanceType {
+	types := c.params.TypeList()
+	t := types[c.spotLaunches%len(types)]
+	c.spotLaunches++
+	return t
+}
+
+func priceOf(inst *Instance) float64 {
+	if inst.Kind == Spot {
+		return inst.Type.SpotUSDPerHour
 	}
-	return c.params.OnDemandUSDPerHour
+	return inst.Type.OnDemandUSDPerHour
 }
 
 func (c *Cloud) makeReady(inst *Instance) {
@@ -203,7 +324,7 @@ func (c *Cloud) makeReady(inst *Instance) {
 	}
 	inst.State = Running
 	inst.ReadyAt = c.sim.Now()
-	c.meter.Start(inst.ID, c.priceOf(inst.Kind))
+	c.meter.Start(inst.ID, priceOf(inst))
 	c.listener.InstanceReady(inst)
 }
 
@@ -219,7 +340,7 @@ func (c *Cloud) terminate(inst *Instance) {
 // launchSpot creates spot instances that become Running after delay.
 func (c *Cloud) launchSpot(n int, delay float64) {
 	for i := 0; i < n; i++ {
-		inst := c.newInstance(Spot)
+		inst := c.newInstance(Spot, c.nextSpotType())
 		if delay <= 0 {
 			c.makeReady(inst)
 		} else {
@@ -303,19 +424,24 @@ func (c *Cloud) ReplayTrace(tr trace.Trace) error {
 func (c *Cloud) Prealloc(n int, kind Kind) []*Instance {
 	var out []*Instance
 	for i := 0; i < n; i++ {
-		inst := c.newInstance(kind)
+		typ := c.params.TypeList()[0]
+		if kind == Spot {
+			typ = c.nextSpotType()
+		}
+		inst := c.newInstance(kind, typ)
 		c.makeReady(inst)
 		out = append(out, inst)
 	}
 	return out
 }
 
-// AllocOnDemand requests n on-demand instances; they become Running after
-// the acquisition delay. The created (Pending) instances are returned.
+// AllocOnDemand requests n on-demand instances (always of the fleet's
+// primary type); they become Running after the acquisition delay. The
+// created (Pending) instances are returned.
 func (c *Cloud) AllocOnDemand(n int) []*Instance {
 	var out []*Instance
 	for i := 0; i < n; i++ {
-		inst := c.newInstance(OnDemand)
+		inst := c.newInstance(OnDemand, c.params.TypeList()[0])
 		c.sim.After(c.params.AcquireDelay, func() { c.makeReady(inst) })
 		out = append(out, inst)
 	}
@@ -354,6 +480,22 @@ func (c *Cloud) AliveCount() (spot, onDemand int) {
 		}
 	}
 	return
+}
+
+// GPUCount sums the GPUs of non-terminated (Pending, Running or Noticed)
+// instances, skipping instance IDs for which skip returns true (nil =
+// count all). The device-denominated fleet measure the instance manager
+// uses when instance types carry different GPU counts; it allocates
+// nothing because it runs on every fleet decision.
+func (c *Cloud) GPUCount(skip func(id int64) bool) int {
+	n := 0
+	for _, inst := range c.instances {
+		if inst.State == Terminated || (skip != nil && skip(inst.ID)) {
+			continue
+		}
+		n += len(inst.GPUs)
+	}
+	return n
 }
 
 // PendingCount returns the number of provisioning instances by kind.

@@ -1,0 +1,166 @@
+package cloud
+
+import (
+	"strings"
+	"testing"
+
+	"spotserve/internal/sim"
+)
+
+// TestParamsValidateEdgeCases covers the boundary semantics: a zero grace
+// period (instant reclamation) is legal, negative time parameters and
+// malformed instance-type tables are not.
+func TestParamsValidateEdgeCases(t *testing.T) {
+	ok := func(mut func(*Params)) Params {
+		p := DefaultParams()
+		mut(&p)
+		return p
+	}
+	valid := []struct {
+		name string
+		p    Params
+	}{
+		{"defaults", DefaultParams()},
+		{"zero grace period", ok(func(p *Params) { p.GracePeriod = 0 })},
+		{"zero acquire delay", ok(func(p *Params) { p.AcquireDelay = 0 })},
+		{"typed fleet", ok(func(p *Params) {
+			p.Types = []InstanceType{
+				{Name: "a", GPUs: 4, Speed: 1, MemScale: 1, SpotUSDPerHour: 1, OnDemandUSDPerHour: 2},
+				{Name: "b", GPUs: 2, Speed: 1.5, MemScale: 0.5, SpotUSDPerHour: 0.5, OnDemandUSDPerHour: 1},
+			}
+		})},
+		{"free instances", ok(func(p *Params) {
+			p.Types = []InstanceType{{Name: "free", GPUs: 1, Speed: 1, MemScale: 1}}
+		})},
+	}
+	for _, c := range valid {
+		if err := c.p.Validate(); err != nil {
+			t.Errorf("%s: unexpected error %v", c.name, err)
+		}
+	}
+
+	invalid := []struct {
+		name string
+		p    Params
+		want string // substring of the error
+	}{
+		{"zero GPUs per instance", ok(func(p *Params) { p.GPUsPerInstance = 0 }), "GPUsPerInstance"},
+		{"negative grace period", ok(func(p *Params) { p.GracePeriod = -1 }), "grace"},
+		{"negative acquire delay", ok(func(p *Params) { p.AcquireDelay = -0.5 }), "acquire"},
+		{"unnamed type", ok(func(p *Params) {
+			p.Types = []InstanceType{{GPUs: 4, Speed: 1, MemScale: 1}}
+		}), "empty name"},
+		{"type without GPUs", ok(func(p *Params) {
+			p.Types = []InstanceType{{Name: "t", GPUs: 0, Speed: 1, MemScale: 1}}
+		}), "GPUs"},
+		{"type with zero speed", ok(func(p *Params) {
+			p.Types = []InstanceType{{Name: "t", GPUs: 4, MemScale: 1}}
+		}), "speed"},
+		{"type with negative memory scale", ok(func(p *Params) {
+			p.Types = []InstanceType{{Name: "t", GPUs: 4, Speed: 1, MemScale: -1}}
+		}), "memory"},
+		{"type with negative price", ok(func(p *Params) {
+			p.Types = []InstanceType{{Name: "t", GPUs: 4, Speed: 1, MemScale: 1, SpotUSDPerHour: -1}}
+		}), "price"},
+		{"duplicate type names", ok(func(p *Params) {
+			p.Types = []InstanceType{
+				{Name: "t", GPUs: 4, Speed: 1, MemScale: 1},
+				{Name: "t", GPUs: 2, Speed: 1, MemScale: 1},
+			}
+		}), "duplicate"},
+	}
+	for _, c := range invalid {
+		err := c.p.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate accepted %+v", c.name, c.p)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+// TestNewPanicsOnInvalidParams keeps the constructor contract: New refuses
+// the misconfigurations Validate rejects.
+func TestNewPanicsOnInvalidParams(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New accepted a heterogeneous-type misconfiguration")
+		}
+	}()
+	p := DefaultParams()
+	p.Types = []InstanceType{{Name: "bad", GPUs: -1, Speed: 1, MemScale: 1}}
+	New(sim.New(), p, nil)
+}
+
+// TestZeroGracePeriodTerminatesAtNotice runs the zero-grace edge end to
+// end: the preemption notice and the termination land at the same instant.
+func TestZeroGracePeriodTerminatesAtNotice(t *testing.T) {
+	s := sim.New()
+	r := &recorder{s: s}
+	p := DefaultParams()
+	p.GracePeriod = 0
+	c := New(s, p, r)
+	c.Prealloc(2, Spot)
+	s.At(100, func() { c.preemptSpot(1) })
+	s.Run(200)
+	if len(r.notices) != 1 || len(r.terminated) != 1 {
+		t.Fatalf("notices=%d terminated=%d, want 1/1", len(r.notices), len(r.terminated))
+	}
+	if r.notices[0].at != 100 || r.notices[0].deadline != 100 || r.terminated[0].at != 100 {
+		t.Errorf("zero grace period: notice at %v (deadline %v), terminated at %v — all want 100",
+			r.notices[0].at, r.notices[0].deadline, r.terminated[0].at)
+	}
+}
+
+// TestHeterogeneousLaunchCycle pins the deterministic type interleaving:
+// spot launches cycle through the type table in order, with per-type GPU
+// counts and prices.
+func TestHeterogeneousLaunchCycle(t *testing.T) {
+	s := sim.New()
+	r := &recorder{s: s}
+	p := DefaultParams()
+	p.Types = []InstanceType{
+		{Name: "big", GPUs: 4, Speed: 1, MemScale: 1, SpotUSDPerHour: 3.6, OnDemandUSDPerHour: 7.2},
+		{Name: "small", GPUs: 2, Speed: 1.5, MemScale: 1, SpotUSDPerHour: 1.8, OnDemandUSDPerHour: 3.6},
+	}
+	c := New(s, p, r)
+	insts := c.Prealloc(4, Spot)
+	wantTypes := []string{"big", "small", "big", "small"}
+	wantGPUs := []int{4, 2, 4, 2}
+	for i, inst := range insts {
+		if inst.Type.Name != wantTypes[i] || len(inst.GPUs) != wantGPUs[i] {
+			t.Errorf("instance %d: type %q with %d GPUs, want %q with %d",
+				i, inst.Type.Name, len(inst.GPUs), wantTypes[i], wantGPUs[i])
+		}
+	}
+	if insts[1].GPUSpeed() != 1.5 || insts[0].GPUSpeed() != 1 {
+		t.Errorf("GPU speeds = %v/%v, want 1/1.5", insts[0].GPUSpeed(), insts[1].GPUSpeed())
+	}
+	// On-demand always allocates the primary type.
+	od := c.AllocOnDemand(2)
+	for _, inst := range od {
+		if inst.Type.Name != "big" {
+			t.Errorf("on-demand instance got type %q, want primary type big", inst.Type.Name)
+		}
+	}
+	// Per-type billing after one hour: the four spot instances bill the
+	// whole hour at their own type's spot price, the two on-demand ones
+	// bill the primary type's on-demand price from readiness (t=120).
+	s.Run(3600)
+	want := 2*(3.6+1.8) + 2*7.2*((3600-120)/3600.0)
+	if got := c.CostUSD(); got < want-1e-6 || got > want+1e-6 {
+		t.Errorf("heterogeneous billing = %v, want %v", got, want)
+	}
+}
+
+// TestUntypedInstanceDefaults pins the zero-value compatibility contract:
+// instances built without a type (tests, legacy paths) report baseline
+// speed and memory multipliers.
+func TestUntypedInstanceDefaults(t *testing.T) {
+	inst := &Instance{}
+	if inst.GPUSpeed() != 1 || inst.MemScale() != 1 {
+		t.Errorf("untyped instance: speed %v, mem %v — want 1, 1", inst.GPUSpeed(), inst.MemScale())
+	}
+}

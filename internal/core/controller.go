@@ -36,6 +36,12 @@ type Optimizer struct {
 	// l_req ≤ SLOLatency is acceptable and the cheapest one wins (§3.2
 	// mentions this alternative target).
 	SLOLatency float64
+	// SpeedFloor is the heterogeneous-fleet speed correction: the slowest
+	// usable GPU's speed multiplier. Latency estimates divide by it and
+	// throughput estimates multiply by it, so proposals stay feasible on
+	// the mesh's slowest device. Zero or one is the homogeneous baseline
+	// and leaves estimates bit-identical.
+	SpeedFloor float64
 
 	execMemo map[[3]int]float64
 }
@@ -63,6 +69,11 @@ type Proposal struct {
 	// N_t, allocating on-demand+spot when positive, freeing on-demand
 	// first when negative).
 	WantInstances int
+	// WantGPUs is the same target measured in devices — the quantity the
+	// instance manager compares against on heterogeneous fleets, where
+	// instance counts and GPU counts no longer convert by a constant. On
+	// homogeneous fleets it is exactly WantInstances' GPU equivalent.
+	WantGPUs int
 	// Saturated is true when even the best configuration cannot reach
 	// α_t (line 5 path: maximize throughput).
 	Saturated bool
@@ -104,11 +115,19 @@ func (o *Optimizer) exec(c config.Config) float64 {
 		o.execMemo = make(map[[3]int]float64)
 	}
 	if v, ok := o.execMemo[key]; ok {
-		return v
+		return o.slowed(v)
 	}
 	v := o.Est.Exec(c.P, c.M, c.B, o.SeqIn, o.SeqOut)
 	o.execMemo[key] = v
-	return v
+	return o.slowed(v)
+}
+
+// slowed applies the heterogeneous speed floor to a latency estimate.
+func (o *Optimizer) slowed(l float64) float64 {
+	if o.SpeedFloor > 0 && o.SpeedFloor != 1 {
+		return l / o.SpeedFloor
+	}
+	return l
 }
 
 // phi returns the serving throughput φ(C).
@@ -139,7 +158,18 @@ func (o *Optimizer) ProposeCapped(nInstances int, alpha float64, capacity int) P
 	if capacity > o.MaxInstances {
 		capacity = o.MaxInstances
 	}
-	maxGPUs := capacity * o.GPUsPerInstance
+	return o.ProposeForGPUs(nInstances*o.GPUsPerInstance, alpha, capacity*o.GPUsPerInstance)
+}
+
+// ProposeForGPUs is ProposeCapped with the fleet measured in GPUs rather
+// than instances — the heterogeneous-fleet entry point, where instances of
+// different types contribute different device counts. gpusAvail is the
+// currently usable device count; maxGPUs bounds what the chosen
+// configuration may occupy (allocation capacity).
+func (o *Optimizer) ProposeForGPUs(gpusAvail int, alpha float64, maxGPUs int) Proposal {
+	if lim := o.MaxInstances * o.GPUsPerInstance; maxGPUs > lim {
+		maxGPUs = lim
+	}
 
 	// Line 2: does any configuration the cloud can host reach α_t?
 	all := o.candidates(maxGPUs)
@@ -166,7 +196,7 @@ func (o *Optimizer) ProposeCapped(nInstances int, alpha float64, capacity int) P
 	} else {
 		// Line 5: saturate — maximize throughput with what N_t offers.
 		saturated = true
-		chosen = o.chooseMaxThroughput(o.candidates(nInstances * o.GPUsPerInstance))
+		chosen = o.chooseMaxThroughput(o.candidates(gpusAvail))
 		if chosen.IsZero() {
 			// Not even one pipeline fits; request the minimum viable
 			// fleet and serve nothing meanwhile.
@@ -178,14 +208,18 @@ func (o *Optimizer) ProposeCapped(nInstances int, alpha float64, capacity int) P
 		}
 	}
 
-	want := 0
+	want, wantGPUs := 0, 0
 	if !chosen.IsZero() {
 		want = ceilDiv(chosen.GPUs(), o.GPUsPerInstance) + o.ReservePool
 		if want > o.MaxInstances {
 			want = o.MaxInstances
 		}
+		wantGPUs = chosen.GPUs() + o.ReservePool*o.GPUsPerInstance
+		if lim := o.MaxInstances * o.GPUsPerInstance; wantGPUs > lim {
+			wantGPUs = lim
+		}
 	}
-	return Proposal{Config: chosen, WantInstances: want, Saturated: saturated}
+	return Proposal{Config: chosen, WantInstances: want, WantGPUs: wantGPUs, Saturated: saturated}
 }
 
 // latencyTolerance is the window within which configurations count as

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"testing"
+
+	"spotserve/internal/cloud"
+	"spotserve/internal/config"
+	"spotserve/internal/model"
+	"spotserve/internal/sim"
+)
+
+// heteroCloud builds a provider whose spot launches interleave 4-GPU and
+// 2-GPU instance types.
+func heteroCloud(s *sim.Simulator) *cloud.Cloud {
+	p := cloud.DefaultParams()
+	p.Types = []cloud.InstanceType{
+		{Name: "big", GPUs: 4, Speed: 1, MemScale: 1, SpotUSDPerHour: 1.9, OnDemandUSDPerHour: 3.9},
+		{Name: "small", GPUs: 2, Speed: 1, MemScale: 1, SpotUSDPerHour: 1.0, OnDemandUSDPerHour: 2.0},
+	}
+	return cloud.New(s, p, nil)
+}
+
+// TestManageFleetGPUDenominated pins the heterogeneous fleet-sizing fix:
+// growth is computed from the GPU deficit, not from instance counts that
+// assume every instance carries GPUsPerInstance devices.
+func TestManageFleetGPUDenominated(t *testing.T) {
+	s := sim.New()
+	cl := heteroCloud(s)
+	opts := DefaultOptions(model.GPT20B)
+	srv := NewServer(s, cl, opts)
+	srv.Install()
+	// 3 spot instances of the cycling types: 4+2+4 = 10 GPUs.
+	cl.Prealloc(3, cloud.Spot)
+
+	prop := Proposal{
+		Config:        config.Config{D: 1, P: 3, M: 4, B: 8}, // needs 12 GPUs
+		WantInstances: 5,                                     // ceil(12/4)+2 — the instance-count view
+		WantGPUs:      12 + 2*4,                              // config + reserve pool in devices
+	}
+	srv.opts.Features.AllowOnDemand = true
+	srv.manageFleet(prop)
+	// Deficit is 20−10 = 10 GPUs → 3 on-demand instances of the 4-GPU
+	// primary type. The instance-count view would have allocated only
+	// want−have = 2 (8 GPUs), leaving the proposal starved.
+	if srv.stats.OnDemandAllocated != 3 {
+		t.Fatalf("on-demand allocated = %d, want 3 (GPU-denominated deficit)", srv.stats.OnDemandAllocated)
+	}
+}
+
+// TestManageFleetReleaseMatchesInstanceCounting pins the homogeneous
+// equivalence of the GPU-denominated shrink path: surplus on-demand
+// instances are freed exactly as the historical instance arithmetic did.
+func TestManageFleetReleaseMatchesInstanceCounting(t *testing.T) {
+	s := sim.New()
+	cl := cloud.New(s, cloud.DefaultParams(), nil)
+	opts := DefaultOptions(model.GPT20B)
+	srv := NewServer(s, cl, opts)
+	srv.Install()
+	cl.Prealloc(2, cloud.Spot)
+	cl.Prealloc(4, cloud.OnDemand) // 6 instances, 24 GPUs total
+	prop := Proposal{
+		Config:        config.Config{D: 1, P: 3, M: 4, B: 8},
+		WantInstances: 4,        // ceil(12/4)+1
+		WantGPUs:      12 + 1*4, // 16 GPUs
+	}
+	srv.manageFleet(prop)
+	spot, od := cl.AliveCount()
+	if spot != 2 || od != 2 {
+		t.Fatalf("fleet after shrink = %d spot + %d on-demand, want 2+2 (release 6−4 surplus)", spot, od)
+	}
+}
+
+// TestAutoscalerConsulted pins the policy hook: a configured autoscaler
+// replaces the proposal's fixed target, observes the queue, and its answer
+// is clamped to provider capacity.
+func TestAutoscalerConsulted(t *testing.T) {
+	s := sim.New()
+	cl := cloud.New(s, cloud.DefaultParams(), nil)
+	opts := DefaultOptions(model.GPT20B)
+	var seen []cloud.FleetView
+	opts.Autoscaler = fnAutoscaler(func(v cloud.FleetView) int {
+		seen = append(seen, v)
+		return v.Want + 1000 // absurd: must be clamped to MaxInstances
+	})
+	srv := NewServer(s, cl, opts)
+	srv.Install()
+	srv.opts.Features.AllowOnDemand = true
+	cl.Prealloc(2, cloud.Spot)
+
+	prop := Proposal{Config: config.Config{D: 1, P: 3, M: 4, B: 8}, WantInstances: 5, WantGPUs: 20}
+	srv.manageFleet(prop)
+	if len(seen) != 1 {
+		t.Fatalf("autoscaler consulted %d times, want 1", len(seen))
+	}
+	if seen[0].Want != 5 || seen[0].SpotRunning != 2 {
+		t.Errorf("FleetView = %+v, want Want=5 SpotRunning=2", seen[0])
+	}
+	// Clamp: MaxInstances(12) − have(2) = 10 allocations, not 1000+.
+	if srv.stats.OnDemandAllocated != 10 {
+		t.Errorf("on-demand allocated = %d, want 10 (clamped to MaxInstances)", srv.stats.OnDemandAllocated)
+	}
+}
+
+// fnAutoscaler adapts a function to cloud.Autoscaler for tests.
+type fnAutoscaler func(cloud.FleetView) int
+
+func (fnAutoscaler) Name() string                   { return "test" }
+func (f fnAutoscaler) Target(v cloud.FleetView) int { return f(v) }

@@ -110,21 +110,23 @@ func MapDevices(spec model.Spec, devices []DeviceContext, target config.Config, 
 	sv := solverPool.Get().(*km.Solver)
 	defer solverPool.Put(sv)
 
+	bonus := speedBonus(devs)
+
 	var left []int // indices into devs chosen for the mesh, aligned to positions
 	var err error
 	switch {
 	case !opt.UseKM:
 		left = identityAssign(len(positions))
 	case opt.Hierarchical:
-		left, err = hierarchicalMatch(sv, spec, devs, target, positions, opt.Inherit)
+		left, err = hierarchicalMatch(sv, spec, devs, target, positions, opt.Inherit, bonus)
 		if err != nil {
 			// Irregular instance shapes (partially preempted instances,
 			// uneven blocks) break the block structure; fall back to the
 			// globally optimal flat matching.
-			left, err = flatMatch(sv, spec, devs, target, positions, opt.Inherit)
+			left, err = flatMatch(sv, spec, devs, target, positions, opt.Inherit, bonus)
 		}
 	default:
-		left, err = flatMatch(sv, spec, devs, target, positions, opt.Inherit)
+		left, err = flatMatch(sv, spec, devs, target, positions, opt.Inherit, bonus)
 	}
 	if err != nil {
 		return Mapping{}, err
@@ -156,13 +158,46 @@ func identityAssign(n int) []int {
 	return out
 }
 
+// speedBonusBytes converts one unit of GPU speed multiplier into matching
+// weight. It is small against real context reuse (a fraction of one layer's
+// parameter bytes) so reuse always dominates, but breaks reuse ties toward
+// the fast devices.
+const speedBonusBytes = 16e6
+
+// speedBonus returns a per-device weight bonus that steers the matching
+// toward faster GPUs when the fleet mixes instance types: among devices
+// with equal reusable context, KM then builds the mesh on the fastest
+// devices and leaves the slow ones as spares. It returns nil for
+// speed-homogeneous fleets, so their cost matrices — and the golden
+// fingerprints — are bit-identical to the untyped baseline.
+func speedBonus(devs []DeviceContext) []float64 {
+	hetero := false
+	for _, d := range devs {
+		if d.GPU.Inst.GPUSpeed() != devs[0].GPU.Inst.GPUSpeed() {
+			hetero = true
+			break
+		}
+	}
+	if !hetero {
+		return nil
+	}
+	out := make([]float64, len(devs))
+	for i, d := range devs {
+		out[i] = d.GPU.Inst.GPUSpeed() * speedBonusBytes
+	}
+	return out
+}
+
 // flatMatch runs one global KM over all devices × positions.
-func flatMatch(sv *km.Solver, spec model.Spec, devs []DeviceContext, target config.Config, positions []config.Position, inherit map[int]int) ([]int, error) {
+func flatMatch(sv *km.Solver, spec model.Spec, devs []DeviceContext, target config.Config, positions []config.Position, inherit map[int]int, bonus []float64) ([]int, error) {
 	w := km.NewMatrix(len(devs), len(positions))
 	for i, u := range devs {
 		for j, v := range positions {
 			mb, cb := edgeWeights(spec, u, target, v, inherit)
 			w[i][j] = mb + cb
+			if bonus != nil {
+				w[i][j] += bonus[i]
+			}
 		}
 	}
 	a, err := sv.Solve(w)
@@ -185,7 +220,7 @@ func flatMatch(sv *km.Solver, spec model.Spec, devs []DeviceContext, target conf
 // per-pair GPU-level assignment. Consecutive positions share a stage
 // whenever M ≥ GPUs/instance, so tensor-parallel all-reduce groups land on
 // the fast intra-instance interconnect.
-func hierarchicalMatch(sv *km.Solver, spec model.Spec, devs []DeviceContext, target config.Config, positions []config.Position, inherit map[int]int) ([]int, error) {
+func hierarchicalMatch(sv *km.Solver, spec model.Spec, devs []DeviceContext, target config.Config, positions []config.Position, inherit map[int]int, bonus []float64) ([]int, error) {
 	// Group devices by instance (preserving device order).
 	instOrder := []int64{}
 	byInst := map[int64][]int{}
@@ -238,6 +273,9 @@ func hierarchicalMatch(sv *km.Solver, spec model.Spec, devs []DeviceContext, tar
 				for b, pj := range block {
 					mb, cb := edgeWeights(spec, devs[di], target, positions[pj], inherit)
 					m[a][b] = mb + cb
+					if bonus != nil {
+						m[a][b] += bonus[di]
+					}
 				}
 			}
 			sa, err := sv.Solve(m)

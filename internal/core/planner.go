@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"spotserve/internal/cloud"
@@ -237,16 +238,20 @@ func orderLayers(spec model.Spec, plan *Plan, byGPU map[int64]DeviceContext, map
 	// Instances get dense indices (assigned in deterministic first-touch
 	// order) so the per-layer deltas and running usage live in flat slices
 	// instead of maps — the deferred-layer selection below reads them
-	// O(L²) times in the worst case.
+	// O(L²) times in the worst case. Each instance carries its own buffer
+	// cap: U_max scaled by its type's memory multiplier, so small-memory
+	// types defer layers earlier in mixed fleets.
 	instIdx := map[int64]int{}
 	instIDs := []int64{}
-	idxOf := func(id int64) int {
-		if i, ok := instIdx[id]; ok {
+	instCap := []float64{}
+	idxOf := func(inst *cloud.Instance) int {
+		if i, ok := instIdx[inst.ID]; ok {
 			return i
 		}
 		i := len(instIDs)
-		instIdx[id] = i
-		instIDs = append(instIDs, id)
+		instIdx[inst.ID] = i
+		instIDs = append(instIDs, inst.ID)
+		instCap = append(instCap, opt.UmaxBytes*inst.MemScale())
 		return i
 	}
 
@@ -278,7 +283,7 @@ func orderLayers(spec model.Spec, plan *Plan, byGPU map[int64]DeviceContext, map
 			touched = append(touched, idx)
 		}
 		for _, tr := range plan.ByLayer[l] {
-			idx := idxOf(tr.To.Inst.ID)
+			idx := idxOf(tr.To.Inst)
 			touch(idx)
 			scratch[idx] += tr.Bytes
 		}
@@ -291,7 +296,7 @@ func orderLayers(spec model.Spec, plan *Plan, byGPU map[int64]DeviceContext, map
 			keep := oldL.OverlapParamBytes(spec, newRect[dc.GPU.ID])
 			release := oldL.ParamBytes(spec) - keep
 			if release > 0 {
-				idx := idxOf(dc.GPU.Inst.ID)
+				idx := idxOf(dc.GPU.Inst)
 				touch(idx)
 				scratch[idx] -= release
 			}
@@ -314,7 +319,41 @@ func orderLayers(spec model.Spec, plan *Plan, byGPU map[int64]DeviceContext, map
 			}
 		}
 	}
-	maxAfter := func(l int) float64 {
+	// heteroCap is set when instance types scale U_max differently; the
+	// ordering score then becomes the worst per-instance cap excess instead
+	// of the global peak, so small-memory instances defer layers first. The
+	// homogeneous path keeps the exact historical computation (and thus the
+	// golden plan orders).
+	heteroCap := false
+	for _, c := range instCap {
+		if c != opt.UmaxBytes {
+			heteroCap = true
+			break
+		}
+	}
+	// scoreAfter returns the ordering score of migrating layer l next: the
+	// projected global buffer peak (homogeneous), or the worst projected
+	// excess over any instance's own cap (heterogeneous). A layer is
+	// admissible when the score is within scoreLimit.
+	scoreLimit := opt.UmaxBytes
+	if heteroCap {
+		scoreLimit = 0
+	}
+	scoreAfter := func(l int) float64 {
+		if heteroCap {
+			worst := math.Inf(-1)
+			for i, u := range usage {
+				if v := u - instCap[i]; v > worst {
+					worst = v
+				}
+			}
+			for _, d := range deltas[layerPos[l]] {
+				if v := usage[d.idx] + d.by - instCap[d.idx]; v > worst {
+					worst = v
+				}
+			}
+			return worst
+		}
 		peak := 0.0
 		for _, u := range usage {
 			if u > peak {
@@ -347,9 +386,9 @@ func orderLayers(spec model.Spec, plan *Plan, byGPU map[int64]DeviceContext, map
 	}
 
 	order := make([]int, 0, len(layers))
-	var deferred []int // kept sorted ascending; min-maxAfter ties pick the lowest layer
+	var deferred []int // kept sorted ascending; min-score ties pick the lowest layer
 	for _, l := range layers {
-		if maxAfter(l) <= opt.UmaxBytes {
+		if scoreAfter(l) <= scoreLimit {
 			apply(l)
 			order = append(order, l)
 		} else {
@@ -360,7 +399,7 @@ func orderLayers(spec model.Spec, plan *Plan, byGPU map[int64]DeviceContext, map
 		bestI := -1
 		bestV := 0.0
 		for i, l := range deferred {
-			v := maxAfter(l)
+			v := scoreAfter(l)
 			if bestI < 0 || v < bestV {
 				bestI, bestV = i, v
 			}

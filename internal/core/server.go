@@ -76,6 +76,11 @@ type Options struct {
 	BaseRate float64
 	// SLOLatency forwards to the optimizer (0 = latency minimization).
 	SLOLatency float64
+	// Autoscaler, when non-nil, overrides the fixed fleet target of
+	// Algorithm 1: it is consulted with a cloud.FleetView on preemption
+	// and ready events and at each workload check, and its answer replaces
+	// the optimizer's WantInstances (clamped to [0, MaxInstances]).
+	Autoscaler cloud.Autoscaler
 	// DisableFastForward forces the engine into one-event-per-iteration
 	// execution (the reference mode; results are byte-identical either
 	// way, fast-forward is just cheaper).
@@ -157,6 +162,10 @@ type Server struct {
 
 	// pred forecasts preemption pressure for the adaptive pool.
 	pred *predict.Predictor
+
+	// noticeLog records preemption-notice times for the autoscaler's
+	// look-back window.
+	noticeLog []float64
 
 	stats   Stats
 	horizon float64
@@ -285,6 +294,24 @@ func (s *Server) usableGPUs() []*cloud.GPU {
 	return out
 }
 
+// usableSpeedFloor returns the slowest usable GPU's speed multiplier — the
+// conservative correction the optimizer plans with on mixed fleets (1.0 on
+// homogeneous ones).
+func (s *Server) usableSpeedFloor() float64 {
+	floor := 1.0
+	first := true
+	for _, inst := range s.cloud.Alive() {
+		if s.dying[inst.ID] || inst.State != cloud.Running {
+			continue
+		}
+		if sp := inst.GPUSpeed(); first || sp < floor {
+			floor = sp
+			first = false
+		}
+	}
+	return floor
+}
+
 // deviceContexts snapshots daemon contexts for the given GPUs.
 func (s *Server) deviceContexts(gpus []*cloud.GPU) []DeviceContext {
 	out := make([]DeviceContext, 0, len(gpus))
@@ -308,8 +335,7 @@ func (s *Server) bootstrap() {
 		return
 	}
 	gpus := s.usableGPUs()
-	n := len(gpus) / s.opts.CostParams.GPUsPerInstance
-	prop := s.propose(n)
+	prop := s.propose(len(gpus))
 	// Grow the fleet toward the unbounded proposal (on-demand mixing),
 	// but deploy what fits right now.
 	s.manageFleet(prop)
@@ -317,7 +343,7 @@ func (s *Server) bootstrap() {
 	if target.GPUs() > len(gpus) {
 		alpha := s.alphaT()
 		if s.opts.Features.Controller {
-			target = s.optz.ProposeBounded(n, alpha).Config
+			target = s.optz.ProposeForGPUs(len(gpus), alpha, len(gpus)).Config
 		} else {
 			target = FitToInstances(target, len(gpus))
 		}
@@ -330,44 +356,119 @@ func (s *Server) bootstrap() {
 	s.tryDispatch()
 }
 
-// propose runs the configuration optimizer over nInstances usable
-// instances.
-func (s *Server) propose(nInstances int) Proposal {
+// propose runs the configuration optimizer over the currently usable GPU
+// count. Measuring the fleet in GPUs (not instances) keeps mixed fleets —
+// where instance types carry different device counts — planned correctly;
+// on homogeneous fleets the arithmetic is identical to the historical
+// instance-denominated path.
+func (s *Server) propose(gpus int) Proposal {
 	alpha := s.alphaT()
+	gpi := s.opts.CostParams.GPUsPerInstance
 	if s.pred != nil {
 		// Adaptive candidate pool: expected near-term preemptions
 		// translate into extra standby instances.
 		s.optz.ReservePool = s.pred.RecommendedPool(s.sim.Now(), 2)
 	}
+	// Mixed fleets: plan for the slowest usable device.
+	s.optz.SpeedFloor = s.usableSpeedFloor()
 	if !s.opts.Features.Controller && !s.initialShape.IsZero() {
-		c := FitToInstances(s.initialShape, nInstances*s.opts.CostParams.GPUsPerInstance)
-		return Proposal{Config: c, WantInstances: nInstances}
+		c := FitToInstances(s.initialShape, gpus)
+		return Proposal{Config: c, WantInstances: gpus / gpi, WantGPUs: gpus}
 	}
 	if s.opts.Features.AllowOnDemand {
-		return s.optz.Propose(nInstances, alpha)
+		return s.optz.ProposeForGPUs(gpus, alpha, s.optz.MaxInstances*gpi)
 	}
-	return s.optz.ProposeBounded(nInstances, alpha)
+	return s.optz.ProposeForGPUs(gpus, alpha, gpus)
+}
+
+// preemptionWindow is the look-back over which the autoscaler's
+// RecentPreemptions signal counts notices.
+const preemptionWindow = 120.0
+
+// recentPreemptions counts preemption notices inside the look-back window,
+// pruning expired entries.
+func (s *Server) recentPreemptions() int {
+	cutoff := s.sim.Now() - preemptionWindow
+	i := 0
+	for i < len(s.noticeLog) && s.noticeLog[i] < cutoff {
+		i++
+	}
+	s.noticeLog = s.noticeLog[i:]
+	return len(s.noticeLog)
+}
+
+// fleetTarget resolves the fleet-size target for a proposal: the
+// optimizer's own WantInstances under the fixed-target policy, or the
+// configured autoscaler's answer (clamped to provider capacity).
+func (s *Server) fleetTarget(prop Proposal, spot, pSpot, od, pOD int) int {
+	if s.opts.Autoscaler == nil {
+		return prop.WantInstances
+	}
+	want := s.opts.Autoscaler.Target(cloud.FleetView{
+		Now:               s.sim.Now(),
+		SpotRunning:       spot,
+		SpotPending:       pSpot,
+		OnDemandRunning:   od,
+		OnDemandPending:   pOD,
+		Dying:             len(s.dying),
+		QueueDepth:        len(s.queue),
+		Want:              prop.WantInstances,
+		RecentPreemptions: s.recentPreemptions(),
+	})
+	if want < 0 {
+		want = 0
+	}
+	if want > s.opts.MaxInstances {
+		want = s.opts.MaxInstances
+	}
+	return want
+}
+
+// fleetGPUs sums the GPUs of non-terminated, non-dying instances — the
+// device-denominated counterpart of the instance counting above, exact on
+// fleets whose instance types carry different GPU counts.
+func (s *Server) fleetGPUs() int {
+	return s.cloud.GPUCount(func(id int64) bool { return s.dying[id] })
 }
 
 // manageFleet allocates or releases instances toward the proposal
 // (Algorithm 1 lines 6–10): allocate on-demand when allowed, free
-// on-demand first, and keep the reserve pool.
+// on-demand first, and keep the reserve pool. The comparison is
+// GPU-denominated so mixed fleets grow to the devices the configuration
+// actually needs; on homogeneous fleets the arithmetic reduces exactly to
+// the historical instance counting. A configured autoscaling policy
+// replaces the proposal's fixed target.
 func (s *Server) manageFleet(prop Proposal) {
-	spot, od := s.cloud.AliveCount()
-	pSpot, pOD := s.cloud.PendingCount()
-	have := spot + od + pSpot + pOD - len(s.dying) // dying instances don't count
-	want := prop.WantInstances
+	gpi := s.opts.CostParams.GPUsPerInstance
+	haveGPUs := s.fleetGPUs()
+	wantGPUs := prop.WantGPUs
+	if s.opts.Autoscaler != nil {
+		// Policies reason in instances (the FleetView vocabulary); their
+		// answer is applied as a delta over the optimizer's own target,
+		// converted at the primary type's GPU count. A policy that
+		// returns Want unchanged (fixed-target) is therefore exactly the
+		// no-policy baseline, on homogeneous and mixed fleets alike.
+		spot, od := s.cloud.AliveCount()
+		pSpot, pOD := s.cloud.PendingCount()
+		extra := s.fleetTarget(prop, spot, pSpot, od, pOD) - prop.WantInstances
+		wantGPUs += extra * gpi
+		if wantGPUs < 0 {
+			wantGPUs = 0
+		}
+		if lim := s.opts.MaxInstances * gpi; wantGPUs > lim {
+			wantGPUs = lim
+		}
+	}
 	switch {
-	case want > have && s.opts.Features.AllowOnDemand:
-		n := want - have
+	case wantGPUs > haveGPUs && s.opts.Features.AllowOnDemand:
+		n := ceilDiv(wantGPUs-haveGPUs, gpi)
 		s.cloud.AllocOnDemand(n)
 		s.stats.OnDemandAllocated += n
-	case want < have && od+pOD > 0:
+	case wantGPUs < haveGPUs:
 		// Free surplus on-demand instances (never spot: their
 		// availability is the market's, and they are the cheap ones).
-		surplus := have - want
 		for _, inst := range s.cloud.Alive() {
-			if surplus == 0 {
+			if haveGPUs-len(inst.GPUs) < wantGPUs {
 				break
 			}
 			if inst.Kind != cloud.OnDemand || s.dying[inst.ID] {
@@ -377,7 +478,7 @@ func (s *Server) manageFleet(prop Proposal) {
 				continue
 			}
 			s.cloud.Release(inst)
-			surplus--
+			haveGPUs -= len(inst.GPUs)
 		}
 	}
 }
@@ -431,6 +532,10 @@ func (s *Server) applyMapping(cfg config.Config, mapping Mapping, ready []float6
 			for p := 0; p < cfg.P; p++ {
 				pipe.SetStageReady(p, ready[p])
 			}
+		}
+		// Mixed fleets: the pipeline decodes at its slowest GPU's pace.
+		if slow := PipelineSlowdown(bind); slow != 1 {
+			pipe.SetSlowdown(slow)
 		}
 		s.pipes[d] = pipe
 	}
@@ -493,8 +598,7 @@ func (s *Server) workloadCheck() {
 	if !overload && !overProvisioned {
 		return
 	}
-	n := len(s.usableGPUs()) / s.opts.CostParams.GPUsPerInstance
-	prop := s.propose(n)
+	prop := s.propose(len(s.usableGPUs()))
 	s.manageFleet(prop)
 	if prop.Config.IsZero() || prop.Config == s.cfg {
 		return
@@ -633,7 +737,7 @@ func (s *Server) executeMigration(target config.Config) {
 	gpuBudget := len(gpus)
 	if target.IsZero() || target.GPUs() > gpuBudget {
 		// The fleet shrank since the proposal; re-propose.
-		prop := s.propose(gpuBudget / s.opts.CostParams.GPUsPerInstance)
+		prop := s.propose(gpuBudget)
 		target = prop.Config
 		if target.IsZero() || target.GPUs() > gpuBudget {
 			// Nothing can serve; park everything in the queue.
@@ -769,6 +873,25 @@ func (s *Server) collectBatches(target config.Config) (map[int]*engine.Batch, ma
 	return kept, inherit
 }
 
+// PipelineSlowdown returns the iteration-duration multiplier for a
+// pipeline binding: 1/minSpeed over its GPUs. Homogeneous baseline fleets
+// (speed 1 everywhere) return exactly 1. The baselines share it so mixed
+// fleets slow every system equally.
+func PipelineSlowdown(bind map[config.Position]*cloud.GPU) float64 {
+	minSpeed := 1.0
+	first := true
+	for _, g := range bind {
+		if sp := g.Inst.GPUSpeed(); first || sp < minSpeed {
+			minSpeed = sp
+			first = false
+		}
+	}
+	if minSpeed == 1 || minSpeed <= 0 {
+		return 1
+	}
+	return 1 / minSpeed
+}
+
 // cacheBytesOf is the full KV footprint of a batch.
 func cacheBytesOf(spec model.Spec, b *engine.Batch) float64 {
 	return float64(b.TotalTokens()) * spec.KVBytesPerToken()
@@ -827,8 +950,7 @@ func (c *cloudEvents) InstanceReady(inst *cloud.Instance) {
 		}
 		// Capacity returning after a total outage: a real cold start —
 		// the reconfiguration will load parameters from storage.
-		n := len(s.usableGPUs()) / s.opts.CostParams.GPUsPerInstance
-		prop := s.propose(n)
+		prop := s.propose(len(s.usableGPUs()))
 		if !prop.Config.IsZero() && prop.Config.GPUs() <= len(s.usableGPUs()) {
 			s.beginReconfig(prop.Config, "recovery", 0)
 		}
@@ -838,8 +960,7 @@ func (c *cloudEvents) InstanceReady(inst *cloud.Instance) {
 	if s.pendingReconfig || s.migrating {
 		return // will be folded into the in-flight reconfiguration
 	}
-	n := len(s.usableGPUs()) / s.opts.CostParams.GPUsPerInstance
-	prop := s.propose(n)
+	prop := s.propose(len(s.usableGPUs()))
 	if prop.Config.IsZero() || prop.Config.GPUs() > len(s.usableGPUs()) {
 		return
 	}
@@ -852,6 +973,11 @@ func (c *cloudEvents) InstanceReady(inst *cloud.Instance) {
 func (c *cloudEvents) PreemptionNotice(inst *cloud.Instance, deadline float64) {
 	s := (*Server)(c)
 	s.dying[inst.ID] = true
+	if s.opts.Autoscaler != nil {
+		// Only autoscaling policies read the notice log; without one the
+		// append would accumulate for the whole run unread.
+		s.noticeLog = append(s.noticeLog, s.sim.Now())
+	}
 	if s.pred != nil {
 		s.pred.ObservePreemption(s.sim.Now(), 1)
 	}
@@ -862,8 +988,7 @@ func (c *cloudEvents) PreemptionNotice(inst *cloud.Instance, deadline float64) {
 		// A pool instance died; nothing to migrate.
 		return
 	}
-	n := len(s.usableGPUs()) / s.opts.CostParams.GPUsPerInstance
-	prop := s.propose(n)
+	prop := s.propose(len(s.usableGPUs()))
 	s.manageFleet(prop)
 	target := prop.Config
 	if target.GPUs() > len(s.usableGPUs()) {
@@ -926,8 +1051,7 @@ func (c *cloudEvents) InstanceTerminated(inst *cloud.Instance) {
 	}
 	s.queue = append(requeue, s.queue...)
 	// Rebuild on the survivors.
-	n := len(s.usableGPUs()) / s.opts.CostParams.GPUsPerInstance
-	prop := s.propose(n)
+	prop := s.propose(len(s.usableGPUs()))
 	target := FitToInstances(prop.Config, len(s.usableGPUs()))
 	s.epoch++
 	s.pendingReconfig = true
@@ -999,8 +1123,7 @@ func (h *serverHooks) BatchPaused(p *engine.Pipeline, b *engine.Batch) {
 // pendingTarget recomputes the reconfiguration target at migration time
 // (the fleet may have changed while pipelines drained).
 func (s *Server) pendingTarget() config.Config {
-	n := len(s.usableGPUs()) / s.opts.CostParams.GPUsPerInstance
-	prop := s.propose(n)
+	prop := s.propose(len(s.usableGPUs()))
 	return FitToInstances(prop.Config, len(s.usableGPUs()))
 }
 

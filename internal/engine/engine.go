@@ -271,6 +271,12 @@ type Pipeline struct {
 	stopASAP  bool
 	iterCount int64
 
+	// slowdown scales iteration durations for heterogeneous fleets: a
+	// pipeline runs at the speed of its slowest member GPU, so the control
+	// plane sets slowdown = 1/minSpeed. Zero or one leaves homogeneous
+	// timings bit-identical to the untyped baseline.
+	slowdown float64
+
 	// Fast-forward run state: ffTimes holds the boundary times of the
 	// in-flight run (reused buffer), ffDone counts boundaries already
 	// committed by sync, ffActive marks a run in flight.
@@ -321,6 +327,21 @@ func (p *Pipeline) Iterations() int64 {
 // SetStageReady marks stage p usable from time t.
 func (p *Pipeline) SetStageReady(stage int, t float64) {
 	p.StageReadyAt[stage] = t
+}
+
+// SetSlowdown scales this pipeline's iteration durations by f — the
+// heterogeneous-fleet hook: the control plane passes 1/minSpeed over the
+// pipeline's GPUs so a mixed mesh decodes at its slowest device's pace.
+// f ≤ 0 or f == 1 keeps the baseline timings untouched. Must be set before
+// the pipeline starts a batch.
+func (p *Pipeline) SetSlowdown(f float64) { p.slowdown = f }
+
+// scaled applies the pipeline's slowdown to one iteration duration.
+func (p *Pipeline) scaled(d float64) float64 {
+	if p.slowdown > 0 && p.slowdown != 1 {
+		return d * p.slowdown
+	}
+	return d
 }
 
 // gateDelay returns how long the next iteration must additionally wait for
@@ -394,6 +415,7 @@ func (p *Pipeline) scheduleNext(first bool) {
 	} else {
 		dur += p.eng.Est.DecodeIter(p.Cfg.P, p.Cfg.M, bsz, b.MaxSeqLen())
 	}
+	dur = p.scaled(dur)
 	dur += p.gateDelay(dur)
 	p.iterEnd = p.eng.Sim.Now() + dur
 	p.iterEv = p.eng.Sim.After(dur, func() { p.completeIteration() })
@@ -466,7 +488,7 @@ func (p *Pipeline) beginFastForward(n, bsz int) {
 		if ld > curLen {
 			curLen = ld
 		}
-		cur += p.eng.Est.DecodeIter(p.Cfg.P, p.Cfg.M, bsz, curLen)
+		cur += p.scaled(p.eng.Est.DecodeIter(p.Cfg.P, p.Cfg.M, bsz, curLen))
 		times = append(times, cur)
 	}
 	p.ffTimes = times

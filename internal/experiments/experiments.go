@@ -16,6 +16,7 @@ package experiments
 import (
 	"fmt"
 
+	"spotserve/internal/cloud"
 	"spotserve/internal/config"
 	"spotserve/internal/core"
 	"spotserve/internal/cost"
@@ -62,6 +63,26 @@ type Scenario struct {
 	// SampleFleet records instance counts every 10 s (Figure 5).
 	SampleFleet bool
 	Seed        int64
+
+	// --- scenario-library axes (zero values = the paper's fixed setup) ---
+
+	// AvailModel names the availability model that produced the trace
+	// (fingerprinted; "" = a fixed/embedded trace).
+	AvailModel string
+	// TraceFn, when non-nil, regenerates the availability trace from the
+	// replica seed, so multi-seed replication varies the spot market along
+	// with the workload. It must be deterministic in the seed.
+	TraceFn func(seed int64) trace.Trace
+	// Fleet names the fleet preset (fingerprinted; "" = homogeneous
+	// default) and CloudParams carries its resolved provider
+	// configuration (nil = cloud.DefaultParams()).
+	Fleet       string
+	CloudParams *cloud.Params
+	// Policy names the autoscaling policy (fingerprinted; "" =
+	// fixed-target) and NewAutoscaler builds a fresh policy instance for
+	// one run from the replica seed (policies may be stateful).
+	Policy        string
+	NewAutoscaler func(seed int64) cloud.Autoscaler
 
 	// disableFastForward runs the engine one event per iteration — the
 	// reference mode the fast-forward equivalence test compares against.

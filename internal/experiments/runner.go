@@ -30,8 +30,17 @@ func (a spotAdapter) Stats() core.Stats { return a.srv.Stats() }
 func Run(sc Scenario) Result {
 	s := sim.New()
 	cp := cloud.DefaultParams()
+	if sc.CloudParams != nil {
+		cp = *sc.CloudParams
+	}
 	cp.Seed = sc.Seed + 1000
 	cl := cloud.New(s, cp, nil)
+
+	// Seeded availability models regenerate their trace per replica so
+	// multi-seed bands sample the spot market, not just the workload.
+	if sc.TraceFn != nil {
+		sc.Trace = sc.TraceFn(sc.Seed)
+	}
 
 	opts := core.DefaultOptions(sc.Spec)
 	opts.BaseRate = sc.Rate
@@ -40,6 +49,9 @@ func Run(sc Scenario) Result {
 		opts.Features = *sc.Features
 	}
 	opts.Features.AllowOnDemand = sc.AllowOnDemand
+	if sc.NewAutoscaler != nil {
+		opts.Autoscaler = sc.NewAutoscaler(sc.Seed)
+	}
 
 	var sys runnable
 	switch sc.System {

@@ -194,6 +194,11 @@ func (r Result) Fingerprint() string {
 	if sc.Features != nil {
 		fmt.Fprintf(&b, "features=%+v\n", *sc.Features)
 	}
+	// Scenario-library axes are fingerprinted only when set, keeping the
+	// historical digests of the fixed paper scenarios byte-identical.
+	if sc.AvailModel != "" || sc.Fleet != "" || sc.Policy != "" {
+		fmt.Fprintf(&b, "avail=%s fleet=%s policy=%s\n", sc.AvailModel, sc.Fleet, sc.Policy)
+	}
 	st := r.Stats
 	fmt.Fprintf(&b, "sub=%d done=%d cost=%x lat=%+v mig=%d rel=%d give=%d rec=%d od=%d\n",
 		st.Submitted, st.Completed, st.CostUSD, st.Latency,

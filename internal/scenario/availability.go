@@ -1,0 +1,393 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"spotserve/internal/trace"
+)
+
+// AvailabilityModel generates spot availability traces from an explicit
+// seed. Models emit the exact event-stream format internal/trace parses,
+// so synthetic markets and real captured segments are interchangeable
+// everywhere a trace.Trace is accepted.
+type AvailabilityModel interface {
+	// Name identifies the model in registries, fingerprints and catalogs.
+	Name() string
+	// Trace deterministically generates the availability trace for seed.
+	Trace(seed int64) trace.Trace
+}
+
+// traceBuilder accumulates (time, count) steps into a valid trace:
+// duplicate timestamps overwrite, unchanged counts are elided, and counts
+// are clamped non-negative.
+type traceBuilder struct {
+	name    string
+	horizon float64
+	events  []trace.Event
+}
+
+func (b *traceBuilder) add(t float64, count int) {
+	if count < 0 {
+		count = 0
+	}
+	if t < 0 || t >= b.horizon {
+		return
+	}
+	if n := len(b.events); n > 0 {
+		last := &b.events[n-1]
+		if t <= last.At {
+			last.Count = count
+			if n > 1 && b.events[n-2].Count == count {
+				b.events = b.events[:n-1]
+			}
+			return
+		}
+		if last.Count == count {
+			return
+		}
+	}
+	b.events = append(b.events, trace.Event{At: t, Count: count})
+}
+
+func (b *traceBuilder) trace() trace.Trace {
+	tr := trace.Trace{Name: b.name, Horizon: b.horizon, Events: b.events}
+	if err := tr.Validate(); err != nil {
+		// Generators are total over their parameter space; a validation
+		// failure is a programming error, not an input error.
+		panic(fmt.Sprintf("scenario: generated invalid trace: %v", err))
+	}
+	return tr
+}
+
+// Diurnal is a sinusoidal availability model: capacity follows a
+// day-night-style cycle around a midpoint, with seeded per-sample jitter.
+// It reproduces the slow tidal pattern of spot pools that drain during
+// regional business hours and refill overnight.
+type Diurnal struct {
+	// Horizon is the trace length in seconds.
+	Horizon float64
+	// Mid and Amp set the sinusoid: count ≈ Mid + Amp·sin(2πt/Period).
+	Mid, Amp float64
+	// Period is the cycle length in seconds.
+	Period float64
+	// Sample is the sampling interval for emitting steps.
+	Sample float64
+	// Jitter is the probability a sample is displaced by ±1 instance.
+	Jitter float64
+	// Min and Max clamp the emitted counts.
+	Min, Max int
+}
+
+// DefaultDiurnal mirrors the paper's 12-instance scale: a 20-minute window
+// covering one full cycle between 4 and 12 instances.
+func DefaultDiurnal() Diurnal {
+	return Diurnal{
+		Horizon: 1200,
+		Mid:     8, Amp: 4,
+		Period: 1200,
+		Sample: 60,
+		Jitter: 0.25,
+		Min:    2, Max: 12,
+	}
+}
+
+// Name implements AvailabilityModel.
+func (d Diurnal) Name() string { return "diurnal" }
+
+// Trace implements AvailabilityModel.
+func (d Diurnal) Trace(seed int64) trace.Trace {
+	rng := rand.New(rand.NewSource(seed))
+	b := &traceBuilder{name: fmt.Sprintf("diurnal/%d", seed), horizon: d.Horizon}
+	for t := 0.0; t < d.Horizon; t += d.Sample {
+		v := d.Mid + d.Amp*math.Sin(2*math.Pi*t/d.Period)
+		n := int(math.Round(v))
+		if rng.Float64() < d.Jitter {
+			if rng.Intn(2) == 0 {
+				n--
+			} else {
+				n++
+			}
+		}
+		if n < d.Min {
+			n = d.Min
+		}
+		if n > d.Max {
+			n = d.Max
+		}
+		b.add(t, n)
+	}
+	return b.trace()
+}
+
+// Bursty models correlated preemption storms: long quiet stretches at a
+// base capacity, punctuated by storms that reclaim several instances in
+// quick succession (the correlated-failure mode that defeats per-instance
+// independence assumptions), followed by gradual individual
+// re-acquisitions.
+type Bursty struct {
+	Horizon float64
+	// Base is the quiet-period capacity.
+	Base int
+	// MeanStormGap is the mean time between storm arrivals (exponential).
+	MeanStormGap float64
+	// StormKillMin/Max bound how many instances one storm reclaims.
+	StormKillMin, StormKillMax int
+	// StormSpread is the window over which a storm's kills land.
+	StormSpread float64
+	// MeanRecover is the mean per-instance re-acquisition interval after a
+	// storm.
+	MeanRecover float64
+	// Min clamps the post-storm floor.
+	Min int
+}
+
+// DefaultBursty storms every ~5 minutes, reclaiming 2–5 instances within
+// 45 s and recovering one instance per ~40 s afterwards.
+func DefaultBursty() Bursty {
+	return Bursty{
+		Horizon:      1200,
+		Base:         10,
+		MeanStormGap: 300,
+		StormKillMin: 2, StormKillMax: 5,
+		StormSpread: 45,
+		MeanRecover: 40,
+		Min:         1,
+	}
+}
+
+// Name implements AvailabilityModel.
+func (m Bursty) Name() string { return "bursty" }
+
+// Trace implements AvailabilityModel.
+func (m Bursty) Trace(seed int64) trace.Trace {
+	rng := rand.New(rand.NewSource(seed))
+	b := &traceBuilder{name: fmt.Sprintf("bursty/%d", seed), horizon: m.Horizon}
+	cur := m.Base
+	b.add(0, cur)
+	t := 0.0
+	for {
+		t += rng.ExpFloat64() * m.MeanStormGap
+		if t >= m.Horizon {
+			break
+		}
+		// Storm: several correlated kills inside the spread window.
+		kills := m.StormKillMin
+		if m.StormKillMax > m.StormKillMin {
+			kills += rng.Intn(m.StormKillMax - m.StormKillMin + 1)
+		}
+		st := t
+		for k := 0; k < kills && cur > m.Min; k++ {
+			cur--
+			b.add(st, cur)
+			st += rng.Float64() * m.StormSpread / float64(kills)
+		}
+		// Recovery: individual re-acquisitions drift capacity back up.
+		rt := st
+		for cur < m.Base {
+			rt += rng.ExpFloat64() * m.MeanRecover
+			if rt >= m.Horizon {
+				break
+			}
+			cur++
+			b.add(rt, cur)
+		}
+		if rt > t {
+			t = rt
+		}
+	}
+	return b.trace()
+}
+
+// Crunch models a capacity crunch: a stable plateau, then a sustained ramp
+// down to a scarce floor as the region sells out, a hold at the bottom,
+// and a partial recovery near the end — the regime where on-demand mixing
+// and autoscaling policies earn their keep.
+type Crunch struct {
+	Horizon float64
+	// Plateau is the initial capacity; Floor the crunch bottom.
+	Plateau, Floor int
+	// RampStart / RampEnd bound the decline window.
+	RampStart, RampEnd float64
+	// RecoverAt is when capacity starts returning; RecoverTo where it
+	// settles.
+	RecoverAt float64
+	RecoverTo int
+	// JitterS randomizes each step time by up to ±JitterS seconds.
+	JitterS float64
+}
+
+// DefaultCrunch declines 12 → 3 over minutes 5–13, holds, then recovers
+// to 8 in the final stretch.
+func DefaultCrunch() Crunch {
+	return Crunch{
+		Horizon: 1200,
+		Plateau: 12, Floor: 3,
+		RampStart: 300, RampEnd: 780,
+		RecoverAt: 960, RecoverTo: 8,
+		JitterS: 20,
+	}
+}
+
+// Name implements AvailabilityModel.
+func (c Crunch) Name() string { return "crunch" }
+
+// Trace implements AvailabilityModel.
+func (c Crunch) Trace(seed int64) trace.Trace {
+	rng := rand.New(rand.NewSource(seed))
+	b := &traceBuilder{name: fmt.Sprintf("crunch/%d", seed), horizon: c.Horizon}
+	b.add(0, c.Plateau)
+	// Jitter each segment's nominal step times, then clamp into the trace
+	// window and sort within the segment: a jitter larger than the step
+	// spacing must not reorder steps (the builder would merge
+	// out-of-order steps away and lose part of the ramp), and must not
+	// push a step past the horizon (which would drop it and leave the
+	// crunch unfinished). With jitter below the spacing both are no-ops,
+	// so small-jitter traces are unchanged.
+	jittered := func(n int, at func(i int) float64) []float64 {
+		out := make([]float64, n)
+		for i := range out {
+			v := at(i) + (rng.Float64()*2-1)*c.JitterS
+			if v >= c.Horizon {
+				v = c.Horizon - 1e-6
+			}
+			if v <= 0 {
+				v = 1e-6
+			}
+			out[i] = v
+		}
+		sort.Float64s(out)
+		return out
+	}
+	steps := c.Plateau - c.Floor
+	if steps > 0 {
+		dt := (c.RampEnd - c.RampStart) / float64(steps)
+		ts := jittered(steps, func(i int) float64 { return c.RampStart + float64(i+1)*dt })
+		for i, t := range ts {
+			b.add(t, c.Plateau-i-1)
+		}
+	}
+	if up := c.RecoverTo - c.Floor; up > 0 {
+		span := (c.Horizon - c.RecoverAt) / float64(up+1)
+		ts := jittered(up, func(i int) float64 { return c.RecoverAt + float64(i+1)*span })
+		for i, t := range ts {
+			b.add(t, c.Floor+i+1)
+		}
+	}
+	return b.trace()
+}
+
+// MultiZone sums several independent spot pools, one per availability
+// zone: each zone runs its own seeded random walk, and the offered
+// capacity is the zones' total. Independent pools rarely crash together,
+// so the aggregate is smoother than any single zone — the
+// diversification effect multi-zone deployments buy.
+type MultiZone struct {
+	Horizon float64
+	// Zones is the number of independent pools.
+	Zones int
+	// PerZoneStart / PerZoneMax bound each zone's walk; the walk floor is
+	// zero (a zone can empty entirely).
+	PerZoneStart, PerZoneMax int
+	// MeanDwell is each zone's mean time between changes.
+	MeanDwell float64
+	// DownBias is each zone's preemption probability per change.
+	DownBias float64
+}
+
+// DefaultMultiZone spreads the fleet over 3 zones of up to 5 instances.
+func DefaultMultiZone() MultiZone {
+	return MultiZone{
+		Horizon:      1200,
+		Zones:        3,
+		PerZoneStart: 3, PerZoneMax: 5,
+		MeanDwell: 120,
+		DownBias:  0.55,
+	}
+}
+
+// Name implements AvailabilityModel.
+func (m MultiZone) Name() string { return "multizone" }
+
+// Trace implements AvailabilityModel.
+func (m MultiZone) Trace(seed int64) trace.Trace {
+	type step struct {
+		at    float64
+		zone  int
+		count int
+	}
+	var steps []step
+	for z := 0; z < m.Zones; z++ {
+		rng := rand.New(rand.NewSource(seed + int64(z)*1_000_003))
+		cur := m.PerZoneStart
+		steps = append(steps, step{0, z, cur})
+		t := 0.0
+		for {
+			t += rng.ExpFloat64() * m.MeanDwell
+			if t >= m.Horizon {
+				break
+			}
+			next := cur + 1
+			if rng.Float64() < m.DownBias {
+				next = cur - 1
+			}
+			if next < 0 || next > m.PerZoneMax {
+				continue
+			}
+			cur = next
+			steps = append(steps, step{t, z, cur})
+		}
+	}
+	sort.Slice(steps, func(i, j int) bool {
+		if steps[i].at != steps[j].at {
+			return steps[i].at < steps[j].at
+		}
+		return steps[i].zone < steps[j].zone
+	})
+	b := &traceBuilder{name: fmt.Sprintf("multizone/%d", seed), horizon: m.Horizon}
+	zone := make([]int, m.Zones)
+	for _, s := range steps {
+		zone[s.zone] = s.count
+		total := 0
+		for _, n := range zone {
+			total += n
+		}
+		b.add(s.at, total)
+	}
+	return b.trace()
+}
+
+// availModels is the registry of availability models, keyed by Name.
+var availModels = map[string]AvailabilityModel{}
+
+// availOrder preserves registration order for catalogs.
+var availOrder []string
+
+// RegisterModel adds an availability model to the registry. It panics on
+// duplicate names (registration happens at init time from static tables).
+func RegisterModel(m AvailabilityModel) {
+	if _, dup := availModels[m.Name()]; dup {
+		panic(fmt.Sprintf("scenario: duplicate availability model %q", m.Name()))
+	}
+	availModels[m.Name()] = m
+	availOrder = append(availOrder, m.Name())
+}
+
+// Models lists the registered availability-model names in registration
+// order.
+func Models() []string { return append([]string(nil), availOrder...) }
+
+// ModelByName returns a registered availability model.
+func ModelByName(name string) (AvailabilityModel, bool) {
+	m, ok := availModels[name]
+	return m, ok
+}
+
+func init() {
+	RegisterModel(DefaultDiurnal())
+	RegisterModel(DefaultBursty())
+	RegisterModel(DefaultCrunch())
+	RegisterModel(DefaultMultiZone())
+}

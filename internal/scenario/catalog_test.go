@@ -1,0 +1,33 @@
+package scenario
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestCatalogCoversRegistries fails when a registered scenario-axis value
+// is missing from docs/SCENARIOS.md: adding a model, policy or fleet
+// preset requires cataloging it (name in backticks) in the same change.
+func TestCatalogCoversRegistries(t *testing.T) {
+	data, err := os.ReadFile("../../docs/SCENARIOS.md")
+	if err != nil {
+		t.Fatalf("docs/SCENARIOS.md unreadable: %v — every registered scenario axis must be cataloged there", err)
+	}
+	doc := string(data)
+	groups := []struct {
+		kind  string
+		names []string
+	}{
+		{"availability model", Models()},
+		{"autoscaling policy", Policies()},
+		{"fleet preset", Fleets()},
+	}
+	for _, g := range groups {
+		for _, name := range g.names {
+			if !strings.Contains(doc, "`"+name+"`") {
+				t.Errorf("docs/SCENARIOS.md does not catalog %s `%s`", g.kind, name)
+			}
+		}
+	}
+}

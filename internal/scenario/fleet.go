@@ -1,0 +1,88 @@
+package scenario
+
+import (
+	"fmt"
+
+	"spotserve/internal/cloud"
+)
+
+// FleetPreset is a named provider configuration: the instance-type table a
+// scenario's fleet draws from.
+type FleetPreset struct {
+	// Name identifies the preset in registries and fingerprints.
+	Name string
+	// Params is the provider configuration (Seed is overwritten per run).
+	Params cloud.Params
+	// Note is a one-line description for catalogs.
+	Note string
+}
+
+// fleetPresets is the registry of fleet presets, keyed by name.
+var fleetPresets = map[string]FleetPreset{}
+
+// fleetOrder preserves registration order for catalogs.
+var fleetOrder []string
+
+// RegisterFleet adds a fleet preset. It panics on duplicate names or
+// invalid parameters.
+func RegisterFleet(p FleetPreset) {
+	if _, dup := fleetPresets[p.Name]; dup {
+		panic(fmt.Sprintf("scenario: duplicate fleet preset %q", p.Name))
+	}
+	if err := p.Params.Validate(); err != nil {
+		panic(fmt.Sprintf("scenario: fleet preset %q: %v", p.Name, err))
+	}
+	fleetPresets[p.Name] = p
+	fleetOrder = append(fleetOrder, p.Name)
+}
+
+// Fleets lists the registered fleet-preset names in registration order.
+func Fleets() []string { return append([]string(nil), fleetOrder...) }
+
+// FleetByName returns the preset registered under name.
+func FleetByName(name string) (FleetPreset, bool) {
+	p, ok := fleetPresets[name]
+	return p, ok
+}
+
+func init() {
+	// The paper's testbed: identical g4dn.12xlarge instances (4× T4).
+	RegisterFleet(FleetPreset{
+		Name:   "homog",
+		Params: cloud.DefaultParams(),
+		Note:   "homogeneous g4dn baseline: 4 GPUs, speed 1.0, 1.9/3.9 USD/h",
+	})
+
+	// Speed-heterogeneous: half the spot pool is a faster, pricier
+	// generation. Pipelines decode at their slowest member's pace, the
+	// optimizer plans at the fleet's speed floor, and the device mapper
+	// prefers the fast devices when context reuse ties.
+	fast := cloud.DefaultParams()
+	fast.Types = []cloud.InstanceType{
+		{Name: "g4dn", GPUs: 4, Speed: 1.0, MemScale: 1.0,
+			SpotUSDPerHour: 1.9, OnDemandUSDPerHour: 3.9},
+		{Name: "g5-fast", GPUs: 4, Speed: 1.6, MemScale: 1.5,
+			SpotUSDPerHour: 3.0, OnDemandUSDPerHour: 6.1},
+	}
+	RegisterFleet(FleetPreset{
+		Name:   "hetero-speed",
+		Params: fast,
+		Note:   "g4dn (speed 1.0) interleaved with g5 (speed 1.6, mem ×1.5)",
+	})
+
+	// Count-heterogeneous: small 2-GPU instances mixed in, so instance
+	// counts no longer convert to GPU counts by a constant and the
+	// GPU-denominated optimizer path is exercised.
+	small := cloud.DefaultParams()
+	small.Types = []cloud.InstanceType{
+		{Name: "g4dn", GPUs: 4, Speed: 1.0, MemScale: 1.0,
+			SpotUSDPerHour: 1.9, OnDemandUSDPerHour: 3.9},
+		{Name: "g4dn-half", GPUs: 2, Speed: 1.0, MemScale: 1.0,
+			SpotUSDPerHour: 1.0, OnDemandUSDPerHour: 2.0},
+	}
+	RegisterFleet(FleetPreset{
+		Name:   "hetero-small",
+		Params: small,
+		Note:   "4-GPU instances interleaved with cheap 2-GPU instances",
+	})
+}

@@ -1,0 +1,114 @@
+package scenario
+
+import (
+	"fmt"
+
+	"spotserve/internal/cloud"
+)
+
+// PolicyFactory builds a fresh autoscaling-policy instance for one run.
+// Policies may be stateful, so every replica gets its own instance; the
+// seed makes any internal randomness explicit and deterministic (the
+// built-in policies are deterministic functions of the FleetView and
+// ignore it).
+type PolicyFactory func(seed int64) cloud.Autoscaler
+
+// FixedTarget is the paper's baseline policy: the fleet target is exactly
+// Algorithm 1's #Instances(C_{t+1}) plus the reserve pool, i.e. whatever
+// the configuration optimizer asked for.
+type FixedTarget struct{}
+
+// Name implements cloud.Autoscaler.
+func (FixedTarget) Name() string { return "fixed" }
+
+// Target implements cloud.Autoscaler.
+func (FixedTarget) Target(v cloud.FleetView) int { return v.Want }
+
+// ReactiveQueue scales on request backlog: every QueuePer queued requests
+// justify one instance beyond the optimizer's target, up to MaxExtra. It
+// reacts after pressure materializes — cheap in calm markets, slower to
+// absorb bursts than Predictive.
+type ReactiveQueue struct {
+	// QueuePer is the backlog depth that justifies one extra instance.
+	QueuePer int
+	// MaxExtra caps the reactive surplus.
+	MaxExtra int
+}
+
+// DefaultReactiveQueue adds one instance per 8 queued requests, at most 4.
+func DefaultReactiveQueue() ReactiveQueue { return ReactiveQueue{QueuePer: 8, MaxExtra: 4} }
+
+// Name implements cloud.Autoscaler.
+func (ReactiveQueue) Name() string { return "reactive-queue" }
+
+// Target implements cloud.Autoscaler.
+func (p ReactiveQueue) Target(v cloud.FleetView) int {
+	per := p.QueuePer
+	if per <= 0 {
+		per = 8
+	}
+	extra := (v.QueueDepth + per - 1) / per
+	if extra > p.MaxExtra {
+		extra = p.MaxExtra
+	}
+	return v.Want + extra
+}
+
+// Predictive over-provisions ahead of modeled preemption waves: it
+// replaces every instance already under notice and adds PerPreemption
+// instances for each preemption seen in the recent look-back window, up to
+// MaxExtra — buying replacement capacity while the doomed instances are
+// still serving in their grace periods.
+type Predictive struct {
+	// PerPreemption is the extra-instance weight per recent preemption.
+	PerPreemption float64
+	// MaxExtra caps the predictive surplus (dying replacements included).
+	MaxExtra int
+}
+
+// DefaultPredictive replaces dying instances 1:1 and adds half an instance
+// per recent preemption, at most 5 extra.
+func DefaultPredictive() Predictive { return Predictive{PerPreemption: 0.5, MaxExtra: 5} }
+
+// Name implements cloud.Autoscaler.
+func (Predictive) Name() string { return "predictive" }
+
+// Target implements cloud.Autoscaler.
+func (p Predictive) Target(v cloud.FleetView) int {
+	extra := v.Dying + int(p.PerPreemption*float64(v.RecentPreemptions))
+	if extra > p.MaxExtra {
+		extra = p.MaxExtra
+	}
+	return v.Want + extra
+}
+
+// policyFactories is the registry of autoscaling policies, keyed by name.
+var policyFactories = map[string]PolicyFactory{}
+
+// policyOrder preserves registration order for catalogs.
+var policyOrder []string
+
+// RegisterPolicy adds a policy factory under name. It panics on duplicate
+// names.
+func RegisterPolicy(name string, f PolicyFactory) {
+	if _, dup := policyFactories[name]; dup {
+		panic(fmt.Sprintf("scenario: duplicate policy %q", name))
+	}
+	policyFactories[name] = f
+	policyOrder = append(policyOrder, name)
+}
+
+// Policies lists the registered policy names in registration order.
+func Policies() []string { return append([]string(nil), policyOrder...) }
+
+// PolicyByName returns the factory registered under name.
+func PolicyByName(name string) (PolicyFactory, bool) {
+	f, ok := policyFactories[name]
+	return f, ok
+}
+
+func init() {
+	RegisterPolicy("fixed", func(int64) cloud.Autoscaler { return FixedTarget{} })
+	RegisterPolicy("reactive-queue", func(int64) cloud.Autoscaler { return DefaultReactiveQueue() })
+	RegisterPolicy("predictive", func(int64) cloud.Autoscaler { return DefaultPredictive() })
+}

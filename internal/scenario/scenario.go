@@ -1,0 +1,250 @@
+// Package scenario is the simulation-condition library: it turns "a spot
+// market, an autoscaling policy and a fleet composition" into first-class,
+// composable values spanning three orthogonal axes —
+//
+//   - availability models: seeded synthetic spot-trace generators
+//     (diurnal sinusoid, bursty correlated preemption, capacity-crunch
+//     ramp, multi-zone independent pools) emitting the same event-stream
+//     format internal/trace parses, so synthetic and real traces are
+//     interchangeable;
+//   - autoscaling policies: cloud.Autoscaler implementations consulted by
+//     the serving system on preemption/ready events (fixed-target as in
+//     the paper, reactive queue-depth, predictive over-provisioning);
+//   - fleet presets: homogeneous and heterogeneous instance-type tables
+//     (per-type GPU count, speed and memory multipliers) threaded through
+//     the mapper, planner and optimizer cost decisions.
+//
+// Every axis value is registered by name, and a Grid fans the cross
+// product into experiments.Sweep cells, so any combination parallelizes
+// and replicates (multi-seed bands) through the existing harness. All
+// generators and policies take explicit seeds; the determinism tests pin
+// parallel==serial fingerprints across the new axes.
+//
+// docs/SCENARIOS.md catalogs every registered name; a test fails when a
+// registered axis value is missing from the catalog.
+package scenario
+
+import (
+	"fmt"
+	"strings"
+
+	"spotserve/internal/experiments"
+	"spotserve/internal/metrics"
+	"spotserve/internal/model"
+	"spotserve/internal/trace"
+)
+
+// Scenario names one point in the scenario space: an availability model,
+// an autoscaling policy and a fleet preset (each by registry name), plus
+// the serving system and model under test.
+type Scenario struct {
+	// Avail / Policy / Fleet are registry names for the three axes.
+	Avail, Policy, Fleet string
+	// System is the serving system to run (default SpotServe).
+	System experiments.System
+	// Model is the served LLM (default GPT-20B).
+	Model model.Spec
+	// Seed is the base replication seed.
+	Seed int64
+}
+
+// Cell resolves the named axes into one experiments.Scenario ready for the
+// sweep harness. On-demand mixing is enabled: the autoscaling-policy axis
+// acts through on-demand allocation, exactly like the paper's +O traces.
+// Only SpotServe consults the policy; the baseline systems keep their own
+// fleet logic (Grid.Cells skips baseline×non-fixed-policy combinations).
+func (s Scenario) Cell() (experiments.Scenario, error) {
+	am, ok := ModelByName(s.Avail)
+	if !ok {
+		return experiments.Scenario{}, fmt.Errorf("scenario: unknown availability model %q (have %s)",
+			s.Avail, strings.Join(Models(), ", "))
+	}
+	pf, ok := PolicyByName(s.Policy)
+	if !ok {
+		return experiments.Scenario{}, fmt.Errorf("scenario: unknown policy %q (have %s)",
+			s.Policy, strings.Join(Policies(), ", "))
+	}
+	fp, ok := FleetByName(s.Fleet)
+	if !ok {
+		return experiments.Scenario{}, fmt.Errorf("scenario: unknown fleet preset %q (have %s)",
+			s.Fleet, strings.Join(Fleets(), ", "))
+	}
+	sys := s.System
+	if sys == "" {
+		sys = experiments.SpotServe
+	}
+	spec := s.Model
+	if spec.Name == "" {
+		spec = model.GPT20B
+	}
+	seed := s.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	// The trace itself is generated per replica seed inside experiments.Run
+	// (TraceFn below); the cell carries only the model.
+	sc := experiments.DefaultScenario(sys, spec, trace.Trace{}, seed)
+	sc.AllowOnDemand = true
+	sc.AvailModel = am.Name()
+	sc.TraceFn = am.Trace
+	sc.Fleet = fp.Name
+	params := fp.Params
+	sc.CloudParams = &params
+	sc.Policy = s.Policy
+	sc.NewAutoscaler = pf
+	return sc, nil
+}
+
+// Grid is a cross product over the three scenario axes (×systems): the
+// scenario-diversity engine's input. Zero-value fields fall back to
+// DefaultGrid's choices for that axis.
+type Grid struct {
+	// Avail / Policies / Fleets are registry names per axis.
+	Avail, Policies, Fleets []string
+	// Systems lists the serving systems to run each combination under.
+	Systems []experiments.System
+	// Model is the served LLM for every cell.
+	Model model.Spec
+	// Seed is the base seed (the sweep's Seeds override per-replica).
+	Seed int64
+}
+
+// DefaultGrid covers every registered availability model and policy on the
+// homogeneous and speed-heterogeneous fleets with SpotServe — 24 cells.
+func DefaultGrid() Grid {
+	return Grid{
+		Avail:    Models(),
+		Policies: Policies(),
+		Fleets:   []string{"homog", "hetero-speed"},
+		Systems:  []experiments.System{experiments.SpotServe},
+		Model:    model.GPT20B,
+		Seed:     1,
+	}
+}
+
+// Cells expands the grid into sweep-ready experiments cells in
+// deterministic axis-major order (avail, policy, fleet, system).
+func (g Grid) Cells() ([]experiments.Scenario, error) {
+	def := DefaultGrid()
+	if len(g.Avail) == 0 {
+		g.Avail = def.Avail
+	}
+	if len(g.Policies) == 0 {
+		g.Policies = def.Policies
+	}
+	if len(g.Fleets) == 0 {
+		g.Fleets = def.Fleets
+	}
+	if len(g.Systems) == 0 {
+		g.Systems = def.Systems
+	}
+	if g.Model.Name == "" {
+		g.Model = def.Model
+	}
+	if g.Seed == 0 {
+		g.Seed = def.Seed
+	}
+	var out []experiments.Scenario
+	for _, av := range g.Avail {
+		for _, po := range g.Policies {
+			for _, fl := range g.Fleets {
+				for _, sys := range g.Systems {
+					// The baselines do not consult autoscaling policies
+					// (their fleet logic is part of what they baseline);
+					// skip those combinations rather than rendering rows
+					// whose policy label would be a no-op.
+					if sys != experiments.SpotServe && po != "fixed" {
+						continue
+					}
+					sc, err := Scenario{
+						Avail: av, Policy: po, Fleet: fl,
+						System: sys, Model: g.Model, Seed: g.Seed,
+					}.Cell()
+					if err != nil {
+						return nil, err
+					}
+					out = append(out, sc)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// GridRow is one grid cell's outcome: the first-seed replica's headline
+// stats plus cross-seed bands when the sweep replicates.
+type GridRow struct {
+	Avail, Policy, Fleet string
+	System               experiments.System
+	// Summary / CostUSD / OnDemand are the first-seed replica.
+	Summary  metrics.Summary
+	CostUSD  float64
+	OnDemand int
+	Reps     experiments.Replication
+}
+
+// GridSweep runs the grid through the parallel sweep harness, replicating
+// every cell at each sweep seed (default: the grid's base seed once).
+// Results are byte-identical to a serial run at any worker count.
+func GridSweep(g Grid, sw experiments.Sweep) ([]GridRow, error) {
+	cells, err := g.Cells()
+	if err != nil {
+		return nil, err
+	}
+	if len(sw.Seeds) == 0 {
+		seed := g.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		sw.Seeds = []int64{seed}
+	}
+	reps := sw.RunCells(cells)
+	rows := make([]GridRow, len(cells))
+	for i, rs := range reps {
+		first := rs[0]
+		rows[i] = GridRow{
+			Avail:    first.Scenario.AvailModel,
+			Policy:   first.Scenario.Policy,
+			Fleet:    first.Scenario.Fleet,
+			System:   first.Scenario.System,
+			Summary:  first.Stats.Latency,
+			CostUSD:  first.Stats.CostUSD,
+			OnDemand: first.Stats.OnDemandAllocated,
+			Reps:     experiments.NewReplication(rs),
+		}
+	}
+	return rows, nil
+}
+
+// RenderGrid formats grid rows as a text table, with mean ±stderr
+// [min,max] bands across seeds when the sweep replicated.
+func RenderGrid(rows []GridRow) string {
+	var b strings.Builder
+	bands := false
+	for _, r := range rows {
+		if r.Reps.Replicated() {
+			bands = true
+			break
+		}
+	}
+	fmt.Fprintf(&b, "Scenario grid: availability × policy × fleet\n")
+	fmt.Fprintf(&b, "%-10s %-15s %-13s %-18s %8s %8s %9s %4s",
+		"Avail", "Policy", "Fleet", "System", "Avg", "P99", "Cost", "OD")
+	if bands {
+		fmt.Fprintf(&b, "  %-26s %-26s", "P99 band", "Cost band")
+	}
+	b.WriteString("\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %-15s %-13s %-18s %7.1fs %7.1fs %8.2f$ %4d",
+			r.Avail, r.Policy, r.Fleet, r.System,
+			r.Summary.Avg, r.Summary.P99, r.CostUSD, r.OnDemand)
+		if bands {
+			fmt.Fprintf(&b, "  %-26s %-26s", r.Reps.P99.Band(), r.Reps.Cost.Band())
+		}
+		b.WriteString("\n")
+	}
+	if bands && len(rows) > 0 {
+		fmt.Fprintf(&b, "(bands: mean ±stderr [min,max] over %d seeds)\n", rows[0].Reps.Avg.N)
+	}
+	return b.String()
+}

@@ -133,6 +133,55 @@ func TestStepRate(t *testing.T) {
 	}
 }
 
+// TestStepRateBoundaries pins the exact step-transition semantics: a step
+// takes effect at its own timestamp (closed on the left, open on the
+// right), times before the first step use the first step's rate, and
+// adjacent/duplicate steps resolve to the latest one at the instant.
+func TestStepRateBoundaries(t *testing.T) {
+	eps := math.Nextafter(10, 0)    // largest float64 below 10
+	after := math.Nextafter(10, 20) // smallest float64 above 10
+	r := StepRate([]RateStep{{0, 1}, {10, 5}})
+	boundary := map[float64]float64{
+		eps:   1, // still the old rate one ulp before the step
+		10:    5, // the step's own instant already uses the new rate
+		after: 5,
+	}
+	for at, want := range boundary {
+		if got := r(at); got != want {
+			t.Errorf("rate(%v) = %v, want %v", at, got, want)
+		}
+	}
+
+	// A first step later than t=0: earlier times inherit its rate (the
+	// documented before-first-step behavior).
+	late := StepRate([]RateStep{{100, 3}, {200, 7}})
+	if got := late(0); got != 3 {
+		t.Errorf("before first step: rate(0) = %v, want 3", got)
+	}
+	if got := late(99.999); got != 3 {
+		t.Errorf("before first step: rate(99.999) = %v, want 3", got)
+	}
+
+	// Duplicate timestamps: the last step at an instant wins from that
+	// instant on.
+	dup := StepRate([]RateStep{{0, 1}, {10, 5}, {10, 9}})
+	if got := dup(10); got != 9 {
+		t.Errorf("duplicate step time: rate(10) = %v, want 9 (last wins)", got)
+	}
+	if got := dup(9); got != 1 {
+		t.Errorf("duplicate step time: rate(9) = %v, want 1", got)
+	}
+
+	// A zero-rate step suspends arrivals entirely until the next step.
+	gap := StepRate([]RateStep{{0, 2}, {10, 0}, {20, 4}})
+	if got := gap(15); got != 0 {
+		t.Errorf("zero-rate plateau: rate(15) = %v, want 0", got)
+	}
+	if got := gap(20); got != 4 {
+		t.Errorf("after zero-rate plateau: rate(20) = %v, want 4", got)
+	}
+}
+
 func TestMAFStepsShape(t *testing.T) {
 	steps := MAFSteps(0.35)
 	r := StepRate(steps)
