@@ -14,9 +14,9 @@ TIER1_BENCH = BenchmarkEndToEndSimulation$$|BenchmarkConfigOptimizer$$|Benchmark
 # against it.
 BENCH_BASELINE ?= BENCH_baseline.json
 
-.PHONY: ci build vet test race fuzz bench figures bench-baseline bench-check examples
+.PHONY: ci build vet test race race-reconfig fuzz bench figures bench-baseline bench-check examples
 
-ci: build vet race examples bench-check
+ci: build vet race-reconfig race examples bench-check
 
 # Smoke gate: every example must build and run to completion (stdout is
 # discarded; a non-zero exit or panic fails the gate).
@@ -41,6 +41,13 @@ test:
 # suite under -race is the concurrency gate.
 race:
 	$(GO) test -race ./...
+
+# Focused race gate on the reconfiguration pipeline and the control plane
+# that drives it: the per-server memos and the process-wide shared cost
+# profile are exercised concurrently by the sweep pool, so these two
+# packages get an explicit first-class -race run (fast to iterate on).
+race-reconfig:
+	$(GO) test -race ./internal/reconfig/ ./internal/core/
 
 # Short fuzz pass over the JSON trace format (CI smoke; run longer locally
 # with -fuzztime=5m when touching internal/trace).

@@ -13,10 +13,13 @@ import (
 	"runtime"
 	"testing"
 
+	"spotserve/internal/cloud"
 	"spotserve/internal/config"
 	"spotserve/internal/cost"
 	"spotserve/internal/experiments"
+	"spotserve/internal/km"
 	"spotserve/internal/model"
+	"spotserve/internal/reconfig"
 	"spotserve/internal/trace"
 	"spotserve/internal/workload"
 )
@@ -288,4 +291,128 @@ func (o *benchOptimizer) Propose(nInstances int, alpha float64) config.Config {
 		}
 	}
 	return best
+}
+
+// benchDevices fabricates nInst 4-GPU instances whose devices hold the
+// contexts of configuration old (extra devices hold nothing) — the
+// reconfiguration fixture shared by the pipeline benchmarks.
+func benchDevices(spec model.Spec, nInst int, old config.Config) []reconfig.DeviceContext {
+	var gpus []*cloud.GPU
+	id := int64(0)
+	for i := 0; i < nInst; i++ {
+		inst := &cloud.Instance{ID: int64(i), Kind: cloud.Spot, State: cloud.Running}
+		for s := 0; s < 4; s++ {
+			g := &cloud.GPU{ID: id, Slot: s, Inst: inst}
+			inst.GPUs = append(inst.GPUs, g)
+			gpus = append(gpus, g)
+			id++
+		}
+	}
+	positions := old.Positions()
+	out := make([]reconfig.DeviceContext, len(gpus))
+	for i, g := range gpus {
+		dc := reconfig.DeviceContext{GPU: g, CachePipeline: -1}
+		if i < len(positions) {
+			pos := positions[i]
+			dc.ModelCtx = model.PositionRect(spec, old.P, old.M, pos.P, pos.M)
+		}
+		out[i] = dc
+	}
+	return out
+}
+
+// BenchmarkReconfigure measures one full Request→Proposal→Mapping→Plan
+// pipeline pass (the work SpotServe performs per preemption event) with
+// the reconfiguration cache cold — every stage recomputed, as with
+// reconfig.Options.DisableCache — versus warm, where the fleet signature,
+// KM sub-matchings and parameter plan recur and replay from the memos.
+func BenchmarkReconfigure(b *testing.B) {
+	spec := model.GPT20B
+	old := config.Config{D: 1, P: 2, M: 8, B: 1}
+	devs := benchDevices(spec, 4, old)
+	req := reconfig.Request{Alpha: 0.35, GPUsAvail: 16, MaxGPUs: 16, SpeedFloor: 1, MemFloor: 1}
+
+	newEngine := func(disable bool) *reconfig.Engine {
+		return reconfig.NewEngine(reconfig.Options{
+			Spec:         spec,
+			Est:          cost.NewEstimator(cost.DefaultParams(), spec),
+			Limits:       config.DefaultLimits(),
+			MaxInstances: 12,
+			UseKM:        true,
+			Hierarchical: true,
+			Progressive:  true,
+			MemOpt:       true,
+			UmaxBytes:    cost.DefaultParams().BufMaxBytes,
+			MigrateCache: true,
+			DisableCache: disable,
+		})
+	}
+	pipeline := func(b *testing.B, eng *reconfig.Engine) {
+		prop := eng.Propose(req)
+		mapping, err := eng.Map(devs, prop.Config, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := eng.Plan(devs, mapping, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		eng := newEngine(true)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pipeline(b, eng)
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		eng := newEngine(false)
+		pipeline(b, eng) // prime the memos
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pipeline(b, eng)
+		}
+		stats := eng.CacheStats()
+		b.ReportMetric(stats.HitRate()*100, "hit_%")
+	})
+}
+
+// BenchmarkKMWarmStart measures the Kuhn–Munkres solver cold versus the
+// exact-reuse warm start (km.Cache) on a recurring device-mapping matrix —
+// the situation after a preemption, where most instance×block sub-problems
+// are untouched and replay instead of re-solving.
+func BenchmarkKMWarmStart(b *testing.B) {
+	spec := model.GPT20B
+	old := config.Config{D: 1, P: 2, M: 8, B: 1}
+	target := config.Config{D: 1, P: 3, M: 4, B: 1}
+	devs := benchDevices(spec, 4, old)[:12]
+
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := reconfig.MapDevices(spec, devs, target, reconfig.MapperOptions{
+				UseKM: true, Hierarchical: true,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		kc := km.NewCache(0)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := reconfig.MapDevices(spec, devs, target, reconfig.MapperOptions{
+				UseKM: true, Hierarchical: true, KM: kc,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		hits, misses := kc.Stats()
+		if hits+misses > 0 {
+			b.ReportMetric(float64(hits)/float64(hits+misses)*100, "hit_%")
+		}
+	})
 }

@@ -5,7 +5,17 @@
 //
 // Usage:
 //
-//	profiler [-model GPT-20B] [-sin 512] [-sout 128]
+//	profiler list                          # models with min-GPU summary
+//	profiler profile [-model m] [-sin N] [-sout N]
+//	profiler shapes  [-model m] [-b N] [-memscale X] [-naive]
+//
+// Examples:
+//
+//	profiler profile -model GPT-20B
+//	profiler shapes -model GPT-20B -memscale 0.8
+//
+// Unknown subcommands or flags exit 2 with usage (same convention as
+// cmd/tracegen).
 package main
 
 import (
@@ -18,27 +28,113 @@ import (
 	"spotserve/internal/model"
 )
 
-func main() {
-	name := flag.String("model", "GPT-20B", "model: OPT-6.7B, GPT-20B, LLaMA-30B, or all")
-	sin := flag.Int("sin", cost.DefaultSeqIn, "input sequence length")
-	sout := flag.Int("sout", cost.DefaultSeqOut, "output sequence length")
-	flag.Parse()
+func usage(w *os.File) {
+	fmt.Fprintf(w, `profiler — print the offline cost profile the optimizer consults
 
-	specs := model.All()
-	if *name != "all" {
-		s, ok := model.ByName(*name)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown model %q\n", *name)
-			os.Exit(2)
-		}
-		specs = []model.Spec{s}
+Subcommands:
+  list               list models with their minimum feasible pipeline
+  profile [flags]    print the full (P,M,B) latency/throughput profile
+       -model name     model: OPT-6.7B, GPT-20B, LLaMA-30B, or all (default GPT-20B)
+       -sin N          input sequence length (default %d)
+       -sout N         output sequence length (default %d)
+  shapes [flags]     print memory-feasible (P,M) shapes for one batch size
+       -model name     model as above (default GPT-20B)
+       -b N            batch size (default 1)
+       -memscale X     usable-memory multiplier of the smallest instance
+                       type (heterogeneous fleets; default 1.0)
+       -naive          use the naive migration-buffer memory model (§6.2)
+`, cost.DefaultSeqIn, cost.DefaultSeqOut)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage(os.Stderr)
+		os.Exit(2)
 	}
-	for _, spec := range specs {
-		est := cost.NewEstimator(cost.DefaultParams(), spec)
+	switch os.Args[1] {
+	case "list":
+		cmdList()
+	case "profile":
+		cmdProfile(os.Args[2:])
+	case "shapes":
+		cmdShapes(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage(os.Stdout)
+	default:
+		fmt.Fprintf(os.Stderr, "profiler: unknown subcommand %q\n\n", os.Args[1])
+		usage(os.Stderr)
+		os.Exit(2)
+	}
+}
+
+// specsFor resolves -model into specs, exiting 2 on unknown names.
+func specsFor(name string) []model.Spec {
+	if name == "all" {
+		return model.All()
+	}
+	s, ok := model.ByName(name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "profiler: unknown model %q (run `profiler list`)\n", name)
+		os.Exit(2)
+	}
+	return []model.Spec{s}
+}
+
+func cmdList() {
+	fmt.Println("models (profiler profile -model <name>):")
+	for _, spec := range model.All() {
+		est := cost.Shared(cost.DefaultParams(), spec)
+		min, shape := est.MinGPUs(config.DefaultLimits(), cost.DefaultMaxTokens, false)
+		fmt.Printf("  %-10s %6.1f GB, %d layers — min pipeline %d GPUs at (P=%d,M=%d)\n",
+			spec.Name, spec.ParamBytes/model.GB, spec.Layers, min, shape.P, shape.M)
+	}
+}
+
+func cmdProfile(args []string) {
+	fs := flag.NewFlagSet("profile", flag.ExitOnError)
+	name := fs.String("model", "GPT-20B", "model: OPT-6.7B, GPT-20B, LLaMA-30B, or all")
+	sin := fs.Int("sin", cost.DefaultSeqIn, "input sequence length")
+	sout := fs.Int("sout", cost.DefaultSeqOut, "output sequence length")
+	fs.Parse(args)
+	for _, spec := range specsFor(*name) {
+		est := cost.Shared(cost.DefaultParams(), spec)
 		p := est.BuildProfile(config.DefaultLimits(), *sin, *sout)
 		fmt.Print(p.String())
 		min, shape := est.MinGPUs(config.DefaultLimits(), *sin+*sout, false)
 		fmt.Printf("→ minimum pipeline: %d GPUs at (P=%d,M=%d); %d/%d shapes feasible\n\n",
 			min, shape.P, shape.M, p.FeasibleCount(), len(p.Entries))
 	}
+}
+
+func cmdShapes(args []string) {
+	fs := flag.NewFlagSet("shapes", flag.ExitOnError)
+	name := fs.String("model", "GPT-20B", "model: OPT-6.7B, GPT-20B, LLaMA-30B, or all")
+	bsz := fs.Int("b", 1, "batch size")
+	memScale := fs.Float64("memscale", 1.0, "usable-memory multiplier (smallest instance type)")
+	naive := fs.Bool("naive", false, "naive migration-buffer memory model")
+	fs.Parse(args)
+	if *memScale <= 0 {
+		fmt.Fprintln(os.Stderr, "profiler: -memscale must be positive")
+		os.Exit(2)
+	}
+	for _, spec := range specsFor(*name) {
+		est := cost.Shared(cost.DefaultParams(), spec)
+		shapes := est.FeasibleShapesScaled(config.DefaultLimits(), *bsz, cost.DefaultMaxTokens, *naive, *memScale)
+		fmt.Printf("%s: %d feasible shapes at B=%d, memscale %.2f (buffer: %s)\n",
+			spec.Name, len(shapes), *bsz, *memScale, bufferName(*naive))
+		for _, c := range shapes {
+			fmt.Printf("  (P=%d,M=%d) %2d GPUs/pipeline  l_exe=%6.2fs\n",
+				c.P, c.M, c.GPUsPerPipeline(),
+				est.Exec(c.P, c.M, c.B, cost.DefaultSeqIn, cost.DefaultSeqOut))
+		}
+		min, shape := est.MinGPUsScaled(config.DefaultLimits(), cost.DefaultMaxTokens, *naive, *memScale)
+		fmt.Printf("→ minimum pipeline: %d GPUs at (P=%d,M=%d)\n\n", min, shape.P, shape.M)
+	}
+}
+
+func bufferName(naive bool) string {
+	if naive {
+		return "naive 2x-resident"
+	}
+	return "memory-optimized U_max"
 }

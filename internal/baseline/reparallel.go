@@ -20,6 +20,7 @@ import (
 	"spotserve/internal/cost"
 	"spotserve/internal/engine"
 	"spotserve/internal/metrics"
+	"spotserve/internal/reconfig"
 	"spotserve/internal/sim"
 	"spotserve/internal/workload"
 )
@@ -30,7 +31,7 @@ type Reparallel struct {
 	cloud *cloud.Cloud
 	est   *cost.Estimator
 	eng   *engine.Engine
-	optz  *core.Optimizer
+	rc    *reconfig.Engine
 	opts  core.Options
 
 	cfg        config.Config
@@ -45,16 +46,12 @@ type Reparallel struct {
 
 // NewReparallel builds the baseline on a simulator and cloud.
 func NewReparallel(s *sim.Simulator, cl *cloud.Cloud, opts core.Options) *Reparallel {
-	est := cost.NewEstimator(opts.CostParams, opts.Spec)
-	optz := core.NewOptimizer(est)
-	optz.Limits = opts.Limits
-	optz.MaxInstances = opts.MaxInstances
-	optz.SeqIn, optz.SeqOut = opts.SeqIn, opts.SeqOut
+	est := cost.Shared(opts.CostParams, opts.Spec)
 	r := &Reparallel{
 		sim:   s,
 		cloud: cl,
 		est:   est,
-		optz:  optz,
+		rc:    baselineEngine(est, opts),
 		opts:  opts,
 		pipes: map[int]*engine.Pipeline{},
 		dying: map[int64]bool{},
@@ -74,6 +71,7 @@ func (r *Reparallel) Stats() core.Stats {
 	if st.Latencies != nil {
 		st.Latency = st.Latencies.Summarize()
 	}
+	st.ReconfigCache = r.rc.CacheStats()
 	return st
 }
 
@@ -111,19 +109,26 @@ func (r *Reparallel) usableGPUs() []*cloud.GPU {
 	return out
 }
 
-func (r *Reparallel) propose() core.Proposal {
+func (r *Reparallel) propose() reconfig.Proposal {
 	gpus := r.usableGPUs()
 	// Same required-rate estimate as SpotServe's controller: base rate
 	// plus backlog pressure (fair comparison — only the reconfiguration
 	// mechanism differs). Like the server, the fleet is measured in GPUs
-	// and estimates apply the slowest usable device's speed, so mixed
-	// fleets are planned with the same arithmetic as SpotServe.
+	// and the request carries the slowest/smallest usable device floors,
+	// so mixed fleets are planned with the same arithmetic — and the same
+	// memoized pipeline — as SpotServe.
 	alpha := r.opts.BaseRate + float64(len(r.queue))/120.0
-	r.optz.SpeedFloor = speedFloor(gpus)
-	if r.opts.Features.AllowOnDemand {
-		return r.optz.ProposeForGPUs(len(gpus), alpha, r.optz.MaxInstances*r.optz.GPUsPerInstance)
+	req := reconfig.Request{
+		Alpha:      alpha,
+		GPUsAvail:  len(gpus),
+		MaxGPUs:    len(gpus),
+		SpeedFloor: speedFloor(gpus),
+		MemFloor:   memFloor(gpus),
 	}
-	return r.optz.ProposeForGPUs(len(gpus), alpha, len(gpus))
+	if r.opts.Features.AllowOnDemand {
+		req.MaxGPUs = r.opts.MaxInstances * r.opts.CostParams.GPUsPerInstance
+	}
+	return r.rc.Propose(req)
 }
 
 // speedFloor returns the slowest GPU's speed multiplier (1.0 when empty or
@@ -138,13 +143,48 @@ func speedFloor(gpus []*cloud.GPU) float64 {
 	return floor
 }
 
+// memFloor returns the smallest usable instance's memory multiplier (1.0
+// when empty or homogeneous) — feasibility is checked against it.
+func memFloor(gpus []*cloud.GPU) float64 {
+	floor, first := 1.0, true
+	for _, g := range gpus {
+		if ms := g.Inst.MemScale(); first || ms < floor {
+			floor, first = ms, false
+		}
+	}
+	return floor
+}
+
+// baselineEngine builds a baseline's reconfiguration pipeline with the
+// same optimizer bounds as SpotServe's server — both comparison systems
+// price configurations through the identical (and identically memoized)
+// machinery, so only the reconfiguration *mechanism* differs.
+func baselineEngine(est *cost.Estimator, opts core.Options) *reconfig.Engine {
+	return reconfig.NewEngine(reconfig.Options{
+		Spec:            opts.Spec,
+		Est:             est,
+		Limits:          opts.Limits,
+		GPUsPerInstance: opts.CostParams.GPUsPerInstance,
+		MaxInstances:    opts.MaxInstances,
+		SeqIn:           opts.SeqIn,
+		SeqOut:          opts.SeqOut,
+		DisableCache:    opts.DisableReconfigCache,
+	})
+}
+
 func (r *Reparallel) bootstrap() {
 	prop := r.propose()
 	r.manageFleet(prop)
 	target := prop.Config
 	gpus := r.usableGPUs()
 	if target.GPUs() > len(gpus) {
-		target = r.optz.ProposeForGPUs(len(gpus), r.opts.BaseRate, len(gpus)).Config
+		target = r.rc.Propose(reconfig.Request{
+			Alpha:      r.opts.BaseRate,
+			GPUsAvail:  len(gpus),
+			MaxGPUs:    len(gpus),
+			SpeedFloor: speedFloor(gpus),
+			MemFloor:   memFloor(gpus),
+		}).Config
 	}
 	if target.IsZero() || target.GPUs() > len(gpus) {
 		return
@@ -153,16 +193,13 @@ func (r *Reparallel) bootstrap() {
 	r.dispatch()
 }
 
-func (r *Reparallel) manageFleet(prop core.Proposal) {
+func (r *Reparallel) manageFleet(prop reconfig.Proposal) {
 	if !r.opts.Features.AllowOnDemand {
 		return
 	}
-	gpi := r.opts.CostParams.GPUsPerInstance
 	haveGPUs := r.cloud.GPUCount(func(id int64) bool { return r.dying[id] })
 	if prop.WantGPUs > haveGPUs {
-		n := (prop.WantGPUs - haveGPUs + gpi - 1) / gpi
-		r.cloud.AllocOnDemand(n)
-		r.stats.OnDemandAllocated += n
+		r.stats.OnDemandAllocated += len(r.cloud.AllocOnDemandGPUs(prop.WantGPUs - haveGPUs))
 	}
 }
 
@@ -231,7 +268,7 @@ func (r *Reparallel) restart(reason string) {
 	target := prop.Config
 	gpus := r.usableGPUs()
 	if target.GPUs() > len(gpus) {
-		target = core.FitToInstances(target, len(gpus))
+		target = reconfig.FitToInstances(target, len(gpus))
 	}
 	if target.IsZero() {
 		r.restarting = false
@@ -247,7 +284,7 @@ func (r *Reparallel) restart(reason string) {
 		gpus := r.usableGPUs()
 		tgt := target
 		if tgt.GPUs() > len(gpus) {
-			tgt = core.FitToInstances(tgt, len(gpus))
+			tgt = reconfig.FitToInstances(tgt, len(gpus))
 		}
 		if tgt.IsZero() {
 			return

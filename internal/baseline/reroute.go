@@ -9,6 +9,7 @@ import (
 	"spotserve/internal/cost"
 	"spotserve/internal/engine"
 	"spotserve/internal/metrics"
+	"spotserve/internal/reconfig"
 	"spotserve/internal/sim"
 	"spotserve/internal/workload"
 )
@@ -23,6 +24,7 @@ type Reroute struct {
 	cloud *cloud.Cloud
 	est   *cost.Estimator
 	eng   *engine.Engine
+	rc    *reconfig.Engine
 	opts  core.Options
 
 	// shape is the fixed (P, M, B); D floats with availability.
@@ -47,11 +49,12 @@ type reroutePipe struct {
 
 // NewReroute builds the baseline.
 func NewReroute(s *sim.Simulator, cl *cloud.Cloud, opts core.Options) *Reroute {
-	est := cost.NewEstimator(opts.CostParams, opts.Spec)
+	est := cost.Shared(opts.CostParams, opts.Spec)
 	r := &Reroute{
 		sim:   s,
 		cloud: cl,
 		est:   est,
+		rc:    baselineEngine(est, opts),
 		opts:  opts,
 		pipes: map[int]*reroutePipe{},
 		used:  map[int64]bool{},
@@ -71,6 +74,7 @@ func (r *Reroute) Stats() core.Stats {
 	if st.Latencies != nil {
 		st.Latency = st.Latencies.Summarize()
 	}
+	st.ReconfigCache = r.rc.CacheStats()
 	return st
 }
 
@@ -95,20 +99,21 @@ func (r *Reroute) LoadWorkload(reqs []workload.Request, horizon float64) {
 }
 
 func (r *Reroute) bootstrap() {
-	optz := core.NewOptimizer(r.est)
-	optz.Limits = r.opts.Limits
-	optz.MaxInstances = r.opts.MaxInstances
-	optz.SeqIn, optz.SeqOut = r.opts.SeqIn, r.opts.SeqOut
-	// GPU-denominated fleet measure + speed floor: mixed fleets must not
-	// make the baseline plan for devices that do not exist.
+	// GPU-denominated fleet measure + speed/memory floors: mixed fleets
+	// must not make the baseline plan for devices that do not exist.
 	var gpus []*cloud.GPU
 	for _, inst := range r.cloud.Alive() {
 		if inst.State == cloud.Running {
 			gpus = append(gpus, inst.GPUs...)
 		}
 	}
-	optz.SpeedFloor = speedFloor(gpus)
-	prop := optz.ProposeForGPUs(len(gpus), r.opts.BaseRate, len(gpus))
+	prop := r.rc.Propose(reconfig.Request{
+		Alpha:      r.opts.BaseRate,
+		GPUsAvail:  len(gpus),
+		MaxGPUs:    len(gpus),
+		SpeedFloor: speedFloor(gpus),
+		MemFloor:   memFloor(gpus),
+	})
 	if prop.Config.IsZero() {
 		return
 	}

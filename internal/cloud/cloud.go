@@ -257,6 +257,10 @@ type Cloud struct {
 	// spotLaunches counts spot launches so heterogeneous fleets cycle
 	// through the type table deterministically.
 	spotLaunches int
+	// aliveCache holds the sorted Alive() result between membership
+	// changes — the control plane reads the alive set several times per
+	// event.
+	aliveCache []*Instance
 }
 
 // New builds a provider bound to the simulator. The listener may be set
@@ -324,6 +328,7 @@ func (c *Cloud) makeReady(inst *Instance) {
 	}
 	inst.State = Running
 	inst.ReadyAt = c.sim.Now()
+	c.aliveCache = nil
 	c.meter.Start(inst.ID, priceOf(inst))
 	c.listener.InstanceReady(inst)
 }
@@ -333,6 +338,7 @@ func (c *Cloud) terminate(inst *Instance) {
 		return
 	}
 	inst.State = Terminated
+	c.aliveCache = nil
 	c.meter.Stop(inst.ID)
 	c.listener.InstanceTerminated(inst)
 }
@@ -435,15 +441,53 @@ func (c *Cloud) Prealloc(n int, kind Kind) []*Instance {
 	return out
 }
 
-// AllocOnDemand requests n on-demand instances (always of the fleet's
-// primary type); they become Running after the acquisition delay. The
-// created (Pending) instances are returned.
+// AllocOnDemand requests n on-demand instances of the fleet's primary
+// type; they become Running after the acquisition delay. The created
+// (Pending) instances are returned.
 func (c *Cloud) AllocOnDemand(n int) []*Instance {
 	var out []*Instance
 	for i := 0; i < n; i++ {
-		inst := c.newInstance(OnDemand, c.params.TypeList()[0])
-		c.sim.After(c.params.AcquireDelay, func() { c.makeReady(inst) })
-		out = append(out, inst)
+		out = append(out, c.allocOnDemandTyped(c.params.TypeList()[0]))
+	}
+	return out
+}
+
+func (c *Cloud) allocOnDemandTyped(typ InstanceType) *Instance {
+	inst := c.newInstance(OnDemand, typ)
+	c.sim.After(c.params.AcquireDelay, func() { c.makeReady(inst) })
+	return inst
+}
+
+// AllocOnDemandGPUs requests on-demand capacity covering at least `gpus`
+// devices. The bulk of the deficit is covered by primary-type instances;
+// the remainder falls back to the non-primary type that wastes the fewest
+// devices (ties: cheapest on-demand $/GPU, then table order) — so a
+// 2-device deficit on a {4-GPU, 2-GPU} fleet allocates one small instance
+// instead of rounding up to a second large one. On single-type fleets the
+// result is exactly ceil(gpus/GPUsPerType) primary instances, matching the
+// historical allocator. The created (Pending) instances are returned.
+func (c *Cloud) AllocOnDemandGPUs(gpus int) []*Instance {
+	types := c.params.TypeList()
+	primary := types[0]
+	var out []*Instance
+	for gpus >= primary.GPUs {
+		out = append(out, c.allocOnDemandTyped(primary))
+		gpus -= primary.GPUs
+	}
+	if gpus > 0 {
+		best := primary
+		for _, t := range types[1:] {
+			if t.GPUs < gpus {
+				continue // cannot singly cover the remainder
+			}
+			switch {
+			case t.GPUs < best.GPUs, // less waste
+				t.GPUs == best.GPUs && t.OnDemandUSDPerHour/float64(t.GPUs) <
+					best.OnDemandUSDPerHour/float64(best.GPUs): // cheaper per device
+				best = t
+			}
+		}
+		out = append(out, c.allocOnDemandTyped(best))
 	}
 	return out
 }
@@ -455,15 +499,21 @@ func (c *Cloud) Release(inst *Instance) {
 	c.terminate(inst)
 }
 
-// Running returns all Running-or-Noticed instances in ID order.
+// Alive returns all Running-or-Noticed instances in ID order. The slice is
+// cached between membership changes (state transitions invalidate it);
+// callers must not mutate it.
 func (c *Cloud) Alive() []*Instance {
-	var out []*Instance
+	if c.aliveCache != nil {
+		return c.aliveCache
+	}
+	out := make([]*Instance, 0, len(c.instances))
 	for _, inst := range c.instances {
 		if inst.Alive() {
 			out = append(out, inst)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	c.aliveCache = out
 	return out
 }
 

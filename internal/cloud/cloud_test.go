@@ -338,3 +338,69 @@ func TestUsableGPUsDeterministicOrder(t *testing.T) {
 		t.Fatalf("gpus = %d", len(g))
 	}
 }
+
+// nopListener ignores every cloud notification.
+type nopListener struct{}
+
+func (nopListener) InstanceReady(*Instance)             {}
+func (nopListener) PreemptionNotice(*Instance, float64) {}
+func (nopListener) InstanceTerminated(*Instance)        {}
+
+// heteroAllocParams builds a two-type fleet for allocator tests.
+func heteroAllocParams() Params {
+	p := DefaultParams()
+	p.Types = []InstanceType{
+		{Name: "big", GPUs: 4, Speed: 1, MemScale: 1, SpotUSDPerHour: 1.9, OnDemandUSDPerHour: 3.9},
+		{Name: "half", GPUs: 2, Speed: 1, MemScale: 1, SpotUSDPerHour: 1.0, OnDemandUSDPerHour: 2.0},
+	}
+	return p
+}
+
+// TestAllocOnDemandGPUsTypedFallback pins the non-primary-type on-demand
+// fallback: the bulk of a GPU deficit is covered by primary instances and
+// the tail by the least-wasteful smaller type.
+func TestAllocOnDemandGPUsTypedFallback(t *testing.T) {
+	s := sim.New()
+	c := New(s, heteroAllocParams(), nopListener{})
+
+	insts := c.AllocOnDemandGPUs(6)
+	if len(insts) != 2 {
+		t.Fatalf("deficit 6 allocated %d instances, want 2", len(insts))
+	}
+	if insts[0].Type.Name != "big" || insts[1].Type.Name != "half" {
+		t.Fatalf("deficit 6 allocated %s+%s, want big+half", insts[0].Type.Name, insts[1].Type.Name)
+	}
+	if got := len(insts[0].GPUs) + len(insts[1].GPUs); got != 6 {
+		t.Fatalf("deficit 6 covered with %d GPUs (want exactly 6, no waste)", got)
+	}
+
+	// Remainder larger than every non-primary type falls back to primary.
+	insts = c.AllocOnDemandGPUs(3)
+	if len(insts) != 1 || insts[0].Type.Name != "big" {
+		t.Fatalf("deficit 3 = %v, want one big", insts)
+	}
+
+	// Exact primary multiples never touch the fallback.
+	insts = c.AllocOnDemandGPUs(8)
+	if len(insts) != 2 || insts[0].Type.Name != "big" || insts[1].Type.Name != "big" {
+		t.Fatalf("deficit 8 = %v, want two big", insts)
+	}
+}
+
+// TestAllocOnDemandGPUsHomogeneous pins the single-type fleet to the
+// historical ceil(deficit/GPUsPerInstance) behavior.
+func TestAllocOnDemandGPUsHomogeneous(t *testing.T) {
+	s := sim.New()
+	c := New(s, DefaultParams(), nopListener{})
+	for deficit, want := range map[int]int{1: 1, 4: 1, 5: 2, 8: 2, 9: 3} {
+		insts := c.AllocOnDemandGPUs(deficit)
+		if len(insts) != want {
+			t.Fatalf("deficit %d allocated %d instances, want %d", deficit, len(insts), want)
+		}
+		for _, inst := range insts {
+			if inst.Kind != OnDemand || len(inst.GPUs) != 4 {
+				t.Fatalf("deficit %d: unexpected instance %v", deficit, inst)
+			}
+		}
+	}
+}

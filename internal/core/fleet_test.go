@@ -6,6 +6,7 @@ import (
 	"spotserve/internal/cloud"
 	"spotserve/internal/config"
 	"spotserve/internal/model"
+	"spotserve/internal/reconfig"
 	"spotserve/internal/sim"
 )
 
@@ -32,7 +33,7 @@ func TestManageFleetGPUDenominated(t *testing.T) {
 	// 3 spot instances of the cycling types: 4+2+4 = 10 GPUs.
 	cl.Prealloc(3, cloud.Spot)
 
-	prop := Proposal{
+	prop := reconfig.Proposal{
 		Config:        config.Config{D: 1, P: 3, M: 4, B: 8}, // needs 12 GPUs
 		WantInstances: 5,                                     // ceil(12/4)+2 — the instance-count view
 		WantGPUs:      12 + 2*4,                              // config + reserve pool in devices
@@ -58,7 +59,7 @@ func TestManageFleetReleaseMatchesInstanceCounting(t *testing.T) {
 	srv.Install()
 	cl.Prealloc(2, cloud.Spot)
 	cl.Prealloc(4, cloud.OnDemand) // 6 instances, 24 GPUs total
-	prop := Proposal{
+	prop := reconfig.Proposal{
 		Config:        config.Config{D: 1, P: 3, M: 4, B: 8},
 		WantInstances: 4,        // ceil(12/4)+1
 		WantGPUs:      12 + 1*4, // 16 GPUs
@@ -87,7 +88,7 @@ func TestAutoscalerConsulted(t *testing.T) {
 	srv.opts.Features.AllowOnDemand = true
 	cl.Prealloc(2, cloud.Spot)
 
-	prop := Proposal{Config: config.Config{D: 1, P: 3, M: 4, B: 8}, WantInstances: 5, WantGPUs: 20}
+	prop := reconfig.Proposal{Config: config.Config{D: 1, P: 3, M: 4, B: 8}, WantInstances: 5, WantGPUs: 20}
 	srv.manageFleet(prop)
 	if len(seen) != 1 {
 		t.Fatalf("autoscaler consulted %d times, want 1", len(seen))

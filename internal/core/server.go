@@ -1,3 +1,9 @@
+// Package core implements SpotServe's control plane: the inference server
+// (request manager, instance manager, meta-context manager — Figure 3), the
+// interruption arranger with stateful inference recovery (§4), and the
+// orchestration that drives the reconfiguration pipeline of
+// internal/reconfig (optimizer §3.2, device mapper §3.3, migration planner
+// §3.4) end to end.
 package core
 
 import (
@@ -11,6 +17,7 @@ import (
 	"spotserve/internal/metrics"
 	"spotserve/internal/model"
 	"spotserve/internal/predict"
+	"spotserve/internal/reconfig"
 	"spotserve/internal/sim"
 	"spotserve/internal/workload"
 )
@@ -85,6 +92,10 @@ type Options struct {
 	// execution (the reference mode; results are byte-identical either
 	// way, fast-forward is just cheaper).
 	DisableFastForward bool
+	// DisableReconfigCache forces the reconfiguration pipeline down its
+	// cold recompute path (the reference mode; results are byte-identical
+	// either way, the cache is just cheaper — mirroring fast-forward).
+	DisableReconfigCache bool
 }
 
 // DefaultOptions fills the paper's defaults for a model.
@@ -127,6 +138,10 @@ type Stats struct {
 	TokensRecovered int
 	// OnDemandAllocated counts on-demand instance allocations.
 	OnDemandAllocated int
+	// ReconfigCache reports the reconfiguration engine's memo
+	// effectiveness. Deliberately excluded from result fingerprints:
+	// cache hits never change results, only how they are computed.
+	ReconfigCache reconfig.CacheStats
 }
 
 // Server is SpotServe's inference server: request manager, instance
@@ -136,7 +151,7 @@ type Server struct {
 	cloud *cloud.Cloud
 	est   *cost.Estimator
 	eng   *engine.Engine
-	optz  *Optimizer
+	rc    *reconfig.Engine
 	arr   *Arranger
 	opts  Options
 
@@ -174,18 +189,30 @@ type Server struct {
 // NewServer wires a server to a simulator and cloud. Call Install as the
 // cloud's listener before running.
 func NewServer(s *sim.Simulator, cl *cloud.Cloud, opts Options) *Server {
-	est := cost.NewEstimator(opts.CostParams, opts.Spec)
-	optz := NewOptimizer(est)
-	optz.Limits = opts.Limits
-	optz.MaxInstances = opts.MaxInstances
-	optz.SeqIn, optz.SeqOut = opts.SeqIn, opts.SeqOut
-	optz.NaiveBuffer = !opts.Features.MigrationPlanner
-	optz.SLOLatency = opts.SLOLatency
+	est := cost.Shared(opts.CostParams, opts.Spec)
+	rc := reconfig.NewEngine(reconfig.Options{
+		Spec:            opts.Spec,
+		Est:             est,
+		Limits:          opts.Limits,
+		GPUsPerInstance: opts.CostParams.GPUsPerInstance,
+		MaxInstances:    opts.MaxInstances,
+		SeqIn:           opts.SeqIn,
+		SeqOut:          opts.SeqOut,
+		NaiveBuffer:     !opts.Features.MigrationPlanner,
+		SLOLatency:      opts.SLOLatency,
+		UseKM:           opts.Features.DeviceMapper,
+		Hierarchical:    opts.Features.Hierarchical,
+		Progressive:     opts.Features.MigrationPlanner,
+		MemOpt:          opts.Features.MigrationPlanner,
+		UmaxBytes:       opts.CostParams.BufMaxBytes,
+		MigrateCache:    opts.Features.Arranger,
+		DisableCache:    opts.DisableReconfigCache,
+	})
 	srv := &Server{
 		sim:        s,
 		cloud:      cl,
 		est:        est,
-		optz:       optz,
+		rc:         rc,
 		arr:        &Arranger{Est: est, Enabled: opts.Features.Arranger},
 		opts:       opts,
 		assign:     map[config.Position]*cloud.GPU{},
@@ -219,8 +246,12 @@ func (s *Server) Stats() Stats {
 	if st.Latencies != nil {
 		st.Latency = st.Latencies.Summarize()
 	}
+	st.ReconfigCache = s.rc.CacheStats()
 	return st
 }
+
+// Reconfig exposes the reconfiguration engine (tests, experiments).
+func (s *Server) Reconfig() *reconfig.Engine { return s.rc }
 
 // LoadWorkload schedules request arrivals and the workload monitor; horizon
 // bounds the periodic checks.
@@ -312,12 +343,30 @@ func (s *Server) usableSpeedFloor() float64 {
 	return floor
 }
 
+// usableMemFloor returns the smallest usable instance's memory multiplier —
+// shape feasibility is checked against it, so proposals fit the fleet's
+// smallest-memory device (1.0 on homogeneous fleets).
+func (s *Server) usableMemFloor() float64 {
+	floor := 1.0
+	first := true
+	for _, inst := range s.cloud.Alive() {
+		if s.dying[inst.ID] || inst.State != cloud.Running {
+			continue
+		}
+		if ms := inst.MemScale(); first || ms < floor {
+			floor = ms
+			first = false
+		}
+	}
+	return floor
+}
+
 // deviceContexts snapshots daemon contexts for the given GPUs.
-func (s *Server) deviceContexts(gpus []*cloud.GPU) []DeviceContext {
-	out := make([]DeviceContext, 0, len(gpus))
+func (s *Server) deviceContexts(gpus []*cloud.GPU) []reconfig.DeviceContext {
+	out := make([]reconfig.DeviceContext, 0, len(gpus))
 	for _, g := range gpus {
 		d := s.eng.Daemon(g)
-		out = append(out, DeviceContext{
+		out = append(out, reconfig.DeviceContext{
 			GPU:           g,
 			ModelCtx:      d.ModelCtx,
 			CachePipeline: d.CachePipeline,
@@ -343,9 +392,9 @@ func (s *Server) bootstrap() {
 	if target.GPUs() > len(gpus) {
 		alpha := s.alphaT()
 		if s.opts.Features.Controller {
-			target = s.optz.ProposeForGPUs(len(gpus), alpha, len(gpus)).Config
+			target = s.rc.Propose(s.request(alpha, len(gpus), len(gpus))).Config
 		} else {
-			target = FitToInstances(target, len(gpus))
+			target = reconfig.FitToInstances(target, len(gpus))
 		}
 	}
 	if target.IsZero() || target.GPUs() > len(gpus) {
@@ -356,29 +405,47 @@ func (s *Server) bootstrap() {
 	s.tryDispatch()
 }
 
+// request assembles the reconfiguration Request for the current fleet: the
+// canonical fleet signature (device counts plus the speed and memory
+// floors, so mixed fleets are planned for their slowest and
+// smallest-memory usable device) and the workload rate.
+func (s *Server) request(alpha float64, gpusAvail, maxGPUs int) reconfig.Request {
+	req := reconfig.Request{
+		Alpha:      alpha,
+		GPUsAvail:  gpusAvail,
+		MaxGPUs:    maxGPUs,
+		SpeedFloor: s.usableSpeedFloor(),
+		MemFloor:   s.usableMemFloor(),
+	}
+	if s.pred != nil {
+		// Adaptive candidate pool: expected near-term preemptions
+		// translate into extra standby instances.
+		req.ReservePool = s.pred.RecommendedPool(s.sim.Now(), 2)
+	}
+	return req
+}
+
 // propose runs the configuration optimizer over the currently usable GPU
 // count. Measuring the fleet in GPUs (not instances) keeps mixed fleets —
 // where instance types carry different device counts — planned correctly;
 // on homogeneous fleets the arithmetic is identical to the historical
 // instance-denominated path.
-func (s *Server) propose(gpus int) Proposal {
+func (s *Server) propose(gpus int) reconfig.Proposal {
 	alpha := s.alphaT()
 	gpi := s.opts.CostParams.GPUsPerInstance
-	if s.pred != nil {
-		// Adaptive candidate pool: expected near-term preemptions
-		// translate into extra standby instances.
-		s.optz.ReservePool = s.pred.RecommendedPool(s.sim.Now(), 2)
-	}
-	// Mixed fleets: plan for the slowest usable device.
-	s.optz.SpeedFloor = s.usableSpeedFloor()
 	if !s.opts.Features.Controller && !s.initialShape.IsZero() {
-		c := FitToInstances(s.initialShape, gpus)
-		return Proposal{Config: c, WantInstances: gpus / gpi, WantGPUs: gpus}
+		// No optimizer run, but the throughput monitor still reads φ(C)
+		// through the engine — keep its fleet floors current.
+		optz := s.rc.Optimizer()
+		optz.SpeedFloor = s.usableSpeedFloor()
+		optz.MemFloor = s.usableMemFloor()
+		c := reconfig.FitToInstances(s.initialShape, gpus)
+		return reconfig.Proposal{Config: c, WantInstances: gpus / gpi, WantGPUs: gpus}
 	}
 	if s.opts.Features.AllowOnDemand {
-		return s.optz.ProposeForGPUs(gpus, alpha, s.optz.MaxInstances*gpi)
+		return s.rc.Propose(s.request(alpha, gpus, s.opts.MaxInstances*gpi))
 	}
-	return s.optz.ProposeForGPUs(gpus, alpha, gpus)
+	return s.rc.Propose(s.request(alpha, gpus, gpus))
 }
 
 // preemptionWindow is the look-back over which the autoscaler's
@@ -400,7 +467,7 @@ func (s *Server) recentPreemptions() int {
 // fleetTarget resolves the fleet-size target for a proposal: the
 // optimizer's own WantInstances under the fixed-target policy, or the
 // configured autoscaler's answer (clamped to provider capacity).
-func (s *Server) fleetTarget(prop Proposal, spot, pSpot, od, pOD int) int {
+func (s *Server) fleetTarget(prop reconfig.Proposal, spot, pSpot, od, pOD int) int {
 	if s.opts.Autoscaler == nil {
 		return prop.WantInstances
 	}
@@ -438,7 +505,7 @@ func (s *Server) fleetGPUs() int {
 // actually needs; on homogeneous fleets the arithmetic reduces exactly to
 // the historical instance counting. A configured autoscaling policy
 // replaces the proposal's fixed target.
-func (s *Server) manageFleet(prop Proposal) {
+func (s *Server) manageFleet(prop reconfig.Proposal) {
 	gpi := s.opts.CostParams.GPUsPerInstance
 	haveGPUs := s.fleetGPUs()
 	wantGPUs := prop.WantGPUs
@@ -461,9 +528,10 @@ func (s *Server) manageFleet(prop Proposal) {
 	}
 	switch {
 	case wantGPUs > haveGPUs && s.opts.Features.AllowOnDemand:
-		n := ceilDiv(wantGPUs-haveGPUs, gpi)
-		s.cloud.AllocOnDemand(n)
-		s.stats.OnDemandAllocated += n
+		// Typed allocation covers the GPU deficit with non-primary-type
+		// fallback for the tail (exactly ceil(deficit/gpi) primary
+		// instances on homogeneous fleets).
+		s.stats.OnDemandAllocated += len(s.cloud.AllocOnDemandGPUs(wantGPUs - haveGPUs))
 	case wantGPUs < haveGPUs:
 		// Free surplus on-demand instances (never spot: their
 		// availability is the market's, and they are the cheap ones).
@@ -499,10 +567,7 @@ func (s *Server) instanceInUse(inst *cloud.Instance) bool {
 func (s *Server) installConfig(cfg config.Config, ready []float64, reason string) {
 	gpus := s.usableGPUs()
 	devs := s.deviceContexts(gpus)
-	mapping, err := MapDevices(s.opts.Spec, devs, cfg, MapperOptions{
-		UseKM:        s.opts.Features.DeviceMapper,
-		Hierarchical: s.opts.Features.Hierarchical,
-	})
+	mapping, err := s.rc.Map(devs, cfg, nil)
 	if err != nil {
 		// Not enough GPUs — should have been prevented by the caller.
 		panic(fmt.Sprintf("core: installConfig: %v", err))
@@ -511,7 +576,7 @@ func (s *Server) installConfig(cfg config.Config, ready []float64, reason string
 }
 
 // applyMapping installs an already-computed mapping.
-func (s *Server) applyMapping(cfg config.Config, mapping Mapping, ready []float64, reason string) {
+func (s *Server) applyMapping(cfg config.Config, mapping reconfig.Mapping, ready []float64, reason string) {
 	s.cfg = cfg
 	s.assign = mapping.Assign
 	s.pipes = map[int]*engine.Pipeline{}
@@ -592,7 +657,7 @@ func (s *Server) workloadCheck() {
 		return
 	}
 	alpha := s.alphaT()
-	phiCur := s.optz.phi(s.cfg)
+	phiCur := s.rc.Phi(s.cfg)
 	overload := phiCur < alpha*0.98
 	overProvisioned := alpha > 0 && phiCur > alpha*2.5
 	if !overload && !overProvisioned {
@@ -622,11 +687,15 @@ func (s *Server) beginReconfig(target config.Config, reason string, deadline flo
 	s.reconfigReason = reason
 	s.stopBudget = map[int]float64{}
 
-	// Estimate T_mig to size the JIT budget: plan against the target now.
-	tMig := s.estimateMigration(target)
 	now := s.sim.Now()
 	budget := now
 	if deadline > 0 && s.opts.Features.Arranger {
+		// Estimate T_mig to size the JIT budget: plan against the target
+		// now. Only the preemption path pays for the estimate — other
+		// reconfiguration reasons never read it — and the mapping/plan it
+		// computes seed the cache the real migration reuses after the
+		// drain.
+		tMig := s.estimateMigration(target)
 		budget = s.arr.PreemptionBudget(deadline, tMig)
 		if budget < now {
 			budget = now
@@ -679,29 +748,16 @@ func (s *Server) estimateMigration(target config.Config) float64 {
 		return 0
 	}
 	devs := s.deviceContexts(gpus)
-	mapping, err := MapDevices(s.opts.Spec, devs, target, MapperOptions{
-		UseKM:        s.opts.Features.DeviceMapper,
-		Hierarchical: s.opts.Features.Hierarchical,
-	})
+	mapping, err := s.rc.Map(devs, target, nil)
 	if err != nil {
 		return 0
 	}
 	all := s.deviceContexts(s.cloud.UsableGPUs())
-	plan, err := PlanMigration(s.opts.Spec, s.est, all, mapping, s.planOptions(nil))
+	plan, err := s.rc.Plan(all, mapping, nil)
 	if err != nil {
 		return 0
 	}
 	return plan.Schedule(s.est, s.opts.Features.MigrationPlanner).Duration
-}
-
-func (s *Server) planOptions(inherit map[int]int) PlanOptions {
-	return PlanOptions{
-		Progressive:  s.opts.Features.MigrationPlanner,
-		MemOpt:       s.opts.Features.MigrationPlanner,
-		UmaxBytes:    s.opts.CostParams.BufMaxBytes,
-		MigrateCache: s.opts.Features.Arranger,
-		Inherit:      inherit,
-	}
 }
 
 // stopAllPipelines requests a boundary stop on every busy pipeline in
@@ -755,18 +811,14 @@ func (s *Server) executeMigration(target config.Config) {
 
 	// 2. Device mapping (KM) over surviving GPUs.
 	devs := s.deviceContexts(gpus)
-	mapping, err := MapDevices(s.opts.Spec, devs, target, MapperOptions{
-		UseKM:        s.opts.Features.DeviceMapper,
-		Hierarchical: s.opts.Features.Hierarchical,
-		Inherit:      inherit,
-	})
+	mapping, err := s.rc.Map(devs, target, inherit)
 	if err != nil {
 		panic(fmt.Sprintf("core: executeMigration: %v", err))
 	}
 
 	// 3. Migration plan: sources include grace-period instances.
 	all := s.deviceContexts(s.cloud.UsableGPUs())
-	plan, err := PlanMigration(s.opts.Spec, s.est, all, mapping, s.planOptions(inherit))
+	plan, err := s.rc.Plan(all, mapping, inherit)
 	if err != nil {
 		panic(fmt.Sprintf("core: planMigration: %v", err))
 	}
@@ -825,7 +877,7 @@ func (s *Server) collectBatches(target config.Config) (map[int]*engine.Batch, ma
 	}
 	s.recovered = map[int]*engine.Batch{}
 
-	keepIDs := KeepBatches(progress, target.D)
+	keepIDs := reconfig.KeepBatches(progress, target.D)
 	keepSet := map[int]bool{}
 	for _, id := range keepIDs {
 		keepSet[id] = true
@@ -992,7 +1044,7 @@ func (c *cloudEvents) PreemptionNotice(inst *cloud.Instance, deadline float64) {
 	s.manageFleet(prop)
 	target := prop.Config
 	if target.GPUs() > len(s.usableGPUs()) {
-		target = FitToInstances(target, len(s.usableGPUs()))
+		target = reconfig.FitToInstances(target, len(s.usableGPUs()))
 	}
 	s.beginReconfig(target, "preemption", deadline)
 }
@@ -1052,7 +1104,7 @@ func (c *cloudEvents) InstanceTerminated(inst *cloud.Instance) {
 	s.queue = append(requeue, s.queue...)
 	// Rebuild on the survivors.
 	prop := s.propose(len(s.usableGPUs()))
-	target := FitToInstances(prop.Config, len(s.usableGPUs()))
+	target := reconfig.FitToInstances(prop.Config, len(s.usableGPUs()))
 	s.epoch++
 	s.pendingReconfig = true
 	s.reconfigReason = "crash"
@@ -1124,7 +1176,7 @@ func (h *serverHooks) BatchPaused(p *engine.Pipeline, b *engine.Batch) {
 // (the fleet may have changed while pipelines drained).
 func (s *Server) pendingTarget() config.Config {
 	prop := s.propose(len(s.usableGPUs()))
-	return FitToInstances(prop.Config, len(s.usableGPUs()))
+	return reconfig.FitToInstances(prop.Config, len(s.usableGPUs()))
 }
 
 func max(a, b int) int {

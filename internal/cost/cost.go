@@ -160,6 +160,24 @@ type estMemo struct {
 	mu     sync.Mutex
 	decode map[shapeKey][]float64 // (P,M,B) → DecodeIter indexed by curLen (0 = unfilled)
 	exec   map[execKey]*execTable
+	// feasible caches FeasibleShapesScaled results (the shape table
+	// Algorithm 1 re-enumerates on every fleet event). Values are shared
+	// read-only slices.
+	feasible map[feasKey][]config.Config
+}
+
+// feasKey identifies one feasibility enumeration.
+type feasKey struct {
+	limits   string
+	b        int
+	tokens   int
+	naive    bool
+	memScale float64
+}
+
+// limitsFingerprint canonically encodes a Limits value for memo keying.
+func limitsFingerprint(l config.Limits) string {
+	return fmt.Sprintf("%d|%v|%v", l.MaxP, l.Ms, l.Bs)
 }
 
 // shapeKey identifies a (P, M, B) execution shape.
@@ -192,9 +210,42 @@ func NewEstimator(p Params, spec model.Spec) *Estimator {
 		panic(err)
 	}
 	return &Estimator{Params: p, Spec: spec, memo: &estMemo{
-		decode: make(map[shapeKey][]float64),
-		exec:   make(map[execKey]*execTable),
+		decode:   make(map[shapeKey][]float64),
+		exec:     make(map[execKey]*execTable),
+		feasible: make(map[feasKey][]config.Config),
 	}}
+}
+
+// shared caches estimators per (Params, Spec). The cost model stands in
+// for the paper's *offline* profiler (§5): its tables depend only on the
+// hardware constants and the model, so every serving run over the same
+// testbed shares one instance instead of re-deriving the profile.
+// Estimators are concurrency-safe (the memo is mutex-guarded) and
+// memoized values are bit-identical to fresh computation, so sharing
+// never changes results — it only removes repeated table fills across
+// runs and sweep cells.
+var (
+	sharedMu  sync.Mutex
+	sharedEst = map[sharedKey]*Estimator{}
+)
+
+type sharedKey struct {
+	p    Params
+	spec model.Spec
+}
+
+// Shared returns the process-wide estimator for (p, spec) — the offline
+// profile every serving run over the same testbed reuses.
+func Shared(p Params, spec model.Spec) *Estimator {
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	key := sharedKey{p: p, spec: spec}
+	if e, ok := sharedEst[key]; ok {
+		return e
+	}
+	e := NewEstimator(p, spec)
+	sharedEst[key] = e
+	return e
 }
 
 // NumParams converts the Table-1 serialized size (fp32) to a parameter
@@ -277,6 +328,42 @@ func (e *Estimator) decodeLocked(P, M, B, curLen int) float64 {
 	}
 	tab[curLen] = v
 	return v
+}
+
+// DecodeRange returns a read-only slice s with s[i] = DecodeIter(P, M, B,
+// lo+i) for lo+i ≤ hi — the bulk form the engine's fast-forward loop uses
+// to price a whole run of iterations under one lock acquisition instead of
+// one per token. Values are the same memoized entries DecodeIter returns;
+// callers must not mutate the slice.
+func (e *Estimator) DecodeRange(P, M, B, lo, hi int) []float64 {
+	if e.memo == nil {
+		out := make([]float64, hi-lo+1)
+		for i := range out {
+			out[i] = e.decodeIterRaw(P, M, B, lo+i)
+		}
+		return out
+	}
+	e.memo.mu.Lock()
+	key := shapeKey{P, M, B}
+	tab := e.memo.decode[key]
+	if hi >= len(tab) {
+		if hi < cap(tab) {
+			tab = tab[:hi+1]
+		} else {
+			grown := make([]float64, hi+1, 2*hi+16)
+			copy(grown, tab)
+			tab = grown
+		}
+		e.memo.decode[key] = tab
+	}
+	for l := lo; l <= hi; l++ {
+		if tab[l] == 0 {
+			tab[l] = e.decodeIterRaw(P, M, B, l)
+		}
+	}
+	out := tab[lo : hi+1 : hi+1]
+	e.memo.mu.Unlock()
+	return out
 }
 
 // decodeIterRaw is the closed-form model behind DecodeIter.

@@ -36,6 +36,14 @@ func (e *Estimator) PerGPUMemBytes(P, M, B, maxTokens int, naiveBuffer bool) flo
 // Feasible reports whether configuration c fits in GPU memory with
 // sequences of up to maxTokens tokens.
 func (e *Estimator) Feasible(c config.Config, maxTokens int, naiveBuffer bool) bool {
+	return e.FeasibleScaled(c, maxTokens, naiveBuffer, 1)
+}
+
+// FeasibleScaled is Feasible against a device whose usable memory is the
+// baseline scaled by memScale — the per-instance-type feasibility check for
+// heterogeneous fleets (an instance type's MemScale multiplies its usable
+// memory). memScale 1 is exactly the baseline check.
+func (e *Estimator) FeasibleScaled(c config.Config, maxTokens int, naiveBuffer bool, memScale float64) bool {
 	if err := c.Validate(); err != nil {
 		return false
 	}
@@ -45,17 +53,51 @@ func (e *Estimator) Feasible(c config.Config, maxTokens int, naiveBuffer bool) b
 	if c.P > e.Spec.Layers || e.Spec.Layers%c.P != 0 {
 		return false
 	}
-	return e.PerGPUMemBytes(c.P, c.M, c.B, maxTokens, naiveBuffer) <= e.Params.UsableGPUMemBytes
+	return e.PerGPUMemBytes(c.P, c.M, c.B, maxTokens, naiveBuffer) <= e.Params.UsableGPUMemBytes*memScale
 }
 
 // FeasibleShapes returns all (P, M) shapes within limits that fit in memory
 // with batch size B, sorted by GPUs-per-pipeline then latency-optimal order
 // (P ascending within equal GPU counts keeps enumeration deterministic).
 func (e *Estimator) FeasibleShapes(l config.Limits, B, maxTokens int, naiveBuffer bool) []config.Config {
+	return e.FeasibleShapesScaled(l, B, maxTokens, naiveBuffer, 1)
+}
+
+// FeasibleShapesScaled is FeasibleShapes with the usable GPU memory scaled
+// by memScale (heterogeneous fleets plan against their smallest-memory
+// usable type). Calls are memoized per (limits, B, maxTokens, buffer
+// model, memScale) — Algorithm 1 re-enumerates the same shape table on
+// every fleet event. The returned slice is shared; callers must not
+// mutate it.
+func (e *Estimator) FeasibleShapesScaled(l config.Limits, B, maxTokens int, naiveBuffer bool, memScale float64) []config.Config {
+	if e.memo == nil {
+		return e.feasibleShapesRaw(l, B, maxTokens, naiveBuffer, memScale)
+	}
+	key := feasKey{
+		limits:   limitsFingerprint(l),
+		b:        B,
+		tokens:   maxTokens,
+		naive:    naiveBuffer,
+		memScale: memScale,
+	}
+	e.memo.mu.Lock()
+	if out, ok := e.memo.feasible[key]; ok {
+		e.memo.mu.Unlock()
+		return out
+	}
+	e.memo.mu.Unlock()
+	out := e.feasibleShapesRaw(l, B, maxTokens, naiveBuffer, memScale)
+	e.memo.mu.Lock()
+	e.memo.feasible[key] = out
+	e.memo.mu.Unlock()
+	return out
+}
+
+func (e *Estimator) feasibleShapesRaw(l config.Limits, B, maxTokens int, naiveBuffer bool, memScale float64) []config.Config {
 	var out []config.Config
 	for _, s := range l.EnumerateShapes(e.Spec.Layers, e.Spec.Heads) {
 		c := config.Config{D: 1, P: s.P, M: s.M, B: B}
-		if e.Feasible(c, maxTokens, naiveBuffer) {
+		if e.FeasibleScaled(c, maxTokens, naiveBuffer, memScale) {
 			out = append(out, c)
 		}
 	}
@@ -77,7 +119,12 @@ func (e *Estimator) FeasibleShapes(l config.Limits, B, maxTokens int, naiveBuffe
 // count — the quantities reported in Table 1. naiveBuffer selects the
 // migration-buffer model as in PerGPUMemBytes.
 func (e *Estimator) MinGPUs(l config.Limits, maxTokens int, naiveBuffer bool) (int, config.Config) {
-	shapes := e.FeasibleShapes(l, 1, maxTokens, naiveBuffer)
+	return e.MinGPUsScaled(l, maxTokens, naiveBuffer, 1)
+}
+
+// MinGPUsScaled is MinGPUs against memScale-scaled usable GPU memory.
+func (e *Estimator) MinGPUsScaled(l config.Limits, maxTokens int, naiveBuffer bool, memScale float64) (int, config.Config) {
+	shapes := e.FeasibleShapesScaled(l, 1, maxTokens, naiveBuffer, memScale)
 	if len(shapes) == 0 {
 		return 0, config.Zero
 	}

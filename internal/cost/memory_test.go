@@ -1,0 +1,106 @@
+package cost
+
+import (
+	"testing"
+
+	"spotserve/internal/config"
+	"spotserve/internal/model"
+)
+
+// TestFeasibleShapesScaledBaseline pins memScale 1 to the unscaled check,
+// entry for entry (including the shared-memo path on repeated calls).
+func TestFeasibleShapesScaledBaseline(t *testing.T) {
+	est := NewEstimator(DefaultParams(), model.GPT20B)
+	for round := 0; round < 2; round++ {
+		for _, b := range config.DefaultLimits().Bs {
+			plain := est.FeasibleShapes(config.DefaultLimits(), b, DefaultMaxTokens, false)
+			scaled := est.FeasibleShapesScaled(config.DefaultLimits(), b, DefaultMaxTokens, false, 1)
+			if len(plain) != len(scaled) {
+				t.Fatalf("B=%d: %d shapes vs %d scaled", b, len(plain), len(scaled))
+			}
+			for i := range plain {
+				if plain[i] != scaled[i] {
+					t.Fatalf("B=%d shape %d: %v vs %v", b, i, plain[i], scaled[i])
+				}
+			}
+		}
+	}
+}
+
+// TestFeasibleShapesScaledShrinksSpace checks per-type memory feasibility:
+// smaller usable memory must shrink the shape space monotonically and
+// raise the minimum pipeline GPU count (GPT-20B: 12 at baseline memory).
+func TestFeasibleShapesScaledShrinksSpace(t *testing.T) {
+	est := NewEstimator(DefaultParams(), model.GPT20B)
+	l := config.DefaultLimits()
+	baseline := est.FeasibleShapesScaled(l, 1, DefaultMaxTokens, false, 1)
+	small := est.FeasibleShapesScaled(l, 1, DefaultMaxTokens, false, 0.7)
+	if len(small) >= len(baseline) {
+		t.Fatalf("memScale 0.7 kept %d shapes, baseline %d", len(small), len(baseline))
+	}
+	// Every shape feasible at 0.7 must be feasible at 1 (monotonicity).
+	ok := map[config.Config]bool{}
+	for _, c := range baseline {
+		ok[c] = true
+	}
+	for _, c := range small {
+		if !ok[c] {
+			t.Fatalf("shape %v feasible at 0.7 but not at 1.0", c)
+		}
+	}
+	minBase, _ := est.MinGPUsScaled(l, DefaultMaxTokens, false, 1)
+	minSmall, _ := est.MinGPUsScaled(l, DefaultMaxTokens, false, 0.7)
+	if minBase != 12 {
+		t.Fatalf("baseline min GPUs = %d, want 12 (Table 1)", minBase)
+	}
+	if minSmall <= minBase {
+		t.Fatalf("memScale 0.7 min GPUs = %d, not above baseline %d", minSmall, minBase)
+	}
+	// Larger-memory devices must never shrink the space.
+	big := est.FeasibleShapesScaled(l, 1, DefaultMaxTokens, false, 1.5)
+	if len(big) < len(baseline) {
+		t.Fatalf("memScale 1.5 kept %d shapes, below baseline %d", len(big), len(baseline))
+	}
+}
+
+// TestSharedEstimatorIdentity pins the offline-profile registry: the same
+// (Params, Spec) yields one instance, distinct configurations do not, and
+// shared values match a fresh estimator bit for bit.
+func TestSharedEstimatorIdentity(t *testing.T) {
+	a := Shared(DefaultParams(), model.GPT20B)
+	b := Shared(DefaultParams(), model.GPT20B)
+	if a != b {
+		t.Fatal("identical (Params, Spec) returned distinct estimators")
+	}
+	if c := Shared(DefaultParams(), model.OPT6B7); c == a {
+		t.Fatal("distinct specs share an estimator")
+	}
+	p := DefaultParams()
+	p.MemBWEff = 0.6
+	if d := Shared(p, model.GPT20B); d == a {
+		t.Fatal("distinct params share an estimator")
+	}
+	fresh := NewEstimator(DefaultParams(), model.GPT20B)
+	if got, want := a.Exec(3, 4, 1, DefaultSeqIn, DefaultSeqOut), fresh.Exec(3, 4, 1, DefaultSeqIn, DefaultSeqOut); got != want {
+		t.Fatalf("shared Exec %v != fresh %v", got, want)
+	}
+}
+
+// TestDecodeRangeMatchesDecodeIter pins the bulk decode-table read against
+// the per-call path, bit for bit.
+func TestDecodeRangeMatchesDecodeIter(t *testing.T) {
+	est := NewEstimator(DefaultParams(), model.GPT20B)
+	s := est.DecodeRange(3, 4, 8, 512, 640)
+	for i, v := range s {
+		if want := est.DecodeIter(3, 4, 8, 512+i); v != want {
+			t.Fatalf("DecodeRange[%d] = %v, DecodeIter = %v", i, v, want)
+		}
+	}
+	// Partially-warm table: a second overlapping range stays consistent.
+	s2 := est.DecodeRange(3, 4, 8, 600, 700)
+	for i, v := range s2 {
+		if want := est.DecodeIter(3, 4, 8, 600+i); v != want {
+			t.Fatalf("warm DecodeRange[%d] = %v, DecodeIter = %v", i, v, want)
+		}
+	}
+}

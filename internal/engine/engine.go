@@ -483,12 +483,23 @@ func (p *Pipeline) beginFastForward(n, bsz int) {
 	}
 	times := p.ffTimes[:0]
 	cur := p.eng.Sim.Now()
+	// One bulk table read prices the whole run; the per-boundary values
+	// are the identical memo entries DecodeIter would return one by one.
+	lo := la
+	if ld > lo {
+		lo = ld
+	}
+	hi := la + n - 1
+	if ld > hi {
+		hi = ld
+	}
+	iters := p.eng.Est.DecodeRange(p.Cfg.P, p.Cfg.M, bsz, lo, hi)
 	for k := 0; k < n; k++ {
 		curLen := la + k
 		if ld > curLen {
 			curLen = ld
 		}
-		cur += p.scaled(p.eng.Est.DecodeIter(p.Cfg.P, p.Cfg.M, bsz, curLen))
+		cur += p.scaled(iters[curLen-lo])
 		times = append(times, cur)
 	}
 	p.ffTimes = times

@@ -84,6 +84,12 @@ type Scenario struct {
 	Policy        string
 	NewAutoscaler func(seed int64) cloud.Autoscaler
 
+	// DisableReconfigCache runs the reconfiguration pipeline down its cold
+	// recompute path — the reference mode the cache equivalence tests
+	// compare against. Results are byte-identical either way (the memos
+	// replay exact recurrences), so the flag is not fingerprinted.
+	DisableReconfigCache bool
+
 	// disableFastForward runs the engine one event per iteration — the
 	// reference mode the fast-forward equivalence test compares against.
 	// Results are byte-identical either way, so it is not part of the

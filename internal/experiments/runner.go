@@ -45,6 +45,7 @@ func Run(sc Scenario) Result {
 	opts := core.DefaultOptions(sc.Spec)
 	opts.BaseRate = sc.Rate
 	opts.DisableFastForward = sc.disableFastForward
+	opts.DisableReconfigCache = sc.DisableReconfigCache
 	if sc.Features != nil {
 		opts.Features = *sc.Features
 	}

@@ -1,0 +1,121 @@
+package km
+
+import "math"
+
+// Cache is a memoizing wrapper around a Solver: it reuses the previous
+// assignment whenever a weight matrix recurs bit-for-bit. This is the
+// determinism-safe form of warm-starting the Kuhn–Munkres solver — the
+// Hungarian optimum is not unique (device mapping has many zero-weight
+// ties), so seeding potentials from a previous solve could legally return a
+// *different* optimal assignment and break byte-identical replay. Exact
+// reuse returns the identical assignment by construction.
+//
+// The device mapper's hierarchical decomposition makes this reuse
+// fine-grained: one reconfiguration solves one sub-matching per
+// instance×block pair, so after a preemption only the pairs whose devices
+// or contexts actually changed produce new matrices — untouched
+// rows/columns of the overall matching hit the cache and skip the O(n³)
+// solve entirely.
+//
+// A Cache is not safe for concurrent use (one lives inside each serving
+// system's reconfiguration engine).
+type Cache struct {
+	solver  Solver
+	max     int
+	entries map[uint64][]cacheEntry
+	n       int
+	hits    int
+	misses  int
+}
+
+type cacheEntry struct {
+	r, c int
+	w    []float64 // row-major copy of the solved matrix
+	asg  Assignment
+}
+
+// DefaultCacheSize bounds the number of retained solves; beyond it the
+// cache resets (the memo is a performance device, never a correctness one,
+// so wholesale eviction is safe and keeps memory bounded on long traces).
+const DefaultCacheSize = 512
+
+// NewCache returns a Cache retaining up to max solves (<= 0 uses
+// DefaultCacheSize).
+func NewCache(max int) *Cache {
+	if max <= 0 {
+		max = DefaultCacheSize
+	}
+	return &Cache{max: max, entries: make(map[uint64][]cacheEntry)}
+}
+
+// Stats returns how many Solve calls hit and missed the memo.
+func (c *Cache) Stats() (hits, misses int) { return c.hits, c.misses }
+
+// Len returns the number of retained solves (tests the eviction bound).
+func (c *Cache) Len() int { return c.n }
+
+// Solve returns the same assignment as Solver.Solve. The returned
+// Assignment may be shared with earlier calls; callers must treat its
+// slices as read-only.
+func (c *Cache) Solve(m Matrix) (Assignment, error) {
+	r := len(m)
+	cols := 0
+	if r > 0 {
+		cols = len(m[0])
+	}
+	// Word-wise FNV-style fold over dimensions and weight bits.
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		h = (h ^ v) * prime64
+	}
+	mix(uint64(r))
+	mix(uint64(cols))
+	for i := 0; i < r; i++ {
+		row := m[i]
+		if len(row) != cols {
+			break // ragged: let the solver report the error
+		}
+		for j := 0; j < cols; j++ {
+			mix(math.Float64bits(row[j]))
+		}
+	}
+	for _, e := range c.entries[h] {
+		if e.r != r || e.c != cols {
+			continue
+		}
+		same := true
+		for i := 0; i < r && same; i++ {
+			row := m[i]
+			for j := 0; j < cols; j++ {
+				if row[j] != e.w[i*cols+j] {
+					same = false
+					break
+				}
+			}
+		}
+		if same {
+			c.hits++
+			return e.asg, nil
+		}
+	}
+	asg, err := c.solver.Solve(m)
+	if err != nil {
+		return asg, err
+	}
+	c.misses++
+	if c.n >= c.max {
+		c.entries = make(map[uint64][]cacheEntry)
+		c.n = 0
+	}
+	w := make([]float64, r*cols)
+	for i := 0; i < r; i++ {
+		copy(w[i*cols:(i+1)*cols], m[i])
+	}
+	c.entries[h] = append(c.entries[h], cacheEntry{r: r, c: cols, w: w, asg: asg})
+	c.n++
+	return asg, nil
+}

@@ -1,0 +1,92 @@
+package km
+
+import "testing"
+
+// TestCacheReplaysExactAssignments pins the warm-start contract: a matrix
+// recurring bit-for-bit returns the identical assignment the cold solver
+// produced, and only exact recurrences count as hits.
+func TestCacheReplaysExactAssignments(t *testing.T) {
+	c := NewCache(0)
+	m := Matrix{
+		{4, 1, 3},
+		{2, 0, 5},
+		{3, 2, 2},
+	}
+	var cold Solver
+	want, err := cold.Solve(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ {
+		got, err := c.Solve(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Weight != want.Weight {
+			t.Fatalf("round %d: weight %v, want %v", round, got.Weight, want.Weight)
+		}
+		for i := range want.Left {
+			if got.Left[i] != want.Left[i] {
+				t.Fatalf("round %d: Left[%d] = %d, want %d", round, i, got.Left[i], want.Left[i])
+			}
+		}
+	}
+	hits, misses := c.Stats()
+	if hits != 2 || misses != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 2/1", hits, misses)
+	}
+	// A single changed weight must miss (and solve fresh).
+	m2 := Matrix{
+		{4, 1, 3},
+		{2, 0, 5},
+		{3, 2, 2.5},
+	}
+	if _, err := c.Solve(m2); err != nil {
+		t.Fatal(err)
+	}
+	if h, mi := c.Stats(); h != 2 || mi != 2 {
+		t.Fatalf("after perturbation hits/misses = %d/%d, want 2/2", h, mi)
+	}
+}
+
+// TestCacheEvictionBound pins the retained-solve cap: the memo resets
+// rather than growing without bound across a long trace.
+func TestCacheEvictionBound(t *testing.T) {
+	c := NewCache(8)
+	for i := 0; i < 50; i++ {
+		m := Matrix{{float64(i), 1}, {2, float64(i) + 0.5}}
+		if _, err := c.Solve(m); err != nil {
+			t.Fatal(err)
+		}
+		if c.Len() > 8 {
+			t.Fatalf("cache grew to %d entries (cap 8)", c.Len())
+		}
+	}
+}
+
+// TestCacheAgainstBruteForce cross-checks cached solutions on small random
+// matrices against exhaustive search.
+func TestCacheAgainstBruteForce(t *testing.T) {
+	c := NewCache(0)
+	seed := uint64(1)
+	next := func() float64 {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		return float64(seed>>40) / float64(1<<24)
+	}
+	for trial := 0; trial < 20; trial++ {
+		m := NewMatrix(4, 3)
+		for i := range m {
+			for j := range m[i] {
+				m[i][j] = next()
+			}
+		}
+		got, err := c.Solve(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := BruteForce(m)
+		if diff := got.Weight - want.Weight; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("trial %d: weight %v, brute force %v", trial, got.Weight, want.Weight)
+		}
+	}
+}

@@ -1,0 +1,268 @@
+package reconfig
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"sort"
+
+	"spotserve/internal/config"
+)
+
+// Eviction bounds for the per-server memos. Exceeding a bound resets that
+// memo wholesale: the caches are performance devices, never correctness
+// ones, so dropping them is always safe, and wholesale reset keeps memory
+// bounded on arbitrarily long traces without bookkeeping on the hit path.
+const (
+	maxProposalEntries = 4096
+	maxMappingEntries  = 256
+	maxPlanEntries     = 256
+)
+
+// propKey is the canonical fleet signature × workload rate a proposal
+// depends on. Instance types influence Algorithm 1 only through the device
+// counts and the speed/memory floors, so this tuple — not the raw fleet —
+// is the exact memo key.
+type propKey struct {
+	gpusAvail, maxGPUs int
+	alpha              uint64
+	speedFloor         uint64
+	memFloor           uint64
+	reserve            int
+}
+
+func proposalKey(req Request, reserve int) propKey {
+	return propKey{
+		gpusAvail:  req.GPUsAvail,
+		maxGPUs:    req.MaxGPUs,
+		alpha:      math.Float64bits(req.Alpha),
+		speedFloor: math.Float64bits(req.SpeedFloor),
+		memFloor:   math.Float64bits(req.MemFloor),
+		reserve:    reserve,
+	}
+}
+
+// keyBuf builds canonical byte keys for the variable-length memos, folding
+// a word-wise FNV-style hash as it writes (byte-at-a-time hashing of the
+// multi-kilobyte device keys showed up in profiles).
+type keyBuf struct {
+	b []byte
+	h uint64
+}
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func newKeyBuf(capacity int) keyBuf {
+	return keyBuf{b: make([]byte, 0, capacity), h: fnvOffset64}
+}
+
+func (k *keyBuf) u64(v uint64) {
+	k.b = binary.LittleEndian.AppendUint64(k.b, v)
+	k.h = (k.h ^ v) * fnvPrime64
+}
+func (k *keyBuf) i(v int)     { k.u64(uint64(int64(v))) }
+func (k *keyBuf) i64(v int64) { k.u64(uint64(v)) }
+func (k *keyBuf) f64(v float64) {
+	k.u64(math.Float64bits(v))
+}
+func (k *keyBuf) bool(v bool) {
+	if v {
+		k.u64(1)
+	} else {
+		k.u64(0)
+	}
+}
+
+// hash returns the accumulated hash of the written words.
+func (k *keyBuf) hash() uint64 { return k.h }
+
+// mappingKey canonically encodes everything MapDevices depends on beyond
+// the engine's fixed spec: the device set (sorted by GPU ID — MapDevices
+// sorts its input, so input order is irrelevant), each device's model
+// context and speed, the target, the mapper switches, and — only when an
+// inheritance map is present, since edge weights ignore cache state
+// otherwise — the cache contexts and the inheritance pairs.
+func mappingKey(devs []DeviceContext, target config.Config, opt MapperOptions) keyBuf {
+	k := newKeyBuf(64 + len(devs)*13*8)
+	k.i(target.D)
+	k.i(target.P)
+	k.i(target.M)
+	k.i(target.B)
+	k.bool(opt.UseKM)
+	k.bool(opt.Hierarchical)
+	order := make([]int, len(devs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return devs[order[a]].GPU.ID < devs[order[b]].GPU.ID })
+	withCache := len(opt.Inherit) > 0
+	for _, di := range order {
+		d := &devs[di]
+		k.i64(d.GPU.ID)
+		k.i64(d.GPU.Inst.ID)
+		k.f64(d.GPU.Inst.GPUSpeed())
+		k.i(d.ModelCtx.LayerLo)
+		k.i(d.ModelCtx.LayerHi)
+		k.f64(d.ModelCtx.FracLo)
+		k.f64(d.ModelCtx.FracHi)
+		if withCache {
+			k.i(d.CachePipeline)
+			k.i(d.CacheTokens)
+			k.i(d.CacheRect.LayerLo)
+			k.i(d.CacheRect.LayerHi)
+			k.f64(d.CacheRect.FracLo)
+			k.f64(d.CacheRect.FracHi)
+		}
+	}
+	if withCache {
+		news := make([]int, 0, len(opt.Inherit))
+		for n := range opt.Inherit {
+			news = append(news, n)
+		}
+		sort.Ints(news)
+		for _, n := range news {
+			k.i(n)
+			k.i(opt.Inherit[n])
+		}
+	}
+	return k
+}
+
+// planKey canonically encodes everything the parameter plan depends on:
+// the devices' model contexts and instance memory scales (in input order —
+// source selection prefers earlier devices), the realized assignment, the
+// target, and the planner's buffer model. KV-cache state and the
+// inheritance map are deliberately absent: cache transfers are recomputed
+// on every call, which is what lets the estimate made at preemption notice
+// be reused after the JIT drain even though decoding progressed.
+func planKey(devs []DeviceContext, mapping Mapping, opt PlanOptions) keyBuf {
+	t := mapping.Target
+	k := newKeyBuf(64 + len(devs)*7*8 + t.GPUs()*8)
+	k.i(t.D)
+	k.i(t.P)
+	k.i(t.M)
+	k.i(t.B)
+	k.bool(opt.MemOpt)
+	k.f64(opt.UmaxBytes)
+	for i := range devs {
+		d := &devs[i]
+		k.i64(d.GPU.ID)
+		k.i64(d.GPU.Inst.ID)
+		k.f64(d.GPU.Inst.MemScale())
+		k.i(d.ModelCtx.LayerLo)
+		k.i(d.ModelCtx.LayerHi)
+		k.f64(d.ModelCtx.FracLo)
+		k.f64(d.ModelCtx.FracHi)
+	}
+	if mapping.flat != nil {
+		for _, g := range mapping.flat {
+			if g == nil {
+				k.i64(-1)
+			} else {
+				k.i64(g.ID)
+			}
+		}
+		return k
+	}
+	for _, pos := range t.Positions() {
+		g := mapping.Assign[pos]
+		if g == nil {
+			k.i64(-1)
+		} else {
+			k.i64(g.ID)
+		}
+	}
+	return k
+}
+
+type mappingEntry struct {
+	key []byte
+	m   Mapping
+}
+
+type planEntry struct {
+	key []byte
+	pp  *paramPlan
+}
+
+// cache is the Engine's per-server memo set.
+type cache struct {
+	proposals map[propKey]Proposal
+	mappings  map[uint64][]mappingEntry
+	nMappings int
+	plans     map[uint64][]planEntry
+	nPlans    int
+	stats     CacheStats
+}
+
+func newCache() *cache {
+	return &cache{
+		proposals: make(map[propKey]Proposal),
+		mappings:  make(map[uint64][]mappingEntry),
+		plans:     make(map[uint64][]planEntry),
+	}
+}
+
+func (c *cache) proposal(key propKey) (Proposal, bool) {
+	p, ok := c.proposals[key]
+	if ok {
+		c.stats.ProposalHits++
+	} else {
+		c.stats.ProposalMisses++
+	}
+	return p, ok
+}
+
+func (c *cache) storeProposal(key propKey, p Proposal) {
+	if len(c.proposals) >= maxProposalEntries {
+		c.proposals = make(map[propKey]Proposal)
+	}
+	c.proposals[key] = p
+}
+
+func (c *cache) mapping(k keyBuf) (Mapping, bool) {
+	h := k.hash()
+	for _, e := range c.mappings[h] {
+		if bytes.Equal(e.key, k.b) {
+			c.stats.MappingHits++
+			return e.m, true
+		}
+	}
+	c.stats.MappingMisses++
+	return Mapping{}, false
+}
+
+func (c *cache) storeMapping(k keyBuf, m Mapping) {
+	if c.nMappings >= maxMappingEntries {
+		c.mappings = make(map[uint64][]mappingEntry)
+		c.nMappings = 0
+	}
+	h := k.hash()
+	c.mappings[h] = append(c.mappings[h], mappingEntry{key: k.b, m: m})
+	c.nMappings++
+}
+
+func (c *cache) plan(k keyBuf) (*paramPlan, bool) {
+	h := k.hash()
+	for _, e := range c.plans[h] {
+		if bytes.Equal(e.key, k.b) {
+			c.stats.PlanHits++
+			return e.pp, true
+		}
+	}
+	c.stats.PlanMisses++
+	return nil, false
+}
+
+func (c *cache) storePlan(k keyBuf, pp *paramPlan) {
+	if c.nPlans >= maxPlanEntries {
+		c.plans = make(map[uint64][]planEntry)
+		c.nPlans = 0
+	}
+	h := k.hash()
+	c.plans[h] = append(c.plans[h], planEntry{key: k.b, pp: pp})
+	c.nPlans++
+}

@@ -1,0 +1,265 @@
+// Package reconfig is SpotServe's reconfiguration engine: the complete
+// optimize→map→plan pipeline a serving system runs when the fleet or the
+// workload changes. It hosts the parallelization controller (§3.2,
+// Algorithm 1), the device mapper (§3.3, Kuhn–Munkres matching) and the
+// migration planner (§3.4, Algorithm 2) behind one explicit pipeline
+//
+//	Request → Proposal → Mapping → Plan
+//
+// so that every serving system — SpotServe's server and both comparison
+// baselines — prices reconfigurations through exactly the same machinery.
+//
+// The Engine makes successive reconfigurations *incremental*: under
+// preemption pressure the same sub-problems recur (the fleet signature a
+// proposal depends on, the instance×block sub-matchings of the hierarchical
+// device mapper, the parameter-migration plan between estimate and
+// execution), and a per-server Cache memoizes each stage by an exact
+// canonical key. Because every memoized function is pure and reuse requires
+// the full key to match bit-for-bit, results with the cache enabled are
+// byte-identical to the cold-path recompute — enforced by the equivalence
+// tests over the scenario grid — and Options.DisableCache forces the cold
+// path outright (mirroring the engine's fast-forward opt-out).
+package reconfig
+
+import (
+	"spotserve/internal/config"
+	"spotserve/internal/cost"
+	"spotserve/internal/km"
+	"spotserve/internal/model"
+)
+
+// Options configures an Engine for one serving system.
+type Options struct {
+	Spec model.Spec
+	Est  *cost.Estimator
+	// Limits bounds the configuration search space.
+	Limits config.Limits
+	// GPUsPerInstance / MaxInstances mirror the optimizer's fleet bounds.
+	GPUsPerInstance int
+	MaxInstances    int
+	// SeqIn / SeqOut / MaxTokens are the workload's sequence parameters.
+	SeqIn, SeqOut int
+	MaxTokens     int
+	// NaiveBuffer selects the naive migration-buffer memory model (§6.2
+	// ablation).
+	NaiveBuffer bool
+	// SLOLatency switches the optimizer objective (0 = latency
+	// minimization).
+	SLOLatency float64
+	// UseKM / Hierarchical tune the device mapper.
+	UseKM        bool
+	Hierarchical bool
+	// Progressive / MemOpt / UmaxBytes / MigrateCache tune the migration
+	// planner.
+	Progressive  bool
+	MemOpt       bool
+	UmaxBytes    float64
+	MigrateCache bool
+	// DisableCache forces every pipeline stage down the cold recompute
+	// path. Results are byte-identical either way; the flag exists for the
+	// equivalence tests and for debugging.
+	DisableCache bool
+}
+
+// Request is one reconfiguration demand: everything a proposal depends on
+// beyond the engine's static options. GPUsAvail, MaxGPUs, SpeedFloor and
+// MemFloor together form the canonical fleet signature — instance types
+// influence Algorithm 1 only through these four quantities — and Alpha is
+// the workload rate; the proposal memo is keyed by exactly this tuple.
+type Request struct {
+	// Alpha is the required serving rate α_t.
+	Alpha float64
+	// GPUsAvail is the usable device count N_t (in GPUs).
+	GPUsAvail int
+	// MaxGPUs bounds the devices the chosen configuration may occupy
+	// (allocation capacity; equals GPUsAvail in spot-only mode).
+	MaxGPUs int
+	// SpeedFloor is the slowest usable GPU's speed multiplier (1 = homog).
+	SpeedFloor float64
+	// MemFloor is the smallest usable instance's memory multiplier
+	// (1 = homog); feasibility is checked against the scaled memory.
+	MemFloor float64
+	// ReservePool is the candidate-pool size to plan with.
+	ReservePool int
+}
+
+// Engine runs the reconfiguration pipeline for one serving system. It is
+// not safe for concurrent use (each simulated server owns one).
+type Engine struct {
+	opts  Options
+	optz  *Optimizer
+	cache *cache
+	km    *km.Cache
+}
+
+// NewEngine builds an engine; the cache is armed unless opts.DisableCache.
+func NewEngine(opts Options) *Engine {
+	optz := NewOptimizer(opts.Est)
+	optz.Limits = opts.Limits
+	if opts.GPUsPerInstance > 0 {
+		optz.GPUsPerInstance = opts.GPUsPerInstance
+	}
+	if opts.MaxInstances > 0 {
+		optz.MaxInstances = opts.MaxInstances
+	}
+	if opts.SeqIn > 0 {
+		optz.SeqIn = opts.SeqIn
+	}
+	if opts.SeqOut > 0 {
+		optz.SeqOut = opts.SeqOut
+	}
+	if opts.MaxTokens > 0 {
+		optz.MaxTokens = opts.MaxTokens
+	}
+	optz.NaiveBuffer = opts.NaiveBuffer
+	optz.SLOLatency = opts.SLOLatency
+	e := &Engine{opts: opts, optz: optz}
+	if !opts.DisableCache {
+		e.cache = newCache()
+		e.km = km.NewCache(0)
+	}
+	return e
+}
+
+// Optimizer exposes the engine's controller (tests, throughput queries).
+func (e *Engine) Optimizer() *Optimizer { return e.optz }
+
+// Phi returns the serving throughput φ(C) under the engine's current
+// speed-floor state (set by the most recent Propose, exactly like the
+// historical server-owned optimizer).
+func (e *Engine) Phi(c config.Config) float64 { return e.optz.phi(c) }
+
+// Propose runs Algorithm 1 for the request, memoized on the canonical
+// fleet signature × workload rate.
+func (e *Engine) Propose(req Request) Proposal {
+	e.optz.SpeedFloor = req.SpeedFloor
+	e.optz.MemFloor = req.MemFloor
+	if req.ReservePool > 0 {
+		e.optz.ReservePool = req.ReservePool
+	}
+	if e.cache == nil {
+		return e.optz.ProposeForGPUs(req.GPUsAvail, req.Alpha, req.MaxGPUs)
+	}
+	key := proposalKey(req, e.optz.ReservePool)
+	if p, ok := e.cache.proposal(key); ok {
+		return p
+	}
+	p := e.optz.ProposeForGPUs(req.GPUsAvail, req.Alpha, req.MaxGPUs)
+	e.cache.storeProposal(key, p)
+	return p
+}
+
+// Map runs the device mapper for the target configuration over the given
+// device contexts, memoized on the canonical device/context/target
+// signature. The returned Mapping may be shared with earlier calls and
+// must be treated as read-only.
+func (e *Engine) Map(devs []DeviceContext, target config.Config, inherit map[int]int) (Mapping, error) {
+	opt := MapperOptions{
+		UseKM:        e.opts.UseKM,
+		Hierarchical: e.opts.Hierarchical,
+		Inherit:      inherit,
+		KM:           e.km,
+	}
+	if e.cache == nil {
+		return MapDevices(e.opts.Spec, devs, target, opt)
+	}
+	key := mappingKey(devs, target, opt)
+	if m, ok := e.cache.mapping(key); ok {
+		return m, nil
+	}
+	m, err := MapDevices(e.opts.Spec, devs, target, opt)
+	if err != nil {
+		return m, err
+	}
+	e.cache.storeMapping(key, m)
+	return m, nil
+}
+
+// Plan builds the migration plan realizing mapping from the devices'
+// current contexts. The expensive parameter-transfer portion (per-layer
+// transfers, source selection and Algorithm 2's layer ordering) depends
+// only on the devices' *model* contexts, so it is memoized on that
+// signature and survives decode progress — KV caches keep growing between
+// the estimate at preemption notice and the execution after the JIT drain,
+// but the parameter plan is reused as long as the mapping and the model
+// contexts are unchanged. Cache-context transfers are recomputed fresh on
+// every call. The returned Plan shares the memoized parameter structures;
+// callers must treat it as read-only.
+func (e *Engine) Plan(devs []DeviceContext, mapping Mapping, inherit map[int]int) (*Plan, error) {
+	opt := PlanOptions{
+		Progressive:  e.opts.Progressive,
+		MemOpt:       e.opts.MemOpt,
+		UmaxBytes:    e.opts.UmaxBytes,
+		MigrateCache: e.opts.MigrateCache,
+		Inherit:      inherit,
+	}
+	if e.cache == nil {
+		return PlanMigration(e.opts.Spec, e.opts.Est, devs, mapping, opt)
+	}
+	if err := mapping.Target.Validate(); err != nil {
+		return nil, err
+	}
+	key := planKey(devs, mapping, opt)
+	pp, ok := e.cache.plan(key)
+	if !ok {
+		var err error
+		pp, err = buildParamPlan(e.opts.Spec, devs, mapping, opt)
+		if err != nil {
+			return nil, err
+		}
+		e.cache.storePlan(key, pp)
+	}
+	return assemblePlan(e.opts.Spec, pp, devs, mapping, opt), nil
+}
+
+// PlanOptions returns the planner options the engine runs with (the server
+// logs/uses them for standalone planning paths).
+func (e *Engine) PlanOptions(inherit map[int]int) PlanOptions {
+	return PlanOptions{
+		Progressive:  e.opts.Progressive,
+		MemOpt:       e.opts.MemOpt,
+		UmaxBytes:    e.opts.UmaxBytes,
+		MigrateCache: e.opts.MigrateCache,
+		Inherit:      inherit,
+	}
+}
+
+// CacheStats summarizes the engine's memo effectiveness. All counters are
+// zero when the cache is disabled.
+type CacheStats struct {
+	ProposalHits, ProposalMisses int
+	MappingHits, MappingMisses   int
+	PlanHits, PlanMisses         int
+	KMHits, KMMisses             int
+}
+
+// Lookups is the total number of memo consultations.
+func (s CacheStats) Lookups() int {
+	return s.ProposalHits + s.ProposalMisses + s.MappingHits + s.MappingMisses +
+		s.PlanHits + s.PlanMisses + s.KMHits + s.KMMisses
+}
+
+// Hits is the total number of memo hits.
+func (s CacheStats) Hits() int {
+	return s.ProposalHits + s.MappingHits + s.PlanHits + s.KMHits
+}
+
+// HitRate is Hits/Lookups, or 0 before any lookup.
+func (s CacheStats) HitRate() float64 {
+	if l := s.Lookups(); l > 0 {
+		return float64(s.Hits()) / float64(l)
+	}
+	return 0
+}
+
+// CacheStats returns the engine's memo counters.
+func (e *Engine) CacheStats() CacheStats {
+	var s CacheStats
+	if e.cache != nil {
+		s = e.cache.stats
+	}
+	if e.km != nil {
+		s.KMHits, s.KMMisses = e.km.Stats()
+	}
+	return s
+}

@@ -1,9 +1,4 @@
-// Package core implements SpotServe's control plane — the paper's primary
-// contribution: the parallelization controller (§3.2, Algorithm 1), the
-// device mapper (§3.3, Kuhn–Munkres matching), the migration planner (§3.4,
-// Algorithm 2), the interruption arranger with stateful inference recovery
-// (§4), and the inference server that drives them end to end.
-package core
+package reconfig
 
 import (
 	"fmt"
@@ -48,6 +43,10 @@ type MapperOptions struct {
 	// interrupted requests (and KV cache) the new pipeline adopts.
 	// Pipelines absent from the map inherit nothing.
 	Inherit map[int]int
+	// KM, when non-nil, memoizes sub-matchings across reconfigurations
+	// (the determinism-safe KM warm start — see km.Cache). Nil solves
+	// cold through a pooled solver.
+	KM *km.Cache
 }
 
 // Mapping is the device mapper's output.
@@ -64,12 +63,24 @@ type Mapping struct {
 	// TotalModelBytes is the parameter bytes the full target mesh needs;
 	// TotalModelBytes − ReusedModelBytes must be migrated or reloaded.
 	TotalModelBytes float64
+	// flat is Assign in Target.Positions() order (nil for mappings built
+	// by hand); the planner's hot loops read it instead of the map.
+	flat []*cloud.GPU
+}
+
+// gpuAt returns the GPU assigned to positions[i] (= pos), preferring the
+// flat view when present.
+func (m *Mapping) gpuAt(i int, pos config.Position) *cloud.GPU {
+	if m.flat != nil {
+		return m.flat[i]
+	}
+	return m.Assign[pos]
 }
 
 // edgeWeights computes the reusable model and cache bytes when placing
-// device u at position v of the target configuration.
-func edgeWeights(spec model.Spec, u DeviceContext, target config.Config, v config.Position, inherit map[int]int) (modelBytes, cacheBytes float64) {
-	want := model.PositionRect(spec, target.P, target.M, v.P, v.M)
+// device u at position v of the target configuration, whose context
+// rectangle is want (precomputed once per matching).
+func edgeWeights(spec model.Spec, u DeviceContext, want model.Rect, v config.Position, inherit map[int]int) (modelBytes, cacheBytes float64) {
 	modelBytes = u.ModelCtx.OverlapParamBytes(spec, want)
 	if u.CachePipeline >= 0 && u.CacheTokens > 0 {
 		if oldD, ok := inherit[v.D]; ok && oldD == u.CachePipeline {
@@ -92,7 +103,7 @@ func MapDevices(spec model.Spec, devices []DeviceContext, target config.Config, 
 	}
 	need := target.GPUs()
 	if len(devices) < need {
-		return Mapping{}, fmt.Errorf("core: mapping needs %d GPUs, have %d", need, len(devices))
+		return Mapping{}, fmt.Errorf("reconfig: mapping needs %d GPUs, have %d", need, len(devices))
 	}
 	// Deterministic input order.
 	devs := append([]DeviceContext(nil), devices...)
@@ -103,12 +114,24 @@ func MapDevices(spec model.Spec, devices []DeviceContext, target config.Config, 
 		Target: target,
 		Assign: make(map[config.Position]*cloud.GPU, need),
 	}
-	for _, pos := range positions {
-		m.TotalModelBytes += model.PositionRect(spec, target.P, target.M, pos.P, pos.M).ParamBytes(spec)
+	// Position rectangles are shared by every weight computation below.
+	rects := make([]model.Rect, len(positions))
+	for i, pos := range positions {
+		rects[i] = model.PositionRect(spec, target.P, target.M, pos.P, pos.M)
+		m.TotalModelBytes += rects[i].ParamBytes(spec)
 	}
 
-	sv := solverPool.Get().(*km.Solver)
-	defer solverPool.Put(sv)
+	// solve routes through the caller's KM memo when provided, else a
+	// pooled cold solver. Both produce identical assignments (the memo
+	// only replays exact recurrences).
+	var solve func(km.Matrix) (km.Assignment, error)
+	if opt.KM != nil {
+		solve = opt.KM.Solve
+	} else {
+		sv := solverPool.Get().(*km.Solver)
+		defer solverPool.Put(sv)
+		solve = sv.Solve
+	}
 
 	bonus := speedBonus(devs)
 
@@ -118,26 +141,28 @@ func MapDevices(spec model.Spec, devices []DeviceContext, target config.Config, 
 	case !opt.UseKM:
 		left = identityAssign(len(positions))
 	case opt.Hierarchical:
-		left, err = hierarchicalMatch(sv, spec, devs, target, positions, opt.Inherit, bonus)
+		left, err = hierarchicalMatch(solve, spec, devs, positions, rects, opt.Inherit, bonus)
 		if err != nil {
 			// Irregular instance shapes (partially preempted instances,
 			// uneven blocks) break the block structure; fall back to the
 			// globally optimal flat matching.
-			left, err = flatMatch(sv, spec, devs, target, positions, opt.Inherit, bonus)
+			left, err = flatMatch(solve, spec, devs, positions, rects, opt.Inherit, bonus)
 		}
 	default:
-		left, err = flatMatch(sv, spec, devs, target, positions, opt.Inherit, bonus)
+		left, err = flatMatch(solve, spec, devs, positions, rects, opt.Inherit, bonus)
 	}
 	if err != nil {
 		return Mapping{}, err
 	}
 
 	used := make(map[int]bool, need)
+	m.flat = make([]*cloud.GPU, len(positions))
 	for pi, di := range left {
 		pos := positions[pi]
 		m.Assign[pos] = devs[di].GPU
+		m.flat[pi] = devs[di].GPU
 		used[di] = true
-		mb, cb := edgeWeights(spec, devs[di], target, pos, opt.Inherit)
+		mb, cb := edgeWeights(spec, devs[di], rects[pi], pos, opt.Inherit)
 		m.ReusedModelBytes += mb
 		m.ReusedCacheBytes += cb
 	}
@@ -189,25 +214,25 @@ func speedBonus(devs []DeviceContext) []float64 {
 }
 
 // flatMatch runs one global KM over all devices × positions.
-func flatMatch(sv *km.Solver, spec model.Spec, devs []DeviceContext, target config.Config, positions []config.Position, inherit map[int]int, bonus []float64) ([]int, error) {
+func flatMatch(solve func(km.Matrix) (km.Assignment, error), spec model.Spec, devs []DeviceContext, positions []config.Position, rects []model.Rect, inherit map[int]int, bonus []float64) ([]int, error) {
 	w := km.NewMatrix(len(devs), len(positions))
 	for i, u := range devs {
 		for j, v := range positions {
-			mb, cb := edgeWeights(spec, u, target, v, inherit)
+			mb, cb := edgeWeights(spec, u, rects[j], v, inherit)
 			w[i][j] = mb + cb
 			if bonus != nil {
 				w[i][j] += bonus[i]
 			}
 		}
 	}
-	a, err := sv.Solve(w)
+	a, err := solve(w)
 	if err != nil {
 		return nil, err
 	}
 	out := make([]int, len(positions))
 	for j, i := range a.Right {
 		if i < 0 {
-			return nil, fmt.Errorf("core: position %v unmatched", positions[j])
+			return nil, fmt.Errorf("reconfig: position %v unmatched", positions[j])
 		}
 		out[j] = i
 	}
@@ -220,7 +245,7 @@ func flatMatch(sv *km.Solver, spec model.Spec, devs []DeviceContext, target conf
 // per-pair GPU-level assignment. Consecutive positions share a stage
 // whenever M ≥ GPUs/instance, so tensor-parallel all-reduce groups land on
 // the fast intra-instance interconnect.
-func hierarchicalMatch(sv *km.Solver, spec model.Spec, devs []DeviceContext, target config.Config, positions []config.Position, inherit map[int]int, bonus []float64) ([]int, error) {
+func hierarchicalMatch(solve func(km.Matrix) (km.Assignment, error), spec model.Spec, devs []DeviceContext, positions []config.Position, rects []model.Rect, inherit map[int]int, bonus []float64) ([]int, error) {
 	// Group devices by instance (preserving device order).
 	instOrder := []int64{}
 	byInst := map[int64][]int{}
@@ -238,7 +263,7 @@ func hierarchicalMatch(sv *km.Solver, spec model.Spec, devs []DeviceContext, tar
 		}
 	}
 	if per == 0 {
-		return nil, fmt.Errorf("core: no devices")
+		return nil, fmt.Errorf("reconfig: no devices")
 	}
 	// Position blocks of `per` consecutive positions.
 	var blocks [][]int
@@ -257,9 +282,9 @@ func hierarchicalMatch(sv *km.Solver, spec model.Spec, devs []DeviceContext, tar
 	// Block-level weight = optimal within-pair matching value. Pairs
 	// where the instance has fewer GPUs than the block needs are
 	// infeasible.
-	pairAssign := make(map[[2]int][]int) // (instIdx, blockIdx) → per-position device index
-	w := km.NewMatrix(len(instOrder), len(blocks))
-	feasible := make(map[[2]int]bool)
+	nb := len(blocks)
+	pairAssign := make([][]int, len(instOrder)*nb) // (instIdx, blockIdx) → per-position device index; nil = infeasible
+	w := km.NewMatrix(len(instOrder), nb)
 	var sub scratchMatrix // one buffer reused for every instance×block pair
 	for ii, instID := range instOrder {
 		gset := byInst[instID]
@@ -271,14 +296,14 @@ func hierarchicalMatch(sv *km.Solver, spec model.Spec, devs []DeviceContext, tar
 			m := sub.sized(len(gset), len(block))
 			for a, di := range gset {
 				for b, pj := range block {
-					mb, cb := edgeWeights(spec, devs[di], target, positions[pj], inherit)
+					mb, cb := edgeWeights(spec, devs[di], rects[pj], positions[pj], inherit)
 					m[a][b] = mb + cb
 					if bonus != nil {
 						m[a][b] += bonus[di]
 					}
 				}
 			}
-			sa, err := sv.Solve(m)
+			sa, err := solve(m)
 			if err != nil {
 				return nil, err
 			}
@@ -287,21 +312,20 @@ func hierarchicalMatch(sv *km.Solver, spec model.Spec, devs []DeviceContext, tar
 			for b := range block {
 				assign[b] = gset[sa.Right[b]]
 			}
-			pairAssign[[2]int{ii, bi}] = assign
-			feasible[[2]int{ii, bi}] = true
+			pairAssign[ii*nb+bi] = assign
 		}
 	}
-	top, err := sv.Solve(w)
+	top, err := solve(w)
 	if err != nil {
 		return nil, err
 	}
 	out := make([]int, len(positions))
 	for bi, block := range blocks {
 		ii := top.Right[bi]
-		if ii < 0 || !feasible[[2]int{ii, bi}] {
-			return nil, fmt.Errorf("core: block %d has no feasible instance", bi)
+		if ii < 0 || pairAssign[ii*nb+bi] == nil {
+			return nil, fmt.Errorf("reconfig: block %d has no feasible instance", bi)
 		}
-		assign := pairAssign[[2]int{ii, bi}]
+		assign := pairAssign[ii*nb+bi]
 		for b, pj := range block {
 			out[pj] = assign[b]
 		}

@@ -1,4 +1,4 @@
-package core
+package reconfig
 
 import (
 	"math"
@@ -42,8 +42,34 @@ type Optimizer struct {
 	// the mesh's slowest device. Zero or one is the homogeneous baseline
 	// and leaves estimates bit-identical.
 	SpeedFloor float64
+	// MemFloor is the heterogeneous-fleet memory correction: the smallest
+	// usable instance type's memory multiplier. Shape feasibility is
+	// checked against the scaled usable memory, so proposals fit on the
+	// fleet's smallest-memory device. Zero or one is the homogeneous
+	// baseline and leaves the feasible set bit-identical.
+	MemFloor float64
 
 	execMemo map[[3]int]float64
+	// candMemo caches the sorted candidate table per (GPU budget, memory
+	// floor, buffer model): Algorithm 1 re-enumerates the identical table
+	// on every fleet event. Limits, sequence lengths and MaxTokens are
+	// treated as fixed after first use (they are static per serving run).
+	candMemo map[candKey]*candSet
+}
+
+// candKey identifies one candidate enumeration.
+type candKey struct {
+	gpus     int
+	memFloor float64
+	naive    bool
+}
+
+// candSet is a memoized candidate table: every feasible configuration
+// within a GPU budget in lessConfig order, with the unslowed execution
+// latency l_exe per entry so selection passes run without map lookups.
+type candSet struct {
+	cfgs []config.Config
+	raw  []float64
 }
 
 // NewOptimizer builds an optimizer with the paper's defaults.
@@ -84,7 +110,7 @@ type Proposal struct {
 func (o *Optimizer) candidates(gpus int) []config.Config {
 	var out []config.Config
 	for _, b := range o.Limits.Bs {
-		for _, s := range o.Est.FeasibleShapes(o.Limits, b, o.MaxTokens, o.NaiveBuffer) {
+		for _, s := range o.Est.FeasibleShapesScaled(o.Limits, b, o.MaxTokens, o.NaiveBuffer, o.memFloor()) {
 			per := s.GPUsPerPipeline()
 			for d := 1; d*per <= gpus; d++ {
 				out = append(out, config.Config{D: d, P: s.P, M: s.M, B: b})
@@ -110,16 +136,66 @@ func (o *Optimizer) lreq(c config.Config, alpha float64) float64 {
 // shape at many data-parallel degrees (the paper's latency estimation is
 // likewise done offline in advance, §3.2).
 func (o *Optimizer) exec(c config.Config) float64 {
+	return o.slowed(o.execRaw(c))
+}
+
+// execRaw returns the memoized unslowed l_exe for shape (P, M, B).
+func (o *Optimizer) execRaw(c config.Config) float64 {
 	key := [3]int{c.P, c.M, c.B}
 	if o.execMemo == nil {
 		o.execMemo = make(map[[3]int]float64)
 	}
 	if v, ok := o.execMemo[key]; ok {
-		return o.slowed(v)
+		return v
 	}
 	v := o.Est.Exec(c.P, c.M, c.B, o.SeqIn, o.SeqOut)
 	o.execMemo[key] = v
-	return o.slowed(v)
+	return v
+}
+
+// candSetFor returns (building on first use) the memoized candidate table
+// for a GPU budget under the current memory floor and buffer model.
+func (o *Optimizer) candSetFor(gpus int) *candSet {
+	key := candKey{gpus: gpus, memFloor: o.memFloor(), naive: o.NaiveBuffer}
+	if cs, ok := o.candMemo[key]; ok {
+		return cs
+	}
+	cfgs := o.candidates(gpus)
+	// Pre-sorting in the deterministic total order makes every filtered
+	// subset come out sorted — selection below never re-sorts. All
+	// configurations are distinct, so the order is unique and filtering
+	// preserves exactly what sorting the subset would produce.
+	sort.Slice(cfgs, func(i, j int) bool { return lessConfig(cfgs[i], cfgs[j]) })
+	raw := make([]float64, len(cfgs))
+	for i, c := range cfgs {
+		raw[i] = o.execRaw(c)
+	}
+	cs := &candSet{cfgs: cfgs, raw: raw}
+	if o.candMemo == nil {
+		o.candMemo = make(map[candKey]*candSet)
+	}
+	o.candMemo[key] = cs
+	return cs
+}
+
+// phiAt is φ(C) for table entry i under the current speed floor.
+func (o *Optimizer) phiAt(cs *candSet, i int) float64 {
+	l := o.slowed(cs.raw[i])
+	if l <= 0 {
+		return 0
+	}
+	c := cs.cfgs[i]
+	return float64(c.D) * float64(c.B) / l
+}
+
+// lreqAt is l_req for table entry i under arrival rate alpha.
+func (o *Optimizer) lreqAt(cs *candSet, i int, alpha float64) float64 {
+	l := o.slowed(cs.raw[i])
+	c := cs.cfgs[i]
+	if alpha > 1e-9 && c.B > 1 {
+		l += float64(c.B-1) / (2 * alpha)
+	}
+	return l
 }
 
 // slowed applies the heterogeneous speed floor to a latency estimate.
@@ -129,6 +205,18 @@ func (o *Optimizer) slowed(l float64) float64 {
 	}
 	return l
 }
+
+// memFloor normalizes MemFloor (zero means the homogeneous baseline).
+func (o *Optimizer) memFloor() float64 {
+	if o.MemFloor > 0 {
+		return o.MemFloor
+	}
+	return 1
+}
+
+// Phi exposes the serving-throughput estimate φ(C) under the optimizer's
+// current speed floor.
+func (o *Optimizer) Phi(c config.Config) float64 { return o.phi(c) }
 
 // phi returns the serving throughput φ(C).
 func (o *Optimizer) phi(c config.Config) float64 {
@@ -171,36 +259,38 @@ func (o *Optimizer) ProposeForGPUs(gpusAvail int, alpha float64, maxGPUs int) Pr
 		maxGPUs = lim
 	}
 
-	// Line 2: does any configuration the cloud can host reach α_t?
-	all := o.candidates(maxGPUs)
-	var meet []config.Config
-	for _, c := range all {
-		if o.phi(c) >= alpha {
-			meet = append(meet, c)
+	// Line 2: does any configuration the cloud can host reach α_t? The
+	// candidate table is memoized and pre-sorted, so a proposal is pure
+	// filter-and-select.
+	cs := o.candSetFor(maxGPUs)
+	anyMeet := false
+	for i := range cs.cfgs {
+		if o.phiAt(cs, i) >= alpha {
+			anyMeet = true
+			break
 		}
 	}
 
 	var chosen config.Config
 	saturated := false
-	if len(meet) > 0 {
+	if anyMeet {
 		// Line 3: minimize l_req subject to φ(C) ≥ α_t; among ties use
 		// fewer instances (cheaper), then deterministic order. Under an
 		// SLO objective, any config meeting the SLO qualifies and the
 		// cheapest wins.
-		sort.Slice(meet, func(i, j int) bool { return lessConfig(meet[i], meet[j]) })
 		if o.SLOLatency > 0 {
-			chosen = o.chooseSLO(meet, alpha)
+			chosen = o.chooseSLO(cs, alpha)
 		} else {
-			chosen = o.chooseMinLatency(meet, alpha)
+			chosen = o.chooseMinLatency(cs, alpha)
 		}
 	} else {
 		// Line 5: saturate — maximize throughput with what N_t offers.
 		saturated = true
-		chosen = o.chooseMaxThroughput(o.candidates(gpusAvail))
+		chosen = o.chooseMaxThroughput(o.candSetFor(gpusAvail))
 		if chosen.IsZero() {
 			// Not even one pipeline fits; request the minimum viable
 			// fleet and serve nothing meanwhile.
-			_, shape := o.Est.MinGPUs(o.Limits, o.MaxTokens, o.NaiveBuffer)
+			_, shape := o.Est.MinGPUsScaled(o.Limits, o.MaxTokens, o.NaiveBuffer, o.memFloor())
 			if !shape.IsZero() {
 				shape.B = o.Limits.Bs[len(o.Limits.Bs)-1]
 				chosen = shape
@@ -227,10 +317,15 @@ func (o *Optimizer) ProposeForGPUs(gpusAvail int, alpha float64, maxGPUs int) Pr
 // one win.
 const latencyTolerance = 0.10
 
-func (o *Optimizer) chooseMinLatency(meet []config.Config, alpha float64) config.Config {
+// chooseMinLatency selects among the table entries meeting α_t (the same
+// filtered, sorted set the historical implementation materialized).
+func (o *Optimizer) chooseMinLatency(cs *candSet, alpha float64) config.Config {
 	minL := math.Inf(1)
-	for _, c := range meet {
-		if l := o.lreq(c, alpha); l < minL {
+	for i := range cs.cfgs {
+		if o.phiAt(cs, i) < alpha {
+			continue
+		}
+		if l := o.lreqAt(cs, i, alpha); l < minL {
 			minL = l
 		}
 	}
@@ -240,8 +335,11 @@ func (o *Optimizer) chooseMinLatency(meet []config.Config, alpha float64) config
 	var best config.Config
 	bestL := math.Inf(1)
 	found := false
-	for _, c := range meet {
-		l := o.lreq(c, alpha)
+	for i, c := range cs.cfgs {
+		if o.phiAt(cs, i) < alpha {
+			continue
+		}
+		l := o.lreqAt(cs, i, alpha)
 		if l > minL*(1+latencyTolerance) {
 			continue
 		}
@@ -255,11 +353,14 @@ func (o *Optimizer) chooseMinLatency(meet []config.Config, alpha float64) config
 	return best
 }
 
-func (o *Optimizer) chooseSLO(meet []config.Config, alpha float64) config.Config {
+func (o *Optimizer) chooseSLO(cs *candSet, alpha float64) config.Config {
 	var best config.Config
 	found := false
-	for _, c := range meet {
-		if o.lreq(c, alpha) > o.SLOLatency {
+	for i, c := range cs.cfgs {
+		if o.phiAt(cs, i) < alpha {
+			continue
+		}
+		if o.lreqAt(cs, i, alpha) > o.SLOLatency {
 			continue
 		}
 		if !found || c.GPUs() < best.GPUs() {
@@ -267,17 +368,16 @@ func (o *Optimizer) chooseSLO(meet []config.Config, alpha float64) config.Config
 		}
 	}
 	if !found {
-		return o.chooseMinLatency(meet, alpha)
+		return o.chooseMinLatency(cs, alpha)
 	}
 	return best
 }
 
-func (o *Optimizer) chooseMaxThroughput(cands []config.Config) config.Config {
+func (o *Optimizer) chooseMaxThroughput(cs *candSet) config.Config {
 	var best config.Config
 	bestPhi := -1.0
-	sort.Slice(cands, func(i, j int) bool { return lessConfig(cands[i], cands[j]) })
-	for _, c := range cands {
-		p := o.phi(c)
+	for i, c := range cs.cfgs {
+		p := o.phiAt(cs, i)
 		if p > bestPhi+1e-12 {
 			best, bestPhi = c, p
 		}

@@ -1,4 +1,4 @@
-package core
+package reconfig
 
 import (
 	"testing"
@@ -48,7 +48,7 @@ func TestProposeSaturatesWhenScarce(t *testing.T) {
 		t.Fatalf("saturated config %v exceeds 4 instances", p.Config)
 	}
 	// It should be the throughput-maximal config within 16 GPUs.
-	best := o.chooseMaxThroughput(o.candidates(16))
+	best := o.chooseMaxThroughput(o.candSetFor(16))
 	if o.phi(p.Config) < o.phi(best)-1e-12 {
 		t.Fatalf("saturated pick %v (phi=%v) below best %v (phi=%v)",
 			p.Config, o.phi(p.Config), best, o.phi(best))
@@ -159,52 +159,5 @@ func TestProposalDeterministic(t *testing.T) {
 	b := o.Propose(8, 0.2)
 	if a.Config != b.Config || a.WantInstances != b.WantInstances {
 		t.Fatalf("nondeterministic proposal: %v vs %v", a, b)
-	}
-}
-
-func TestArrangerPreemptionBudget(t *testing.T) {
-	est := cost.NewEstimator(cost.DefaultParams(), model.GPT20B)
-	a := &Arranger{Est: est, Enabled: true}
-	budget := a.PreemptionBudget(100, 12)
-	if budget != 88 {
-		t.Fatalf("budget = %v, want 88", budget)
-	}
-	cfg := config.Config{D: 1, P: 3, M: 4, B: 8}
-	// Plenty of time: may continue.
-	if !a.MayContinue(0, cfg, 8, 600, budget) {
-		t.Fatal("should continue with 88 s budget")
-	}
-	// At the brink: must stop.
-	if a.MayContinue(87.99, cfg, 8, 600, budget) {
-		t.Fatal("should stop when the next iteration cannot finish")
-	}
-}
-
-func TestArrangerCacheWorth(t *testing.T) {
-	est := cost.NewEstimator(cost.DefaultParams(), model.GPT20B)
-	a := &Arranger{Est: est, Enabled: true}
-	cfg := config.Config{D: 1, P: 3, M: 4, B: 8}
-	// 100 committed tokens: recompute ≈ 10+ s; a 2 s cache move pays off.
-	if !a.CacheWorthMigrating(cfg, 8, 512, 100, 2.0) {
-		t.Fatal("cache migration should pay off at 100 tokens")
-	}
-	// 1 committed token: recompute ≈ init phase only; a 30 s move never
-	// pays (simply rerouting is better, §4.1).
-	if a.CacheWorthMigrating(cfg, 8, 512, 1, 30.0) {
-		t.Fatal("cache migration should not pay off at 1 token")
-	}
-	if a.CacheWorthMigrating(cfg, 8, 512, 0, 0.001) {
-		t.Fatal("no committed tokens → nothing to migrate")
-	}
-	a.Enabled = false
-	if a.CacheWorthMigrating(cfg, 8, 512, 100, 0.001) {
-		t.Fatal("disabled arranger must never migrate cache")
-	}
-}
-
-func TestArrangerAcquisitionJoin(t *testing.T) {
-	a := &Arranger{}
-	if a.AcquisitionJoinTime(1234) != 1234 {
-		t.Fatal("join time should equal instance readiness")
 	}
 }

@@ -1,9 +1,10 @@
-package core
+package reconfig
 
 import (
 	"math"
 	"testing"
 
+	"spotserve/internal/cloud"
 	"spotserve/internal/config"
 	"spotserve/internal/cost"
 	"spotserve/internal/model"
@@ -297,6 +298,72 @@ func TestScheduleDeterministic(t *testing.T) {
 	for i := range t1.StageReady {
 		if t1.StageReady[i] != t2.StageReady[i] {
 			t.Fatal("stage readiness not deterministic")
+		}
+	}
+}
+
+// TestFindSourceRequiresMissingOverlap pins the fully-preempted-source
+// edge: a live device holding only the sub-rectangle the receiver already
+// has cannot serve as a migration source. Before the fix the planner named
+// an arbitrary overlapping device as From — simulating a fast peer copy of
+// bytes that peer never held; the transfer must instead fall through to a
+// cold storage fetch.
+func TestFindSourceRequiresMissingOverlap(t *testing.T) {
+	spec := model.OPT6B7
+	target := config.Config{D: 1, P: 1, M: 2, B: 1}
+	gpus := mkGPUs(2, 4)
+	quarter := model.Rect{LayerLo: 0, LayerHi: spec.Layers, FracLo: 0, FracHi: 0.25}
+	devs := []DeviceContext{
+		// Receiver for position (0,0,0) wants [0, 0.5) but holds [0, 0.25).
+		{GPU: gpus[0], ModelCtx: quarter, CachePipeline: -1},
+		// A replica of exactly what the receiver already has: useless as a
+		// source for the missing [0.25, 0.5) — all real holders of that
+		// sub-rectangle were preempted.
+		{GPU: gpus[1], ModelCtx: quarter, CachePipeline: -1},
+		// Holder of position (0,0,1)'s full [0.5, 1) shard (no transfer).
+		{GPU: gpus[2], ModelCtx: model.Rect{LayerLo: 0, LayerHi: spec.Layers, FracLo: 0.5, FracHi: 1}, CachePipeline: -1},
+	}
+	mapping := Mapping{
+		Target: target,
+		Assign: map[config.Position]*cloud.GPU{
+			{D: 0, P: 0, M: 0}: gpus[0],
+			{D: 0, P: 0, M: 1}: gpus[2],
+		},
+	}
+	est := cost.NewEstimator(cost.DefaultParams(), spec)
+	plan, err := PlanMigration(spec, est, devs, mapping, defaultPlanOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.StorageBytes <= 0 {
+		t.Fatal("missing context with no live holder must load from storage")
+	}
+	for _, trs := range plan.ByLayer {
+		for _, tr := range trs {
+			if tr.To != gpus[0] {
+				continue
+			}
+			if tr.From != nil {
+				t.Fatalf("transfer to receiver sourced from gpu %d, which holds only the receiver's own sub-rect", tr.From.ID)
+			}
+		}
+	}
+
+	// Control: once any live device holds part of the missing interval, it
+	// must be chosen over storage.
+	devs[1].ModelCtx = model.Rect{LayerLo: 0, LayerHi: spec.Layers, FracLo: 0.25, FracHi: 0.5}
+	plan2, err := PlanMigration(spec, est, devs, mapping, defaultPlanOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan2.StorageBytes != 0 {
+		t.Fatalf("storage fetch of %v bytes despite a live holder of the missing sub-rect", plan2.StorageBytes)
+	}
+	for _, trs := range plan2.ByLayer {
+		for _, tr := range trs {
+			if tr.To == gpus[0] && tr.From != gpus[1] {
+				t.Fatalf("transfer to receiver sourced from %v, want the missing-rect holder", tr.From)
+			}
 		}
 	}
 }

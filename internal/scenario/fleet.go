@@ -85,4 +85,21 @@ func init() {
 		Params: small,
 		Note:   "4-GPU instances interleaved with cheap 2-GPU instances",
 	})
+
+	// Memory-heterogeneous: an older small-memory generation mixed in.
+	// The optimizer's per-type memory feasibility plans against the
+	// fleet's memory floor, so shapes that would overflow the small
+	// devices are excluded while any low-memory instance is usable.
+	lowmem := cloud.DefaultParams()
+	lowmem.Types = []cloud.InstanceType{
+		{Name: "g4dn", GPUs: 4, Speed: 1.0, MemScale: 1.0,
+			SpotUSDPerHour: 1.9, OnDemandUSDPerHour: 3.9},
+		{Name: "g4-lowmem", GPUs: 4, Speed: 0.9, MemScale: 0.8,
+			SpotUSDPerHour: 1.2, OnDemandUSDPerHour: 2.6},
+	}
+	RegisterFleet(FleetPreset{
+		Name:   "hetero-lowmem",
+		Params: lowmem,
+		Note:   "g4dn interleaved with a cheaper mem ×0.8 generation; feasibility uses the memory floor",
+	})
 }

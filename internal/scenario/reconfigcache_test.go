@@ -1,0 +1,60 @@
+package scenario
+
+import (
+	"testing"
+
+	"spotserve/internal/experiments"
+)
+
+// gridCells expands the default 24-cell scenario grid (availability models
+// × policies on the homogeneous and speed-heterogeneous fleets).
+func gridCells(t *testing.T) []experiments.Scenario {
+	t.Helper()
+	cells, err := DefaultGrid().Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 24 {
+		t.Fatalf("default grid = %d cells, want 24", len(cells))
+	}
+	return cells
+}
+
+// TestGridReconfigCacheEquivalence runs the full 24-cell default scenario
+// grid twice — reconfiguration cache enabled and disabled — and requires
+// byte-identical fingerprints cell by cell. The grid spans every
+// availability model, every autoscaling policy and both fleet presets, so
+// this pins the cache's exactness across heterogeneous fleets, policy-
+// driven fleet churn and correlated preemption storms at once.
+func TestGridReconfigCacheEquivalence(t *testing.T) {
+	cells := gridCells(t)
+	warm := experiments.RunAll(cells, 0)
+	cold := make([]experiments.Scenario, len(cells))
+	copy(cold, cells)
+	for i := range cold {
+		cold[i].DisableReconfigCache = true
+	}
+	coldRes := experiments.RunAll(cold, 0)
+	for i := range cells {
+		coldRes[i].Scenario.DisableReconfigCache = false
+		if got, want := warm[i].Fingerprint(), coldRes[i].Fingerprint(); got != want {
+			t.Errorf("cell %d (%s/%s/%s): cached fingerprint %s != cold %s",
+				i, cells[i].AvailModel, cells[i].Policy, cells[i].Fleet, got, want)
+		}
+	}
+}
+
+// TestGridReconfigCacheParallelDeterminism pins parallel == serial with
+// the cache armed: each worker owns per-server memos, so worker count and
+// scheduling order must not leak into results.
+func TestGridReconfigCacheParallelDeterminism(t *testing.T) {
+	cells := gridCells(t)
+	serial := experiments.RunAll(cells, 1)
+	parallel := experiments.RunAll(cells, 0)
+	for i := range cells {
+		if got, want := parallel[i].Fingerprint(), serial[i].Fingerprint(); got != want {
+			t.Errorf("cell %d (%s/%s/%s): parallel fingerprint %s != serial %s",
+				i, cells[i].AvailModel, cells[i].Policy, cells[i].Fleet, got, want)
+		}
+	}
+}

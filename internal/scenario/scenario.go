@@ -181,6 +181,10 @@ type GridRow struct {
 	CostUSD  float64
 	OnDemand int
 	Reps     experiments.Replication
+	// CacheHitRate aggregates the reconfiguration engine's memo hit rate
+	// across the cell's seed replicas (a diagnostic — hit rates never
+	// change results, so they are not fingerprinted).
+	CacheHitRate metrics.Agg
 }
 
 // GridSweep runs the grid through the parallel sweep harness, replicating
@@ -212,6 +216,9 @@ func GridSweep(g Grid, sw experiments.Sweep) ([]GridRow, error) {
 			OnDemand: first.Stats.OnDemandAllocated,
 			Reps:     experiments.NewReplication(rs),
 		}
+		for _, r := range rs {
+			rows[i].CacheHitRate.Add(r.Stats.ReconfigCache.HitRate())
+		}
 	}
 	return rows, nil
 }
@@ -228,16 +235,17 @@ func RenderGrid(rows []GridRow) string {
 		}
 	}
 	fmt.Fprintf(&b, "Scenario grid: availability × policy × fleet\n")
-	fmt.Fprintf(&b, "%-10s %-15s %-13s %-18s %8s %8s %9s %4s",
-		"Avail", "Policy", "Fleet", "System", "Avg", "P99", "Cost", "OD")
+	fmt.Fprintf(&b, "%-10s %-15s %-13s %-18s %8s %8s %9s %4s %7s",
+		"Avail", "Policy", "Fleet", "System", "Avg", "P99", "Cost", "OD", "Cache%")
 	if bands {
 		fmt.Fprintf(&b, "  %-26s %-26s", "P99 band", "Cost band")
 	}
 	b.WriteString("\n")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-10s %-15s %-13s %-18s %7.1fs %7.1fs %8.2f$ %4d",
+		fmt.Fprintf(&b, "%-10s %-15s %-13s %-18s %7.1fs %7.1fs %8.2f$ %4d %6.0f%%",
 			r.Avail, r.Policy, r.Fleet, r.System,
-			r.Summary.Avg, r.Summary.P99, r.CostUSD, r.OnDemand)
+			r.Summary.Avg, r.Summary.P99, r.CostUSD, r.OnDemand,
+			r.CacheHitRate.Mean()*100)
 		if bands {
 			fmt.Fprintf(&b, "  %-26s %-26s", r.Reps.P99.Band(), r.Reps.Cost.Band())
 		}
@@ -246,5 +254,6 @@ func RenderGrid(rows []GridRow) string {
 	if bands && len(rows) > 0 {
 		fmt.Fprintf(&b, "(bands: mean ±stderr [min,max] over %d seeds)\n", rows[0].Reps.Avg.N)
 	}
+	fmt.Fprintf(&b, "(Cache%%: mean reconfiguration-memo hit rate across seeds; diagnostic only, never affects results)\n")
 	return b.String()
 }
