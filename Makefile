@@ -14,9 +14,9 @@ TIER1_BENCH = BenchmarkEndToEndSimulation$$|BenchmarkConfigOptimizer$$|Benchmark
 # against it.
 BENCH_BASELINE ?= BENCH_baseline.json
 
-.PHONY: ci build vet test race race-reconfig fuzz bench figures bench-baseline bench-check examples
+.PHONY: ci build vet test race race-reconfig race-market fuzz bench figures bench-baseline bench-check examples
 
-ci: build vet race-reconfig race examples bench-check
+ci: build vet race-reconfig race-market race examples bench-check
 
 # Smoke gate: every example must build and run to completion (stdout is
 # discarded; a non-zero exit or panic fails the gate).
@@ -48,6 +48,12 @@ race:
 # packages get an explicit first-class -race run (fast to iterate on).
 race-reconfig:
 	$(GO) test -race ./internal/reconfig/ ./internal/core/
+
+# Focused race gate on the spot-market subsystem: price processes and the
+# scenario axes that regenerate per-replica markets/traces inside the
+# parallel sweep pool.
+race-market:
+	$(GO) test -race ./internal/market/ ./internal/scenario/
 
 # Short fuzz pass over the JSON trace format (CI smoke; run longer locally
 # with -fuzztime=5m when touching internal/trace).

@@ -164,6 +164,15 @@ func main() {
 		got := cur[n]
 		want, ok := base.Benchmarks[n]
 		if !ok {
+			// A brand-new benchmark has nothing to regress against; that is
+			// only a failure when the check is supposed to gate it.
+			if gated[n] {
+				fmt.Fprintf(os.Stderr,
+					"benchcheck: gated benchmark %s has no entry in %s — refresh the baseline first (`make bench-baseline`)\n",
+					n, *baselinePath)
+				failed = true
+				continue
+			}
 			fmt.Printf("  %-50s %14.0f ns/op  (new, no baseline)\n", n, got.NsPerOp)
 			continue
 		}

@@ -6,6 +6,7 @@
 //	experiments [-exp all|table1|fig5|fig6|fig7|fig8|fig9|minmem|scenarios]
 //	            [-seed N] [-seeds K] [-parallel W]
 //	            [-avail a,b] [-policies p,q] [-fleets f,g] [-systems spotserve|baselines|all]
+//	            [-market ou|squeeze] [-slo S]
 //
 // Each experiment prints a text rendition of the corresponding table or
 // figure, including SpotServe-vs-baseline factors where the paper reports
@@ -18,7 +19,10 @@
 // -exp scenarios sweeps the scenario library (docs/SCENARIOS.md): the
 // cross product of availability models × autoscaling policies × fleet
 // presets, selectable with -avail/-policies/-fleets (comma-separated
-// registry names; empty = the default grid axes).
+// registry names; empty = the default grid axes). -market bills every
+// cell's spot capacity against a registered price process (price-signal
+// cells default to their own driving process), and -slo sets the latency
+// objective behind the grid's SLO% column.
 package main
 
 import (
@@ -42,6 +46,8 @@ func main() {
 	policies := flag.String("policies", "", "scenario grid: comma-separated autoscaling policies (default: all registered)")
 	fleets := flag.String("fleets", "", "scenario grid: comma-separated fleet presets (default: homog,hetero-speed)")
 	systems := flag.String("systems", "spotserve", "scenario grid: spotserve, baselines, or all")
+	marketName := flag.String("market", "", "scenario grid: spot-price process billing every cell (default: flat prices; price-signal cells use their own process)")
+	slo := flag.Float64("slo", 0, "scenario grid: latency objective in seconds for the SLO% column (default 120)")
 	flag.Parse()
 
 	sw := experiments.Sweep{
@@ -70,6 +76,8 @@ func main() {
 			Avail:    splitList(*avail),
 			Policies: splitList(*policies),
 			Fleets:   splitList(*fleets),
+			Market:   *marketName,
+			SLO:      *slo,
 			Systems:  systemList(*systems),
 			Seed:     *seed,
 		}

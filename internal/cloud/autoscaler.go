@@ -22,6 +22,32 @@ type FleetView struct {
 	// RecentPreemptions counts preemption notices observed within the
 	// policy look-back window (120 s).
 	RecentPreemptions int
+
+	// Alpha is the server's current required-rate estimate α_t (requests
+	// per second, backlog pressure included).
+	Alpha float64
+	// Phi is the optimizer's throughput estimate φ(C) for the currently
+	// installed configuration (0 when nothing is deployed), and
+	// PhiPerInstance is φ(C) divided by the instances the configuration
+	// occupies — the marginal throughput an SLO policy buys per added
+	// instance.
+	Phi, PhiPerInstance float64
+	// RecentP99 is the p99 end-to-end latency over requests completed in
+	// the look-back window (0 until anything completes).
+	RecentP99 float64
+	// SpendUSDPerHour is the fleet's instantaneous billing rate, priced
+	// from the spot market's curves when one is configured (flat type
+	// prices otherwise) — the signal budget-capped policies shed against.
+	SpendUSDPerHour float64
+}
+
+// SignalConsumer marks policies that read FleetView's workload/market
+// signal fields (Alpha, Phi, PhiPerInstance, RecentP99, SpendUSDPerHour).
+// The server only computes those signals — and only maintains the latency
+// window behind RecentP99 — when the configured policy declares it needs
+// them; counters-only policies keep the historical cheap path.
+type SignalConsumer interface {
+	ConsumesSignals()
 }
 
 // Autoscaler decides the fleet-size target consulted on preemption/ready

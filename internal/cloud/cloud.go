@@ -16,6 +16,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"spotserve/internal/market"
 	"spotserve/internal/metrics"
 	"spotserve/internal/sim"
 	"spotserve/internal/trace"
@@ -172,6 +173,14 @@ type Params struct {
 	// on-demand allocations use Types[0]. Empty means one homogeneous
 	// implicit type derived from the legacy scalar fields above.
 	Types []InstanceType
+	// Market, when non-nil, supplies per-type spot price curves: spot
+	// instances of a type with a curve bill by integrating that curve
+	// piecewise over their lifetime instead of freezing the flat
+	// SpotUSDPerHour at readiness. Types without a curve, and all
+	// on-demand instances (their price is contractually stable), keep the
+	// flat path — which therefore stays bit-identical when no market is
+	// configured.
+	Market *market.Market
 }
 
 // TypeList returns the fleet's instance types: Types when set, otherwise
@@ -215,6 +224,13 @@ func (p Params) Validate() error {
 			return fmt.Errorf("cloud: duplicate instance type %q", t.Name)
 		}
 		seen[t.Name] = true
+	}
+	if p.Market != nil {
+		for name, c := range p.Market.Curves {
+			if err := c.Validate(); err != nil {
+				return fmt.Errorf("cloud: market curve %q: %v", name, err)
+			}
+		}
 	}
 	return nil
 }
@@ -288,6 +304,24 @@ func (c *Cloud) Params() Params { return c.params }
 // CostUSD returns the total accrued instance cost.
 func (c *Cloud) CostUSD() float64 { return c.meter.TotalUSD() }
 
+// SpendUSDPerHour returns the fleet's instantaneous billing rate: the sum
+// over alive instances of their current price — the market curve's price
+// at now for spot types the configured market prices, the flat type price
+// otherwise. The cost-aware autoscaling policies read this to shed
+// capacity when spot prices spike.
+func (c *Cloud) SpendUSDPerHour() float64 {
+	now := c.sim.Now()
+	rate := 0.0
+	for _, inst := range c.Alive() {
+		if curve, ok := c.spotCurve(inst); ok {
+			rate += curve.PriceAt(now)
+		} else {
+			rate += priceOf(inst)
+		}
+	}
+	return rate
+}
+
 // newInstance allocates the instance and GPU records for one type.
 func (c *Cloud) newInstance(kind Kind, typ InstanceType) *Instance {
 	inst := &Instance{
@@ -306,13 +340,24 @@ func (c *Cloud) newInstance(kind Kind, typ InstanceType) *Instance {
 	return inst
 }
 
-// nextSpotType cycles through the fleet's type table in launch order, so a
-// heterogeneous trace replay interleaves types deterministically.
-func (c *Cloud) nextSpotType() InstanceType {
-	types := c.params.TypeList()
-	t := types[c.spotLaunches%len(types)]
+// newSpotInstance creates one spot instance of the rotation's next type.
+// The round-robin cursor advances here — atomically with the instance
+// record actually coming into existence — so a launch path that peeks the
+// type but then fails or rejects the launch can never consume a rotation
+// slot and shift every subsequent type assignment (the peek itself is
+// side-effect-free via spotTypeAt).
+func (c *Cloud) newSpotInstance() *Instance {
+	inst := c.newInstance(Spot, c.spotTypeAt(c.spotLaunches))
 	c.spotLaunches++
-	return t
+	return inst
+}
+
+// spotTypeAt returns the type the i-th spot launch draws, cycling through
+// the fleet's type table so heterogeneous trace replays interleave types
+// deterministically. Pure: it never advances the rotation.
+func (c *Cloud) spotTypeAt(i int) InstanceType {
+	types := c.params.TypeList()
+	return types[i%len(types)]
 }
 
 func priceOf(inst *Instance) float64 {
@@ -322,6 +367,15 @@ func priceOf(inst *Instance) float64 {
 	return inst.Type.OnDemandUSDPerHour
 }
 
+// spotCurve returns the market price curve billing inst, if any: spot
+// instances of a type the configured market prices.
+func (c *Cloud) spotCurve(inst *Instance) (market.Curve, bool) {
+	if c.params.Market == nil || inst.Kind != Spot {
+		return market.Curve{}, false
+	}
+	return c.params.Market.CurveFor(inst.Type.Name)
+}
+
 func (c *Cloud) makeReady(inst *Instance) {
 	if inst.State != Pending {
 		return // preempted while provisioning
@@ -329,7 +383,11 @@ func (c *Cloud) makeReady(inst *Instance) {
 	inst.State = Running
 	inst.ReadyAt = c.sim.Now()
 	c.aliveCache = nil
-	c.meter.Start(inst.ID, priceOf(inst))
+	if curve, ok := c.spotCurve(inst); ok {
+		c.meter.StartVariable(inst.ID, curve.Integrate)
+	} else {
+		c.meter.Start(inst.ID, priceOf(inst))
+	}
 	c.listener.InstanceReady(inst)
 }
 
@@ -346,7 +404,7 @@ func (c *Cloud) terminate(inst *Instance) {
 // launchSpot creates spot instances that become Running after delay.
 func (c *Cloud) launchSpot(n int, delay float64) {
 	for i := 0; i < n; i++ {
-		inst := c.newInstance(Spot, c.nextSpotType())
+		inst := c.newSpotInstance()
 		if delay <= 0 {
 			c.makeReady(inst)
 		} else {
@@ -430,11 +488,12 @@ func (c *Cloud) ReplayTrace(tr trace.Trace) error {
 func (c *Cloud) Prealloc(n int, kind Kind) []*Instance {
 	var out []*Instance
 	for i := 0; i < n; i++ {
-		typ := c.params.TypeList()[0]
+		var inst *Instance
 		if kind == Spot {
-			typ = c.nextSpotType()
+			inst = c.newSpotInstance()
+		} else {
+			inst = c.newInstance(kind, c.params.TypeList()[0])
 		}
-		inst := c.newInstance(kind, typ)
 		c.makeReady(inst)
 		out = append(out, inst)
 	}

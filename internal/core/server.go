@@ -8,6 +8,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"spotserve/internal/cloud"
@@ -181,6 +182,14 @@ type Server struct {
 	// noticeLog records preemption-notice times for the autoscaler's
 	// look-back window.
 	noticeLog []float64
+	// latLog records (completion time, latency) for the autoscaler's
+	// recent-p99 signal; like noticeLog it is only maintained when a
+	// policy is configured to read it (wantSignals).
+	latLog []metrics.Sample
+	// wantSignals caches whether the configured policy implements
+	// cloud.SignalConsumer — counters-only policies skip the signal
+	// computation entirely.
+	wantSignals bool
 
 	stats   Stats
 	horizon float64
@@ -221,6 +230,7 @@ func NewServer(s *sim.Simulator, cl *cloud.Cloud, opts Options) *Server {
 		stopBudget: map[int]float64{},
 		dying:      map[int64]bool{},
 	}
+	_, srv.wantSignals = opts.Autoscaler.(cloud.SignalConsumer)
 	srv.eng = engine.New(s, est, (*serverHooks)(srv))
 	srv.eng.NoFastForward = opts.DisableFastForward
 	if opts.Features.AdaptivePool {
@@ -464,6 +474,34 @@ func (s *Server) recentPreemptions() int {
 	return len(s.noticeLog)
 }
 
+// latencyWindow is the look-back over which the autoscaler's RecentP99
+// signal summarizes completed requests.
+const latencyWindow = 120.0
+
+// recentP99 returns the p99 latency over completions inside the look-back
+// window, pruning expired entries (nearest-rank, like metrics.Latencies).
+func (s *Server) recentP99() float64 {
+	cutoff := s.sim.Now() - latencyWindow
+	i := 0
+	for i < len(s.latLog) && s.latLog[i].At < cutoff {
+		i++
+	}
+	s.latLog = s.latLog[i:]
+	if len(s.latLog) == 0 {
+		return 0
+	}
+	vals := make([]float64, len(s.latLog))
+	for j, x := range s.latLog {
+		vals[j] = x.Value
+	}
+	sort.Float64s(vals)
+	rank := int(math.Ceil(0.99 * float64(len(vals))))
+	if rank < 1 {
+		rank = 1
+	}
+	return vals[rank-1]
+}
+
 // fleetTarget resolves the fleet-size target for a proposal: the
 // optimizer's own WantInstances under the fixed-target policy, or the
 // configured autoscaler's answer (clamped to provider capacity).
@@ -471,7 +509,7 @@ func (s *Server) fleetTarget(prop reconfig.Proposal, spot, pSpot, od, pOD int) i
 	if s.opts.Autoscaler == nil {
 		return prop.WantInstances
 	}
-	want := s.opts.Autoscaler.Target(cloud.FleetView{
+	v := cloud.FleetView{
 		Now:               s.sim.Now(),
 		SpotRunning:       spot,
 		SpotPending:       pSpot,
@@ -481,7 +519,21 @@ func (s *Server) fleetTarget(prop reconfig.Proposal, spot, pSpot, od, pOD int) i
 		QueueDepth:        len(s.queue),
 		Want:              prop.WantInstances,
 		RecentPreemptions: s.recentPreemptions(),
-	})
+	}
+	if s.wantSignals {
+		if !s.cfg.IsZero() {
+			v.Phi = s.rc.Phi(s.cfg)
+			if gpi := s.opts.CostParams.GPUsPerInstance; gpi > 0 {
+				if n := (s.cfg.GPUs() + gpi - 1) / gpi; n > 0 {
+					v.PhiPerInstance = v.Phi / float64(n)
+				}
+			}
+		}
+		v.Alpha = s.alphaT()
+		v.RecentP99 = s.recentP99()
+		v.SpendUSDPerHour = s.cloud.SpendUSDPerHour()
+	}
+	want := s.opts.Autoscaler.Target(v)
 	if want < 0 {
 		want = 0
 	}
@@ -1146,6 +1198,12 @@ func (h *serverHooks) RequestDone(p *engine.Pipeline, r *engine.RequestState) {
 	s.stats.Completed++
 	s.stats.Latencies.Add(lat)
 	s.stats.PerRequest.Add(r.Req.At, lat)
+	if s.wantSignals {
+		// Only signal-consuming policies read the latency window; for
+		// anything else the append would accumulate for the whole run
+		// unread.
+		s.latLog = append(s.latLog, metrics.Sample{At: r.DoneAt, Value: lat})
+	}
 }
 
 func (h *serverHooks) BatchDone(p *engine.Pipeline) {

@@ -20,6 +20,7 @@ import (
 	"spotserve/internal/config"
 	"spotserve/internal/core"
 	"spotserve/internal/cost"
+	"spotserve/internal/market"
 	"spotserve/internal/metrics"
 	"spotserve/internal/model"
 	"spotserve/internal/trace"
@@ -83,6 +84,13 @@ type Scenario struct {
 	// one run from the replica seed (policies may be stateful).
 	Policy        string
 	NewAutoscaler func(seed int64) cloud.Autoscaler
+	// Market names the spot-price process driving time-varying spot
+	// billing (fingerprinted; "" = flat prices), and MarketFn regenerates
+	// the per-type price curves from the replica seed — so multi-seed
+	// bands sample the price process along with the workload and trace.
+	// It must be deterministic in the seed.
+	Market   string
+	MarketFn func(seed int64) market.Market
 
 	// DisableReconfigCache runs the reconfiguration pipeline down its cold
 	// recompute path — the reference mode the cache equivalence tests
@@ -350,10 +358,18 @@ func Figure7Sweep(sw Sweep) []Figure7Row {
 	return out
 }
 
+// GeneratedTokens returns the tokens a run generated: completed requests
+// times the workload's decode length. The single source for every
+// cost-per-token conversion (Figure 7's axis, the scenario grid's
+// $/1k-token column), so token accounting can only change in one place.
+func (r Result) GeneratedTokens() float64 {
+	return float64(r.Stats.Completed * cost.DefaultSeqOut)
+}
+
 // costPerToken converts a replica's accrued USD to the paper's cost axis
 // (×1e-5 USD per generated token).
 func costPerToken(res Result) float64 {
-	tokens := float64(res.Stats.Completed * cost.DefaultSeqOut)
+	tokens := res.GeneratedTokens()
 	if tokens <= 0 {
 		return 0
 	}

@@ -73,7 +73,7 @@ func RenderFigure6(cells []Figure6Cell) string {
 	fmt.Fprintf(&b, "%-11s %-6s %-18s %8s %8s %8s %8s %8s",
 		"Model", "Trace", "System", "Avg", "P90", "P95", "P98", "P99")
 	if bands {
-		fmt.Fprintf(&b, "  %-26s %-26s", "Avg band", "P99 band")
+		fmt.Fprintf(&b, "  %-30s %-30s", "Avg band", "P99 band")
 	}
 	b.WriteString("\n")
 	for _, c := range cells {
@@ -81,7 +81,7 @@ func RenderFigure6(cells []Figure6Cell) string {
 		fmt.Fprintf(&b, "%-11s %-6s %-18s %8.1f %8.1f %8.1f %8.1f %8.1f",
 			c.Model, c.Trace, c.System, s.Avg, s.P90, s.P95, s.P98, s.P99)
 		if bands {
-			fmt.Fprintf(&b, "  %-26s %-26s",
+			fmt.Fprintf(&b, "  %-30s %-30s",
 				c.Reps.Avg.Band(), c.Reps.P99.Band())
 		}
 		b.WriteString("\n")
@@ -146,7 +146,7 @@ func RenderFigure7(rows []Figure7Row) string {
 	fmt.Fprintf(&b, "Figure 7: monetary cost on GPT-20B (cost ×1e-5 USD/token)\n")
 	fmt.Fprintf(&b, "%-18s %-6s %12s %10s %10s", "System", "Trace", "Cost/token", "Avg lat", "P99 lat")
 	if bands {
-		fmt.Fprintf(&b, "  %-26s %-26s", "Cost band", "P99 band")
+		fmt.Fprintf(&b, "  %-30s %-30s", "Cost band", "P99 band")
 	}
 	b.WriteString("\n")
 	for _, r := range rows {
@@ -154,7 +154,7 @@ func RenderFigure7(rows []Figure7Row) string {
 			r.System, r.Trace, r.CostPerToken, r.AvgLatency, r.P99Latency)
 		if bands {
 			cb := r.CostBand.Band()
-			fmt.Fprintf(&b, "  %-26s %-26s",
+			fmt.Fprintf(&b, "  %-30s %-30s",
 				fmt.Sprintf("%.3f ±%.3f", cb.Mean, cb.Stderr), r.Reps.P99.Band())
 		}
 		b.WriteString("\n")
@@ -170,14 +170,14 @@ func RenderFigure8(rows []Figure8Row) string {
 	fmt.Fprintf(&b, "Figure 8: fluctuating (MAF) workload on GPT-20B\n")
 	fmt.Fprintf(&b, "%-18s %-8s %8s %8s %8s", "System", "Trace", "Avg", "P98", "P99")
 	if bands {
-		fmt.Fprintf(&b, "  %-26s", "P99 band")
+		fmt.Fprintf(&b, "  %-30s", "P99 band")
 	}
 	b.WriteString("\n")
 	for _, r := range rows {
 		fmt.Fprintf(&b, "%-18s %-8s %8.1f %8.1f %8.1f",
 			r.System, r.Trace, r.Summary.Avg, r.Summary.P98, r.Summary.P99)
 		if bands {
-			fmt.Fprintf(&b, "  %-26s", r.Reps.P99.Band())
+			fmt.Fprintf(&b, "  %-30s", r.Reps.P99.Band())
 		}
 		b.WriteString("\n")
 	}
@@ -202,7 +202,7 @@ func RenderFigure9(rows []Figure9Row) string {
 	fmt.Fprintf(&b, "%-22s %-6s %10s %10s %10s %10s",
 		"Variant", "Trace", "Avg", "P99", "Avg×", "P99×")
 	if bands {
-		fmt.Fprintf(&b, "  %-26s", "P99 band")
+		fmt.Fprintf(&b, "  %-30s", "P99 band")
 	}
 	b.WriteString("\n")
 	base := map[string]metrics.Summary{}
@@ -220,7 +220,7 @@ func RenderFigure9(rows []Figure9Row) string {
 		fmt.Fprintf(&b, "%-22s %-6s %9.1fs %9.1fs %9.2fx %9.2fx",
 			r.Variant, r.Trace, r.Summary.Avg, r.Summary.P99, bf, pf)
 		if bands {
-			fmt.Fprintf(&b, "  %-26s", r.Reps.P99.Band())
+			fmt.Fprintf(&b, "  %-30s", r.Reps.P99.Band())
 		}
 		b.WriteString("\n")
 	}

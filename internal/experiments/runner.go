@@ -34,6 +34,13 @@ func Run(sc Scenario) Result {
 		cp = *sc.CloudParams
 	}
 	cp.Seed = sc.Seed + 1000
+	// A configured spot-price market regenerates its curves per replica,
+	// exactly like TraceFn below; spot billing then integrates the curves
+	// piecewise instead of freezing flat prices at readiness.
+	if sc.MarketFn != nil {
+		m := sc.MarketFn(sc.Seed)
+		cp.Market = &m
+	}
 	cl := cloud.New(s, cp, nil)
 
 	// Seeded availability models regenerate their trace per replica so

@@ -196,8 +196,9 @@ func (r Result) Fingerprint() string {
 	}
 	// Scenario-library axes are fingerprinted only when set, keeping the
 	// historical digests of the fixed paper scenarios byte-identical.
-	if sc.AvailModel != "" || sc.Fleet != "" || sc.Policy != "" {
-		fmt.Fprintf(&b, "avail=%s fleet=%s policy=%s\n", sc.AvailModel, sc.Fleet, sc.Policy)
+	if sc.AvailModel != "" || sc.Fleet != "" || sc.Policy != "" || sc.Market != "" {
+		fmt.Fprintf(&b, "avail=%s fleet=%s policy=%s market=%s\n",
+			sc.AvailModel, sc.Fleet, sc.Policy, sc.Market)
 	}
 	st := r.Stats
 	fmt.Fprintf(&b, "sub=%d done=%d cost=%x lat=%+v mig=%d rel=%d give=%d rec=%d od=%d\n",

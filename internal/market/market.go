@@ -1,0 +1,177 @@
+// Package market simulates spot-price processes per instance type: seeded,
+// deterministic price curves that drive both time-varying billing
+// (cloud.Meter integrates the curve piecewise) and price-signal
+// availability (internal/scenario preempts spot capacity when the price
+// crosses a bid). Processes are registered by name, like the scenario
+// library's other axes, so markets fan into sweep grids and fingerprints.
+//
+// A Curve is a piecewise-constant step function over virtual time, exactly
+// like internal/trace's availability step functions: the price holds from
+// one sample until the next, and beyond the last sample the final price
+// persists (billing continues through drain windows). The same curve a
+// scenario bills against is the one its availability model preempts
+// against — both regenerate from the replica seed, so preemption waves and
+// price spikes are two views of one market.
+package market
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Sample is one step of a price curve: from time At the price is USDPerHour.
+type Sample struct {
+	At         float64
+	USDPerHour float64
+}
+
+// Curve is a named piecewise-constant price process over [0, ∞): the price
+// at t is the last sample at or before t, and the final sample's price
+// extends beyond the last step (and beyond Horizon, so drain windows bill
+// at the closing price).
+type Curve struct {
+	// Type is the instance-type name the curve prices.
+	Type string
+	// Horizon is the generation window in seconds (samples stop there).
+	Horizon float64
+	Samples []Sample
+}
+
+// Validate checks the step-function invariants: at least one sample,
+// starting at t=0, strictly increasing times, non-negative prices.
+func (c Curve) Validate() error {
+	if len(c.Samples) == 0 || c.Samples[0].At != 0 {
+		return fmt.Errorf("market: curve %q must start with a sample at t=0", c.Type)
+	}
+	prev := -1.0
+	for i, s := range c.Samples {
+		if s.At <= prev {
+			return fmt.Errorf("market: curve %q: sample %d at %v not after %v", c.Type, i, s.At, prev)
+		}
+		if s.USDPerHour < 0 {
+			return fmt.Errorf("market: curve %q: negative price at %v", c.Type, s.At)
+		}
+		prev = s.At
+	}
+	return nil
+}
+
+// PriceAt returns the price in effect at time t (the first sample's price
+// for t before the curve starts).
+func (c Curve) PriceAt(t float64) float64 {
+	if len(c.Samples) == 0 {
+		return 0
+	}
+	// Binary search: first sample strictly after t, then step back.
+	i := sort.Search(len(c.Samples), func(i int) bool { return c.Samples[i].At > t })
+	if i == 0 {
+		return c.Samples[0].USDPerHour
+	}
+	return c.Samples[i-1].USDPerHour
+}
+
+// Integrate returns the accrued cost in USD of holding one instance over
+// [t0, t1] at the curve's price: the piecewise integral Σ price·dt / 3600.
+// The last sample's price extends indefinitely. t1 < t0 integrates to 0.
+func (c Curve) Integrate(t0, t1 float64) float64 {
+	if t1 <= t0 || len(c.Samples) == 0 {
+		return 0
+	}
+	usd := 0.0
+	for i, s := range c.Samples {
+		segStart := s.At
+		segEnd := t1
+		if i+1 < len(c.Samples) && c.Samples[i+1].At < t1 {
+			segEnd = c.Samples[i+1].At
+		}
+		if segStart < t0 {
+			segStart = t0
+		}
+		if segEnd > segStart {
+			usd += (segEnd - segStart) / 3600 * s.USDPerHour
+		}
+	}
+	return usd
+}
+
+// MeanPrice returns the time-weighted average price over [t0, t1], or the
+// first price when the interval is empty.
+func (c Curve) MeanPrice(t0, t1 float64) float64 {
+	if t1 <= t0 {
+		return c.PriceAt(t0)
+	}
+	return c.Integrate(t0, t1) * 3600 / (t1 - t0)
+}
+
+// MaxPrice returns the largest sampled price.
+func (c Curve) MaxPrice() float64 {
+	m := 0.0
+	for _, s := range c.Samples {
+		if s.USDPerHour > m {
+			m = s.USDPerHour
+		}
+	}
+	return m
+}
+
+// TypeSpec names one instance type and its long-run base spot price — the
+// level a mean-reverting process reverts to. The market package needs
+// nothing else about a type, so cloud.InstanceType does not leak in here.
+type TypeSpec struct {
+	Name       string
+	USDPerHour float64
+}
+
+// Market is one run's generated price curves, keyed by instance-type name.
+type Market struct {
+	// Process is the generating process's registry name (fingerprinted by
+	// the sweep harness).
+	Process string
+	// Seed is the replica seed the curves were generated from.
+	Seed int64
+	// Curves maps instance-type name → price curve.
+	Curves map[string]Curve
+}
+
+// CurveFor returns the curve priced for an instance type.
+func (m Market) CurveFor(typeName string) (Curve, bool) {
+	c, ok := m.Curves[typeName]
+	return c, ok
+}
+
+// Process generates a deterministic market from a seed: one price curve per
+// instance type, each driven by an independent per-type RNG stream derived
+// from the seed and the type's index (so adding a type never perturbs the
+// curves of the others).
+type Process interface {
+	// Name identifies the process in registries, flags and fingerprints.
+	Name() string
+	// Generate builds the market for one run. It must be deterministic in
+	// (seed, horizon, types).
+	Generate(seed int64, horizon float64, types []TypeSpec) Market
+}
+
+// processes is the registry of price processes, keyed by Name.
+var processes = map[string]Process{}
+
+// processOrder preserves registration order for catalogs.
+var processOrder []string
+
+// Register adds a price process to the registry. It panics on duplicate
+// names (registration happens at init time from static tables).
+func Register(p Process) {
+	if _, dup := processes[p.Name()]; dup {
+		panic(fmt.Sprintf("market: duplicate process %q", p.Name()))
+	}
+	processes[p.Name()] = p
+	processOrder = append(processOrder, p.Name())
+}
+
+// Processes lists the registered process names in registration order.
+func Processes() []string { return append([]string(nil), processOrder...) }
+
+// ByName returns a registered price process.
+func ByName(name string) (Process, bool) {
+	p, ok := processes[name]
+	return p, ok
+}

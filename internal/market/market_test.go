@@ -1,0 +1,165 @@
+package market
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func testTypes() []TypeSpec {
+	return []TypeSpec{{Name: "g4dn", USDPerHour: 1.9}, {Name: "g5-fast", USDPerHour: 3.0}}
+}
+
+// TestProcessesDeterministicAndValid locks the process contract: same seed
+// → identical market, different seeds → different curves, every curve
+// satisfies the step-function invariants, and prices stay positive.
+func TestProcessesDeterministicAndValid(t *testing.T) {
+	for _, name := range Processes() {
+		p, ok := ByName(name)
+		if !ok {
+			t.Fatalf("registered process %q not resolvable", name)
+		}
+		var distinct bool
+		prev := p.Generate(0, 1200, testTypes())
+		for seed := int64(1); seed <= 10; seed++ {
+			a := p.Generate(seed, 1200, testTypes())
+			b := p.Generate(seed, 1200, testTypes())
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("%s: seed %d not deterministic", name, seed)
+			}
+			for typ, c := range a.Curves {
+				if err := c.Validate(); err != nil {
+					t.Fatalf("%s: seed %d: %v", name, seed, err)
+				}
+				if c.Samples[0].USDPerHour <= 0 {
+					t.Fatalf("%s/%s: non-positive opening price", name, typ)
+				}
+			}
+			if !reflect.DeepEqual(a.Curves, prev.Curves) {
+				distinct = true
+			}
+			prev = a
+		}
+		if !distinct {
+			t.Errorf("%s: seeds 0..10 all produced the same market — the seed is ignored", name)
+		}
+	}
+}
+
+// TestTypeStreamsIndependent asserts the per-type RNG derivation: adding a
+// type to the table must not perturb the curves of existing types (the
+// same guarantee multizone gives its per-zone walks).
+func TestTypeStreamsIndependent(t *testing.T) {
+	one := DefaultSqueeze().Generate(7, 1200, testTypes()[:1])
+	two := DefaultSqueeze().Generate(7, 1200, testTypes())
+	if !reflect.DeepEqual(one.Curves["g4dn"], two.Curves["g4dn"]) {
+		t.Error("adding a second type changed the first type's curve")
+	}
+	if reflect.DeepEqual(two.Curves["g4dn"].Samples, two.Curves["g5-fast"].Samples) {
+		t.Error("two types share one RNG stream — curves are identical")
+	}
+}
+
+// TestCurveIntegrateClosedForm pins the piecewise integral against a
+// hand-computed staircase: Integrate must equal the exact sum of
+// price·duration/3600 over the overlapped segments, including partial
+// first/last segments and the extension beyond the final sample.
+func TestCurveIntegrateClosedForm(t *testing.T) {
+	c := Curve{Type: "t", Horizon: 400, Samples: []Sample{
+		{At: 0, USDPerHour: 1.0},
+		{At: 100, USDPerHour: 3.0},
+		{At: 200, USDPerHour: 0.5},
+	}}
+	cases := []struct {
+		t0, t1, want float64
+	}{
+		{0, 100, 100.0 / 3600 * 1.0},
+		{0, 200, (100*1.0 + 100*3.0) / 3600},
+		{50, 150, (50*1.0 + 50*3.0) / 3600},
+		{150, 250, (50*3.0 + 50*0.5) / 3600},
+		{200, 1000, 800 * 0.5 / 3600}, // final price extends past the horizon
+		{-50, 50, 50.0 / 3600 * 1.0},  // nothing bills before the curve starts
+		{300, 300, 0},
+		{300, 200, 0}, // inverted interval
+	}
+	for _, tc := range cases {
+		if got := c.Integrate(tc.t0, tc.t1); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("Integrate(%v,%v) = %v, want %v", tc.t0, tc.t1, got, tc.want)
+		}
+	}
+	// Additivity: ∫[a,c] = ∫[a,b] + ∫[b,c] for any split point.
+	for _, b := range []float64{0, 33.3, 100, 177, 200, 350} {
+		sum := c.Integrate(0, b) + c.Integrate(b, 400)
+		if whole := c.Integrate(0, 400); math.Abs(sum-whole) > 1e-12 {
+			t.Errorf("split at %v: %v + rest != %v", b, sum, whole)
+		}
+	}
+}
+
+// TestCurvePriceAt pins step semantics at and between sample times.
+func TestCurvePriceAt(t *testing.T) {
+	c := Curve{Type: "t", Horizon: 300, Samples: []Sample{
+		{At: 0, USDPerHour: 2}, {At: 100, USDPerHour: 5},
+	}}
+	for _, tc := range []struct{ at, want float64 }{
+		{-1, 2}, {0, 2}, {99.9, 2}, {100, 5}, {1e6, 5},
+	} {
+		if got := c.PriceAt(tc.at); got != tc.want {
+			t.Errorf("PriceAt(%v) = %v, want %v", tc.at, got, tc.want)
+		}
+	}
+	if got := c.MeanPrice(0, 200); got != 3.5 {
+		t.Errorf("MeanPrice = %v, want 3.5", got)
+	}
+	if got := c.MaxPrice(); got != 5 {
+		t.Errorf("MaxPrice = %v, want 5", got)
+	}
+}
+
+// TestSqueezeSpikes checks the regime actually fires: over a spread of
+// seeds the squeeze process must visit prices well above the calm band
+// (OU alone stays within a few stationary deviations of base).
+func TestSqueezeSpikes(t *testing.T) {
+	spiked := 0
+	for seed := int64(1); seed <= 20; seed++ {
+		m := DefaultSqueeze().Generate(seed, 1200, testTypes()[:1])
+		if m.Curves["g4dn"].MaxPrice() > 1.9*1.8 {
+			spiked++
+		}
+	}
+	if spiked < 10 {
+		t.Errorf("only %d/20 seeds squeezed above 1.8×base — regime switching too rare", spiked)
+	}
+	// And the OU calm process must NOT routinely reach squeeze levels.
+	for seed := int64(1); seed <= 20; seed++ {
+		m := DefaultOU().Generate(seed, 1200, testTypes()[:1])
+		if m.Curves["g4dn"].MaxPrice() > 1.9*1.8 {
+			t.Errorf("seed %d: plain OU reached %.2f — volatility miscalibrated", seed, m.Curves["g4dn"].MaxPrice())
+		}
+	}
+}
+
+// TestCurveValidate covers the invariant checks.
+func TestCurveValidate(t *testing.T) {
+	bad := []Curve{
+		{Type: "empty"},
+		{Type: "late", Samples: []Sample{{At: 5, USDPerHour: 1}}},
+		{Type: "order", Samples: []Sample{{At: 0, USDPerHour: 1}, {At: 0, USDPerHour: 2}}},
+		{Type: "neg", Samples: []Sample{{At: 0, USDPerHour: -1}}},
+	}
+	for _, c := range bad {
+		if c.Validate() == nil {
+			t.Errorf("curve %q validated", c.Type)
+		}
+	}
+}
+
+// TestRegistry guards lookups and listing order.
+func TestRegistry(t *testing.T) {
+	if got := Processes(); len(got) < 2 || got[0] != "ou" || got[1] != "squeeze" {
+		t.Errorf("Processes() = %v, want [ou squeeze ...]", got)
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("unknown process resolved")
+	}
+}

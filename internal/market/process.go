@@ -1,0 +1,155 @@
+package market
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// typeRNG derives the independent RNG stream for one (seed, type index)
+// pair. The large odd multiplier keeps adjacent seeds' streams apart, the
+// same idiom the multizone availability model uses for its per-zone walks.
+func typeRNG(seed int64, typeIndex int) *rand.Rand {
+	return rand.New(rand.NewSource(seed + int64(typeIndex+1)*1_000_003))
+}
+
+// OU is a mean-reverting Ornstein–Uhlenbeck process on the log price:
+//
+//	dx = −Theta·x·dt + Sigma·dW,   price(t) = base · exp(x(t))
+//
+// discretized exactly at Step intervals (x_{k+1} = x_k·e^{−θΔ} + s·N(0,1)
+// with the stationary-consistent step deviation s), so the sampled curve
+// has the true OU autocorrelation regardless of Step. The log-space form
+// keeps prices positive and makes Sigma a relative volatility: the
+// stationary spread of price/base is exp(±Sigma/√(2·Theta)).
+type OU struct {
+	// Theta is the mean-reversion rate per second (half-life ln2/Theta).
+	Theta float64
+	// Sigma is the log-price volatility per √second.
+	Sigma float64
+	// Step is the sampling interval in seconds.
+	Step float64
+	// Floor clamps the price at Floor·base (a spot market never quotes 0).
+	Floor float64
+}
+
+// DefaultOU reverts with a ~3-minute half-life and a ±15% stationary
+// band, sampled every 15 s — calm-market drift around the base price.
+func DefaultOU() OU {
+	return OU{
+		Theta: math.Ln2 / 180,
+		Sigma: 0.013,
+		Step:  15,
+		Floor: 0.25,
+	}
+}
+
+// Name implements Process.
+func (OU) Name() string { return "ou" }
+
+// Generate implements Process.
+func (p OU) Generate(seed int64, horizon float64, types []TypeSpec) Market {
+	m := Market{Process: p.Name(), Seed: seed, Curves: make(map[string]Curve, len(types))}
+	for i, t := range types {
+		rng := typeRNG(seed, i)
+		m.Curves[t.Name] = p.curve(rng, horizon, t, nil)
+	}
+	return m
+}
+
+// curve samples one type's OU path. regime, when non-nil, multiplies each
+// step's price — the hook the squeeze process layers its regime factor
+// through, sharing one exact OU core.
+func (p OU) curve(rng *rand.Rand, horizon float64, t TypeSpec, regime func() float64) Curve {
+	decay := math.Exp(-p.Theta * p.Step)
+	// Exact per-step deviation: Var[x_{k+1}|x_k] = σ²(1−e^{−2θΔ})/(2θ).
+	stepSD := p.Sigma * math.Sqrt((1-decay*decay)/(2*p.Theta))
+	c := Curve{Type: t.Name, Horizon: horizon}
+	x := 0.0
+	for at := 0.0; at < horizon; at += p.Step {
+		mult := 1.0
+		if regime != nil {
+			mult = regime()
+		}
+		price := t.USDPerHour * math.Exp(x) * mult
+		if floor := t.USDPerHour * p.Floor; price < floor {
+			price = floor
+		}
+		c.Samples = append(c.Samples, Sample{At: at, USDPerHour: price})
+		x = x*decay + stepSD*rng.NormFloat64()
+	}
+	if err := c.Validate(); err != nil {
+		// Processes are total over their parameter space; an invalid curve
+		// is a programming error, not an input error.
+		panic(fmt.Sprintf("market: generated invalid curve: %v", err))
+	}
+	return c
+}
+
+// Squeeze is a regime-switching process: the OU calm-market drift,
+// overlaid with a two-state (calm/squeeze) Markov regime. In a squeeze the
+// price ramps toward Mult× its calm level and relaxes back on exit — the
+// capacity-crunch spike pattern that preempts whole bid ladders at once
+// and makes cost-aware policies earn their keep.
+type Squeeze struct {
+	// Calm is the between-squeeze dynamics.
+	Calm OU
+	// MeanCalm / MeanSqueeze are the regimes' mean dwell times in seconds
+	// (geometric at the sampling step).
+	MeanCalm, MeanSqueeze float64
+	// Mult is the squeeze price multiplier the regime ramps toward.
+	Mult float64
+	// Ramp is the per-step fraction of the remaining gap closed while
+	// ramping in or out (0 < Ramp ≤ 1; 1 = instant jumps).
+	Ramp float64
+}
+
+// DefaultSqueeze squeezes roughly twice per 20-minute run: ~7 minutes of
+// calm between ~2.5-minute squeezes at 3× the calm price, ramping over a
+// few samples.
+func DefaultSqueeze() Squeeze {
+	return Squeeze{
+		Calm:        DefaultOU(),
+		MeanCalm:    420,
+		MeanSqueeze: 150,
+		Mult:        3.0,
+		Ramp:        0.5,
+	}
+}
+
+// Name implements Process.
+func (Squeeze) Name() string { return "squeeze" }
+
+// Generate implements Process.
+func (p Squeeze) Generate(seed int64, horizon float64, types []TypeSpec) Market {
+	m := Market{Process: p.Name(), Seed: seed, Curves: make(map[string]Curve, len(types))}
+	for i, t := range types {
+		rng := typeRNG(seed, i)
+		squeezed := false
+		mult := 1.0
+		regime := func() float64 {
+			// Flip the regime with the geometric per-step hazard, then ramp
+			// the multiplier toward its regime target.
+			if squeezed {
+				if rng.Float64() < p.Calm.Step/p.MeanSqueeze {
+					squeezed = false
+				}
+			} else if rng.Float64() < p.Calm.Step/p.MeanCalm {
+				squeezed = true
+			}
+			target := 1.0
+			if squeezed {
+				target = p.Mult
+			}
+			mult += (target - mult) * p.Ramp
+			return mult
+		}
+		m.Curves[t.Name] = p.Calm.curve(rng, horizon, t, regime)
+	}
+	return m
+}
+
+func init() {
+	Register(DefaultOU())
+	Register(DefaultSqueeze())
+}

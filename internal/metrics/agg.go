@@ -93,11 +93,25 @@ func (a Agg) Band() Band {
 	return Band{N: a.N, Mean: a.Mean(), Min: a.Min(), Max: a.Max(), Stderr: a.Stderr()}
 }
 
-// String renders "mean ±stderr [min,max]" (or just the mean for a single
-// observation).
+// fmtAdaptive renders a band value without destroying small magnitudes:
+// values that %.1f would round to a bare "0.0" or "0.1" (sub-0.1 stderrs
+// on tight bands, $/1k-token costs) switch to three significant digits,
+// everything else keeps the compact one-decimal form. Exact zero stays
+// "0.0" — it is a real zero, not a rounding casualty.
+func fmtAdaptive(v float64) string {
+	if a := math.Abs(v); a != 0 && a < 0.1 {
+		return fmt.Sprintf("%.3g", v)
+	}
+	return fmt.Sprintf("%.1f", v)
+}
+
+// String renders "mean ±stderr [min,max] n=N" (or just the mean for a
+// single observation), with adaptive precision so sub-0.1 units survive
+// rendering and the replication count is always visible.
 func (b Band) String() string {
 	if b.N < 2 {
-		return fmt.Sprintf("%.1f", b.Mean)
+		return fmtAdaptive(b.Mean)
 	}
-	return fmt.Sprintf("%.1f ±%.1f [%.1f,%.1f]", b.Mean, b.Stderr, b.Min, b.Max)
+	return fmt.Sprintf("%s ±%s [%s,%s] n=%d",
+		fmtAdaptive(b.Mean), fmtAdaptive(b.Stderr), fmtAdaptive(b.Min), fmtAdaptive(b.Max), b.N)
 }

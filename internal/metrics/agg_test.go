@@ -2,6 +2,8 @@ package metrics
 
 import (
 	"math"
+	"math/rand"
+	"sort"
 	"testing"
 )
 
@@ -53,6 +55,65 @@ func TestAggMergeEquivalence(t *testing.T) {
 	}
 }
 
+// TestAggMergePropertyArbitrarySplits is the stronger property the sweep
+// harness relies on: for random value sets partitioned into arbitrarily
+// many chunks (empty chunks included) and merged in arbitrary orders, the
+// result — every moment and min/max — must equal serial Add-of-all. Agg is
+// plain additions over a fixed fold order, so the equality is exact, not
+// approximate.
+func TestAggMergePropertyArbitrarySplits(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(40)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = (rng.Float64() - 0.5) * math.Pow(10, float64(rng.Intn(7)-3))
+		}
+		var serial Agg
+		for _, v := range vals {
+			serial.Add(v)
+		}
+		// Partition into k chunks at sorted random cut points (some empty).
+		k := 1 + rng.Intn(6)
+		cuts := make([]int, k-1)
+		for i := range cuts {
+			cuts[i] = rng.Intn(n + 1)
+		}
+		sort.Ints(cuts)
+		bounds := append(append([]int{0}, cuts...), n)
+		parts := make([]Agg, k)
+		for i := 0; i < k; i++ {
+			for _, v := range vals[bounds[i]:bounds[i+1]] {
+				parts[i].Add(v)
+			}
+		}
+		// Merge the partials in a shuffled order.
+		rng.Shuffle(len(parts), func(i, j int) { parts[i], parts[j] = parts[j], parts[i] })
+		var merged Agg
+		for _, p := range parts {
+			merged.Merge(p)
+		}
+		// Moments are sums folded in a possibly different order; compare
+		// exactly where the arithmetic is order-free (N, min, max) and to
+		// within an ulp-scale tolerance for the float sums.
+		if merged.N != serial.N || merged.MinV != serial.MinV || merged.MaxV != serial.MaxV {
+			t.Fatalf("trial %d: N/min/max diverge: merged %+v serial %+v", trial, merged, serial)
+		}
+		if !closeULP(merged.Sum, serial.Sum) || !closeULP(merged.SumSq, serial.SumSq) {
+			t.Fatalf("trial %d: moments diverge: merged %+v serial %+v", trial, merged, serial)
+		}
+	}
+}
+
+// closeULP compares float sums folded in different orders.
+func closeULP(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) <= 1e-12*scale
+}
+
 func TestAggMergeEmpty(t *testing.T) {
 	var a, empty Agg
 	a.Add(5)
@@ -90,8 +151,50 @@ func TestBandString(t *testing.T) {
 	a.Add(10)
 	a.Add(14)
 	got := a.Band().String()
-	want := "12.0 ±2.0 [10.0,14.0]"
+	want := "12.0 ±2.0 [10.0,14.0] n=2"
 	if got != want {
 		t.Errorf("band = %q, want %q", got, want)
+	}
+}
+
+// TestBandStringAdaptivePrecision is the regression gate for the
+// unit-destroying rendering bug: sub-0.1 values (tight-band stderrs, $/1k
+// token costs) used to print as "0.0 ±0.0". Adaptive precision must keep
+// their leading significant digits, while ≥ 0.1 values keep the compact
+// one-decimal form and exact zeros stay "0.0".
+func TestBandStringAdaptivePrecision(t *testing.T) {
+	var a Agg
+	a.Add(0.064)
+	a.Add(0.072)
+	got := a.Band().String()
+	want := "0.068 ±0.004 [0.064,0.072] n=2"
+	if got != want {
+		t.Errorf("small band = %q, want %q", got, want)
+	}
+	// A single small observation keeps its digits too.
+	var s Agg
+	s.Add(0.0123)
+	if got := s.Band().String(); got != "0.0123" {
+		t.Errorf("single small = %q, want \"0.0123\"", got)
+	}
+	// Mixed magnitudes: big mean in one-decimal form, tiny stderr adaptive.
+	var m Agg
+	m.Add(99.999)
+	m.Add(100.001)
+	if got := m.Band().String(); got != "100.0 ±0.001 [100.0,100.0] n=2" {
+		t.Errorf("mixed band = %q", got)
+	}
+	// Exact zeros are real zeros, not rounding casualties.
+	var z Agg
+	z.Add(0)
+	z.Add(0)
+	if got := z.Band().String(); got != "0.0 ±0.0 [0.0,0.0] n=2" {
+		t.Errorf("zero band = %q", got)
+	}
+	// Negative small values keep their sign and digits.
+	var n Agg
+	n.Add(-0.031)
+	if got := n.Band().String(); got != "-0.031" {
+		t.Errorf("negative small = %q", got)
 	}
 }

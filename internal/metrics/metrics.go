@@ -125,6 +125,19 @@ type CostMeter struct {
 type openBill struct {
 	since      float64
 	usdPerHour float64
+	// integrate, when non-nil, prices the bill from a time-varying curve:
+	// integrate(t0, t1) returns the accrued USD of [t0, t1]. The flat
+	// usdPerHour path is untouched when it is nil, so meters without a
+	// price curve stay bit-identical to the historical arithmetic.
+	integrate func(t0, t1 float64) float64
+}
+
+// accrue prices the bill over [b.since, now].
+func (b openBill) accrue(now float64) float64 {
+	if b.integrate != nil {
+		return b.integrate(b.since, now)
+	}
+	return (now - b.since) / 3600 * b.usdPerHour
 }
 
 // NewCostMeter builds a meter reading virtual time from nowFn.
@@ -140,6 +153,17 @@ func (c *CostMeter) Start(id int64, usdPerHour float64) {
 	c.open[id] = openBill{since: c.nowFn(), usdPerHour: usdPerHour}
 }
 
+// StartVariable begins billing entity id against a time-varying price:
+// integrate(t0, t1) must return the accrued USD over [t0, t1] (for a
+// piecewise-constant spot-price curve, its exact piecewise integral — see
+// market.Curve.Integrate).
+func (c *CostMeter) StartVariable(id int64, integrate func(t0, t1 float64) float64) {
+	if _, ok := c.open[id]; ok {
+		return
+	}
+	c.open[id] = openBill{since: c.nowFn(), integrate: integrate}
+}
+
 // Stop ends billing entity id, folding its accrued cost into the total.
 func (c *CostMeter) Stop(id int64) {
 	b, ok := c.open[id]
@@ -147,7 +171,7 @@ func (c *CostMeter) Stop(id int64) {
 		return
 	}
 	delete(c.open, id)
-	c.totalUSD += (c.nowFn() - b.since) / 3600 * b.usdPerHour
+	c.totalUSD += b.accrue(c.nowFn())
 }
 
 // TotalUSD returns accrued cost including still-open bills priced to now.
@@ -161,8 +185,7 @@ func (c *CostMeter) TotalUSD() float64 {
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for _, id := range ids {
-		b := c.open[id]
-		t += (now - b.since) / 3600 * b.usdPerHour
+		t += c.open[id].accrue(now)
 	}
 	return t
 }

@@ -1,0 +1,75 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+
+	"spotserve/internal/trace"
+)
+
+// TestTraceBuilderAdd is the table test for the builder invariants every
+// availability model leans on: duplicate timestamps overwrite in place,
+// unchanged counts are elided, negative counts clamp to zero, and
+// out-of-window steps are dropped — always yielding a valid trace.
+func TestTraceBuilderAdd(t *testing.T) {
+	type step struct {
+		at    float64
+		count int
+	}
+	cases := []struct {
+		name  string
+		steps []step
+		want  []trace.Event
+	}{
+		{
+			name:  "duplicate timestamp overwrites",
+			steps: []step{{0, 5}, {10, 3}, {10, 7}},
+			want:  []trace.Event{{At: 0, Count: 5}, {At: 10, Count: 7}},
+		},
+		{
+			name:  "duplicate collapsing back to previous count merges away",
+			steps: []step{{0, 5}, {10, 3}, {10, 5}},
+			want:  []trace.Event{{At: 0, Count: 5}},
+		},
+		{
+			name:  "out-of-order step lands on the last event",
+			steps: []step{{0, 5}, {20, 3}, {10, 8}},
+			want:  []trace.Event{{At: 0, Count: 5}, {At: 20, Count: 8}},
+		},
+		{
+			name:  "unchanged counts elided",
+			steps: []step{{0, 4}, {10, 4}, {20, 4}, {30, 6}},
+			want:  []trace.Event{{At: 0, Count: 4}, {At: 30, Count: 6}},
+		},
+		{
+			name:  "negative counts clamp to zero",
+			steps: []step{{0, 2}, {10, -3}},
+			want:  []trace.Event{{At: 0, Count: 2}, {At: 10, Count: 0}},
+		},
+		{
+			name:  "steps outside the window dropped",
+			steps: []step{{0, 3}, {-5, 9}, {100, 9}, {50, 7}},
+			want:  []trace.Event{{At: 0, Count: 3}, {At: 50, Count: 7}},
+		},
+		{
+			name:  "repeated duplicates at one timestamp keep the last",
+			steps: []step{{0, 1}, {30, 4}, {30, 2}, {30, 9}, {30, 6}},
+			want:  []trace.Event{{At: 0, Count: 1}, {At: 30, Count: 6}},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := &traceBuilder{name: tc.name, horizon: 100}
+			for _, s := range tc.steps {
+				b.add(s.at, s.count)
+			}
+			tr := b.trace()
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("built invalid trace: %v", err)
+			}
+			if !reflect.DeepEqual(tr.Events, tc.want) {
+				t.Errorf("events = %+v, want %+v", tr.Events, tc.want)
+			}
+		})
+	}
+}

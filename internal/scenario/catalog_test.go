@@ -4,6 +4,8 @@ import (
 	"os"
 	"strings"
 	"testing"
+
+	"spotserve/internal/market"
 )
 
 // TestCatalogCoversRegistries fails when a registered scenario-axis value
@@ -22,6 +24,7 @@ func TestCatalogCoversRegistries(t *testing.T) {
 		{"availability model", Models()},
 		{"autoscaling policy", Policies()},
 		{"fleet preset", Fleets()},
+		{"market process", market.Processes()},
 	}
 	for _, g := range groups {
 		for _, name := range g.names {

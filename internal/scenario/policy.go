@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"fmt"
+	"math"
 
 	"spotserve/internal/cloud"
 )
@@ -41,6 +42,16 @@ func DefaultReactiveQueue() ReactiveQueue { return ReactiveQueue{QueuePer: 8, Ma
 // Name implements cloud.Autoscaler.
 func (ReactiveQueue) Name() string { return "reactive-queue" }
 
+// defaultMaxExtra resolves a policy's surplus cap: zero-value policies get
+// their registered default instead of a cap of 0, which would silently
+// clamp every surplus away and turn the policy into fixed-target.
+func defaultMaxExtra(maxExtra, def int) int {
+	if maxExtra <= 0 {
+		return def
+	}
+	return maxExtra
+}
+
 // Target implements cloud.Autoscaler.
 func (p ReactiveQueue) Target(v cloud.FleetView) int {
 	per := p.QueuePer
@@ -48,8 +59,8 @@ func (p ReactiveQueue) Target(v cloud.FleetView) int {
 		per = 8
 	}
 	extra := (v.QueueDepth + per - 1) / per
-	if extra > p.MaxExtra {
-		extra = p.MaxExtra
+	if lim := defaultMaxExtra(p.MaxExtra, 4); extra > lim {
+		extra = lim
 	}
 	return v.Want + extra
 }
@@ -76,10 +87,109 @@ func (Predictive) Name() string { return "predictive" }
 // Target implements cloud.Autoscaler.
 func (p Predictive) Target(v cloud.FleetView) int {
 	extra := v.Dying + int(p.PerPreemption*float64(v.RecentPreemptions))
-	if extra > p.MaxExtra {
-		extra = p.MaxExtra
+	if lim := defaultMaxExtra(p.MaxExtra, 5); extra > lim {
+		extra = lim
 	}
 	return v.Want + extra
+}
+
+// SLOLatency scales to hold a tail-latency target, combining feedforward
+// and feedback control: the optimizer's throughput estimate φ(C) says how
+// many instances close the capacity gap before latency degrades
+// (Alpha·Headroom vs Phi, converted at PhiPerInstance), and the observed
+// p99 over the look-back window corrects proportionally when the target is
+// already violated. Surplus is capped at MaxExtra; with latency well under
+// target it returns Want, letting the fleet shed back to the optimizer's
+// own ask.
+type SLOLatency struct {
+	// TargetP99 is the p99 end-to-end latency objective in seconds.
+	TargetP99 float64
+	// Headroom is the capacity margin the feedforward term maintains:
+	// capacity is grown until φ(C) ≥ Alpha·Headroom.
+	Headroom float64
+	// MaxExtra caps the SLO surplus.
+	MaxExtra int
+}
+
+// DefaultSLOLatency holds a 120 s p99 with 25% capacity headroom, at most
+// 4 extra instances.
+func DefaultSLOLatency() SLOLatency {
+	return SLOLatency{TargetP99: DefaultSLO, Headroom: 1.25, MaxExtra: 4}
+}
+
+// Name implements cloud.Autoscaler.
+func (SLOLatency) Name() string { return "slo-latency" }
+
+// ConsumesSignals implements cloud.SignalConsumer: the server must compute
+// Alpha/Phi/RecentP99 for this policy.
+func (SLOLatency) ConsumesSignals() {}
+
+// Target implements cloud.Autoscaler.
+func (p SLOLatency) Target(v cloud.FleetView) int {
+	target := p.TargetP99
+	if target <= 0 {
+		target = DefaultSLO
+	}
+	headroom := p.Headroom
+	if headroom <= 0 {
+		headroom = 1.25
+	}
+	extra := 0
+	// Feedforward: buy the instances that close the throughput gap.
+	if need := v.Alpha * headroom; v.PhiPerInstance > 0 && need > v.Phi {
+		extra = int(math.Ceil((need - v.Phi) / v.PhiPerInstance))
+	}
+	// Feedback: a violated p99 scales the fleet proportionally to the
+	// overshoot even when the throughput model claims capacity suffices.
+	if v.RecentP99 > target {
+		fb := int(math.Ceil(float64(v.Want) * (v.RecentP99/target - 1)))
+		if fb > extra {
+			extra = fb
+		}
+	}
+	if lim := defaultMaxExtra(p.MaxExtra, 4); extra > lim {
+		extra = lim
+	}
+	return v.Want + extra
+}
+
+// CostCap spends up to a $/hour budget: while the fleet's instantaneous
+// billing rate (market-aware when a spot-price market is configured) fits
+// the budget, it defers to the optimizer's target; when prices spike past
+// it, it sheds down to the largest fleet the budget affords at the current
+// average unit price. The instance manager frees on-demand surplus first,
+// so the shed releases the expensive capacity.
+type CostCap struct {
+	// BudgetUSDPerHour is the spend ceiling; <= 0 disables the cap.
+	BudgetUSDPerHour float64
+}
+
+// DefaultCostCap budgets 25 $/h — comfortably above the 12-instance spot
+// fleet's calm-market rate (~23 $/h) but far below a squeeze's.
+func DefaultCostCap() CostCap { return CostCap{BudgetUSDPerHour: 25} }
+
+// Name implements cloud.Autoscaler.
+func (CostCap) Name() string { return "cost-cap" }
+
+// ConsumesSignals implements cloud.SignalConsumer: the server must compute
+// SpendUSDPerHour for this policy.
+func (CostCap) ConsumesSignals() {}
+
+// Target implements cloud.Autoscaler.
+func (p CostCap) Target(v cloud.FleetView) int {
+	if p.BudgetUSDPerHour <= 0 || v.SpendUSDPerHour <= p.BudgetUSDPerHour {
+		return v.Want
+	}
+	billing := v.SpotRunning + v.OnDemandRunning // pending instances don't bill yet
+	if billing <= 0 {
+		return v.Want
+	}
+	unit := v.SpendUSDPerHour / float64(billing)
+	afford := int(p.BudgetUSDPerHour / unit)
+	if afford < v.Want {
+		return afford
+	}
+	return v.Want
 }
 
 // policyFactories is the registry of autoscaling policies, keyed by name.
@@ -111,4 +221,6 @@ func init() {
 	RegisterPolicy("fixed", func(int64) cloud.Autoscaler { return FixedTarget{} })
 	RegisterPolicy("reactive-queue", func(int64) cloud.Autoscaler { return DefaultReactiveQueue() })
 	RegisterPolicy("predictive", func(int64) cloud.Autoscaler { return DefaultPredictive() })
+	RegisterPolicy("slo-latency", func(int64) cloud.Autoscaler { return DefaultSLOLatency() })
+	RegisterPolicy("cost-cap", func(int64) cloud.Autoscaler { return DefaultCostCap() })
 }

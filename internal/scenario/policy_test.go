@@ -1,0 +1,99 @@
+package scenario
+
+import (
+	"testing"
+
+	"spotserve/internal/cloud"
+)
+
+// TestZeroValuePoliciesScale is the regression gate for the silent-no-scale
+// bug: a zero-value ReactiveQueue or Predictive used to clamp every surplus
+// to MaxExtra=0, turning the policy into fixed-target. Zero-value policies
+// must fall back to their registered defaults on every field.
+func TestZeroValuePoliciesScale(t *testing.T) {
+	v := cloud.FleetView{Want: 6, QueueDepth: 17, Dying: 2, RecentPreemptions: 4}
+	if got := (ReactiveQueue{}).Target(v); got != DefaultReactiveQueue().Target(v) {
+		t.Errorf("zero-value ReactiveQueue target %d != default %d",
+			got, DefaultReactiveQueue().Target(v))
+	}
+	if got := (ReactiveQueue{}).Target(v); got <= v.Want {
+		t.Errorf("zero-value ReactiveQueue never scales: target %d with 17 queued", got)
+	}
+	if got := (Predictive{PerPreemption: 0.5}).Target(v); got != DefaultPredictive().Target(v) {
+		t.Errorf("zero-MaxExtra Predictive target %d != default %d",
+			got, DefaultPredictive().Target(v))
+	}
+	if got := (Predictive{PerPreemption: 0.5}).Target(v); got <= v.Want {
+		t.Errorf("zero-MaxExtra Predictive never scales: target %d with 2 dying", got)
+	}
+	// The caps still engage at their defaults.
+	big := cloud.FleetView{Want: 6, QueueDepth: 1000, Dying: 9, RecentPreemptions: 40}
+	if got := (ReactiveQueue{}).Target(big); got != 6+4 {
+		t.Errorf("zero-value ReactiveQueue cap: %d, want 10", got)
+	}
+	if got := (Predictive{PerPreemption: 0.5}).Target(big); got != 6+5 {
+		t.Errorf("zero-MaxExtra Predictive cap: %d, want 11", got)
+	}
+}
+
+// TestSLOLatencyTargets pins the slo-latency policy arithmetic: the
+// feedforward term buys the instances closing the throughput gap, the
+// feedback term reacts to an observed p99 violation, and the larger of the
+// two wins (capped at MaxExtra).
+func TestSLOLatencyTargets(t *testing.T) {
+	p := DefaultSLOLatency()
+	// Comfortable: capacity above demand, p99 under target → exactly Want.
+	calm := cloud.FleetView{Want: 5, Alpha: 0.3, Phi: 0.5, PhiPerInstance: 0.1, RecentP99: 60}
+	if got := p.Target(calm); got != 5 {
+		t.Errorf("calm target %d, want 5", got)
+	}
+	// Feedforward: α·1.25 = 0.5 vs φ = 0.3 → gap 0.2 at 0.1/inst → +2.
+	gap := cloud.FleetView{Want: 5, Alpha: 0.4, Phi: 0.3, PhiPerInstance: 0.1}
+	if got := p.Target(gap); got != 7 {
+		t.Errorf("feedforward target %d, want 7", got)
+	}
+	// Feedback: p99 80% over target → ceil(5·0.8) = +4 (> feedforward's +2).
+	slow := gap
+	slow.RecentP99 = p.TargetP99 * 1.8
+	if got := p.Target(slow); got != 9 {
+		t.Errorf("feedback target %d, want 9", got)
+	}
+	// Cap: a 10× violation is clamped to MaxExtra.
+	worst := gap
+	worst.RecentP99 = p.TargetP99 * 10
+	if got := p.Target(worst); got != 5+p.MaxExtra {
+		t.Errorf("capped target %d, want %d", got, 5+p.MaxExtra)
+	}
+	// Zero-value: defaults engage instead of a 0 cap / 0 target.
+	if got := (SLOLatency{}).Target(slow); got <= 5 {
+		t.Errorf("zero-value SLOLatency never scales: %d", got)
+	}
+}
+
+// TestCostCapTargets pins the cost-cap policy: under budget it defers to
+// the optimizer, over budget it sheds to what the budget affords at the
+// current average unit price, and a zero budget disables the cap.
+func TestCostCapTargets(t *testing.T) {
+	p := CostCap{BudgetUSDPerHour: 20}
+	under := cloud.FleetView{Want: 8, SpotRunning: 8, SpendUSDPerHour: 16}
+	if got := p.Target(under); got != 8 {
+		t.Errorf("under-budget target %d, want 8", got)
+	}
+	// Price spike: 8 instances now bill 40 $/h (5 $/h each) → afford 4.
+	spike := cloud.FleetView{Want: 8, SpotRunning: 8, SpendUSDPerHour: 40}
+	if got := p.Target(spike); got != 4 {
+		t.Errorf("spike target %d, want 4", got)
+	}
+	// Mixed fleet counts both markets' running instances.
+	mixed := cloud.FleetView{Want: 10, SpotRunning: 6, OnDemandRunning: 4, SpendUSDPerHour: 50}
+	if got := p.Target(mixed); got != 4 { // unit 5 $/h → afford 4
+		t.Errorf("mixed target %d, want 4", got)
+	}
+	// Disabled cap and empty fleet defer to Want.
+	if got := (CostCap{}).Target(spike); got != 8 {
+		t.Errorf("zero-budget target %d, want 8", got)
+	}
+	if got := p.Target(cloud.FleetView{Want: 3, SpendUSDPerHour: 99}); got != 3 {
+		t.Errorf("empty-fleet target %d, want 3", got)
+	}
+}

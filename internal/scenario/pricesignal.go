@@ -1,0 +1,108 @@
+package scenario
+
+import (
+	"fmt"
+
+	"spotserve/internal/market"
+	"spotserve/internal/trace"
+)
+
+// PriceSignal is the market-driven availability model: instead of scripting
+// preemption waves, it derives them from a spot-price process. The offered
+// pool is a bid ladder — rung i bids Bid·(1 + Spread·i/(Pool−1)) — and the
+// capacity at any moment is the number of rungs at or above the current
+// price, floored at Min (deep-pocketed bidders that survive any spike). A
+// price crossing above the lowest bids preempts those instances; reversion
+// restores them — so preemption waves are *caused* by the market, and a
+// scenario billing against the same process (see Scenario.Market) sees
+// spikes and preemptions as two views of one curve.
+type PriceSignal struct {
+	// Horizon is the trace length in seconds.
+	Horizon float64
+	// Process names the market price process (registry of internal/market).
+	Process string
+	// Type is the instance type the ladder bids on: its name and the base
+	// spot price the process reverts to. Curves derive from the seed and
+	// the type's table index, so the billing market's primary-type curve
+	// (index 0) is bit-identical to the one this model preempts against.
+	Type market.TypeSpec
+	// Bid is the ladder's lowest bid in $/h; capacity is full at or below
+	// it.
+	Bid float64
+	// Spread is the ladder's relative width: the top rung bids
+	// Bid·(1+Spread).
+	Spread float64
+	// Pool is the capacity offered when the price is at or below Bid.
+	Pool int
+	// Min is the floor that survives any spike.
+	Min int
+}
+
+// DefaultPriceSignal drives the paper-scale 12-instance pool from the
+// regime-switching squeeze process on the g4dn base price (1.9 $/h): the
+// ladder starts just above base at 2.1 $/h and spans to ~3.4 $/h, so calm
+// OU drift nibbles the lowest rungs while a 3× squeeze clears the ladder
+// down to the floor.
+func DefaultPriceSignal() PriceSignal {
+	return PriceSignal{
+		Horizon: 1200,
+		Process: "squeeze",
+		Type:    market.TypeSpec{Name: "default", USDPerHour: 1.9},
+		Bid:     2.1,
+		Spread:  0.6,
+		Pool:    12,
+		Min:     1,
+	}
+}
+
+// Name implements AvailabilityModel.
+func (PriceSignal) Name() string { return "price-signal" }
+
+// CountAt returns the ladder capacity at a price: the rungs bidding at or
+// above it, clamped to [Min, Pool].
+func (p PriceSignal) CountAt(price float64) int {
+	if price <= p.Bid {
+		return p.Pool
+	}
+	n := 0
+	for i := 0; i < p.Pool; i++ {
+		if p.rungBid(i) >= price {
+			n++
+		}
+	}
+	if n < p.Min {
+		n = p.Min
+	}
+	return n
+}
+
+// rungBid is rung i's bid: rungs spread evenly over [Bid, Bid·(1+Spread)],
+// highest bids first (rung 0 is the most committed bidder).
+func (p PriceSignal) rungBid(i int) float64 {
+	if p.Pool <= 1 {
+		return p.Bid
+	}
+	return p.Bid * (1 + p.Spread*float64(p.Pool-1-i)/float64(p.Pool-1))
+}
+
+// Trace implements AvailabilityModel: generate the price curve, walk its
+// steps, and emit the ladder capacity at each price change.
+func (p PriceSignal) Trace(seed int64) trace.Trace {
+	proc, ok := market.ByName(p.Process)
+	if !ok {
+		panic(fmt.Sprintf("scenario: price-signal model references unknown market process %q", p.Process))
+	}
+	curve, ok := proc.Generate(seed, p.Horizon, []market.TypeSpec{p.Type}).CurveFor(p.Type.Name)
+	if !ok {
+		panic(fmt.Sprintf("scenario: market process %q generated no curve for %q", p.Process, p.Type.Name))
+	}
+	b := &traceBuilder{name: fmt.Sprintf("price-signal/%s/%d", p.Process, seed), horizon: p.Horizon}
+	for _, s := range curve.Samples {
+		b.add(s.At, p.CountAt(s.USDPerHour))
+	}
+	return b.trace()
+}
+
+func init() {
+	RegisterModel(DefaultPriceSignal())
+}

@@ -6,7 +6,7 @@ import (
 	"spotserve/internal/experiments"
 )
 
-// gridCells expands the default 24-cell scenario grid (availability models
+// gridCells expands the default 50-cell scenario grid (availability models
 // × policies on the homogeneous and speed-heterogeneous fleets).
 func gridCells(t *testing.T) []experiments.Scenario {
 	t.Helper()
@@ -14,13 +14,15 @@ func gridCells(t *testing.T) []experiments.Scenario {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(cells) != 24 {
-		t.Fatalf("default grid = %d cells, want 24", len(cells))
+	// 5 availability models (incl. price-signal) × 5 policies (incl.
+	// slo-latency, cost-cap) × 2 fleets.
+	if len(cells) != 50 {
+		t.Fatalf("default grid = %d cells, want 50", len(cells))
 	}
 	return cells
 }
 
-// TestGridReconfigCacheEquivalence runs the full 24-cell default scenario
+// TestGridReconfigCacheEquivalence runs the full default scenario
 // grid twice — reconfiguration cache enabled and disabled — and requires
 // byte-identical fingerprints cell by cell. The grid spans every
 // availability model, every autoscaling policy and both fleet presets, so

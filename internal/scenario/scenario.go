@@ -26,9 +26,12 @@ package scenario
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
+	"spotserve/internal/cloud"
 	"spotserve/internal/experiments"
+	"spotserve/internal/market"
 	"spotserve/internal/metrics"
 	"spotserve/internal/model"
 	"spotserve/internal/trace"
@@ -40,6 +43,12 @@ import (
 type Scenario struct {
 	// Avail / Policy / Fleet are registry names for the three axes.
 	Avail, Policy, Fleet string
+	// Market names the spot-price process (internal/market registry)
+	// billing the cell's spot capacity with time-varying prices. Empty
+	// means flat prices — except under the price-signal availability
+	// model, which defaults the market to its own driving process so
+	// billing and preemption read the same curve.
+	Market string
 	// System is the serving system to run (default SpotServe).
 	System experiments.System
 	// Model is the served LLM (default GPT-20B).
@@ -92,7 +101,47 @@ func (s Scenario) Cell() (experiments.Scenario, error) {
 	sc.CloudParams = &params
 	sc.Policy = s.Policy
 	sc.NewAutoscaler = pf
+
+	// The market axis: price-signal availability implies its own driving
+	// process unless overridden, so the curve billing integrates is the
+	// curve that caused the preemptions (per-type streams derive from the
+	// table index — the fleet's primary type replays the model's curve
+	// bit-identically).
+	mname := s.Market
+	if mname == "" {
+		if ps, ok := am.(PriceSignal); ok {
+			mname = ps.Process
+		}
+	}
+	if mname != "" {
+		proc, ok := market.ByName(mname)
+		if !ok {
+			return experiments.Scenario{}, fmt.Errorf("scenario: unknown market process %q (have %s)",
+				mname, strings.Join(market.Processes(), ", "))
+		}
+		types := marketTypes(fp.Params)
+		horizon := scenarioHorizon
+		sc.Market = mname
+		sc.MarketFn = func(seed int64) market.Market {
+			return proc.Generate(seed, horizon, types)
+		}
+	}
 	return sc, nil
+}
+
+// scenarioHorizon is the generation window shared by the library's
+// availability models and market processes (the paper's 20-minute scale).
+const scenarioHorizon = 1200.0
+
+// marketTypes projects a fleet's instance-type table into the market
+// package's vocabulary: type name plus the base spot price its process
+// reverts to.
+func marketTypes(p cloud.Params) []market.TypeSpec {
+	var out []market.TypeSpec
+	for _, t := range p.TypeList() {
+		out = append(out, market.TypeSpec{Name: t.Name, USDPerHour: t.SpotUSDPerHour})
+	}
+	return out
 }
 
 // Grid is a cross product over the three scenario axes (×systems): the
@@ -101,6 +150,13 @@ func (s Scenario) Cell() (experiments.Scenario, error) {
 type Grid struct {
 	// Avail / Policies / Fleets are registry names per axis.
 	Avail, Policies, Fleets []string
+	// Market names a spot-price process applied to every cell ("" = flat
+	// billing, except price-signal cells, which bill their own process).
+	Market string
+	// SLO is the end-to-end latency objective in seconds behind the SLO%
+	// column (<= 0 = DefaultSLO). It only scores results; the slo-latency
+	// policy carries its own target.
+	SLO float64
 	// Systems lists the serving systems to run each combination under.
 	Systems []experiments.System
 	// Model is the served LLM for every cell.
@@ -109,8 +165,13 @@ type Grid struct {
 	Seed int64
 }
 
+// DefaultSLO is the latency objective scored by the grid's SLO% column and
+// targeted by the default slo-latency policy, in seconds.
+const DefaultSLO = 120.0
+
 // DefaultGrid covers every registered availability model and policy on the
-// homogeneous and speed-heterogeneous fleets with SpotServe — 24 cells.
+// homogeneous and speed-heterogeneous fleets with SpotServe — 50 cells
+// (5 availability models × 5 policies × 2 fleets).
 func DefaultGrid() Grid {
 	return Grid{
 		Avail:    Models(),
@@ -157,7 +218,7 @@ func (g Grid) Cells() ([]experiments.Scenario, error) {
 						continue
 					}
 					sc, err := Scenario{
-						Avail: av, Policy: po, Fleet: fl,
+						Avail: av, Policy: po, Fleet: fl, Market: g.Market,
 						System: sys, Model: g.Model, Seed: g.Seed,
 					}.Cell()
 					if err != nil {
@@ -175,16 +236,52 @@ func (g Grid) Cells() ([]experiments.Scenario, error) {
 // stats plus cross-seed bands when the sweep replicates.
 type GridRow struct {
 	Avail, Policy, Fleet string
-	System               experiments.System
+	// Market is the cell's spot-price process ("" = flat billing).
+	Market string
+	System experiments.System
 	// Summary / CostUSD / OnDemand are the first-seed replica.
 	Summary  metrics.Summary
 	CostUSD  float64
 	OnDemand int
 	Reps     experiments.Replication
+	// CostPer1kTok aggregates USD per 1000 generated tokens across the
+	// cell's seed replicas — the economics headline a spot market moves.
+	CostPer1kTok metrics.Agg
+	// SLOPct aggregates the percentage of requests completing within the
+	// grid's SLO latency across seed replicas; SLO records the objective
+	// it was scored against.
+	SLOPct metrics.Agg
+	SLO    float64
 	// CacheHitRate aggregates the reconfiguration engine's memo hit rate
 	// across the cell's seed replicas (a diagnostic — hit rates never
 	// change results, so they are not fingerprinted).
 	CacheHitRate metrics.Agg
+}
+
+// costPer1kTok converts one replica's accrued USD into $ per 1000
+// generated tokens (0 when nothing completed).
+func costPer1kTok(r experiments.Result) float64 {
+	tokens := r.GeneratedTokens()
+	if tokens <= 0 {
+		return 0
+	}
+	return r.Stats.CostUSD / tokens * 1000
+}
+
+// sloPct returns the percentage of one replica's completed requests whose
+// end-to-end latency met the objective.
+func sloPct(r experiments.Result, slo float64) float64 {
+	if r.Stats.Latencies == nil || r.Stats.Latencies.Count() == 0 {
+		return 0
+	}
+	vals := r.Stats.Latencies.Values()
+	met := 0
+	for _, v := range vals {
+		if v <= slo {
+			met++
+		}
+	}
+	return float64(met) / float64(len(vals)) * 100
 }
 
 // GridSweep runs the grid through the parallel sweep harness, replicating
@@ -202,6 +299,10 @@ func GridSweep(g Grid, sw experiments.Sweep) ([]GridRow, error) {
 		}
 		sw.Seeds = []int64{seed}
 	}
+	slo := g.SLO
+	if slo <= 0 {
+		slo = DefaultSLO
+	}
 	reps := sw.RunCells(cells)
 	rows := make([]GridRow, len(cells))
 	for i, rs := range reps {
@@ -210,13 +311,17 @@ func GridSweep(g Grid, sw experiments.Sweep) ([]GridRow, error) {
 			Avail:    first.Scenario.AvailModel,
 			Policy:   first.Scenario.Policy,
 			Fleet:    first.Scenario.Fleet,
+			Market:   first.Scenario.Market,
 			System:   first.Scenario.System,
 			Summary:  first.Stats.Latency,
 			CostUSD:  first.Stats.CostUSD,
 			OnDemand: first.Stats.OnDemandAllocated,
 			Reps:     experiments.NewReplication(rs),
+			SLO:      slo,
 		}
 		for _, r := range rs {
+			rows[i].CostPer1kTok.Add(costPer1kTok(r))
+			rows[i].SLOPct.Add(sloPct(r, slo))
 			rows[i].CacheHitRate.Add(r.Stats.ReconfigCache.HitRate())
 		}
 	}
@@ -235,24 +340,44 @@ func RenderGrid(rows []GridRow) string {
 		}
 	}
 	fmt.Fprintf(&b, "Scenario grid: availability × policy × fleet\n")
-	fmt.Fprintf(&b, "%-10s %-15s %-13s %-18s %8s %8s %9s %4s %7s",
-		"Avail", "Policy", "Fleet", "System", "Avg", "P99", "Cost", "OD", "Cache%")
+	fmt.Fprintf(&b, "%-12s %-15s %-13s %-18s %8s %8s %9s %8s %6s %4s %7s",
+		"Avail", "Policy", "Fleet", "System", "Avg", "P99", "Cost", "$/1ktok", "SLO%", "OD", "Cache%")
 	if bands {
-		fmt.Fprintf(&b, "  %-26s %-26s", "P99 band", "Cost band")
+		fmt.Fprintf(&b, "  %-30s %-30s %-30s", "P99 band", "Cost band", "$/1ktok band")
 	}
 	b.WriteString("\n")
+	markets := map[string]bool{}
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-10s %-15s %-13s %-18s %7.1fs %7.1fs %8.2f$ %4d %6.0f%%",
+		fmt.Fprintf(&b, "%-12s %-15s %-13s %-18s %7.1fs %7.1fs %8.2f$ %8.4f %5.1f%% %4d %6.0f%%",
 			r.Avail, r.Policy, r.Fleet, r.System,
-			r.Summary.Avg, r.Summary.P99, r.CostUSD, r.OnDemand,
+			r.Summary.Avg, r.Summary.P99, r.CostUSD,
+			r.CostPer1kTok.Mean(), r.SLOPct.Mean(), r.OnDemand,
 			r.CacheHitRate.Mean()*100)
 		if bands {
-			fmt.Fprintf(&b, "  %-26s %-26s", r.Reps.P99.Band(), r.Reps.Cost.Band())
+			fmt.Fprintf(&b, "  %-30s %-30s %-30s",
+				r.Reps.P99.Band(), r.Reps.Cost.Band(), r.CostPer1kTok.Band())
 		}
 		b.WriteString("\n")
+		if r.Market != "" {
+			markets[r.Market] = true
+		}
 	}
 	if bands && len(rows) > 0 {
 		fmt.Fprintf(&b, "(bands: mean ±stderr [min,max] over %d seeds)\n", rows[0].Reps.Avg.N)
+	}
+	slo := DefaultSLO
+	if len(rows) > 0 && rows[0].SLO > 0 {
+		slo = rows[0].SLO
+	}
+	fmt.Fprintf(&b, "($/1ktok, SLO%%: mean across seeds; SLO%% = requests within the %.0f s objective)\n", slo)
+	if len(markets) > 0 {
+		names := make([]string, 0, len(markets))
+		for n := range markets {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(&b, "(market: spot billing integrates the %s price process(es); flat-price rows unmarked)\n",
+			strings.Join(names, ", "))
 	}
 	fmt.Fprintf(&b, "(Cache%%: mean reconfiguration-memo hit rate across seeds; diagnostic only, never affects results)\n")
 	return b.String()
