@@ -14,12 +14,13 @@ TIER1_BENCH = BenchmarkEndToEndSimulation$$|BenchmarkConfigOptimizer$$|Benchmark
 # against it.
 BENCH_BASELINE ?= BENCH_baseline.json
 
-.PHONY: ci build vet test race race-reconfig race-market fuzz bench figures bench-baseline bench-check examples
+.PHONY: ci build vet test race race-reconfig race-market race-serve fuzz bench figures bench-baseline bench-check examples daemon-smoke
 
-ci: build vet race-reconfig race-market race examples bench-check
+ci: build vet race-reconfig race-market race-serve race examples daemon-smoke bench-check
 
 # Smoke gate: every example must build and run to completion (stdout is
-# discarded; a non-zero exit or panic fails the gate).
+# discarded; a non-zero exit or panic fails the gate). examples/daemon is
+# gated separately by daemon-smoke, which checks its output contracts.
 EXAMPLES = quickstart spotmarket autoscale faulttolerance scenarios
 examples:
 	$(GO) build ./examples/...
@@ -54,6 +55,19 @@ race-reconfig:
 # parallel sweep pool.
 race-market:
 	$(GO) test -race ./internal/market/ ./internal/scenario/
+
+# Focused race gate on the serving daemon: many HTTP clients share one
+# warm process (job registry, cell cache, stream fan-out), so the package
+# gets a first-class -race run.
+race-serve:
+	$(GO) test -race ./internal/serve/
+
+# Daemon smoke gate: start spotserved's engine, submit a small grid over
+# HTTP, assert the streamed NDJSON rows fingerprint-match the equivalent
+# CLI run, assert a resubmit is served entirely from the cell cache, and
+# shut down cleanly. Any violation exits non-zero.
+daemon-smoke:
+	$(GO) run ./examples/daemon > /dev/null
 
 # Short fuzz pass over the JSON trace format (CI smoke; run longer locally
 # with -fuzztime=5m when touching internal/trace).

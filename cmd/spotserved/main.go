@@ -1,0 +1,103 @@
+// Command spotserved is the long-running serving daemon: an HTTP management
+// plane over the scenario-sweep harness. Clients submit grid job specs,
+// poll or stream NDJSON rows as cells finish, and repeated what-if queries
+// are served from the fingerprint-keyed cell cache.
+//
+// Usage:
+//
+//	spotserved [-addr :8044] [-queue 16] [-parallel 0] [-cache-cells 4096] [-no-cache]
+//
+// Endpoints (full schema in docs/ARCHITECTURE.md):
+//
+//	POST /jobs              submit a grid spec → 202 {"id": "job-000001", ...}
+//	GET  /jobs              list jobs
+//	GET  /jobs/{id}         poll status, rows, rendered table when done
+//	GET  /jobs/{id}/stream  NDJSON rows as cells finish
+//	GET  /healthz           liveness
+//	GET  /stats             queue depth, cache hit rate, jobs served
+//
+// Example session:
+//
+//	spotserved -addr :8044 &
+//	curl -s -X POST localhost:8044/jobs -d '{"avail":["diurnal"],"policies":["fixed"],"fleets":["homog"],"seeds":2}'
+//	curl -sN localhost:8044/jobs/job-000001/stream
+//	curl -s localhost:8044/stats
+//
+// SIGINT/SIGTERM drain gracefully: submissions are refused, in-flight and
+// queued jobs finish (bounded by -drain-timeout), then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"spotserve/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8044", "HTTP listen address")
+	queue := flag.Int("queue", serve.DefaultQueueDepth, "job queue depth; submissions beyond it get 429")
+	parallel := flag.Int("parallel", 0, "sweep worker pool size per job (0 = all cores)")
+	cacheCells := flag.Int("cache-cells", serve.DefaultCacheCells, "cell cache capacity (completed per-seed replicas)")
+	noCache := flag.Bool("no-cache", false, "disable the cell cache (every job simulates every replica)")
+	drainTimeout := flag.Duration("drain-timeout", 5*time.Minute, "max time to drain queued and in-flight jobs on shutdown")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "unexpected argument %q\n", flag.Arg(0))
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	daemon := serve.New(serve.Options{
+		QueueDepth:   *queue,
+		Parallel:     *parallel,
+		CacheCells:   *cacheCells,
+		DisableCache: *noCache,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: daemon.Handler()}
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "spotserved: listening on %s (queue %d, cache %s)\n",
+		*addr, *queue, cacheLabel(*noCache, *cacheCells))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "spotserved: %v\n", err)
+		os.Exit(1)
+	case got := <-sig:
+		fmt.Fprintf(os.Stderr, "spotserved: %v, draining (timeout %v)\n", got, *drainTimeout)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Drain the job queue first — daemon.Shutdown refuses new submissions
+	// immediately (503) while HTTP stays up so clients can keep polling and
+	// streaming the jobs being drained. Stopping HTTP first would deadlock:
+	// stream connections only end when their job finishes.
+	drainErr := daemon.Shutdown(ctx)
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "spotserved: http shutdown: %v\n", err)
+	}
+	if drainErr != nil {
+		fmt.Fprintf(os.Stderr, "spotserved: drain incomplete: %v\n", drainErr)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "spotserved: drained, bye")
+}
+
+func cacheLabel(disabled bool, cells int) string {
+	if disabled {
+		return "off"
+	}
+	return fmt.Sprintf("%d cells", cells)
+}

@@ -41,11 +41,10 @@ func sparkline(label string, s metrics.Series, maxV float64) string {
 		return fmt.Sprintf("%s (empty)\n", label)
 	}
 	glyphs := []rune(" ▁▂▃▄▅▆▇█")
-	// Downsample to at most 60 columns.
-	step := len(s.Samples) / 60
-	if step < 1 {
-		step = 1
-	}
+	// Downsample to at most 60 columns: the stride must round up, or any
+	// sample count in (60, 120] floors to step 1–2 and overflows the row
+	// (150 samples / floored step 2 = 75 columns).
+	step := (len(s.Samples) + 59) / 60
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%s |", label)
 	for i := 0; i < len(s.Samples); i += step {
@@ -87,11 +86,25 @@ func RenderFigure6(cells []Figure6Cell) string {
 		b.WriteString("\n")
 	}
 	if bands {
-		fmt.Fprintf(&b, "(bands: mean ±stderr [min,max] over %d seeds)\n", cells[0].Reps.Avg.N)
+		fmt.Fprintf(&b, "(bands: mean ±stderr [min,max] over %d seeds)\n",
+			maxReplication(cells, func(c Figure6Cell) Replication { return c.Reps }))
 	}
 	b.WriteString("\n")
 	b.WriteString(renderFigure6Speedups(cells))
 	return b.String()
+}
+
+// maxReplication returns the largest per-row seed count — the footer's
+// honest claim when replication is uneven (reading row 0 alone prints
+// "over 1 seeds" whenever only later rows replicated).
+func maxReplication[T any](rows []T, rep func(T) Replication) int {
+	n := 0
+	for _, r := range rows {
+		if k := rep(r).Avg.N; k > n {
+			n = k
+		}
+	}
+	return n
 }
 
 // anyReplicated reports whether any row carries multi-seed bands, which is
@@ -132,10 +145,22 @@ func renderFigure6Speedups(cells []Figure6Cell) string {
 		if m[SpotServe] <= 0 {
 			continue
 		}
-		fmt.Fprintf(&b, "%-11s %-6s %12.2fx %20.2fx\n",
-			k.model, k.trace, m[Reparallel]/m[SpotServe], m[Reroute]/m[SpotServe])
+		// A missing or zero baseline P99 (the baseline wasn't run for this
+		// model×trace, or served nothing) has no meaningful ratio — mark it
+		// rather than printing +Inf or a bogus 0.00x.
+		fmt.Fprintf(&b, "%-11s %-6s %12s %20s\n",
+			k.model, k.trace, speedupCell(m[Reparallel], m[SpotServe]), speedupCell(m[Reroute], m[SpotServe]))
 	}
 	return b.String()
+}
+
+// speedupCell formats one baseline/SpotServe P99 ratio, or "n/a" when the
+// baseline P99 is zero (absent row or empty run).
+func speedupCell(baseline, spotserve float64) string {
+	if baseline <= 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.2fx", baseline/spotserve)
 }
 
 // RenderFigure7 formats the cost/latency study, with cost and P99 bands

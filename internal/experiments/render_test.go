@@ -70,6 +70,87 @@ func TestRenderFigure9Factors(t *testing.T) {
 	}
 }
 
+// sparklineColumns counts the plot glyphs between the pipes of one
+// rendered sparkline row.
+func sparklineColumns(t *testing.T, line string) int {
+	t.Helper()
+	open := strings.IndexRune(line, '|')
+	close := strings.LastIndex(line, "|")
+	if open < 0 || close <= open {
+		t.Fatalf("no |plot| in %q", line)
+	}
+	return len([]rune(line[open+1 : close]))
+}
+
+// The sparkline contract is "at most 60 columns"; flooring the stride broke
+// it for every sample count in (60, 120] (150 samples rendered 75 columns).
+func TestSparklineWidthContract(t *testing.T) {
+	cases := []struct {
+		samples, want int
+	}{
+		{59, 59},  // below the cap: one column per sample
+		{60, 60},  // exactly the cap
+		{61, 31},  // just above: stride 2, not 61 columns
+		{150, 50}, // the floored-stride overflow case: stride 3, was 75
+	}
+	for _, c := range cases {
+		var s metrics.Series
+		for i := 0; i < c.samples; i++ {
+			s.Add(float64(i), float64(i%7))
+		}
+		line := sparkline("x", s, 7)
+		got := sparklineColumns(t, line)
+		if got != c.want {
+			t.Errorf("%d samples: %d columns, want %d", c.samples, got, c.want)
+		}
+		if got > 60 {
+			t.Errorf("%d samples: %d columns exceeds the 60-column contract", c.samples, got)
+		}
+	}
+}
+
+// The band footer must report the replication actually present: with mixed
+// replication (only later cells replicated), reading cells[0] printed
+// "over 1 seeds" under bands that plainly aggregate 3.
+func TestRenderFigure6MixedReplicationFooter(t *testing.T) {
+	var rep Replication
+	for _, v := range []float64{10, 11, 12} {
+		rep.Avg.Add(v)
+		rep.P99.Add(v * 10)
+	}
+	cells := []Figure6Cell{
+		{Model: "GPT-20B", Trace: "AS", System: SpotServe, Summary: metrics.Summary{Avg: 10, P99: 100}},
+		{Model: "GPT-20B", Trace: "BS", System: SpotServe, Summary: metrics.Summary{Avg: 11, P99: 110}, Reps: rep},
+	}
+	s := RenderFigure6(cells)
+	if !strings.Contains(s, "over 3 seeds") {
+		t.Fatalf("footer does not report the max replication:\n%s", s)
+	}
+	if strings.Contains(s, "over 1 seeds") {
+		t.Fatalf("footer still reads cells[0]:\n%s", s)
+	}
+}
+
+// A zero baseline P99 (baseline absent or served nothing) must render as
+// n/a, not +Inf or 0.00x.
+func TestRenderFigure6SpeedupZeroBaseline(t *testing.T) {
+	cells := []Figure6Cell{
+		{Model: "GPT-20B", Trace: "AS", System: SpotServe, Summary: metrics.Summary{Avg: 10, P99: 100}},
+		{Model: "GPT-20B", Trace: "AS", System: Reparallel, Summary: metrics.Summary{Avg: 20, P99: 200}},
+		// Reroute missing entirely: its map entry is the zero value.
+	}
+	s := renderFigure6Speedups(cells)
+	if !strings.Contains(s, "2.00x") {
+		t.Fatalf("present baseline ratio missing:\n%s", s)
+	}
+	if !strings.Contains(s, "n/a") {
+		t.Fatalf("zero baseline not marked n/a:\n%s", s)
+	}
+	if strings.Contains(s, "Inf") || strings.Contains(s, "0.00x") {
+		t.Fatalf("zero baseline rendered as a bogus ratio:\n%s", s)
+	}
+}
+
 func TestRenderFigure5Sparkline(t *testing.T) {
 	var spot metrics.Series
 	for i := 0; i < 100; i++ {

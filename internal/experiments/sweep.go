@@ -21,6 +21,66 @@ type Sweep struct {
 	// the per-cell results are folded into mean/min/max/stderr bands.
 	// Empty means each scenario keeps its own seed and runs once.
 	Seeds []int64
+	// Cache, when non-nil, is consulted before each scenario runs and
+	// updated after: a hit skips the simulation entirely and replays the
+	// stored Result. Only scenarios whose identity is fully captured by
+	// CacheKey participate; everything else always runs. Because every
+	// simulation is deterministic in its key, cache-on and cache-off
+	// sweeps are byte-identical — the serving daemon's equivalence tests
+	// pin this. Implementations must be safe for concurrent use.
+	Cache ResultCache
+	// OnResult, when non-nil, is invoked as each scenario finishes (from
+	// worker goroutines, serialized by an internal mutex) with the job's
+	// input index, its Result, and whether it was served from Cache.
+	// Completion order is nondeterministic; the indexed results are not.
+	OnResult func(i int, r Result, fromCache bool)
+}
+
+// ResultCache stores completed Results keyed by CacheKey — the hook behind
+// the serving daemon's fingerprint-equivalent cell cache. Get and Put may
+// be called concurrently from sweep workers.
+type ResultCache interface {
+	Get(key string) (Result, bool)
+	Put(key string, r Result)
+}
+
+// CacheKey returns a stable identity string for the scenario — the same
+// scenario fields the Fingerprint digests — and whether the scenario is
+// cacheable at all. A scenario is cacheable only when every behavior-
+// carrying closure is named by a registry axis (TraceFn by AvailModel,
+// NewAutoscaler by Policy, MarketFn by Market, CloudParams by Fleet) and
+// the trace/rate inputs are named values: two scenarios with equal keys
+// must simulate byte-identically, so anonymous functions and unnamed
+// traces opt out rather than risk serving a stale look-alike.
+func (sc Scenario) CacheKey() (string, bool) {
+	if sc.RateFn != nil {
+		return "", false
+	}
+	if sc.TraceFn != nil && sc.AvailModel == "" {
+		return "", false
+	}
+	if sc.TraceFn == nil && sc.Trace.Name == "" && sc.System != OnDemandOnly {
+		return "", false
+	}
+	if sc.NewAutoscaler != nil && sc.Policy == "" {
+		return "", false
+	}
+	if sc.MarketFn != nil && sc.Market == "" {
+		return "", false
+	}
+	if sc.CloudParams != nil && sc.Fleet == "" {
+		return "", false
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "sys=%s spec=%s trace=%s odn=%d rate=%g cv=%g mix=%v drain=%g fleetsample=%v seed=%d\n",
+		sc.System, sc.Spec.Name, sc.Trace.Name, sc.OnDemandN, sc.Rate, sc.CV,
+		sc.AllowOnDemand, sc.Drain, sc.SampleFleet, sc.Seed)
+	if sc.Features != nil {
+		fmt.Fprintf(&b, "features=%+v\n", *sc.Features)
+	}
+	fmt.Fprintf(&b, "avail=%s fleet=%s policy=%s market=%s\n",
+		sc.AvailModel, sc.Fleet, sc.Policy, sc.Market)
+	return b.String(), true
 }
 
 // SingleSeed is the sweep used by the single-seed figure entry points:
@@ -79,10 +139,34 @@ func (sw Sweep) runAll(scs []Scenario) []Result {
 	if len(scs) == 0 {
 		return results
 	}
+	// notifyMu serializes OnResult so callback bookkeeping (streaming rows,
+	// per-cell completion counts) needs no locking of its own.
+	var notifyMu sync.Mutex
+	runOne := func(i int) Result {
+		sc := scs[i]
+		var r Result
+		fromCache := false
+		if key, ok := cacheKeyFor(sc, sw.Cache); ok {
+			if hit, found := sw.Cache.Get(key); found {
+				r, fromCache = hit, true
+			} else {
+				r = Run(sc)
+				sw.Cache.Put(key, r)
+			}
+		} else {
+			r = Run(sc)
+		}
+		if sw.OnResult != nil {
+			notifyMu.Lock()
+			sw.OnResult(i, r, fromCache)
+			notifyMu.Unlock()
+		}
+		return r
+	}
 	workers := sw.workers(len(scs))
 	if workers == 1 {
-		for i, sc := range scs {
-			results[i] = Run(sc)
+		for i := range scs {
+			results[i] = runOne(i)
 		}
 		return results
 	}
@@ -107,7 +191,7 @@ func (sw Sweep) runAll(scs []Scenario) []Result {
 				if i >= len(scs) || panicked.Load() != nil {
 					return
 				}
-				results[i] = Run(scs[i])
+				results[i] = runOne(i)
 			}
 		}()
 	}
@@ -116,6 +200,15 @@ func (sw Sweep) runAll(scs []Scenario) []Result {
 		panic(r.(capturedPanic).val)
 	}
 	return results
+}
+
+// cacheKeyFor resolves the scenario's cache key when a cache is configured
+// and the scenario is cacheable.
+func cacheKeyFor(sc Scenario, cache ResultCache) (string, bool) {
+	if cache == nil {
+		return "", false
+	}
+	return sc.CacheKey()
 }
 
 // RunCells runs every cell scenario once per sweep seed and returns the

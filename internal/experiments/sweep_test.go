@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"reflect"
+	"sync"
 	"testing"
 
 	"spotserve/internal/core"
@@ -186,5 +187,150 @@ func TestSeedRange(t *testing.T) {
 func TestRunAllEmpty(t *testing.T) {
 	if out := RunAll(nil, 8); len(out) != 0 {
 		t.Fatalf("RunAll(nil) = %d results", len(out))
+	}
+}
+
+// mapCache is a minimal ResultCache for the hook tests.
+type mapCache struct {
+	mu   sync.Mutex
+	m    map[string]Result
+	hits int
+}
+
+func newMapCache() *mapCache { return &mapCache{m: map[string]Result{}} }
+
+func (c *mapCache) Get(key string) (Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.m[key]
+	if ok {
+		c.hits++
+	}
+	return r, ok
+}
+
+func (c *mapCache) Put(key string, r Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[key] = r
+}
+
+// TestCacheKeyRules pins which scenarios may enter the result cache: every
+// behavior-carrying closure must be named by a registry axis, and equal
+// identities produce equal keys while any identity field changes the key.
+func TestCacheKeyRules(t *testing.T) {
+	base := DefaultScenario(SpotServe, model.OPT6B7, trace.AS(), 3)
+	key1, ok := base.CacheKey()
+	if !ok || key1 == "" {
+		t.Fatal("named-trace scenario should be cacheable")
+	}
+	if key2, _ := base.CacheKey(); key2 != key1 {
+		t.Fatal("CacheKey not stable")
+	}
+	seeded := base
+	seeded.Seed = 4
+	if k, _ := seeded.CacheKey(); k == key1 {
+		t.Fatal("seed change must change the key")
+	}
+
+	anonTrace := base
+	anonTrace.TraceFn = func(seed int64) trace.Trace { return trace.AS() }
+	if _, ok := anonTrace.CacheKey(); ok {
+		t.Fatal("anonymous TraceFn without AvailModel must not be cacheable")
+	}
+	anonTrace.AvailModel = "diurnal"
+	if _, ok := anonTrace.CacheKey(); !ok {
+		t.Fatal("named availability model should restore cacheability")
+	}
+
+	ratefn := base
+	ratefn.RateFn = workload.StepRate(workload.MAFSteps(ratefn.Rate))
+	if _, ok := ratefn.CacheKey(); ok {
+		t.Fatal("RateFn scenarios must not be cacheable")
+	}
+
+	unnamed := base
+	unnamed.Trace = trace.Trace{}
+	if _, ok := unnamed.CacheKey(); ok {
+		t.Fatal("unnamed trace must not be cacheable")
+	}
+}
+
+// TestSweepCacheEquivalence is the harness-level half of the daemon's
+// determinism bar: a cached sweep replays byte-identical results, and the
+// second pass is served entirely from the cache.
+func TestSweepCacheEquivalence(t *testing.T) {
+	cells := []Scenario{
+		DefaultScenario(SpotServe, model.OPT6B7, trace.AS(), 0),
+		DefaultScenario(Reroute, model.OPT6B7, trace.BS(), 0),
+	}
+	sw := Sweep{Parallel: 4, Seeds: SeedRange(1, 2)}
+	plain := sw.RunCells(cells)
+
+	cache := newMapCache()
+	cached := sw
+	cached.Cache = cache
+	first := cached.RunCells(cells)
+	if cache.hits != 0 {
+		t.Fatalf("cold cache hit %d times", cache.hits)
+	}
+	second := cached.RunCells(cells)
+	if want := len(cells) * len(sw.Seeds); cache.hits != want {
+		t.Fatalf("warm pass hit %d, want %d (fully cached)", cache.hits, want)
+	}
+	for i := range plain {
+		for j := range plain[i] {
+			pf := plain[i][j].Fingerprint()
+			if f := first[i][j].Fingerprint(); f != pf {
+				t.Errorf("cell %d seed %d: cache-on (cold) fingerprint differs", i, j)
+			}
+			if f := second[i][j].Fingerprint(); f != pf {
+				t.Errorf("cell %d seed %d: cache-on (warm) fingerprint differs", i, j)
+			}
+		}
+	}
+}
+
+// TestOnResultCoversEveryJob asserts the callback fires exactly once per
+// flattened job with the right index, under serial and parallel pools, and
+// reports cache provenance.
+func TestOnResultCoversEveryJob(t *testing.T) {
+	cells := []Scenario{
+		DefaultScenario(SpotServe, model.OPT6B7, trace.AS(), 0),
+		DefaultScenario(Reroute, model.OPT6B7, trace.BS(), 0),
+	}
+	for _, workers := range []int{1, 4} {
+		cache := newMapCache()
+		for pass := 0; pass < 2; pass++ {
+			seen := map[int]bool{}
+			var cachedCount int
+			sw := Sweep{Parallel: workers, Seeds: SeedRange(1, 3), Cache: cache}
+			sw.OnResult = func(i int, r Result, fromCache bool) {
+				if seen[i] {
+					t.Errorf("workers=%d pass=%d: index %d delivered twice", workers, pass, i)
+				}
+				seen[i] = true
+				if fromCache {
+					cachedCount++
+				}
+				if want := sw.Seeds[i%len(sw.Seeds)]; r.Scenario.Seed != want {
+					t.Errorf("index %d carries seed %d, want %d", i, r.Scenario.Seed, want)
+				}
+			}
+			out := sw.RunCells(cells)
+			if len(seen) != len(cells)*len(sw.Seeds) {
+				t.Fatalf("workers=%d pass=%d: callback fired %d times, want %d",
+					workers, pass, len(seen), len(cells)*len(sw.Seeds))
+			}
+			wantCached := 0
+			if pass == 1 {
+				wantCached = len(cells) * len(sw.Seeds)
+			}
+			if cachedCount != wantCached {
+				t.Fatalf("workers=%d pass=%d: %d cached deliveries, want %d",
+					workers, pass, cachedCount, wantCached)
+			}
+			_ = out
+		}
 	}
 }

@@ -8,25 +8,42 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 )
 
-// Latencies collects per-request end-to-end latencies.
+// Latencies collects per-request end-to-end latencies. Writes (Add) happen
+// on the single simulation goroutine; reads (Mean/Percentile/Summarize/
+// Values) may come from many goroutines at once — a serving daemon hands
+// the same finished core.Stats to every client — so the read path never
+// mutates the observation slice. Percentiles are served from a cached
+// sorted copy built under a mutex, keeping concurrent Summarize calls
+// race-free without changing any computed value.
 type Latencies struct {
+	mu     sync.Mutex
 	values []float64
-	sorted bool
+	// sorted is a cached ascending copy of values, nil when stale.
+	sorted []float64
 }
 
 // Add records one latency observation (seconds).
 func (l *Latencies) Add(v float64) {
+	l.mu.Lock()
 	l.values = append(l.values, v)
-	l.sorted = false
+	l.sorted = nil
+	l.mu.Unlock()
 }
 
 // Count returns the number of observations.
-func (l *Latencies) Count() int { return len(l.values) }
+func (l *Latencies) Count() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.values)
+}
 
 // Mean returns the average latency, or 0 with no observations.
 func (l *Latencies) Mean() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	if len(l.values) == 0 {
 		return 0
 	}
@@ -37,27 +54,36 @@ func (l *Latencies) Mean() float64 {
 	return s / float64(len(l.values))
 }
 
+// sortedLocked returns the cached ascending copy, building it if stale.
+// Callers must hold l.mu.
+func (l *Latencies) sortedLocked() []float64 {
+	if l.sorted == nil {
+		l.sorted = append([]float64(nil), l.values...)
+		sort.Float64s(l.sorted)
+	}
+	return l.sorted
+}
+
 // Percentile returns the p-th percentile (0 < p ≤ 100) using the
 // nearest-rank method, or 0 with no observations.
 func (l *Latencies) Percentile(p float64) float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	if len(l.values) == 0 {
 		return 0
 	}
-	if !l.sorted {
-		sort.Float64s(l.values)
-		l.sorted = true
-	}
+	vals := l.sortedLocked()
 	if p <= 0 {
-		return l.values[0]
+		return vals[0]
 	}
-	rank := int(math.Ceil(p / 100 * float64(len(l.values))))
+	rank := int(math.Ceil(p / 100 * float64(len(vals))))
 	if rank < 1 {
 		rank = 1
 	}
-	if rank > len(l.values) {
-		rank = len(l.values)
+	if rank > len(vals) {
+		rank = len(vals)
 	}
-	return l.values[rank-1]
+	return vals[rank-1]
 }
 
 // Max returns the largest observation.
@@ -66,9 +92,9 @@ func (l *Latencies) Max() float64 { return l.Percentile(100) }
 // Values returns a copy of the observations in insertion-independent
 // (sorted) order.
 func (l *Latencies) Values() []float64 {
-	out := append([]float64(nil), l.values...)
-	sort.Float64s(out)
-	return out
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]float64(nil), l.sortedLocked()...)
 }
 
 // Summary is the row shape of Figures 6/8/9: average plus tail percentiles.
@@ -145,22 +171,23 @@ func NewCostMeter(nowFn func() float64) *CostMeter {
 	return &CostMeter{open: make(map[int64]openBill), nowFn: nowFn}
 }
 
-// Start begins billing entity id at usdPerHour.
+// Start begins billing entity id at usdPerHour. Re-starting an id that is
+// already billing closes the old bill at its old rate (accruing it into the
+// total) and opens a fresh one at the new rate — a relaunched instance that
+// reuses an id must bill the relaunch price, not silently keep the stale
+// rate it was first opened at.
 func (c *CostMeter) Start(id int64, usdPerHour float64) {
-	if _, ok := c.open[id]; ok {
-		return
-	}
+	c.Stop(id)
 	c.open[id] = openBill{since: c.nowFn(), usdPerHour: usdPerHour}
 }
 
 // StartVariable begins billing entity id against a time-varying price:
 // integrate(t0, t1) must return the accrued USD over [t0, t1] (for a
 // piecewise-constant spot-price curve, its exact piecewise integral — see
-// market.Curve.Integrate).
+// market.Curve.Integrate). Like Start, it closes any bill already open for
+// the id so a relaunch never keeps integrating a stale curve.
 func (c *CostMeter) StartVariable(id int64, integrate func(t0, t1 float64) float64) {
-	if _, ok := c.open[id]; ok {
-		return
-	}
+	c.Stop(id)
 	c.open[id] = openBill{since: c.nowFn(), integrate: integrate}
 }
 

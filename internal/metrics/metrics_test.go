@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -109,15 +110,96 @@ func TestCostMeter(t *testing.T) {
 	if c.OpenCount() != 0 {
 		t.Fatal("bill still open after Stop")
 	}
-	// Double start/stop are idempotent.
+	// Re-Start at a new rate re-bills from the restart instant; double Stop
+	// stays idempotent.
 	c.Start(2, 3.6)
-	c.Start(2, 7.2)
+	c.Start(2, 7.2) // closes the 0-second-old 3.6/h bill, reopens at 7.2/h
 	now = 3000
 	c.Stop(2)
 	c.Stop(2)
-	if got := c.TotalUSD(); math.Abs(got-2.0) > 1e-9 {
-		t.Fatalf("total = %v, want 2.0", got)
+	if got := c.TotalUSD(); math.Abs(got-3.0) > 1e-9 {
+		t.Fatalf("total = %v, want 3.0 (1.0 closed + 1000s at 7.2/h)", got)
 	}
+}
+
+// A relaunched instance reusing an id must bill the relaunch price from the
+// relaunch instant — the old bill closes at its old rate, it does not keep
+// accruing the stale rate (or stale price curve) forever.
+func TestCostMeterRestartRebills(t *testing.T) {
+	now := 0.0
+	c := NewCostMeter(func() float64 { return now })
+
+	c.Start(1, 3.6) // 0.001 USD/s
+	now = 1000      // 1.0 USD accrued at the old rate
+	c.Start(1, 36)  // relaunch at 0.01 USD/s
+	now = 1500      // +5.0 USD at the new rate
+	c.Stop(1)
+	if got := c.TotalUSD(); math.Abs(got-6.0) > 1e-9 {
+		t.Fatalf("flat restart total = %v, want 6.0 (1.0 old-rate + 5.0 new-rate)", got)
+	}
+	if c.OpenCount() != 0 {
+		t.Fatal("bill still open after Stop")
+	}
+
+	// Variable-price bills restart the same way: the stale integrator stops
+	// at the restart instant and the new curve takes over.
+	c2 := NewCostMeter(func() float64 { return now })
+	now = 0
+	c2.StartVariable(7, func(t0, t1 float64) float64 { return (t1 - t0) * 0.001 })
+	now = 1000
+	c2.StartVariable(7, func(t0, t1 float64) float64 { return (t1 - t0) * 0.01 })
+	now = 1200
+	c2.Stop(7)
+	if got := c2.TotalUSD(); math.Abs(got-3.0) > 1e-9 {
+		t.Fatalf("variable restart total = %v, want 3.0 (1.0 old curve + 2.0 new)", got)
+	}
+	// Mixed: a flat bill restarted as variable must drop the flat rate.
+	c3 := NewCostMeter(func() float64 { return now })
+	now = 0
+	c3.Start(9, 3.6)
+	now = 100
+	c3.StartVariable(9, func(t0, t1 float64) float64 { return (t1 - t0) * 0.01 })
+	now = 200
+	c3.Stop(9)
+	if got := c3.TotalUSD(); math.Abs(got-1.1) > 1e-9 {
+		t.Fatalf("flat→variable restart total = %v, want 1.1", got)
+	}
+}
+
+// Concurrent readers of a finished Latencies (the serving daemon hands one
+// result to many clients) must not race: Percentile historically sorted the
+// shared observation slice in place. Run under -race.
+func TestConcurrentSummarize(t *testing.T) {
+	var l Latencies
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 2000; i++ {
+		l.Add(rng.ExpFloat64() * 10)
+	}
+	want := l.Summarize()
+	// Invalidate the sorted cache so the readers rebuild it concurrently.
+	l.Add(want.P99)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				s := l.Summarize()
+				if s.P99 < s.P90 {
+					t.Error("percentiles not monotone under concurrency")
+					return
+				}
+				vals := l.Values()
+				if !sort.Float64sAreSorted(vals) {
+					t.Error("Values not sorted under concurrency")
+					return
+				}
+				_ = l.Mean()
+				_ = l.Count()
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 func TestSeries(t *testing.T) {

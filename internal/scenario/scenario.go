@@ -256,6 +256,10 @@ type GridRow struct {
 	// across the cell's seed replicas (a diagnostic — hit rates never
 	// change results, so they are not fingerprinted).
 	CacheHitRate metrics.Agg
+	// Fingerprints are the per-seed replica digests in sweep-seed order —
+	// the determinism contract a served row is checked against (a daemon
+	// job's rows must fingerprint-match the equivalent CLI run).
+	Fingerprints []string
 }
 
 // costPer1kTok converts one replica's accrued USD into $ per 1000
@@ -284,10 +288,47 @@ func sloPct(r experiments.Result, slo float64) float64 {
 	return float64(met) / float64(len(vals)) * 100
 }
 
+// buildRow folds one cell's seed replicas into its grid row. It is pure in
+// its inputs, so a row streamed mid-sweep is byte-identical to the row the
+// finished sweep assembles.
+func buildRow(rs []experiments.Result, slo float64) GridRow {
+	first := rs[0]
+	row := GridRow{
+		Avail:    first.Scenario.AvailModel,
+		Policy:   first.Scenario.Policy,
+		Fleet:    first.Scenario.Fleet,
+		Market:   first.Scenario.Market,
+		System:   first.Scenario.System,
+		Summary:  first.Stats.Latency,
+		CostUSD:  first.Stats.CostUSD,
+		OnDemand: first.Stats.OnDemandAllocated,
+		Reps:     experiments.NewReplication(rs),
+		SLO:      slo,
+	}
+	for _, r := range rs {
+		row.CostPer1kTok.Add(costPer1kTok(r))
+		row.SLOPct.Add(sloPct(r, slo))
+		row.CacheHitRate.Add(r.Stats.ReconfigCache.HitRate())
+		row.Fingerprints = append(row.Fingerprints, r.Fingerprint())
+	}
+	return row
+}
+
 // GridSweep runs the grid through the parallel sweep harness, replicating
 // every cell at each sweep seed (default: the grid's base seed once).
 // Results are byte-identical to a serial run at any worker count.
 func GridSweep(g Grid, sw experiments.Sweep) ([]GridRow, error) {
+	return GridSweepStream(g, sw, nil)
+}
+
+// GridSweepStream is GridSweep with a per-cell callback: when onRow is
+// non-nil it is invoked as each cell's last seed replica finishes (from
+// sweep worker goroutines, serialized by the sweep's callback mutex) with
+// the cell index and the assembled row. Cells complete in nondeterministic
+// order under parallelism, but each streamed row is byte-identical to the
+// row at the same index in the returned slice — the serving daemon streams
+// partial grid results through this hook.
+func GridSweepStream(g Grid, sw experiments.Sweep, onRow func(cell int, row GridRow)) ([]GridRow, error) {
 	cells, err := g.Cells()
 	if err != nil {
 		return nil, err
@@ -303,27 +344,30 @@ func GridSweep(g Grid, sw experiments.Sweep) ([]GridRow, error) {
 	if slo <= 0 {
 		slo = DefaultSLO
 	}
+	if onRow != nil {
+		// RunCells flattens jobs cell-major: flat index i is cell i/perCell,
+		// replica i%perCell. Track per-cell completion and assemble a cell's
+		// row the moment its last replica lands; runAll serializes OnResult,
+		// so the bookkeeping below needs no extra locking.
+		perCell := len(sw.Seeds)
+		pending := make([][]experiments.Result, len(cells))
+		remaining := make([]int, len(cells))
+		for i := range cells {
+			pending[i] = make([]experiments.Result, perCell)
+			remaining[i] = perCell
+		}
+		sw.OnResult = func(i int, r experiments.Result, _ bool) {
+			cell := i / perCell
+			pending[cell][i%perCell] = r
+			if remaining[cell]--; remaining[cell] == 0 {
+				onRow(cell, buildRow(pending[cell], slo))
+			}
+		}
+	}
 	reps := sw.RunCells(cells)
 	rows := make([]GridRow, len(cells))
 	for i, rs := range reps {
-		first := rs[0]
-		rows[i] = GridRow{
-			Avail:    first.Scenario.AvailModel,
-			Policy:   first.Scenario.Policy,
-			Fleet:    first.Scenario.Fleet,
-			Market:   first.Scenario.Market,
-			System:   first.Scenario.System,
-			Summary:  first.Stats.Latency,
-			CostUSD:  first.Stats.CostUSD,
-			OnDemand: first.Stats.OnDemandAllocated,
-			Reps:     experiments.NewReplication(rs),
-			SLO:      slo,
-		}
-		for _, r := range rs {
-			rows[i].CostPer1kTok.Add(costPer1kTok(r))
-			rows[i].SLOPct.Add(sloPct(r, slo))
-			rows[i].CacheHitRate.Add(r.Stats.ReconfigCache.HitRate())
-		}
+		rows[i] = buildRow(rs, slo)
 	}
 	return rows, nil
 }
@@ -363,7 +407,15 @@ func RenderGrid(rows []GridRow) string {
 		}
 	}
 	if bands && len(rows) > 0 {
-		fmt.Fprintf(&b, "(bands: mean ±stderr [min,max] over %d seeds)\n", rows[0].Reps.Avg.N)
+		// Report the max replication across rows, not row 0's: with mixed
+		// replication the footer must describe the widest band printed.
+		maxN := 0
+		for _, r := range rows {
+			if r.Reps.Avg.N > maxN {
+				maxN = r.Reps.Avg.N
+			}
+		}
+		fmt.Fprintf(&b, "(bands: mean ±stderr [min,max] over %d seeds)\n", maxN)
 	}
 	slo := DefaultSLO
 	if len(rows) > 0 && rows[0].SLO > 0 {

@@ -1,0 +1,147 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"spotserve/internal/experiments"
+	"spotserve/internal/market"
+	"spotserve/internal/model"
+)
+
+// JobSpec is the wire form of one grid job: the JSON body a client submits
+// to the spotserved daemon (and the shape cmd/experiments' -exp scenarios
+// flags map onto). Zero-valued axes fall back to DefaultGrid exactly like
+// the CLI, so an empty spec runs the full default grid.
+//
+//	{
+//	  "avail":    ["diurnal", "bursty"],      // availability models
+//	  "policies": ["fixed", "slo-latency"],   // autoscaling policies
+//	  "fleets":   ["homog"],                  // fleet presets
+//	  "systems":  ["spotserve"],              // serving systems
+//	  "market":   "ou",                        // spot-price process
+//	  "model":    "GPT-20B",                   // served LLM
+//	  "slo":      120,                         // SLO% objective, seconds
+//	  "seed":     1,                           // base seed
+//	  "seeds":    3                            // replication seed count
+//	}
+type JobSpec struct {
+	Avail    []string `json:"avail,omitempty"`
+	Policies []string `json:"policies,omitempty"`
+	Fleets   []string `json:"fleets,omitempty"`
+	Systems  []string `json:"systems,omitempty"`
+	Market   string   `json:"market,omitempty"`
+	Model    string   `json:"model,omitempty"`
+	SLO      float64  `json:"slo,omitempty"`
+	Seed     int64    `json:"seed,omitempty"`
+	Seeds    int      `json:"seeds,omitempty"`
+}
+
+// ParseJobSpec decodes and validates a JSON job spec. Unknown fields are
+// rejected — a misspelled axis must fail the submit, not silently run the
+// default grid — and every named axis value is checked against its registry
+// so the error surfaces at submission time rather than inside a worker.
+func ParseJobSpec(data []byte) (JobSpec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s JobSpec
+	if err := dec.Decode(&s); err != nil {
+		return JobSpec{}, fmt.Errorf("scenario: bad job spec: %w", err)
+	}
+	if dec.More() {
+		return JobSpec{}, fmt.Errorf("scenario: bad job spec: trailing data after JSON object")
+	}
+	if err := s.Validate(); err != nil {
+		return JobSpec{}, err
+	}
+	return s, nil
+}
+
+// Validate checks every named axis value against its registry and the
+// numeric fields against their domains.
+func (s JobSpec) Validate() error {
+	if _, err := s.Grid(); err != nil {
+		return err
+	}
+	if s.Seeds < 0 {
+		return fmt.Errorf("scenario: job spec: seeds must be >= 0, got %d", s.Seeds)
+	}
+	if s.SLO < 0 {
+		return fmt.Errorf("scenario: job spec: slo must be >= 0, got %g", s.SLO)
+	}
+	return nil
+}
+
+// Grid resolves the spec into a sweep-ready Grid, validating axis names
+// against the catalog registries (availability models, policies, fleets,
+// market processes), the model table and the system names.
+func (s JobSpec) Grid() (Grid, error) {
+	g := Grid{
+		Avail:    s.Avail,
+		Policies: s.Policies,
+		Fleets:   s.Fleets,
+		Market:   s.Market,
+		SLO:      s.SLO,
+		Seed:     s.Seed,
+	}
+	for _, name := range s.Systems {
+		sys, err := SystemByName(name)
+		if err != nil {
+			return Grid{}, err
+		}
+		g.Systems = append(g.Systems, sys)
+	}
+	if s.Model != "" {
+		spec, ok := model.ByName(s.Model)
+		if !ok {
+			names := make([]string, 0, len(model.All()))
+			for _, m := range model.All() {
+				names = append(names, m.Name)
+			}
+			return Grid{}, fmt.Errorf("scenario: job spec: unknown model %q (have %s)",
+				s.Model, strings.Join(names, ", "))
+		}
+		g.Model = spec
+	}
+	if s.Market != "" {
+		if _, ok := market.ByName(s.Market); !ok {
+			return Grid{}, fmt.Errorf("scenario: job spec: unknown market process %q (have %s)",
+				s.Market, strings.Join(market.Processes(), ", "))
+		}
+	}
+	// Grid.Cells validates the avail/policy/fleet names per cell; running it
+	// here surfaces a bad name at parse time with the same error text.
+	if _, err := g.Cells(); err != nil {
+		return Grid{}, err
+	}
+	return g, nil
+}
+
+// Sweep resolves the spec's replication into a sweep: seeds seed..seed+K-1
+// (K = max(Seeds, 1)), matching cmd/experiments' -seed/-seeds flags. The
+// worker pool size is the runner's choice, not the spec's, so Parallel is
+// left zero (all cores).
+func (s JobSpec) Sweep() experiments.Sweep {
+	seed := s.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return experiments.Sweep{Seeds: experiments.SeedRange(seed, s.Seeds)}
+}
+
+// SystemByName maps a wire-format system name (case-insensitive, with the
+// CLI's short aliases) to the serving system.
+func SystemByName(name string) (experiments.System, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "spotserve":
+		return experiments.SpotServe, nil
+	case "reparallel", "reparallelization":
+		return experiments.Reparallel, nil
+	case "reroute", "rerouting":
+		return experiments.Reroute, nil
+	default:
+		return "", fmt.Errorf("scenario: job spec: unknown system %q (want spotserve, reparallelization or rerouting)", name)
+	}
+}

@@ -1,0 +1,116 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"spotserve/internal/experiments"
+)
+
+func TestParseJobSpecDefaults(t *testing.T) {
+	s, err := ParseJobSpec([]byte(`{}`))
+	if err != nil {
+		t.Fatalf("empty spec: %v", err)
+	}
+	g, err := s.Grid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := g.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, _ := DefaultGrid().Cells()
+	if len(cells) != len(def) {
+		t.Fatalf("empty spec expands to %d cells, want the default grid's %d", len(cells), len(def))
+	}
+	sw := s.Sweep()
+	if len(sw.Seeds) != 1 || sw.Seeds[0] != 1 {
+		t.Fatalf("default sweep seeds = %v, want [1]", sw.Seeds)
+	}
+}
+
+func TestParseJobSpecFull(t *testing.T) {
+	body := `{
+		"avail": ["diurnal", "bursty"],
+		"policies": ["fixed"],
+		"fleets": ["homog"],
+		"systems": ["SpotServe", "reroute"],
+		"market": "ou",
+		"model": "OPT-6.7B",
+		"slo": 90,
+		"seed": 7,
+		"seeds": 3
+	}`
+	s, err := ParseJobSpec([]byte(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := s.Grid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Model.Name != "OPT-6.7B" || g.SLO != 90 || g.Market != "ou" {
+		t.Fatalf("grid = %+v", g)
+	}
+	if len(g.Systems) != 2 || g.Systems[0] != experiments.SpotServe || g.Systems[1] != experiments.Reroute {
+		t.Fatalf("systems = %v", g.Systems)
+	}
+	cells, err := g.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 avail × 1 policy × 1 fleet × 2 systems (fixed policy keeps the
+	// baseline rows).
+	if len(cells) != 4 {
+		t.Fatalf("%d cells, want 4", len(cells))
+	}
+	sw := s.Sweep()
+	if want := []int64{7, 8, 9}; len(sw.Seeds) != 3 || sw.Seeds[0] != 7 || sw.Seeds[2] != 9 {
+		t.Fatalf("sweep seeds = %v, want %v", sw.Seeds, want)
+	}
+}
+
+func TestParseJobSpecRejects(t *testing.T) {
+	cases := []struct {
+		name, body, wantErr string
+	}{
+		{"unknown field", `{"avial": ["diurnal"]}`, "unknown field"},
+		{"bad json", `{"avail": [`, "bad job spec"},
+		{"trailing data", `{} {}`, "trailing"},
+		{"unknown avail", `{"avail": ["sunny"]}`, "unknown availability model"},
+		{"unknown policy", `{"policies": ["yolo"]}`, "unknown policy"},
+		{"unknown fleet", `{"fleets": ["armada"]}`, "unknown fleet"},
+		{"unknown system", `{"systems": ["vllm"]}`, "unknown system"},
+		{"unknown market", `{"market": "nyse"}`, "unknown market process"},
+		{"unknown model", `{"model": "GPT-5"}`, "unknown model"},
+		{"negative seeds", `{"seeds": -1}`, "seeds must be"},
+		{"negative slo", `{"slo": -5}`, "slo must be"},
+	}
+	for _, c := range cases {
+		_, err := ParseJobSpec([]byte(c.body))
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.wantErr)
+		}
+	}
+}
+
+func TestSystemByNameAliases(t *testing.T) {
+	for name, want := range map[string]experiments.System{
+		"spotserve":         experiments.SpotServe,
+		"SpotServe":         experiments.SpotServe,
+		"reparallel":        experiments.Reparallel,
+		"Reparallelization": experiments.Reparallel,
+		"reroute":           experiments.Reroute,
+		"rerouting":         experiments.Reroute,
+	} {
+		got, err := SystemByName(name)
+		if err != nil || got != want {
+			t.Errorf("SystemByName(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"sync"
+
+	"spotserve/internal/experiments"
+)
+
+// cellCache is the daemon's fingerprint-equivalent cell store: completed
+// per-seed replicas keyed by experiments.Scenario.CacheKey, shared across
+// every job the daemon serves, so a repeated what-if query replays stored
+// results instead of re-simulating. Eviction is FIFO in insertion order —
+// the sweep workloads hit either everything (repeated grid) or nothing
+// (fresh axes), so recency tracking buys little over insertion order.
+// Safe for concurrent use by sweep workers; implements
+// experiments.ResultCache.
+type cellCache struct {
+	mu    sync.Mutex
+	max   int
+	cells map[string]experiments.Result
+	order []string // insertion order for FIFO eviction
+	hits  uint64
+	miss  uint64
+}
+
+func newCellCache(max int) *cellCache {
+	return &cellCache{max: max, cells: make(map[string]experiments.Result)}
+}
+
+func (c *cellCache) Get(key string) (experiments.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.cells[key]
+	if ok {
+		c.hits++
+	} else {
+		c.miss++
+	}
+	return r, ok
+}
+
+func (c *cellCache) Put(key string, r experiments.Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.cells[key]; ok {
+		return
+	}
+	for len(c.order) >= c.max && len(c.order) > 0 {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		delete(c.cells, oldest)
+	}
+	c.cells[key] = r
+	c.order = append(c.order, key)
+}
+
+// CacheStats is the cache section of the daemon's /stats payload.
+type CacheStats struct {
+	Size    int     `json:"size"`
+	Max     int     `json:"max"`
+	Hits    uint64  `json:"hits"`
+	Misses  uint64  `json:"misses"`
+	HitRate float64 `json:"hit_rate"`
+}
+
+func (c *cellCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := CacheStats{Size: len(c.cells), Max: c.max, Hits: c.hits, Misses: c.miss}
+	if total := c.hits + c.miss; total > 0 {
+		s.HitRate = float64(c.hits) / float64(total)
+	}
+	return s
+}
+
+// countingCache wraps the shared cell cache to attribute hits and misses to
+// one job (the per-job hit count /jobs/{id} reports).
+type countingCache struct {
+	inner *cellCache
+	mu    sync.Mutex
+	hits  int
+	miss  int
+}
+
+func (c *countingCache) Get(key string) (experiments.Result, bool) {
+	r, ok := c.inner.Get(key)
+	c.mu.Lock()
+	if ok {
+		c.hits++
+	} else {
+		c.miss++
+	}
+	c.mu.Unlock()
+	return r, ok
+}
+
+func (c *countingCache) Put(key string, r experiments.Result) { c.inner.Put(key, r) }
+
+func (c *countingCache) counts() (hits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.miss
+}

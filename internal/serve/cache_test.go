@@ -1,0 +1,56 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+
+	"spotserve/internal/experiments"
+)
+
+func TestCellCacheEvictsFIFO(t *testing.T) {
+	c := newCellCache(3)
+	for i := 0; i < 5; i++ {
+		c.Put(fmt.Sprintf("k%d", i), experiments.Result{})
+	}
+	for i, want := range []bool{false, false, true, true, true} {
+		_, ok := c.Get(fmt.Sprintf("k%d", i))
+		if ok != want {
+			t.Errorf("k%d present=%v, want %v", i, ok, want)
+		}
+	}
+	st := c.stats()
+	if st.Size != 3 || st.Max != 3 {
+		t.Fatalf("stats %+v, want size 3 of max 3", st)
+	}
+	if st.Hits != 3 || st.Misses != 2 {
+		t.Fatalf("stats %+v, want 3 hits / 2 misses", st)
+	}
+}
+
+func TestCellCacheDuplicatePutKept(t *testing.T) {
+	c := newCellCache(2)
+	r := experiments.Result{}
+	r.Scenario.Seed = 7
+	c.Put("a", r)
+	c.Put("a", experiments.Result{}) // a racy duplicate Put never downgrades
+	got, ok := c.Get("a")
+	if !ok || got.Scenario.Seed != 7 {
+		t.Fatalf("duplicate Put replaced the stored result: %+v", got.Scenario.Seed)
+	}
+	if st := c.stats(); st.Size != 1 {
+		t.Fatalf("size %d after duplicate Put, want 1", st.Size)
+	}
+}
+
+func TestCountingCacheAttribution(t *testing.T) {
+	shared := newCellCache(8)
+	shared.Put("x", experiments.Result{})
+	c := &countingCache{inner: shared}
+	c.Get("x")
+	c.Get("y")
+	c.Get("x")
+	hits, misses := c.counts()
+	if hits != 2 || misses != 1 {
+		t.Fatalf("counts = %d/%d, want 2/1", hits, misses)
+	}
+}

@@ -1,0 +1,160 @@
+package serve
+
+import (
+	"sync"
+
+	"spotserve/internal/scenario"
+)
+
+// State is a job's lifecycle phase.
+type State string
+
+const (
+	StateQueued  State = "queued"
+	StateRunning State = "running"
+	StateDone    State = "done"
+	StateFailed  State = "failed"
+)
+
+// Row is one streamed grid result: the cell index in grid order plus the
+// cell's assembled row. Cells stream in completion order (nondeterministic
+// under parallelism) — Cell is the key a client reorders by; the row
+// content at a given Cell is deterministic and fingerprint-matched against
+// the equivalent CLI run.
+type Row struct {
+	Cell int `json:"cell"`
+	scenario.GridRow
+}
+
+// Job is one submitted grid sweep moving through the daemon's queue.
+type Job struct {
+	ID    string           `json:"id"`
+	Spec  scenario.JobSpec `json:"spec"`
+	Cells int              `json:"cells"`
+	Seeds int              `json:"seeds_per_cell"`
+
+	mu     sync.Mutex
+	state  State
+	errMsg string
+	rows   []Row // completion order
+	render string
+	hits   int
+	misses int
+	subs   []chan Row
+	done   chan struct{}
+}
+
+func newJob(id string, spec scenario.JobSpec, cells, seeds int) *Job {
+	return &Job{
+		ID:    id,
+		Spec:  spec,
+		Cells: cells,
+		Seeds: seeds,
+		state: StateQueued,
+		done:  make(chan struct{}),
+	}
+}
+
+// Status is the poll-endpoint view of a job.
+type Status struct {
+	ID           string           `json:"id"`
+	State        State            `json:"state"`
+	Error        string           `json:"error,omitempty"`
+	Spec         scenario.JobSpec `json:"spec"`
+	Cells        int              `json:"cells"`
+	SeedsPerCell int              `json:"seeds_per_cell"`
+	RowsDone     int              `json:"rows_done"`
+	CacheHits    int              `json:"cache_hits"`
+	CacheMisses  int              `json:"cache_misses"`
+	// Rows are the completed rows so far, in completion order.
+	Rows []Row `json:"rows,omitempty"`
+	// Render is the full rendered grid table — byte-identical to the
+	// equivalent `experiments -exp scenarios` run — present once done.
+	Render string `json:"render,omitempty"`
+}
+
+// status snapshots the job. withRows controls whether the (potentially
+// large) row payload is included.
+func (j *Job) status(withRows bool) Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := Status{
+		ID:           j.ID,
+		State:        j.state,
+		Error:        j.errMsg,
+		Spec:         j.Spec,
+		Cells:        j.Cells,
+		SeedsPerCell: j.Seeds,
+		RowsDone:     len(j.rows),
+		CacheHits:    j.hits,
+		CacheMisses:  j.misses,
+		Render:       j.render,
+	}
+	if withRows {
+		s.Rows = append([]Row(nil), j.rows...)
+	}
+	return s
+}
+
+func (j *Job) setState(s State) {
+	j.mu.Lock()
+	j.state = s
+	j.mu.Unlock()
+}
+
+// emit appends a completed row and fans it out to every stream subscriber.
+// Subscriber channels are buffered to the job's cell count, so a send can
+// never block the sweep worker that produced the row.
+func (j *Job) emit(r Row) {
+	j.mu.Lock()
+	j.rows = append(j.rows, r)
+	for _, ch := range j.subs {
+		ch <- r
+	}
+	j.mu.Unlock()
+}
+
+// finish moves the job to its terminal state, records the rendered table
+// (or the failure), and closes every subscriber stream. It is idempotent:
+// a shutdown deadline may fail a job the runner is still finishing, and
+// whichever call lands first wins.
+func (j *Job) finish(render string, hits, misses int, err error) {
+	j.mu.Lock()
+	if j.state == StateDone || j.state == StateFailed {
+		j.mu.Unlock()
+		return
+	}
+	if err != nil {
+		j.state = StateFailed
+		j.errMsg = err.Error()
+	} else {
+		j.state = StateDone
+		j.render = render
+	}
+	j.hits, j.misses = hits, misses
+	for _, ch := range j.subs {
+		close(ch)
+	}
+	j.subs = nil
+	close(j.done)
+	j.mu.Unlock()
+}
+
+// subscribe returns the rows emitted so far plus a channel carrying every
+// subsequent row; the channel is closed when the job reaches a terminal
+// state. For an already-finished job the channel arrives closed.
+func (j *Job) subscribe() (backlog []Row, live <-chan Row) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	backlog = append([]Row(nil), j.rows...)
+	ch := make(chan Row, j.Cells+1)
+	if j.state == StateDone || j.state == StateFailed {
+		close(ch)
+		return backlog, ch
+	}
+	j.subs = append(j.subs, ch)
+	return backlog, ch
+}
+
+// Done exposes the job's completion signal.
+func (j *Job) Done() <-chan struct{} { return j.done }

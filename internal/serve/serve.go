@@ -1,0 +1,468 @@
+// Package serve is the spotserved daemon: a long-running HTTP management
+// plane over the scenario-sweep harness. Many concurrent clients share one
+// warm process — submitted grid jobs queue onto a bounded FIFO (backpressure
+// is an explicit 429, never an unbounded buffer), run one at a time on the
+// existing experiments.Sweep worker pool (each job parallelizes across all
+// cores), and stream partial grid rows as NDJSON the moment each cell's
+// last seed replica finishes. Completed cell replicas are cached by
+// fingerprint-equivalent scenario identity (experiments.Scenario.CacheKey),
+// so a repeated what-if query is served without simulating.
+//
+// Determinism is the contract: a job's rendered result is byte-identical to
+// the equivalent `experiments -exp scenarios` CLI run at the same seed, the
+// per-row replica fingerprints match the CLI's, and cache-on == cache-off
+// (the cache replays stored results of the same deterministic key). The
+// serve tests pin all three.
+//
+// API (see docs/ARCHITECTURE.md for the full schema):
+//
+//	POST /jobs         submit a scenario.JobSpec JSON body → 202 + job id
+//	                   (400 bad spec, 429 queue full, 503 shutting down)
+//	GET  /jobs         list job statuses, submission order
+//	GET  /jobs/{id}    poll one job: state, rows done, cache hits, render
+//	GET  /jobs/{id}/stream  NDJSON: one Row per line as cells finish, then
+//	                   a terminal {"done": true, ...} line
+//	GET  /healthz      liveness: "ok" (503 once shutdown begins)
+//	GET  /stats        queue depth/capacity, job counts, cache hit rate
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+
+	"spotserve/internal/scenario"
+)
+
+// Options configures the daemon.
+type Options struct {
+	// QueueDepth bounds the job queue (queued + running); submissions
+	// beyond it are rejected with 429. <= 0 means DefaultQueueDepth.
+	QueueDepth int
+	// Parallel is the sweep worker pool size per job (<= 0 = all cores).
+	Parallel int
+	// CacheCells bounds the cell cache (completed per-seed replicas);
+	// <= 0 means DefaultCacheCells.
+	CacheCells int
+	// DisableCache turns the cell cache off — every job simulates every
+	// replica. The equivalence tests run the same job spec with the cache
+	// on and off and require identical fingerprints.
+	DisableCache bool
+}
+
+// DefaultQueueDepth bounds the job queue when Options leaves it zero.
+const DefaultQueueDepth = 16
+
+// DefaultCacheCells bounds the cell cache when Options leaves it zero —
+// roughly 80 repeats of the 50-cell default grid at one seed.
+const DefaultCacheCells = 4096
+
+// Server is the daemon state: job registry, bounded queue, cell cache and
+// the single runner goroutine draining the queue.
+type Server struct {
+	opts  Options
+	cache *cellCache // nil when disabled
+
+	mu      sync.Mutex
+	jobs    map[string]*Job
+	order   []string // submission order
+	nextID  int
+	served  int // jobs reaching a terminal state
+	closing bool
+
+	queue  chan *Job
+	runner sync.WaitGroup
+
+	// testJobStart, when non-nil, is called at the start of each job run —
+	// the backpressure tests use it to hold the runner busy. Set before
+	// the first submission; never set in production.
+	testJobStart func(*Job)
+}
+
+// New builds a daemon and starts its runner. Callers own the HTTP listener
+// (mount Handler) and must Shutdown to drain.
+func New(opts Options) *Server {
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = DefaultQueueDepth
+	}
+	if opts.CacheCells <= 0 {
+		opts.CacheCells = DefaultCacheCells
+	}
+	s := &Server{
+		opts:  opts,
+		jobs:  make(map[string]*Job),
+		queue: make(chan *Job, opts.QueueDepth),
+	}
+	if !opts.DisableCache {
+		s.cache = newCellCache(opts.CacheCells)
+	}
+	s.runner.Add(1)
+	go s.run()
+	return s
+}
+
+// run drains the job queue until Shutdown closes it. Jobs run one at a
+// time — each job already saturates the cores through the sweep pool, so
+// job-level concurrency would only interleave nondeterministically.
+func (s *Server) run() {
+	defer s.runner.Done()
+	for job := range s.queue {
+		s.runJob(job)
+	}
+}
+
+// runJob executes one job through the streaming grid sweep, recovering a
+// worker panic into a failed job rather than a dead daemon.
+func (s *Server) runJob(job *Job) {
+	job.setState(StateRunning)
+	if s.testJobStart != nil {
+		s.testJobStart(job)
+	}
+	var (
+		render string
+		hits   int
+		misses int
+	)
+	err := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("job panicked: %v", r)
+			}
+		}()
+		grid, err := job.Spec.Grid()
+		if err != nil {
+			return err
+		}
+		sw := job.Spec.Sweep()
+		sw.Parallel = s.opts.Parallel
+		var counting *countingCache
+		if s.cache != nil {
+			counting = &countingCache{inner: s.cache}
+			sw.Cache = counting
+		}
+		rows, err := scenario.GridSweepStream(grid, sw, func(cell int, row scenario.GridRow) {
+			job.emit(Row{Cell: cell, GridRow: row})
+		})
+		if err != nil {
+			return err
+		}
+		render = scenario.RenderGrid(rows)
+		if counting != nil {
+			hits, misses = counting.counts()
+		}
+		return nil
+	}()
+	job.finish(render, hits, misses, err)
+	s.mu.Lock()
+	s.served++
+	s.mu.Unlock()
+}
+
+// Handler returns the daemon's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/jobs", s.handleJobs)
+	mux.HandleFunc("/jobs/", s.handleJob)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/stats", s.handleStats)
+	return mux
+}
+
+// Submit validates and enqueues a job spec, returning the queued job. It is
+// the programmatic form of POST /jobs; ErrQueueFull and ErrShuttingDown
+// report backpressure and drain.
+func (s *Server) Submit(spec scenario.JobSpec) (*Job, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	grid, err := spec.Grid()
+	if err != nil {
+		return nil, err
+	}
+	cells, err := grid.Cells()
+	if err != nil {
+		return nil, err
+	}
+	seeds := len(spec.Sweep().Seeds)
+
+	s.mu.Lock()
+	if s.closing {
+		s.mu.Unlock()
+		return nil, ErrShuttingDown
+	}
+	s.nextID++
+	job := newJob(fmt.Sprintf("job-%06d", s.nextID), spec, len(cells), seeds)
+	// Reserve the queue slot while holding the registry lock so a full
+	// queue never registers a job it cannot accept.
+	select {
+	case s.queue <- job:
+	default:
+		s.nextID--
+		s.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+	s.jobs[job.ID] = job
+	s.order = append(s.order, job.ID)
+	s.mu.Unlock()
+	return job, nil
+}
+
+// Job looks up a submitted job by id.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Sentinel submission errors, mapped to 429/503 by the HTTP layer.
+var (
+	ErrQueueFull    = fmt.Errorf("serve: job queue full")
+	ErrShuttingDown = fmt.Errorf("serve: shutting down")
+)
+
+// Shutdown drains the daemon: new submissions are refused immediately, and
+// every already-accepted job (queued and running) completes unless ctx
+// expires first. On a expired ctx the still-unfinished jobs are failed so
+// blocked stream clients unblock, and the context error is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closing {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closing = true
+	close(s.queue) // submits check closing under mu, so no send can race
+	s.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		s.runner.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for _, id := range s.order {
+			j := s.jobs[id]
+			if st := j.status(false); st.State == StateQueued || st.State == StateRunning {
+				j.finish("", 0, 0, fmt.Errorf("server shutdown before job finished"))
+			}
+		}
+		s.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// --- HTTP handlers ---
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		s.handleSubmit(w, r)
+	case http.MethodGet:
+		s.handleList(w)
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := readBody(r, 1<<20)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	spec, err := scenario.ParseJobSpec(body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	job, err := s.Submit(spec)
+	switch err {
+	case nil:
+	case ErrQueueFull:
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+		return
+	case ErrShuttingDown:
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	default:
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Location", "/jobs/"+job.ID)
+	writeJSON(w, http.StatusAccepted, map[string]any{
+		"id":         job.ID,
+		"cells":      job.Cells,
+		"seeds":      job.Seeds,
+		"status_url": "/jobs/" + job.ID,
+		"stream_url": "/jobs/" + job.ID + "/stream",
+	})
+}
+
+func (s *Server) handleList(w http.ResponseWriter) {
+	s.mu.Lock()
+	statuses := make([]Status, 0, len(s.order))
+	for _, id := range s.order {
+		statuses = append(statuses, s.jobs[id].status(false))
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": statuses})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	rest := strings.TrimPrefix(r.URL.Path, "/jobs/")
+	id, sub, _ := strings.Cut(rest, "/")
+	job, ok := s.Job(id)
+	if !ok {
+		http.Error(w, fmt.Sprintf("no job %q", id), http.StatusNotFound)
+		return
+	}
+	switch sub {
+	case "":
+		writeJSON(w, http.StatusOK, job.status(true))
+	case "stream":
+		s.handleStream(w, r, job)
+	default:
+		http.Error(w, fmt.Sprintf("no endpoint %q", sub), http.StatusNotFound)
+	}
+}
+
+// handleStream writes NDJSON: every completed row (backlog first, then live
+// as cells finish), terminated by a {"done": true} status line. Each line
+// is flushed as written so a client watches the grid fill in.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request, job *Job) {
+	backlog, live := job.subscribe()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	writeRow := func(row Row) bool {
+		if err := enc.Encode(row); err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+	for _, row := range backlog {
+		if !writeRow(row) {
+			return
+		}
+	}
+	for {
+		select {
+		case row, ok := <-live:
+			if !ok {
+				st := job.status(false)
+				enc.Encode(map[string]any{
+					"done":  true,
+					"state": st.State,
+					"error": st.Error,
+					"rows":  st.RowsDone,
+				})
+				if flusher != nil {
+					flusher.Flush()
+				}
+				return
+			}
+			if !writeRow(row) {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	closing := s.closing
+	s.mu.Unlock()
+	if closing {
+		http.Error(w, "shutting down", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// Stats is the /stats payload.
+type Stats struct {
+	QueueDepth    int        `json:"queue_depth"`
+	QueueCapacity int        `json:"queue_capacity"`
+	JobsQueued    int        `json:"jobs_queued"`
+	JobsRunning   int        `json:"jobs_running"`
+	JobsDone      int        `json:"jobs_done"`
+	JobsFailed    int        `json:"jobs_failed"`
+	JobsServed    int        `json:"jobs_served"`
+	Cache         *CacheStats `json:"cache,omitempty"`
+}
+
+// StatsSnapshot assembles the current daemon counters.
+func (s *Server) StatsSnapshot() Stats {
+	s.mu.Lock()
+	st := Stats{
+		QueueDepth:    len(s.queue),
+		QueueCapacity: cap(s.queue),
+		JobsServed:    s.served,
+	}
+	for _, id := range s.order {
+		switch s.jobs[id].status(false).State {
+		case StateQueued:
+			st.JobsQueued++
+		case StateRunning:
+			st.JobsRunning++
+		case StateDone:
+			st.JobsDone++
+		case StateFailed:
+			st.JobsFailed++
+		}
+	}
+	s.mu.Unlock()
+	if s.cache != nil {
+		cs := s.cache.stats()
+		st.Cache = &cs
+	}
+	return st
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.StatsSnapshot())
+}
+
+// --- small helpers ---
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func readBody(r *http.Request, limit int64) ([]byte, error) {
+	defer r.Body.Close()
+	data, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, limit))
+	if err != nil {
+		return nil, fmt.Errorf("reading body: %w", err)
+	}
+	return data, nil
+}
