@@ -14,9 +14,9 @@ TIER1_BENCH = BenchmarkEndToEndSimulation$$|BenchmarkConfigOptimizer$$|Benchmark
 # against it.
 BENCH_BASELINE ?= BENCH_baseline.json
 
-.PHONY: ci build vet test race race-reconfig race-market race-serve fuzz bench figures bench-baseline bench-check examples daemon-smoke
+.PHONY: ci build vet test race race-reconfig race-market race-serve chaos fuzz bench figures bench-baseline bench-check examples daemon-smoke
 
-ci: build vet race-reconfig race-market race-serve race examples daemon-smoke bench-check
+ci: build vet race-reconfig race-market race-serve chaos race examples daemon-smoke bench-check
 
 # Smoke gate: every example must build and run to completion (stdout is
 # discarded; a non-zero exit or panic fails the gate). examples/daemon is
@@ -61,6 +61,14 @@ race-market:
 # gets a first-class -race run.
 race-serve:
 	$(GO) test -race ./internal/serve/
+
+# Chaos gate: the fault-injection suite. The harness itself (schedule
+# determinism) and the daemon's degraded paths run under -race — fault
+# isolation is concurrency machinery — plus the focused fault-tolerance
+# tests in the sweep pool and the grid layer.
+chaos:
+	$(GO) test -race ./internal/faults/ ./internal/serve/
+	$(GO) test -race -run 'Isolated|Retry|Tolerant' ./internal/experiments/ ./internal/scenario/
 
 # Daemon smoke gate: start spotserved's engine, submit a small grid over
 # HTTP, assert the streamed NDJSON rows fingerprint-match the equivalent

@@ -1,27 +1,39 @@
 // Command spotserved is the long-running serving daemon: an HTTP management
 // plane over the scenario-sweep harness. Clients submit grid job specs,
 // poll or stream NDJSON rows as cells finish, and repeated what-if queries
-// are served from the fingerprint-keyed cell cache.
+// are served from the fingerprint-keyed cell cache. Jobs run fault-
+// isolated: a failing cell degrades to an n/a row instead of failing the
+// job, per-cell retries are deterministic, and jobs can carry deadlines or
+// be cancelled mid-run.
 //
 // Usage:
 //
 //	spotserved [-addr :8044] [-queue 16] [-parallel 0] [-cache-cells 4096] [-no-cache]
+//	           [-retries 1] [-retry-backoff 100ms]
+//	           [-chaos kind] [-chaos-seed 1] [-chaos-rate 0.05] [-chaos-cells 3,7]
 //
 // Endpoints (full schema in docs/ARCHITECTURE.md):
 //
-//	POST /jobs              submit a grid spec → 202 {"id": "job-000001", ...}
-//	GET  /jobs              list jobs
-//	GET  /jobs/{id}         poll status, rows, rendered table when done
-//	GET  /jobs/{id}/stream  NDJSON rows as cells finish
-//	GET  /healthz           liveness
-//	GET  /stats             queue depth, cache hit rate, jobs served
+//	POST   /jobs              submit a grid spec → 202 {"id": "job-000001", ...}
+//	GET    /jobs              list jobs
+//	GET    /jobs/{id}         poll status, rows, rendered table when done
+//	DELETE /jobs/{id}         cancel a queued or running job
+//	GET    /jobs/{id}/stream  NDJSON rows as cells finish + terminal done-line
+//	GET    /healthz           liveness
+//	GET    /stats             queue depth, cache hit rate, retry/failure counters
 //
 // Example session:
 //
 //	spotserved -addr :8044 &
 //	curl -s -X POST localhost:8044/jobs -d '{"avail":["diurnal"],"policies":["fixed"],"fleets":["homog"],"seeds":2}'
 //	curl -sN localhost:8044/jobs/job-000001/stream
+//	curl -s -X DELETE localhost:8044/jobs/job-000001
 //	curl -s localhost:8044/stats
+//
+// The -chaos flags run the daemon in chaos mode: the named fault plan
+// (internal/faults) is injected deterministically into every job, proving
+// the degraded paths on live traffic without touching results — completed
+// cells stay byte-identical to a fault-free run.
 //
 // SIGINT/SIGTERM drain gracefully: submissions are refused, in-flight and
 // queued jobs finish (bounded by -drain-timeout), then the process exits.
@@ -35,9 +47,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
+	"spotserve/internal/experiments"
+	"spotserve/internal/faults"
 	"spotserve/internal/serve"
 )
 
@@ -48,6 +64,15 @@ func main() {
 	cacheCells := flag.Int("cache-cells", serve.DefaultCacheCells, "cell cache capacity (completed per-seed replicas)")
 	noCache := flag.Bool("no-cache", false, "disable the cell cache (every job simulates every replica)")
 	drainTimeout := flag.Duration("drain-timeout", 5*time.Minute, "max time to drain queued and in-flight jobs on shutdown")
+	retries := flag.Int("retries", 1, "per-cell attempt budget (1 = no retries); retries are deterministic and never change results")
+	retryBackoff := flag.Duration("retry-backoff", 100*time.Millisecond, "base backoff before a cell retry (doubles per attempt, capped)")
+	maxBody := flag.Int64("max-body", serve.DefaultMaxBodyBytes, "request body size limit in bytes")
+	readHeaderTimeout := flag.Duration("read-header-timeout", 5*time.Second, "http.Server ReadHeaderTimeout (slow-loris guard)")
+	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout for keep-alive connections")
+	chaos := flag.String("chaos", "", "chaos mode: inject the named fault plan into every job ("+strings.Join(faults.Kinds(), ", ")+")")
+	chaosSeed := flag.Int64("chaos-seed", 1, "chaos plan seed (same seed = same fault schedule)")
+	chaosRate := flag.Float64("chaos-rate", 0.05, "fraction of cells the chaos plan afflicts")
+	chaosCells := flag.String("chaos-cells", "", "comma-separated sweep job indices to afflict (overrides -chaos-rate)")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "unexpected argument %q\n", flag.Arg(0))
@@ -55,18 +80,61 @@ func main() {
 		os.Exit(2)
 	}
 
+	var plan *faults.Plan
+	if *chaos != "" {
+		kind, ok := faults.ByName(*chaos)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown -chaos kind %q (have %s)\n", *chaos, strings.Join(faults.Kinds(), ", "))
+			os.Exit(2)
+		}
+		p := faults.Plan{Kind: kind, Seed: *chaosSeed, Rate: *chaosRate}
+		if *chaosCells != "" {
+			for _, f := range strings.Split(*chaosCells, ",") {
+				n, err := strconv.Atoi(strings.TrimSpace(f))
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "bad -chaos-cells entry %q: %v\n", f, err)
+					os.Exit(2)
+				}
+				p.Cells = append(p.Cells, n)
+			}
+		}
+		if err := p.Validate(); err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			os.Exit(2)
+		}
+		plan = &p
+	}
+
 	daemon := serve.New(serve.Options{
 		QueueDepth:   *queue,
 		Parallel:     *parallel,
 		CacheCells:   *cacheCells,
 		DisableCache: *noCache,
+		Retry: experiments.RetryPolicy{
+			MaxAttempts: *retries,
+			Backoff:     *retryBackoff,
+		},
+		Faults:       plan,
+		MaxBodyBytes: *maxBody,
 	})
-	httpSrv := &http.Server{Addr: *addr, Handler: daemon.Handler()}
+	httpSrv := &http.Server{
+		Addr:    *addr,
+		Handler: daemon.Handler(),
+		// ReadHeaderTimeout bounds how long a connection may dribble its
+		// request head (slow-loris), and IdleTimeout reaps idle keep-alive
+		// connections. Deliberately NO WriteTimeout: /jobs/{id}/stream is a
+		// long-lived NDJSON response that writes for as long as the job
+		// runs, and a write deadline would sever every slow stream mid-job.
+		// Stream lifetime is bounded by the job itself (deadline_ms,
+		// DELETE, drain), not by the transport.
+		ReadHeaderTimeout: *readHeaderTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "spotserved: listening on %s (queue %d, cache %s)\n",
-		*addr, *queue, cacheLabel(*noCache, *cacheCells))
+	fmt.Fprintf(os.Stderr, "spotserved: listening on %s (queue %d, cache %s%s)\n",
+		*addr, *queue, cacheLabel(*noCache, *cacheCells), chaosLabel(plan))
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -100,4 +168,11 @@ func cacheLabel(disabled bool, cells int) string {
 		return "off"
 	}
 	return fmt.Sprintf("%d cells", cells)
+}
+
+func chaosLabel(p *faults.Plan) string {
+	if p == nil {
+		return ""
+	}
+	return fmt.Sprintf(", chaos %s seed %d", p.Kind, p.Seed)
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
@@ -8,6 +9,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"spotserve/internal/metrics"
 )
@@ -34,6 +36,100 @@ type Sweep struct {
 	// input index, its Result, and whether it was served from Cache.
 	// Completion order is nondeterministic; the indexed results are not.
 	OnResult func(i int, r Result, fromCache bool)
+
+	// --- fault-tolerant (isolated) mode ---
+	//
+	// The fields below act only on the RunAllIsolated/RunCellsIsolated
+	// entry points. The classic entry points keep the historical contract
+	// — any worker panic aborts the whole sweep — so every golden stays
+	// byte-identical; isolation is always an explicit opt-in.
+
+	// Context, when non-nil, cancels an isolated run cooperatively: jobs
+	// not yet started (and retries not yet attempted) short-circuit to
+	// CellResult{Err: ctx.Err()} once it is done. Jobs already simulating
+	// run to completion — the kernel itself is never interrupted, so every
+	// completed cell stays byte-identical to an uncancelled run.
+	Context context.Context
+	// Retry is the per-cell retry policy for isolated runs; the zero value
+	// runs each job exactly once.
+	Retry RetryPolicy
+	// Inject, when non-nil, is called at the start of every attempt with
+	// the flat job index (cell×seeds+replica under RunCellsIsolated) and
+	// the 1-based attempt number — the fault-injection seam internal/faults
+	// plugs into. Returning an error fails the attempt; a panic inside it
+	// is captured exactly like a worker panic. It must be deterministic in
+	// (job, attempt) so chaos runs are reproducible. Injection happens
+	// before the simulation runs, so a fault can never corrupt a result —
+	// only replace it with an error.
+	Inject func(job, attempt int) error
+	// OnCell mirrors OnResult for isolated runs: invoked with the job's
+	// input index and its CellResult (success or final failure) after the
+	// last attempt, serialized by the same internal mutex.
+	OnCell func(i int, cr CellResult, fromCache bool)
+}
+
+// CellResult is one job's fault-isolated outcome: the Result when any
+// attempt succeeded, the final error otherwise, and how many attempts ran
+// (0 only when the job was cancelled before it ever started). The isolated
+// entry points degrade failures to per-cell errors — one panicking cell of
+// a thousand costs one cell, never the sweep.
+type CellResult struct {
+	Result   Result
+	Err      error
+	Attempts int
+}
+
+// RetryPolicy bounds per-cell retries with deterministic capped exponential
+// backoff. No jitter, by design: retry timing must never introduce
+// nondeterminism, and the simulations it guards are seeded and
+// reproducible, so synchronized retries cost nothing.
+type RetryPolicy struct {
+	// MaxAttempts is the attempt budget per cell; <= 1 means no retries.
+	MaxAttempts int
+	// Backoff is the delay before the second attempt; each further attempt
+	// doubles it, capped at MaxBackoff. Zero means retry immediately.
+	Backoff time.Duration
+	// MaxBackoff caps the doubling (<= 0 means DefaultMaxBackoff).
+	MaxBackoff time.Duration
+	// Sleep overrides how the pool waits out a backoff (default: a timer
+	// that also wakes on Context cancellation). Tests substitute a
+	// recorder so retry schedules are asserted, not slept.
+	Sleep func(d time.Duration)
+}
+
+// DefaultMaxBackoff caps exponential retry backoff when the policy leaves
+// MaxBackoff zero.
+const DefaultMaxBackoff = 30 * time.Second
+
+// attempts resolves the effective attempt budget.
+func (p RetryPolicy) attempts() int {
+	if p.MaxAttempts < 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// Delay returns the deterministic backoff slept before the given attempt
+// (attempt >= 2): Backoff doubled per extra attempt, capped at MaxBackoff.
+func (p RetryPolicy) Delay(attempt int) time.Duration {
+	if p.Backoff <= 0 || attempt <= 1 {
+		return 0
+	}
+	ceil := p.MaxBackoff
+	if ceil <= 0 {
+		ceil = DefaultMaxBackoff
+	}
+	d := p.Backoff
+	for i := 2; i < attempt; i++ {
+		d *= 2
+		if d >= ceil {
+			return ceil
+		}
+	}
+	if d > ceil {
+		return ceil
+	}
+	return d
 }
 
 // ResultCache stores completed Results keyed by CacheKey — the hook behind
@@ -143,19 +239,7 @@ func (sw Sweep) runAll(scs []Scenario) []Result {
 	// per-cell completion counts) needs no locking of its own.
 	var notifyMu sync.Mutex
 	runOne := func(i int) Result {
-		sc := scs[i]
-		var r Result
-		fromCache := false
-		if key, ok := cacheKeyFor(sc, sw.Cache); ok {
-			if hit, found := sw.Cache.Get(key); found {
-				r, fromCache = hit, true
-			} else {
-				r = Run(sc)
-				sw.Cache.Put(key, r)
-			}
-		} else {
-			r = Run(sc)
-		}
+		r, fromCache := sw.runCached(scs[i])
 		if sw.OnResult != nil {
 			notifyMu.Lock()
 			sw.OnResult(i, r, fromCache)
@@ -211,12 +295,164 @@ func cacheKeyFor(sc Scenario, cache ResultCache) (string, bool) {
 	return sc.CacheKey()
 }
 
+// runCached simulates one scenario through the optional result cache and
+// reports whether the result was replayed from it — the single run path
+// shared by the classic and isolated pools, so cache semantics cannot
+// drift between them.
+func (sw Sweep) runCached(sc Scenario) (Result, bool) {
+	if key, ok := cacheKeyFor(sc, sw.Cache); ok {
+		if hit, found := sw.Cache.Get(key); found {
+			return hit, true
+		}
+		r := Run(sc)
+		sw.Cache.Put(key, r)
+		return r, false
+	}
+	return Run(sc), false
+}
+
+// RunAllIsolated executes the scenarios on the bounded worker pool with
+// per-cell fault isolation: a worker panic or an injected fault is captured
+// into that job's CellResult instead of aborting the sweep, failed attempts
+// retry under the sweep's RetryPolicy, and Context cancellation
+// short-circuits jobs that have not started. Results are in input order.
+// When nothing fails, every CellResult.Result is byte-identical to the
+// corresponding RunAll result — the determinism-under-faults tests pin it.
+func (sw Sweep) RunAllIsolated(scs []Scenario) []CellResult {
+	out := make([]CellResult, len(scs))
+	if len(scs) == 0 {
+		return out
+	}
+	ctx := sw.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var notifyMu sync.Mutex
+	runOne := func(i int) CellResult {
+		var cr CellResult
+		fromCache := false
+		budget := sw.Retry.attempts()
+		for attempt := 1; attempt <= budget; attempt++ {
+			if err := ctx.Err(); err != nil {
+				// Cancelled between attempts (or before the first): the
+				// cancellation reason supersedes any earlier fault.
+				cr.Err = err
+				break
+			}
+			cr.Attempts = attempt
+			r, fc, err := sw.attemptOne(i, attempt, scs[i])
+			if err == nil {
+				cr.Result, cr.Err, fromCache = r, nil, fc
+				break
+			}
+			cr.Err = err
+			if attempt < budget {
+				sw.backoff(ctx, sw.Retry.Delay(attempt+1))
+			}
+		}
+		if sw.OnCell != nil {
+			notifyMu.Lock()
+			sw.OnCell(i, cr, fromCache)
+			notifyMu.Unlock()
+		}
+		return cr
+	}
+	workers := sw.workers(len(scs))
+	if workers == 1 {
+		for i := range scs {
+			out[i] = runOne(i)
+		}
+		return out
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= len(scs) {
+					return
+				}
+				out[i] = runOne(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// attemptOne runs one attempt of one job: fault injection first, then the
+// (cache-aware) simulation, with any panic from either captured as the
+// attempt's error. Injection precedes the run, so a fault replaces a
+// result; it can never alter one.
+func (sw Sweep) attemptOne(i, attempt int, sc Scenario) (r Result, fromCache bool, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("cell %d attempt %d panicked: %v", i, attempt, p)
+		}
+	}()
+	if sw.Inject != nil {
+		if ferr := sw.Inject(i, attempt); ferr != nil {
+			return Result{}, false, ferr
+		}
+	}
+	r, fromCache = sw.runCached(sc)
+	return r, fromCache, nil
+}
+
+// backoff waits out a retry delay, waking early on cancellation. A custom
+// RetryPolicy.Sleep (tests) is invoked as-is.
+func (sw Sweep) backoff(ctx context.Context, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if sw.Retry.Sleep != nil {
+		sw.Retry.Sleep(d)
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
 // RunCells runs every cell scenario once per sweep seed and returns the
 // replicas grouped by cell: out[i][j] is cells[i] simulated at Seeds[j].
 // With no sweep seeds each cell runs once at its own seed. Cell×seed jobs
 // are flattened into one pool so replication parallelizes as well as the
 // grid does.
 func (sw Sweep) RunCells(cells []Scenario) [][]Result {
+	jobs, perCell := sw.cellJobs(cells)
+	flat := sw.runAll(jobs)
+	out := make([][]Result, len(cells))
+	for i := range cells {
+		out[i] = flat[i*perCell : (i+1)*perCell]
+	}
+	return out
+}
+
+// RunCellsIsolated is RunCells with per-cell fault isolation: every
+// replica's outcome (success or captured failure) is returned, grouped by
+// cell, and a failing replica never aborts the sweep. Flat job index
+// cell×perCell+replica is what Sweep.Inject and OnCell observe.
+func (sw Sweep) RunCellsIsolated(cells []Scenario) [][]CellResult {
+	jobs, perCell := sw.cellJobs(cells)
+	flat := sw.RunAllIsolated(jobs)
+	out := make([][]CellResult, len(cells))
+	for i := range cells {
+		out[i] = flat[i*perCell : (i+1)*perCell]
+	}
+	return out
+}
+
+// cellJobs flattens cells×seeds into one job list (cell-major) — the shared
+// expansion behind RunCells and RunCellsIsolated.
+func (sw Sweep) cellJobs(cells []Scenario) ([]Scenario, int) {
 	seeds := sw.Seeds
 	perCell := len(seeds)
 	if perCell == 0 {
@@ -234,12 +470,7 @@ func (sw Sweep) RunCells(cells []Scenario) [][]Result {
 			jobs = append(jobs, r)
 		}
 	}
-	flat := sw.runAll(jobs)
-	out := make([][]Result, len(cells))
-	for i := range cells {
-		out[i] = flat[i*perCell : (i+1)*perCell]
-	}
-	return out
+	return jobs, perCell
 }
 
 // Replication folds one cell's per-seed replicas into mergeable aggregates:

@@ -1,0 +1,283 @@
+// Package faults is the deterministic fault-injection harness behind the
+// repository's chaos testing. A Plan is a seeded, registry-named schedule
+// of failures over the cells of a sweep — which cells are afflicted and
+// what happens on each attempt is a pure function of (Seed, cell, attempt),
+// so a chaos run is exactly reproducible: the same plan produces the same
+// fault schedule every time, the same way every sweep is reproducible from
+// its scenario seeds.
+//
+// Plans inject through two seams, both outside the simulation itself:
+//
+//   - Plan.Hook feeds experiments.Sweep.Inject, firing at the start of a
+//     cell attempt (panic, transient error, stall) before the simulation
+//     runs;
+//   - Plan.WrapCache wraps an experiments.ResultCache so cache outages
+//     degrade to misses (a dropped Put or failed Get forces a recompute,
+//     never a wrong answer).
+//
+// Because injection never reaches inside a run, the determinism-under-
+// faults guarantee holds by construction: every cell that does complete is
+// byte-identical to the same cell in a fault-free sweep. The tests in this
+// package and in internal/scenario pin both halves — schedule determinism
+// and result determinism.
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"spotserve/internal/experiments"
+)
+
+// Kind names a registered fault behavior.
+type Kind string
+
+const (
+	// CellPanic makes every attempt of an afflicted cell panic — the
+	// worst-case worker failure (persistent; retries cannot save it).
+	CellPanic Kind = "cell-panic"
+	// TransientError fails an afflicted cell's attempts with an error
+	// until attempt SucceedAfter, which runs normally — the fault a retry
+	// policy exists for.
+	TransientError Kind = "transient-error"
+	// SlowCell stalls an afflicted cell's attempt for Stall before running
+	// it normally — the fault deadlines and cancellation exist for.
+	SlowCell Kind = "slow-cell"
+	// CacheOutage makes the result cache unavailable for afflicted keys:
+	// Gets miss and Puts are dropped, forcing recomputation. It never
+	// fails a cell (cache-on == cache-off is already pinned elsewhere).
+	CacheOutage Kind = "cache-outage"
+)
+
+// Kinds lists the registered fault kinds in stable order.
+func Kinds() []string {
+	return []string{string(CellPanic), string(TransientError), string(SlowCell), string(CacheOutage)}
+}
+
+// ByName resolves a fault kind by registry name.
+func ByName(name string) (Kind, bool) {
+	for _, k := range Kinds() {
+		if k == name {
+			return Kind(name), true
+		}
+	}
+	return "", false
+}
+
+// Plan is one seeded chaos schedule. The zero value is invalid; fill Kind
+// plus either Cells or Rate and call Validate (the sweep entry points do).
+type Plan struct {
+	// Kind is the registered fault behavior.
+	Kind Kind
+	// Seed derives the affliction hash; two plans with equal (Kind, Seed,
+	// Rate, Cells, SucceedAfter) produce identical schedules.
+	Seed int64
+	// Cells, when non-empty, afflicts exactly these sweep job indices
+	// (cell×seeds+replica in a replicated sweep) and ignores Rate.
+	Cells []int
+	// Rate afflicts this fraction of cells by seeded hash when Cells is
+	// empty (0 < Rate <= 1).
+	Rate float64
+	// SucceedAfter is the first succeeding attempt for transient-error
+	// (default 3: attempts 1 and 2 fail). Ignored by other kinds.
+	SucceedAfter int
+	// Stall is slow-cell's injected delay (default 100ms).
+	Stall time.Duration
+	// Sleep overrides how slow-cell stalls (default time.Sleep) — tests
+	// substitute a blocking gate to make stalls fully deterministic.
+	Sleep func(time.Duration)
+}
+
+// Validate checks the plan against the registry and its parameter domains.
+func (p Plan) Validate() error {
+	if _, ok := ByName(string(p.Kind)); !ok {
+		return fmt.Errorf("faults: unknown kind %q (have %s)", p.Kind, strings.Join(Kinds(), ", "))
+	}
+	if len(p.Cells) == 0 && (p.Rate <= 0 || p.Rate > 1) {
+		return fmt.Errorf("faults: plan needs explicit Cells or a Rate in (0,1], got rate %g", p.Rate)
+	}
+	if p.SucceedAfter < 0 {
+		return fmt.Errorf("faults: SucceedAfter must be >= 0, got %d", p.SucceedAfter)
+	}
+	if p.Stall < 0 {
+		return fmt.Errorf("faults: Stall must be >= 0, got %v", p.Stall)
+	}
+	return nil
+}
+
+// succeedAfter resolves the transient recovery attempt.
+func (p Plan) succeedAfter() int {
+	if p.SucceedAfter <= 0 {
+		return 3
+	}
+	return p.SucceedAfter
+}
+
+// stall resolves slow-cell's delay.
+func (p Plan) stall() time.Duration {
+	if p.Stall <= 0 {
+		return 100 * time.Millisecond
+	}
+	return p.Stall
+}
+
+// mix64 is a splitmix64-style avalanche over the plan seed and two words —
+// the only randomness source in the package, so schedules depend on nothing
+// but their inputs.
+func mix64(seed int64, a, b uint64) uint64 {
+	z := uint64(seed)*0x9E3779B97F4A7C15 + a*0xBF58476D1CE4E5B9 + b*0x94D049BB133111EB
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
+}
+
+// unit maps a hash to [0, 1).
+func unit(h uint64) float64 { return float64(h>>11) / (1 << 53) }
+
+// Afflicts reports whether the plan fires on a sweep job index —
+// deterministic in (Seed, cell): explicit Cells membership, or a seeded
+// hash draw against Rate.
+func (p Plan) Afflicts(cell int) bool {
+	if len(p.Cells) > 0 {
+		for _, c := range p.Cells {
+			if c == cell {
+				return true
+			}
+		}
+		return false
+	}
+	return unit(mix64(p.Seed, uint64(cell)+1, 0xC3)) < p.Rate
+}
+
+// Action names what the plan does to one (cell, attempt): "panic", "error",
+// "stall" or "" (no fault). It is the side-effect-free form of Hook, and
+// what Schedule enumerates.
+func (p Plan) Action(cell, attempt int) string {
+	if !p.Afflicts(cell) {
+		return ""
+	}
+	switch p.Kind {
+	case CellPanic:
+		return "panic"
+	case TransientError:
+		if attempt < p.succeedAfter() {
+			return "error"
+		}
+		return ""
+	case SlowCell:
+		return "stall"
+	}
+	// cache-outage acts through WrapCache, never on the cell itself.
+	return ""
+}
+
+// Hook returns the experiments.Sweep.Inject hook executing the plan: it
+// panics, errors, or stalls exactly as Action prescribes for the (cell,
+// attempt) it is invoked with.
+func (p Plan) Hook() func(cell, attempt int) error {
+	return func(cell, attempt int) error {
+		switch p.Action(cell, attempt) {
+		case "panic":
+			panic(fmt.Sprintf("faults: injected panic (%s seed=%d cell=%d attempt=%d)",
+				p.Kind, p.Seed, cell, attempt))
+		case "error":
+			return fmt.Errorf("faults: injected transient error (%s seed=%d cell=%d attempt=%d)",
+				p.Kind, p.Seed, cell, attempt)
+		case "stall":
+			sleep := p.Sleep
+			if sleep == nil {
+				sleep = time.Sleep
+			}
+			sleep(p.stall())
+		}
+		return nil
+	}
+}
+
+// Fault is one scheduled injection.
+type Fault struct {
+	Cell    int
+	Attempt int
+	Action  string
+}
+
+// Schedule enumerates every fault the plan would fire over cells×attempts,
+// in (cell, attempt) order. Two calls with equal plans return identical
+// schedules — the reproducibility contract the chaos tests pin.
+func (p Plan) Schedule(cells, attempts int) []Fault {
+	var out []Fault
+	for c := 0; c < cells; c++ {
+		for a := 1; a <= attempts; a++ {
+			if act := p.Action(c, a); act != "" {
+				out = append(out, Fault{Cell: c, Attempt: a, Action: act})
+			}
+		}
+	}
+	return out
+}
+
+// AfflictedCells lists the cells the plan fires on within [0, cells),
+// sorted ascending.
+func (p Plan) AfflictedCells(cells int) []int {
+	var out []int
+	for c := 0; c < cells; c++ {
+		if p.Afflicts(c) {
+			out = append(out, c)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// WrapCache decorates a result cache with the plan's outage schedule: for
+// afflicted keys (seeded hash against Rate, or every key when Cells is
+// set — an explicit total outage) Get reports a miss and Put is dropped.
+// Outages force recomputation and can never alter results, because
+// cache-on == cache-off is already a pinned invariant. Non-cache-outage
+// plans return the cache unwrapped.
+func (p Plan) WrapCache(inner experiments.ResultCache) experiments.ResultCache {
+	if p.Kind != CacheOutage {
+		return inner
+	}
+	return outageCache{plan: p, inner: inner}
+}
+
+type outageCache struct {
+	plan  Plan
+	inner experiments.ResultCache
+}
+
+// keyOut reports whether the outage covers a cache key: a seeded hash of
+// the key against Rate, or total when explicit Cells were given. Keys, not
+// call order, decide — sweep workers race on the cache, so any schedule
+// keyed on call sequence would be nondeterministic.
+func (c outageCache) keyOut(key string) bool {
+	if len(c.plan.Cells) > 0 {
+		return true
+	}
+	var h uint64 = 0xCBF29CE484222325
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 0x100000001B3
+	}
+	return unit(mix64(c.plan.Seed, h, 0xA7)) < c.plan.Rate
+}
+
+func (c outageCache) Get(key string) (experiments.Result, bool) {
+	if c.keyOut(key) {
+		return experiments.Result{}, false
+	}
+	return c.inner.Get(key)
+}
+
+func (c outageCache) Put(key string, r experiments.Result) {
+	if c.keyOut(key) {
+		return
+	}
+	c.inner.Put(key, r)
+}

@@ -1,0 +1,207 @@
+package faults
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"spotserve/internal/experiments"
+)
+
+// Same plan, same schedule — the chaos harness's reproducibility contract,
+// across every registered kind and both affliction modes (Rate and Cells).
+func TestSameSeedSameSchedule(t *testing.T) {
+	cases := []struct {
+		name string
+		plan Plan
+	}{
+		{"panic-rate", Plan{Kind: CellPanic, Seed: 1, Rate: 0.2}},
+		{"panic-cells", Plan{Kind: CellPanic, Seed: 9, Cells: []int{3, 17}}},
+		{"transient-rate", Plan{Kind: TransientError, Seed: 2, Rate: 0.3}},
+		{"transient-early", Plan{Kind: TransientError, Seed: 2, Rate: 0.3, SucceedAfter: 2}},
+		{"slow-rate", Plan{Kind: SlowCell, Seed: 3, Rate: 0.5}},
+		{"outage-rate", Plan{Kind: CacheOutage, Seed: 4, Rate: 0.5}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.plan.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			a := tc.plan.Schedule(64, 4)
+			b := tc.plan.Schedule(64, 4)
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("same plan, different schedules:\n%v\n%v", a, b)
+			}
+			if !reflect.DeepEqual(tc.plan.AfflictedCells(64), tc.plan.AfflictedCells(64)) {
+				t.Fatal("same plan, different afflicted cells")
+			}
+			// A reseeded copy must diverge somewhere (rate mode only —
+			// explicit Cells ignore the seed by design).
+			if len(tc.plan.Cells) == 0 && tc.plan.Kind != CacheOutage {
+				reseeded := tc.plan
+				reseeded.Seed += 1000
+				if reflect.DeepEqual(a, reseeded.Schedule(64, 4)) {
+					t.Fatal("reseeded plan produced the identical schedule")
+				}
+			}
+		})
+	}
+}
+
+func TestScheduleShapes(t *testing.T) {
+	// Explicit cells: panic on every attempt of exactly those cells.
+	p := Plan{Kind: CellPanic, Seed: 1, Cells: []int{2, 5}}
+	want := []Fault{
+		{Cell: 2, Attempt: 1, Action: "panic"},
+		{Cell: 2, Attempt: 2, Action: "panic"},
+		{Cell: 5, Attempt: 1, Action: "panic"},
+		{Cell: 5, Attempt: 2, Action: "panic"},
+	}
+	if got := p.Schedule(8, 2); !reflect.DeepEqual(got, want) {
+		t.Fatalf("panic schedule = %v, want %v", got, want)
+	}
+
+	// Transient: errors strictly before SucceedAfter, nothing from there on.
+	tr := Plan{Kind: TransientError, Seed: 1, Cells: []int{0}, SucceedAfter: 3}
+	want = []Fault{
+		{Cell: 0, Attempt: 1, Action: "error"},
+		{Cell: 0, Attempt: 2, Action: "error"},
+	}
+	if got := tr.Schedule(1, 5); !reflect.DeepEqual(got, want) {
+		t.Fatalf("transient schedule = %v, want %v", got, want)
+	}
+
+	// Cache outage never acts on cells.
+	co := Plan{Kind: CacheOutage, Seed: 1, Rate: 1}
+	if got := co.Schedule(16, 3); len(got) != 0 {
+		t.Fatalf("cache-outage schedule fired on cells: %v", got)
+	}
+}
+
+func TestRateAfflictsFraction(t *testing.T) {
+	p := Plan{Kind: CellPanic, Seed: 7, Rate: 0.25}
+	got := len(p.AfflictedCells(10000))
+	if got < 2000 || got > 3000 {
+		t.Fatalf("rate 0.25 afflicted %d of 10000 cells", got)
+	}
+	if n := len(Plan{Kind: CellPanic, Seed: 7, Rate: 1}.AfflictedCells(100)); n != 100 {
+		t.Fatalf("rate 1 afflicted %d of 100", n)
+	}
+}
+
+func TestHookBehaviors(t *testing.T) {
+	// Transient: error, error, then clean.
+	hook := Plan{Kind: TransientError, Seed: 1, Cells: []int{0}}.Hook()
+	for attempt := 1; attempt <= 4; attempt++ {
+		err := hook(0, attempt)
+		if attempt < 3 && err == nil {
+			t.Fatalf("attempt %d: want injected error", attempt)
+		}
+		if attempt >= 3 && err != nil {
+			t.Fatalf("attempt %d: unexpected error %v", attempt, err)
+		}
+	}
+	if err := hook(1, 1); err != nil {
+		t.Fatalf("unafflicted cell errored: %v", err)
+	}
+
+	// Panic: fires with an identifying message, every attempt.
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("cell-panic hook did not panic")
+		}
+		if !strings.Contains(r.(string), "injected panic") {
+			t.Fatalf("panic message %q", r)
+		}
+	}()
+	_ = Plan{Kind: CellPanic, Seed: 1, Cells: []int{4}}.Hook()(4, 1)
+}
+
+func TestSlowCellUsesSleepOverride(t *testing.T) {
+	var slept []time.Duration
+	p := Plan{Kind: SlowCell, Seed: 1, Cells: []int{2}, Stall: 250 * time.Millisecond,
+		Sleep: func(d time.Duration) { slept = append(slept, d) }}
+	hook := p.Hook()
+	if err := hook(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := hook(3, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(slept, []time.Duration{250 * time.Millisecond}) {
+		t.Fatalf("slept %v, want one 250ms stall on the afflicted cell only", slept)
+	}
+}
+
+// mapCache is a trivial ResultCache for outage tests.
+type mapCache map[string]experiments.Result
+
+func (m mapCache) Get(key string) (experiments.Result, bool) { r, ok := m[key]; return r, ok }
+func (m mapCache) Put(key string, r experiments.Result)      { m[key] = r }
+
+func TestCacheOutage(t *testing.T) {
+	inner := mapCache{}
+	total := Plan{Kind: CacheOutage, Seed: 1, Cells: []int{0}} // explicit cells = total outage
+	wrapped := total.WrapCache(inner)
+	wrapped.Put("k", experiments.Result{})
+	if len(inner) != 0 {
+		t.Fatal("total outage let a Put through")
+	}
+	inner["k"] = experiments.Result{}
+	if _, ok := wrapped.Get("k"); ok {
+		t.Fatal("total outage let a Get hit")
+	}
+
+	// Partial outage is keyed deterministically: the same key always gets
+	// the same verdict, and roughly Rate of keys are out.
+	part := Plan{Kind: CacheOutage, Seed: 5, Rate: 0.5}.WrapCache(mapCache{}).(outageCache)
+	out := 0
+	for i := 0; i < 1000; i++ {
+		key := strings.Repeat("x", i%7) + string(rune('a'+i%26))
+		first := part.keyOut(key)
+		if part.keyOut(key) != first {
+			t.Fatalf("key %q verdict flapped", key)
+		}
+		if first {
+			out++
+		}
+	}
+	if out == 0 || out == 1000 {
+		t.Fatalf("rate 0.5 outage covered %d of 1000 keys", out)
+	}
+
+	// Non-outage plans must not interpose.
+	if got := (Plan{Kind: CellPanic, Seed: 1, Rate: 0.5}).WrapCache(inner); !reflect.DeepEqual(got, inner) {
+		t.Fatal("non-outage plan wrapped the cache")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		plan Plan
+		ok   bool
+	}{
+		{"zero", Plan{}, false},
+		{"unknown-kind", Plan{Kind: "meteor-strike", Rate: 0.5}, false},
+		{"no-rate-no-cells", Plan{Kind: CellPanic}, false},
+		{"rate-too-big", Plan{Kind: CellPanic, Rate: 1.5}, false},
+		{"negative-succeed", Plan{Kind: TransientError, Rate: 0.5, SucceedAfter: -1}, false},
+		{"negative-stall", Plan{Kind: SlowCell, Rate: 0.5, Stall: -time.Second}, false},
+		{"ok-rate", Plan{Kind: TransientError, Rate: 0.5}, true},
+		{"ok-cells", Plan{Kind: CellPanic, Cells: []int{0}}, true},
+	}
+	for _, tc := range cases {
+		if err := tc.plan.Validate(); (err == nil) != tc.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+	if _, ok := ByName("cell-panic"); !ok {
+		t.Fatal("ByName missed a registered kind")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Fatal("ByName accepted an unknown kind")
+	}
+}

@@ -260,6 +260,15 @@ type GridRow struct {
 	// the determinism contract a served row is checked against (a daemon
 	// job's rows must fingerprint-match the equivalent CLI run).
 	Fingerprints []string
+	// Err is the cell's failure under fault-isolated sweeps ("" on
+	// success): the first failed replica's error, in seed order. A failed
+	// cell renders as an n/a row with an error footer instead of aborting
+	// the sweep; its stats fields and Fingerprints are left zero.
+	Err string `json:"error,omitempty"`
+	// Retries counts extra simulation attempts across the cell's replicas
+	// (attempts beyond the first, summed). Always 0 when no fault fired,
+	// so fault-free rows stay byte-identical to the classic sweep's.
+	Retries int `json:"retries,omitempty"`
 }
 
 // costPer1kTok converts one replica's accrued USD into $ per 1000
@@ -314,6 +323,46 @@ func buildRow(rs []experiments.Result, slo float64) GridRow {
 	return row
 }
 
+// buildRowFT folds one cell's fault-isolated replicas into its grid row.
+// With every replica successful it defers to buildRow (plus the retry
+// count), so a fault-free tolerant sweep produces rows byte-identical to
+// the classic path. Any failed replica degrades the whole cell to an
+// error row — mixing bands over a partial seed set would silently change
+// what the row means — carrying the axes from the cell scenario (the
+// failed replicas have no Result to read them from).
+func buildRowFT(cell experiments.Scenario, crs []experiments.CellResult, slo float64) GridRow {
+	var ok []experiments.Result
+	retries := 0
+	errMsg := ""
+	for _, cr := range crs {
+		if cr.Attempts > 1 {
+			retries += cr.Attempts - 1
+		}
+		if cr.Err != nil {
+			if errMsg == "" {
+				errMsg = cr.Err.Error()
+			}
+			continue
+		}
+		ok = append(ok, cr.Result)
+	}
+	if errMsg == "" {
+		row := buildRow(ok, slo)
+		row.Retries = retries
+		return row
+	}
+	return GridRow{
+		Avail:   cell.AvailModel,
+		Policy:  cell.Policy,
+		Fleet:   cell.Fleet,
+		Market:  cell.Market,
+		System:  cell.System,
+		SLO:     slo,
+		Err:     errMsg,
+		Retries: retries,
+	}
+}
+
 // GridSweep runs the grid through the parallel sweep harness, replicating
 // every cell at each sweep seed (default: the grid's base seed once).
 // Results are byte-identical to a serial run at any worker count.
@@ -321,17 +370,12 @@ func GridSweep(g Grid, sw experiments.Sweep) ([]GridRow, error) {
 	return GridSweepStream(g, sw, nil)
 }
 
-// GridSweepStream is GridSweep with a per-cell callback: when onRow is
-// non-nil it is invoked as each cell's last seed replica finishes (from
-// sweep worker goroutines, serialized by the sweep's callback mutex) with
-// the cell index and the assembled row. Cells complete in nondeterministic
-// order under parallelism, but each streamed row is byte-identical to the
-// row at the same index in the returned slice — the serving daemon streams
-// partial grid results through this hook.
-func GridSweepStream(g Grid, sw experiments.Sweep, onRow func(cell int, row GridRow)) ([]GridRow, error) {
+// resolve expands the grid and defaults the sweep seeds and SLO — the
+// shared preamble of the classic and fault-tolerant grid sweeps.
+func (g Grid) resolve(sw experiments.Sweep) ([]experiments.Scenario, experiments.Sweep, float64, error) {
 	cells, err := g.Cells()
 	if err != nil {
-		return nil, err
+		return nil, sw, 0, err
 	}
 	if len(sw.Seeds) == 0 {
 		seed := g.Seed
@@ -343,6 +387,59 @@ func GridSweepStream(g Grid, sw experiments.Sweep, onRow func(cell int, row Grid
 	slo := g.SLO
 	if slo <= 0 {
 		slo = DefaultSLO
+	}
+	return cells, sw, slo, nil
+}
+
+// GridSweepTolerant runs the grid with per-cell fault isolation: a
+// panicking, erroring or injected-fault cell degrades to an error row
+// (rendered n/a) instead of aborting the sweep, failed replicas retry
+// under the sweep's RetryPolicy, and the sweep's Context cancels the run
+// cooperatively. onRow, when non-nil, streams each cell's row as its last
+// replica lands, exactly like GridSweepStream. With no faults firing the
+// returned rows — and the render built from them — are byte-identical to
+// GridSweep's, whatever retry policy is configured; the determinism-under-
+// faults tests pin this.
+func GridSweepTolerant(g Grid, sw experiments.Sweep, onRow func(cell int, row GridRow)) ([]GridRow, error) {
+	cells, sw, slo, err := g.resolve(sw)
+	if err != nil {
+		return nil, err
+	}
+	perCell := len(sw.Seeds)
+	pending := make([][]experiments.CellResult, len(cells))
+	remaining := make([]int, len(cells))
+	for i := range cells {
+		pending[i] = make([]experiments.CellResult, perCell)
+		remaining[i] = perCell
+	}
+	if onRow != nil {
+		sw.OnCell = func(i int, cr experiments.CellResult, _ bool) {
+			cell := i / perCell
+			pending[cell][i%perCell] = cr
+			if remaining[cell]--; remaining[cell] == 0 {
+				onRow(cell, buildRowFT(cells[cell], pending[cell], slo))
+			}
+		}
+	}
+	crs := sw.RunCellsIsolated(cells)
+	rows := make([]GridRow, len(cells))
+	for i, cr := range crs {
+		rows[i] = buildRowFT(cells[i], cr, slo)
+	}
+	return rows, nil
+}
+
+// GridSweepStream is GridSweep with a per-cell callback: when onRow is
+// non-nil it is invoked as each cell's last seed replica finishes (from
+// sweep worker goroutines, serialized by the sweep's callback mutex) with
+// the cell index and the assembled row. Cells complete in nondeterministic
+// order under parallelism, but each streamed row is byte-identical to the
+// row at the same index in the returned slice — the serving daemon streams
+// partial grid results through this hook.
+func GridSweepStream(g Grid, sw experiments.Sweep, onRow func(cell int, row GridRow)) ([]GridRow, error) {
+	cells, sw, slo, err := g.resolve(sw)
+	if err != nil {
+		return nil, err
 	}
 	if onRow != nil {
 		// RunCells flattens jobs cell-major: flat index i is cell i/perCell,
@@ -391,7 +488,21 @@ func RenderGrid(rows []GridRow) string {
 	}
 	b.WriteString("\n")
 	markets := map[string]bool{}
+	var failed []GridRow
 	for _, r := range rows {
+		if r.Err != "" {
+			// A fault-isolated failure: the axes identify the cell, every
+			// stat is unknowable, and the error footer below explains why.
+			fmt.Fprintf(&b, "%-12s %-15s %-13s %-18s %8s %8s %9s %8s %6s %4s %7s",
+				r.Avail, r.Policy, r.Fleet, r.System,
+				"n/a", "n/a", "n/a", "n/a", "n/a", "n/a", "n/a")
+			if bands {
+				fmt.Fprintf(&b, "  %-30s %-30s %-30s", "n/a", "n/a", "n/a")
+			}
+			b.WriteString("\n")
+			failed = append(failed, r)
+			continue
+		}
 		fmt.Fprintf(&b, "%-12s %-15s %-13s %-18s %7.1fs %7.1fs %8.2f$ %8.4f %5.1f%% %4d %6.0f%%",
 			r.Avail, r.Policy, r.Fleet, r.System,
 			r.Summary.Avg, r.Summary.P99, r.CostUSD,
@@ -404,6 +515,12 @@ func RenderGrid(rows []GridRow) string {
 		b.WriteString("\n")
 		if r.Market != "" {
 			markets[r.Market] = true
+		}
+	}
+	if len(failed) > 0 {
+		fmt.Fprintf(&b, "(%d cell(s) failed and render n/a; fault-isolated errors:)\n", len(failed))
+		for _, r := range failed {
+			fmt.Fprintf(&b, "(  %s/%s/%s/%s: %s)\n", r.Avail, r.Policy, r.Fleet, r.System, r.Err)
 		}
 	}
 	if bands && len(rows) > 0 {

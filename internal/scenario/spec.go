@@ -37,6 +37,14 @@ type JobSpec struct {
 	SLO      float64  `json:"slo,omitempty"`
 	Seed     int64    `json:"seed,omitempty"`
 	Seeds    int      `json:"seeds,omitempty"`
+	// DeadlineMS bounds the job's execution time in milliseconds, counted
+	// from the moment the job starts running (queue wait is backpressure,
+	// not work, so it is not charged against the deadline). 0 means no
+	// deadline. A job over deadline keeps its completed rows and finishes
+	// in the daemon's "deadline" terminal state. The deadline is job
+	// control, not scenario identity: it never reaches the grid, the cache
+	// key or the fingerprints.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 }
 
 // ParseJobSpec decodes and validates a JSON job spec. Unknown fields are
@@ -70,6 +78,9 @@ func (s JobSpec) Validate() error {
 	}
 	if s.SLO < 0 {
 		return fmt.Errorf("scenario: job spec: slo must be >= 0, got %g", s.SLO)
+	}
+	if s.DeadlineMS < 0 {
+		return fmt.Errorf("scenario: job spec: deadline_ms must be >= 0, got %d", s.DeadlineMS)
 	}
 	return nil
 }

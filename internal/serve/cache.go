@@ -74,9 +74,11 @@ func (c *cellCache) stats() CacheStats {
 }
 
 // countingCache wraps the shared cell cache to attribute hits and misses to
-// one job (the per-job hit count /jobs/{id} reports).
+// one job (the per-job hit count /jobs/{id} reports). The inner cache is an
+// interface so chaos mode can interpose a fault-injected wrapper — an
+// outage then counts as the miss it behaves as.
 type countingCache struct {
-	inner *cellCache
+	inner experiments.ResultCache
 	mu    sync.Mutex
 	hits  int
 	miss  int

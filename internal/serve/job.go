@@ -2,6 +2,7 @@ package serve
 
 import (
 	"sync"
+	"time"
 
 	"spotserve/internal/scenario"
 )
@@ -12,15 +13,38 @@ type State string
 const (
 	StateQueued  State = "queued"
 	StateRunning State = "running"
-	StateDone    State = "done"
-	StateFailed  State = "failed"
+	// StateDone: every cell completed.
+	StateDone State = "done"
+	// StateDegraded: the job finished, but fault isolation degraded at
+	// least one cell to an error row (rendered n/a); every other row is
+	// present and byte-identical to a healthy run.
+	StateDegraded State = "degraded"
+	// StateCancelled: a client cancelled the job (DELETE /jobs/{id});
+	// completed rows are kept.
+	StateCancelled State = "cancelled"
+	// StateDeadline: the job's per-job deadline expired mid-run; completed
+	// rows are kept.
+	StateDeadline State = "deadline"
+	// StateFailed: the job produced no usable result (bad grid, a
+	// whole-job panic, every cell failed, or shutdown interrupted it).
+	StateFailed State = "failed"
 )
+
+// terminal reports whether a state is final.
+func terminal(s State) bool {
+	switch s {
+	case StateDone, StateDegraded, StateCancelled, StateDeadline, StateFailed:
+		return true
+	}
+	return false
+}
 
 // Row is one streamed grid result: the cell index in grid order plus the
 // cell's assembled row. Cells stream in completion order (nondeterministic
 // under parallelism) — Cell is the key a client reorders by; the row
 // content at a given Cell is deterministic and fingerprint-matched against
-// the equivalent CLI run.
+// the equivalent CLI run. A fault-isolated failure streams as a row whose
+// embedded GridRow carries Err (and renders n/a in the table).
 type Row struct {
 	Cell int `json:"cell"`
 	scenario.GridRow
@@ -33,25 +57,34 @@ type Job struct {
 	Cells int              `json:"cells"`
 	Seeds int              `json:"seeds_per_cell"`
 
-	mu     sync.Mutex
-	state  State
-	errMsg string
-	rows   []Row // completion order
-	render string
-	hits   int
-	misses int
-	subs   []chan Row
-	done   chan struct{}
+	// deadline bounds the run once it starts (0 = none); from the spec.
+	deadline time.Duration
+
+	mu          sync.Mutex
+	state       State
+	errMsg      string
+	rows        []Row // completion order
+	render      string
+	hits        int
+	misses      int
+	retries     int
+	failedCells int
+	cancelled   bool
+	subs        []chan Row
+	cancelCh    chan struct{}
+	done        chan struct{}
 }
 
 func newJob(id string, spec scenario.JobSpec, cells, seeds int) *Job {
 	return &Job{
-		ID:    id,
-		Spec:  spec,
-		Cells: cells,
-		Seeds: seeds,
-		state: StateQueued,
-		done:  make(chan struct{}),
+		ID:       id,
+		Spec:     spec,
+		Cells:    cells,
+		Seeds:    seeds,
+		deadline: time.Duration(spec.DeadlineMS) * time.Millisecond,
+		state:    StateQueued,
+		cancelCh: make(chan struct{}),
+		done:     make(chan struct{}),
 	}
 }
 
@@ -66,10 +99,19 @@ type Status struct {
 	RowsDone     int              `json:"rows_done"`
 	CacheHits    int              `json:"cache_hits"`
 	CacheMisses  int              `json:"cache_misses"`
+	// Retries counts extra cell attempts the retry policy ran; FailedCells
+	// counts cells that degraded to error rows.
+	Retries     int `json:"retries,omitempty"`
+	FailedCells int `json:"failed_cells,omitempty"`
+	// CancelRequested reports a DELETE seen but not yet acted on (the job
+	// was queued or mid-cell when it arrived).
+	CancelRequested bool `json:"cancel_requested,omitempty"`
 	// Rows are the completed rows so far, in completion order.
 	Rows []Row `json:"rows,omitempty"`
 	// Render is the full rendered grid table — byte-identical to the
-	// equivalent `experiments -exp scenarios` run — present once done.
+	// equivalent `experiments -exp scenarios` run — present once the job
+	// reaches a terminal state with any rows (degraded/cancelled/deadline
+	// renders carry n/a rows for the cells that never completed).
 	Render string `json:"render,omitempty"`
 }
 
@@ -79,16 +121,19 @@ func (j *Job) status(withRows bool) Status {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	s := Status{
-		ID:           j.ID,
-		State:        j.state,
-		Error:        j.errMsg,
-		Spec:         j.Spec,
-		Cells:        j.Cells,
-		SeedsPerCell: j.Seeds,
-		RowsDone:     len(j.rows),
-		CacheHits:    j.hits,
-		CacheMisses:  j.misses,
-		Render:       j.render,
+		ID:              j.ID,
+		State:           j.state,
+		Error:           j.errMsg,
+		Spec:            j.Spec,
+		Cells:           j.Cells,
+		SeedsPerCell:    j.Seeds,
+		RowsDone:        len(j.rows),
+		CacheHits:       j.hits,
+		CacheMisses:     j.misses,
+		Retries:         j.retries,
+		FailedCells:     j.failedCells,
+		CancelRequested: j.cancelled && !terminal(j.state),
+		Render:          j.render,
 	}
 	if withRows {
 		s.Rows = append([]Row(nil), j.rows...)
@@ -102,9 +147,33 @@ func (j *Job) setState(s State) {
 	j.mu.Unlock()
 }
 
+// Cancel requests cooperative cancellation and reports whether the request
+// took effect (false once the job is terminal or already cancelled). The
+// runner observes it through cancelCh: a queued job finishes cancelled
+// without running, a running job's sweep context is cancelled so remaining
+// cells short-circuit while in-flight cells complete.
+func (j *Job) Cancel() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.cancelled || terminal(j.state) {
+		return false
+	}
+	j.cancelled = true
+	close(j.cancelCh)
+	return true
+}
+
+// isCancelled reports whether a client requested cancellation.
+func (j *Job) isCancelled() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.cancelled
+}
+
 // emit appends a completed row and fans it out to every stream subscriber.
 // Subscriber channels are buffered to the job's cell count, so a send can
-// never block the sweep worker that produced the row.
+// never block the sweep worker that produced the row — even when the
+// subscribing client has disconnected and nobody is draining.
 func (j *Job) emit(r Row) {
 	j.mu.Lock()
 	j.rows = append(j.rows, r)
@@ -114,24 +183,32 @@ func (j *Job) emit(r Row) {
 	j.mu.Unlock()
 }
 
+// outcome is everything finish records about a job's terminal state.
+type outcome struct {
+	state       State
+	errMsg      string
+	render      string
+	hits        int
+	misses      int
+	retries     int
+	failedCells int
+}
+
 // finish moves the job to its terminal state, records the rendered table
-// (or the failure), and closes every subscriber stream. It is idempotent:
-// a shutdown deadline may fail a job the runner is still finishing, and
+// and counters, and closes every subscriber stream. It is idempotent: a
+// shutdown deadline may fail a job the runner is still finishing, and
 // whichever call lands first wins.
-func (j *Job) finish(render string, hits, misses int, err error) {
+func (j *Job) finish(o outcome) {
 	j.mu.Lock()
-	if j.state == StateDone || j.state == StateFailed {
+	if terminal(j.state) {
 		j.mu.Unlock()
 		return
 	}
-	if err != nil {
-		j.state = StateFailed
-		j.errMsg = err.Error()
-	} else {
-		j.state = StateDone
-		j.render = render
-	}
-	j.hits, j.misses = hits, misses
+	j.state = o.state
+	j.errMsg = o.errMsg
+	j.render = o.render
+	j.hits, j.misses = o.hits, o.misses
+	j.retries, j.failedCells = o.retries, o.failedCells
 	for _, ch := range j.subs {
 		close(ch)
 	}
@@ -142,18 +219,42 @@ func (j *Job) finish(render string, hits, misses int, err error) {
 
 // subscribe returns the rows emitted so far plus a channel carrying every
 // subsequent row; the channel is closed when the job reaches a terminal
-// state. For an already-finished job the channel arrives closed.
-func (j *Job) subscribe() (backlog []Row, live <-chan Row) {
+// state. For an already-finished job the channel arrives closed. Callers
+// that stop consuming before the job finishes must unsubscribe, or the
+// dead channel stays fanned-out until the job ends.
+func (j *Job) subscribe() (backlog []Row, live chan Row) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	backlog = append([]Row(nil), j.rows...)
 	ch := make(chan Row, j.Cells+1)
-	if j.state == StateDone || j.state == StateFailed {
+	if terminal(j.state) {
 		close(ch)
 		return backlog, ch
 	}
 	j.subs = append(j.subs, ch)
 	return backlog, ch
+}
+
+// unsubscribe removes a subscriber registered by subscribe. Safe to call
+// after finish (the subscriber list is already gone) and for channels that
+// were never registered.
+func (j *Job) unsubscribe(ch chan Row) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for i, c := range j.subs {
+		if c == ch {
+			j.subs = append(j.subs[:i], j.subs[i+1:]...)
+			return
+		}
+	}
+}
+
+// subscribers reports the live subscriber count (tests assert that a
+// disconnected client's subscription is reaped).
+func (j *Job) subscribers() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.subs)
 }
 
 // Done exposes the job's completion signal.

@@ -16,25 +16,37 @@
 //
 // API (see docs/ARCHITECTURE.md for the full schema):
 //
-//	POST /jobs         submit a scenario.JobSpec JSON body → 202 + job id
-//	                   (400 bad spec, 429 queue full, 503 shutting down)
-//	GET  /jobs         list job statuses, submission order
-//	GET  /jobs/{id}    poll one job: state, rows done, cache hits, render
-//	GET  /jobs/{id}/stream  NDJSON: one Row per line as cells finish, then
-//	                   a terminal {"done": true, ...} line
-//	GET  /healthz      liveness: "ok" (503 once shutdown begins)
-//	GET  /stats        queue depth/capacity, job counts, cache hit rate
+//	POST   /jobs        submit a scenario.JobSpec JSON body → 202 + job id
+//	                    (400 bad spec, 429 queue full, 503 shutting down)
+//	GET    /jobs        list job statuses, submission order
+//	GET    /jobs/{id}   poll one job: state, rows done, cache hits, render
+//	DELETE /jobs/{id}   cancel a queued or running job cooperatively
+//	GET    /jobs/{id}/stream  NDJSON: one Row per line as cells finish, then
+//	                    a terminal {"done": true, ...} line whose status
+//	                    distinguishes done/degraded/cancelled/deadline
+//	GET    /healthz     liveness: "ok" (503 once shutdown begins)
+//	GET    /stats       queue depth/capacity, job counts, cache hit rate,
+//	                    retry/failure counters
+//
+// Jobs run fault-isolated: one failing cell degrades to an n/a row, the
+// rest of the grid completes, and the job ends "degraded" rather than
+// "failed". Per-job deadlines (spec deadline_ms) and DELETE cancellation
+// are cooperative — cells already simulating finish (and stay
+// byte-identical), cells not yet started short-circuit.
 package serve
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strings"
 	"sync"
 
+	"spotserve/internal/experiments"
+	"spotserve/internal/faults"
 	"spotserve/internal/scenario"
 )
 
@@ -52,6 +64,18 @@ type Options struct {
 	// replica. The equivalence tests run the same job spec with the cache
 	// on and off and require identical fingerprints.
 	DisableCache bool
+	// Retry is the per-cell retry policy applied to every job's sweep.
+	// The zero value attempts each replica once. Retries are deterministic
+	// (capped exponential backoff, no jitter) and never perturb results —
+	// a retried cell re-runs the same seeded simulation.
+	Retry experiments.RetryPolicy
+	// Faults, when non-nil, injects the chaos plan into every job's sweep
+	// — the daemon's chaos mode (-chaos flags, the `make chaos` suite).
+	// Injection is deterministic per (plan seed, cell, attempt) and can
+	// only replace results with error rows, never alter them.
+	Faults *faults.Plan
+	// MaxBodyBytes bounds request bodies (<= 0 = DefaultMaxBodyBytes).
+	MaxBodyBytes int64
 }
 
 // DefaultQueueDepth bounds the job queue when Options leaves it zero.
@@ -60,6 +84,9 @@ const DefaultQueueDepth = 16
 // DefaultCacheCells bounds the cell cache when Options leaves it zero —
 // roughly 80 repeats of the 50-cell default grid at one seed.
 const DefaultCacheCells = 4096
+
+// DefaultMaxBodyBytes bounds request bodies when Options leaves it zero.
+const DefaultMaxBodyBytes = 1 << 20
 
 // Server is the daemon state: job registry, bounded queue, cell cache and
 // the single runner goroutine draining the queue.
@@ -92,6 +119,9 @@ func New(opts Options) *Server {
 	if opts.CacheCells <= 0 {
 		opts.CacheCells = DefaultCacheCells
 	}
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = DefaultMaxBodyBytes
+	}
 	s := &Server{
 		opts:  opts,
 		jobs:  make(map[string]*Job),
@@ -115,18 +145,47 @@ func (s *Server) run() {
 	}
 }
 
-// runJob executes one job through the streaming grid sweep, recovering a
-// worker panic into a failed job rather than a dead daemon.
+// runJob executes one job through the fault-tolerant streaming grid sweep.
+// Cell failures degrade to error rows (the job ends "degraded"), a client
+// cancel or expired deadline short-circuits the sweep cooperatively, and a
+// whole-job panic still fails the job rather than the daemon.
 func (s *Server) runJob(job *Job) {
+	defer func() {
+		s.mu.Lock()
+		s.served++
+		s.mu.Unlock()
+	}()
+	if job.isCancelled() {
+		job.finish(outcome{state: StateCancelled, errMsg: "cancelled before start"})
+		return
+	}
 	job.setState(StateRunning)
 	if s.testJobStart != nil {
 		s.testJobStart(job)
 	}
-	var (
-		render string
-		hits   int
-		misses int
-	)
+
+	// The job context: cancelled by DELETE /jobs/{id} (via cancelCh) or by
+	// the per-job deadline, clocked from run start — queue wait is
+	// backpressure, not work.
+	ctx, cancel := context.WithCancel(context.Background())
+	if job.deadline > 0 {
+		ctx, cancel = context.WithTimeout(context.Background(), job.deadline)
+	}
+	watchDone := make(chan struct{})
+	defer func() {
+		close(watchDone)
+		cancel()
+	}()
+	go func() {
+		select {
+		case <-job.cancelCh:
+			cancel()
+		case <-watchDone:
+		}
+	}()
+
+	var o outcome
+	cells := 0
 	err := func() (err error) {
 		defer func() {
 			if r := recover(); r != nil {
@@ -139,27 +198,60 @@ func (s *Server) runJob(job *Job) {
 		}
 		sw := job.Spec.Sweep()
 		sw.Parallel = s.opts.Parallel
+		sw.Context = ctx
+		sw.Retry = s.opts.Retry
 		var counting *countingCache
 		if s.cache != nil {
-			counting = &countingCache{inner: s.cache}
+			var rc experiments.ResultCache = s.cache
+			if s.opts.Faults != nil {
+				// Chaos mode: the outage wrapper sits between the counter
+				// and the store, so an outage is attributed as a miss.
+				rc = s.opts.Faults.WrapCache(rc)
+			}
+			counting = &countingCache{inner: rc}
 			sw.Cache = counting
 		}
-		rows, err := scenario.GridSweepStream(grid, sw, func(cell int, row scenario.GridRow) {
+		if s.opts.Faults != nil {
+			sw.Inject = s.opts.Faults.Hook()
+		}
+		rows, err := scenario.GridSweepTolerant(grid, sw, func(cell int, row scenario.GridRow) {
 			job.emit(Row{Cell: cell, GridRow: row})
 		})
 		if err != nil {
 			return err
 		}
-		render = scenario.RenderGrid(rows)
+		cells = len(rows)
+		o.render = scenario.RenderGrid(rows)
+		for _, r := range rows {
+			o.retries += r.Retries
+			if r.Err != "" {
+				o.failedCells++
+			}
+		}
 		if counting != nil {
-			hits, misses = counting.counts()
+			o.hits, o.misses = counting.counts()
 		}
 		return nil
 	}()
-	job.finish(render, hits, misses, err)
-	s.mu.Lock()
-	s.served++
-	s.mu.Unlock()
+
+	// Classify the terminal state: an explicit cancel or expired deadline
+	// wins over degradation (the n/a rows are a consequence, not a cause);
+	// all-cells-failed is a failure, partial failure is degradation.
+	switch {
+	case err != nil:
+		o.state, o.errMsg = StateFailed, err.Error()
+	case job.isCancelled():
+		o.state, o.errMsg = StateCancelled, "cancelled by client"
+	case errors.Is(ctx.Err(), context.DeadlineExceeded):
+		o.state, o.errMsg = StateDeadline, fmt.Sprintf("deadline %v exceeded", job.deadline)
+	case cells > 0 && o.failedCells == cells:
+		o.state, o.errMsg = StateFailed, fmt.Sprintf("all %d cells failed", cells)
+	case o.failedCells > 0:
+		o.state = StateDegraded
+	default:
+		o.state = StateDone
+	}
+	job.finish(o)
 }
 
 // Handler returns the daemon's HTTP routes.
@@ -251,8 +343,8 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.mu.Lock()
 		for _, id := range s.order {
 			j := s.jobs[id]
-			if st := j.status(false); st.State == StateQueued || st.State == StateRunning {
-				j.finish("", 0, 0, fmt.Errorf("server shutdown before job finished"))
+			if st := j.status(false); !terminal(st.State) {
+				j.finish(outcome{state: StateFailed, errMsg: "server shutdown before job finished"})
 			}
 		}
 		s.mu.Unlock()
@@ -274,7 +366,7 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	body, err := readBody(r, 1<<20)
+	body, err := readBody(r, s.opts.MaxBodyBytes)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -319,7 +411,7 @@ func (s *Server) handleList(w http.ResponseWriter) {
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
+	if r.Method != http.MethodGet && r.Method != http.MethodDelete {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
@@ -328,6 +420,19 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.Job(id)
 	if !ok {
 		http.Error(w, fmt.Sprintf("no job %q", id), http.StatusNotFound)
+		return
+	}
+	if r.Method == http.MethodDelete {
+		if sub != "" {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		took := job.Cancel()
+		writeJSON(w, http.StatusOK, map[string]any{
+			"id":        job.ID,
+			"cancelled": took,
+			"state":     job.status(false).State,
+		})
 		return
 	}
 	switch sub {
@@ -341,13 +446,23 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleStream writes NDJSON: every completed row (backlog first, then live
-// as cells finish), terminated by a {"done": true} status line. Each line
-// is flushed as written so a client watches the grid fill in.
+// as cells finish), terminated by a {"done": true} status line whose state
+// distinguishes done, degraded, cancelled, deadline and failed. Each line
+// is flushed as written so a client watches the grid fill in. A client
+// that disconnects mid-stream is unsubscribed on the way out, so its dead
+// channel never lingers on the job's fan-out list.
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request, job *Job) {
 	backlog, live := job.subscribe()
+	defer job.unsubscribe(live)
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
+	// Flush the headers before any row exists: a client must see the stream
+	// open immediately (and be able to wait on it), not block until the
+	// first cell of a possibly long or stalled job completes.
+	if flusher != nil {
+		flusher.Flush()
+	}
 	enc := json.NewEncoder(w)
 	writeRow := func(row Row) bool {
 		if err := enc.Encode(row); err != nil {
@@ -368,12 +483,18 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request, job *Job) 
 		case row, ok := <-live:
 			if !ok {
 				st := job.status(false)
-				enc.Encode(map[string]any{
-					"done":  true,
-					"state": st.State,
-					"error": st.Error,
-					"rows":  st.RowsDone,
-				})
+				// A failed Encode means the client is gone; there is no
+				// stream left to repair, so stop without flushing.
+				if err := enc.Encode(map[string]any{
+					"done":         true,
+					"state":        st.State,
+					"error":        st.Error,
+					"rows":         st.RowsDone,
+					"failed_cells": st.FailedCells,
+					"retries":      st.Retries,
+				}); err != nil {
+					return
+				}
 				if flusher != nil {
 					flusher.Flush()
 				}
@@ -402,14 +523,22 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // Stats is the /stats payload.
 type Stats struct {
-	QueueDepth    int        `json:"queue_depth"`
-	QueueCapacity int        `json:"queue_capacity"`
-	JobsQueued    int        `json:"jobs_queued"`
-	JobsRunning   int        `json:"jobs_running"`
-	JobsDone      int        `json:"jobs_done"`
-	JobsFailed    int        `json:"jobs_failed"`
-	JobsServed    int        `json:"jobs_served"`
-	Cache         *CacheStats `json:"cache,omitempty"`
+	QueueDepth    int `json:"queue_depth"`
+	QueueCapacity int `json:"queue_capacity"`
+	JobsQueued    int `json:"jobs_queued"`
+	JobsRunning   int `json:"jobs_running"`
+	JobsDone      int `json:"jobs_done"`
+	JobsDegraded  int `json:"jobs_degraded"`
+	JobsCancelled int `json:"jobs_cancelled"`
+	JobsDeadline  int `json:"jobs_deadline"`
+	JobsFailed    int `json:"jobs_failed"`
+	JobsServed    int `json:"jobs_served"`
+	// CellRetries / CellFailures total the fault-tolerance activity across
+	// every job: extra attempts the retry policy ran, and cells that
+	// degraded to error rows.
+	CellRetries  int         `json:"cell_retries"`
+	CellFailures int         `json:"cell_failures"`
+	Cache        *CacheStats `json:"cache,omitempty"`
 }
 
 // StatsSnapshot assembles the current daemon counters.
@@ -421,13 +550,22 @@ func (s *Server) StatsSnapshot() Stats {
 		JobsServed:    s.served,
 	}
 	for _, id := range s.order {
-		switch s.jobs[id].status(false).State {
+		js := s.jobs[id].status(false)
+		st.CellRetries += js.Retries
+		st.CellFailures += js.FailedCells
+		switch js.State {
 		case StateQueued:
 			st.JobsQueued++
 		case StateRunning:
 			st.JobsRunning++
 		case StateDone:
 			st.JobsDone++
+		case StateDegraded:
+			st.JobsDegraded++
+		case StateCancelled:
+			st.JobsCancelled++
+		case StateDeadline:
+			st.JobsDeadline++
 		case StateFailed:
 			st.JobsFailed++
 		}

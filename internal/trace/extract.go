@@ -62,13 +62,15 @@ func Concat(name string, parts ...Trace) (Trace, error) {
 	return out, out.Validate()
 }
 
-// TwelveHour synthesizes a 12-hour spot availability recording in the
+// Recording synthesizes an hours-long spot availability recording in the
 // style of the paper's collected g4dn trace, from which representative
-// segments can be extracted.
-func TwelveHour(seed int64) Trace {
-	tr, err := Generate(GenOptions{
-		Name:      "g4dn-12h",
-		Horizon:   12 * 3600,
+// segments can be extracted. hours must be positive; malformed options are
+// returned as errors, never panicked — this is library code and callers
+// (the daemon among them) must be able to survive a bad request.
+func Recording(hours float64, seed int64) (Trace, error) {
+	return Generate(GenOptions{
+		Name:      fmt.Sprintf("g4dn-%gh", hours),
+		Horizon:   hours * 3600,
 		Start:     10,
 		Min:       2,
 		Max:       12,
@@ -77,9 +79,9 @@ func TwelveHour(seed int64) Trace {
 		MaxStep:   2,
 		Seed:      seed,
 	})
-	if err != nil {
-		// Static options — failure is a programming error.
-		panic(err)
-	}
-	return tr
+}
+
+// TwelveHour synthesizes the paper's 12-hour recording (§6.1).
+func TwelveHour(seed int64) (Trace, error) {
+	return Recording(12, seed)
 }

@@ -41,7 +41,10 @@ func TestExtractRejectsOutOfRange(t *testing.T) {
 // Property: extracting any valid window preserves the step function —
 // CountAt(t) on the extract equals CountAt(start+t) on the source.
 func TestQuickExtractPreservesCounts(t *testing.T) {
-	src := TwelveHour(3)
+	src, err := TwelveHour(3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	f := func(sRaw, dRaw uint16, probeRaw uint16) bool {
 		start := float64(int(sRaw) % int(src.Horizon-1200))
 		dur := 600 + float64(dRaw%600)
@@ -79,7 +82,10 @@ func TestConcat(t *testing.T) {
 }
 
 func TestTwelveHourSane(t *testing.T) {
-	tr := TwelveHour(1)
+	tr, err := TwelveHour(1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if tr.Horizon != 12*3600 {
 		t.Fatalf("horizon = %v", tr.Horizon)
 	}
@@ -96,5 +102,19 @@ func TestTwelveHourSane(t *testing.T) {
 	}
 	if seg.Horizon != 1200 || seg.Validate() != nil {
 		t.Fatalf("bad segment: %+v", seg)
+	}
+}
+
+// Regression: malformed recording options must surface as an error, not a
+// panic — this path used to panic inside TwelveHour (library code).
+func TestRecordingMalformedInput(t *testing.T) {
+	for _, hours := range []float64{0, -3} {
+		tr, err := Recording(hours, 1)
+		if err == nil {
+			t.Errorf("Recording(%g, 1) accepted: %+v", hours, tr)
+		}
+	}
+	if _, err := TwelveHour(1); err != nil {
+		t.Errorf("TwelveHour(1) = %v, want nil error", err)
 	}
 }
