@@ -14,9 +14,9 @@ TIER1_BENCH = BenchmarkEndToEndSimulation$$|BenchmarkConfigOptimizer$$|Benchmark
 # against it.
 BENCH_BASELINE ?= BENCH_baseline.json
 
-.PHONY: ci build vet test race race-reconfig race-market race-serve chaos fuzz bench figures bench-baseline bench-check examples daemon-smoke
+.PHONY: ci build vet test race race-reconfig race-market race-serve chaos fuzz bench figures bench-baseline bench-check bench-record cover cover-floor examples daemon-smoke
 
-ci: build vet race-reconfig race-market race-serve chaos race examples daemon-smoke bench-check
+ci: build vet race-reconfig race-market race-serve chaos race examples daemon-smoke cover bench-check
 
 # Smoke gate: every example must build and run to completion (stdout is
 # discarded; a non-zero exit or panic fails the gate). examples/daemon is
@@ -77,11 +77,31 @@ chaos:
 daemon-smoke:
 	$(GO) run ./examples/daemon > /dev/null
 
-# Short fuzz pass over the JSON trace format (CI smoke; run longer locally
-# with -fuzztime=5m when touching internal/trace).
+# Short fuzz pass over the JSON wire formats (CI smoke; run longer locally
+# with -fuzztime=5m when touching a parser). Seed corpora live under each
+# package's testdata/fuzz/<FuzzName>/ and run as plain tests in `make test`.
 fuzz:
 	$(GO) test -fuzz=FuzzParseTrace$$ -fuzztime=15s ./internal/trace/
 	$(GO) test -fuzz=FuzzParseTraceEvents -fuzztime=15s ./internal/trace/
+	$(GO) test -fuzz=FuzzParseObservedTrace -fuzztime=15s ./internal/calibrate/
+	$(GO) test -fuzz=FuzzParseJobSpec -fuzztime=15s ./internal/scenario/
+
+# Coverage gate: per-package statement coverage must not drop below the
+# committed floors in COVER_floor.json (calibrate/scenario/serve). The test
+# run lands in a temp file first so a failing test fails the target instead
+# of vanishing down an unchecked pipe.
+cover:
+	$(GO) test -cover ./... > cover-out.tmp \
+		|| { cat cover-out.tmp; rm -f cover-out.tmp; exit 1; }
+	$(GO) run ./cmd/covercheck -check -floor COVER_floor.json < cover-out.tmp; \
+		st=$$?; rm -f cover-out.tmp; exit $$st
+
+# Re-record the coverage floors after deliberately moving coverage.
+cover-floor:
+	$(GO) test -cover ./... > cover-out.tmp \
+		|| { cat cover-out.tmp; rm -f cover-out.tmp; exit 1; }
+	$(GO) run ./cmd/covercheck -write -floor COVER_floor.json < cover-out.tmp; \
+		st=$$?; rm -f cover-out.tmp; exit $$st
 
 # Replay the paper's full evaluation as benchmarks.
 bench:
@@ -103,6 +123,20 @@ bench-check:
 	$(GO) test -run='^$$' -bench='$(TIER1_BENCH)' -benchmem -count=3 . > bench-out.tmp \
 		|| { cat bench-out.tmp; rm -f bench-out.tmp; exit 1; }
 	$(GO) run ./cmd/benchcheck -check -baseline $(BENCH_BASELINE) -max-regress 0.10 < bench-out.tmp; \
+		st=$$?; rm -f bench-out.tmp; exit $$st
+
+# Record the current tier-1 numbers as one labeled point in the committed
+# performance trajectory (separate from the gating baseline, so a record
+# never moves the regression gate). Re-recording a label replaces its entry.
+#   make bench-record BENCH_LABEL="PR 9" BENCH_COMMENT="what changed"
+BENCH_LABEL ?=
+BENCH_COMMENT ?=
+bench-record:
+	@test -n '$(BENCH_LABEL)' || { echo 'bench-record: set BENCH_LABEL="PR N"'; exit 2; }
+	$(GO) test -run='^$$' -bench='$(TIER1_BENCH)' -benchmem -count=3 . > bench-out.tmp \
+		|| { cat bench-out.tmp; rm -f bench-out.tmp; exit 1; }
+	$(GO) run ./cmd/benchcheck -record -trajectory BENCH_trajectory.json \
+		-label '$(BENCH_LABEL)' -comment '$(BENCH_COMMENT)' < bench-out.tmp; \
 		st=$$?; rm -f bench-out.tmp; exit $$st
 
 # Regenerate every table and figure on all cores.

@@ -7,8 +7,15 @@
 //	go test -run='^$' -bench=... -benchmem -count=3 . | benchcheck -write -baseline BENCH_baseline.json
 //	go test -run='^$' -bench=... -benchmem -count=3 . | benchcheck -check -baseline BENCH_baseline.json
 //
+// A third mode appends the current run to the committed performance
+// trajectory, so ns/op history accumulates one labeled point per landed
+// PR without touching the gating baseline:
+//
+//	go test -run='^$' -bench=... -benchmem -count=3 . | benchcheck -record -label "PR 8" -comment "..."
+//
 // With -count > 1 the fastest run per benchmark is kept, damping scheduler
-// noise. `make bench-baseline` / `make bench-check` wrap both modes.
+// noise. `make bench-baseline` / `make bench-check` / `make bench-record`
+// wrap the modes.
 package main
 
 import (
@@ -47,6 +54,14 @@ type HistoryEntry struct {
 	Label      string             `json:"label"`
 	NsPerOp    map[string]float64 `json:"ns_per_op"`
 	CommentOpt string             `json:"comment,omitempty"`
+}
+
+// Trajectory is the BENCH_trajectory.json schema: the per-PR ns/op history
+// -record appends to. It is separate from the baseline so recording a point
+// never moves the regression gate.
+type Trajectory struct {
+	Note    string         `json:"note"`
+	History []HistoryEntry `json:"history"`
 }
 
 // benchLine matches `BenchmarkName-8  40  123456 ns/op ...`.
@@ -88,10 +103,20 @@ func main() {
 		check        = flag.Bool("check", false, "compare stdin results against the baseline")
 		maxRegress   = flag.Float64("max-regress", 0.10, "allowed fractional ns/op regression for gated benchmarks")
 		gate         = flag.String("gate", "BenchmarkEndToEndSimulation", "comma-separated benchmarks that fail the check on regression")
+		record       = flag.Bool("record", false, "append stdin results to the trajectory file as one labeled history entry")
+		trajectory   = flag.String("trajectory", "BENCH_trajectory.json", "trajectory JSON path for -record")
+		label        = flag.String("label", "", "history entry label for -record (e.g. \"PR 8\"); required")
+		comment      = flag.String("comment", "", "optional history entry comment for -record")
 	)
 	flag.Parse()
-	if *write == *check {
-		fmt.Fprintln(os.Stderr, "benchcheck: exactly one of -write / -check required")
+	modes := 0
+	for _, m := range []bool{*write, *check, *record} {
+		if m {
+			modes++
+		}
+	}
+	if modes != 1 {
+		fmt.Fprintln(os.Stderr, "benchcheck: exactly one of -write / -check / -record required")
 		os.Exit(2)
 	}
 
@@ -101,6 +126,51 @@ func main() {
 	if len(cur) == 0 {
 		fmt.Fprintln(os.Stderr, "benchcheck: no benchmark results on stdin")
 		os.Exit(2)
+	}
+
+	if *record {
+		if *label == "" {
+			fmt.Fprintln(os.Stderr, "benchcheck: -record requires -label (e.g. -label \"PR 8\")")
+			os.Exit(2)
+		}
+		traj := Trajectory{
+			Note: "ns/op trajectory, one entry per landed PR (`make bench-record BENCH_LABEL=...`); points are the recording machine's, so compare shapes across entries, not absolute values across machines",
+		}
+		if old, err := os.ReadFile(*trajectory); err == nil {
+			if err := json.Unmarshal(old, &traj); err != nil {
+				fmt.Fprintf(os.Stderr, "benchcheck: bad trajectory %s: %v\n", *trajectory, err)
+				os.Exit(2)
+			}
+		}
+		entry := HistoryEntry{Label: *label, NsPerOp: map[string]float64{}, CommentOpt: *comment}
+		for name, res := range cur {
+			entry.NsPerOp[name] = res.NsPerOp
+		}
+		// Re-recording a label replaces its entry, so re-running CI on the
+		// same PR never duplicates points.
+		replaced := false
+		for i := range traj.History {
+			if traj.History[i].Label == *label {
+				traj.History[i] = entry
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			traj.History = append(traj.History, entry)
+		}
+		data, err := json.MarshalIndent(traj, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchcheck:", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*trajectory, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchcheck:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("benchcheck: recorded %q in %s (%d entries, %d benchmarks)\n",
+			*label, *trajectory, len(traj.History), len(entry.NsPerOp))
+		return
 	}
 
 	if *write {

@@ -3,10 +3,11 @@
 //
 // Usage:
 //
-//	experiments [-exp all|table1|fig5|fig6|fig7|fig8|fig9|minmem|scenarios]
+//	experiments [-exp all|table1|fig5|fig6|fig7|fig8|fig9|minmem|scenarios|calibrate]
 //	            [-seed N] [-seeds K] [-parallel W]
 //	            [-avail a,b] [-policies p,q] [-fleets f,g] [-systems spotserve|baselines|all]
 //	            [-market ou|squeeze] [-slo S]
+//	            [-observed trace.json] [-fit] [-calib-export out.json]
 //
 // Each experiment prints a text rendition of the corresponding table or
 // figure, including SpotServe-vs-baseline factors where the paper reports
@@ -23,6 +24,14 @@
 // cell's spot capacity against a registered price process (price-signal
 // cells default to their own driving process), and -slo sets the latency
 // objective behind the grid's SLO% column.
+//
+// -exp calibrate (docs/CALIBRATION.md; never part of -exp all) replays the
+// scenario of an observed serving trace (-observed trace.json) and prints
+// the tolerance-scored validation report, exiting 1 when any metric fails
+// its band. -fit additionally searches the default market-parameter grid
+// for the candidate matching the trace best. -calib-export out.json instead
+// simulates the scenario selected by the grid flags (first of each axis)
+// and writes it as an observed trace — the round-trip input.
 package main
 
 import (
@@ -33,6 +42,7 @@ import (
 	"strings"
 	"time"
 
+	"spotserve/internal/calibrate"
 	"spotserve/internal/experiments"
 	"spotserve/internal/scenario"
 )
@@ -48,6 +58,9 @@ func main() {
 	systems := flag.String("systems", "spotserve", "scenario grid: spotserve, baselines, or all")
 	marketName := flag.String("market", "", "scenario grid: spot-price process billing every cell (default: flat prices; price-signal cells use their own process)")
 	slo := flag.Float64("slo", 0, "scenario grid: latency objective in seconds for the SLO% column (default 120)")
+	observed := flag.String("observed", "", "calibrate: observed-trace JSON file to validate against (docs/CALIBRATION.md)")
+	fit := flag.Bool("fit", false, "calibrate: also fit the default market-parameter grid to the observed trace")
+	calibExport := flag.String("calib-export", "", "calibrate: simulate the scenario from the grid flags and write it as an observed trace to this file")
 	flag.Parse()
 
 	sw := experiments.Sweep{
@@ -89,12 +102,108 @@ func main() {
 		fmt.Print(scenario.RenderGrid(rows))
 	})
 
+	// Calibration is an explicit mode, never part of -exp all: it needs an
+	// input file (or writes one) and its exit status means verdict, not
+	// render success.
+	if *exp == "calibrate" {
+		runCalibrate(calibrateFlags{
+			observed: *observed,
+			fit:      *fit,
+			export:   *calibExport,
+			parallel: *parallel,
+			ref: calibrate.ScenarioRef{
+				Avail:  firstOf(splitList(*avail)),
+				Policy: firstOf(splitList(*policies)),
+				Fleet:  firstOf(splitList(*fleets)),
+				Market: *marketName,
+				SLO:    *slo,
+				Seed:   *seed,
+				Seeds:  *seeds,
+			},
+		})
+		return
+	}
+
 	switch *exp {
 	case "all", "table1", "fig5", "fig6", "fig7", "fig8", "fig9", "minmem", "scenarios":
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
 	}
+}
+
+// calibrateFlags bundles the -exp calibrate inputs.
+type calibrateFlags struct {
+	observed string
+	fit      bool
+	export   string
+	parallel int
+	ref      calibrate.ScenarioRef
+}
+
+// runCalibrate drives the calibration mode: export a simulated run as an
+// observed trace (-calib-export), or validate an observed trace against its
+// replayed scenario (-observed), optionally fitting market parameters
+// (-fit). A fail verdict exits 1; usage and I/O errors exit 2.
+func runCalibrate(cf calibrateFlags) {
+	if cf.export != "" {
+		obs, err := calibrate.ExportScenario("export", cf.ref, cf.parallel)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "calibrate: %v\n", err)
+			os.Exit(2)
+		}
+		data, err := obs.Marshal()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "calibrate: %v\n", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(cf.export, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "calibrate: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("calibrate: wrote observed trace to %s (%d metrics)\n", cf.export, len(obs.Metrics))
+		return
+	}
+	if cf.observed == "" {
+		fmt.Fprintln(os.Stderr, "calibrate: -observed trace.json required (or -calib-export out.json)")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(cf.observed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "calibrate: %v\n", err)
+		os.Exit(2)
+	}
+	obs, err := calibrate.ParseObserved(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "calibrate: %v\n", err)
+		os.Exit(2)
+	}
+	rep, err := calibrate.Run(obs, calibrate.Options{Parallel: cf.parallel})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "calibrate: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Print(rep.Render())
+	if cf.fit {
+		fr, err := calibrate.FitMarket(obs, calibrate.FitSpec{}, calibrate.Options{Parallel: cf.parallel})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "calibrate: fit: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Print(fr.Render())
+	}
+	if rep.Verdict == calibrate.VerdictFail {
+		os.Exit(1)
+	}
+}
+
+// firstOf returns a list's first entry ("" when empty) — the calibration
+// scenario is a single cell, so only the first of each grid axis applies.
+func firstOf(xs []string) string {
+	if len(xs) == 0 {
+		return ""
+	}
+	return xs[0]
 }
 
 // splitList parses a comma-separated flag value, dropping empty entries.

@@ -1,0 +1,54 @@
+package calibrate
+
+import (
+	"testing"
+)
+
+// FuzzParseObservedTrace hammers both wire formats ParseObserved accepts —
+// the native observed-trace schema and the Prometheus query-result envelope.
+// Arbitrary input must either yield a trace that passes Validate and
+// survives a marshal→parse round trip, or return an error — never panic and
+// never hand back a trace the calibrator would choke on.
+func FuzzParseObservedTrace(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"name":"t","scenario":{"avail":"diurnal","policy":"fixed","fleet":"homog","seed":1,"seeds":2},"horizon":1200,"latency":{"avg":47.6,"p99":94.4},"throughput_rps":0.44,"preemptions":[120,340.5],"spend":[{"t0":0,"t1":1200,"usd":19.8}],"metrics":{"completed":528},"tolerances":{"completed":{"abs":5,"rel":0.05}}}`))
+	f.Add([]byte(`{"status":"success","data":{"resultType":"vector","result":[{"metric":{"__name__":"spotserve_latency_avg_seconds"},"value":[0,"47.6"]}]}}`))
+	f.Add([]byte(`{"status":"success","data":{"resultType":"vector","result":[{"metric":{"__name__":"latency_seconds","quantile":"0.99"},"value":[0,"94.4"]}]}}`))
+	f.Add([]byte(`{"status":"error","data":{"result":[]}}`))
+	f.Add([]byte(`{"name":"t","latency":{"avg":1e309}}`))
+	f.Add([]byte(`{"name":"t","spend":[{"t0":10,"t1":5,"usd":1}]}`))
+	f.Add([]byte(`{"name":"t","throughput_rps":-1}`))
+	f.Add([]byte(`{"name":"t","unknown_field":1}`))
+	f.Add([]byte(`{"name":"t"} trailing`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`not json`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		obs, err := ParseObserved(data)
+		if err != nil {
+			return
+		}
+		if verr := obs.Validate(); verr != nil {
+			t.Fatalf("ParseObserved returned an invalid trace: %v\ninput: %q", verr, data)
+		}
+		// The derived metric view must be computable on anything accepted.
+		for key, v := range obs.metricValues() {
+			if !finite(v) {
+				t.Fatalf("accepted trace yields non-finite metric %s=%v\ninput: %q", key, v, data)
+			}
+		}
+		// The accepted trace must round-trip through the native schema.
+		out, err := obs.Marshal()
+		if err != nil {
+			t.Fatalf("re-marshal of accepted trace failed: %v", err)
+		}
+		obs2, err := ParseObserved(out)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v\njson: %s", err, out)
+		}
+		if obs.Name != obs2.Name || obs.Horizon != obs2.Horizon ||
+			len(obs.metricValues()) != len(obs2.metricValues()) {
+			t.Fatalf("round trip changed the trace:\n%+v\nvs\n%+v", obs, obs2)
+		}
+	})
+}

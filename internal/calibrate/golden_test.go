@@ -1,0 +1,92 @@
+package calibrate
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// update rewrites golden files with the current render output:
+//
+//	go test ./internal/calibrate/ -run Golden -update
+//
+// Goldens pin rendering byte-for-byte; regenerate them only when a render
+// change is deliberate, and say why in the commit message.
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// checkGolden compares got against the named golden file, rewriting it
+// under -update.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden file unreadable (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("render diverged from golden %s (rerun with -update if deliberate):\ngot:\n%s\nwant:\n%s", path, got, want)
+	}
+}
+
+// TestGoldenCalibrationReportRender pins the calibration table byte-for-byte
+// on a hand-built report covering every rendering branch: pass/warn/fail
+// rows, a skipped row, prediction bands, and the footer.
+func TestGoldenCalibrationReportRender(t *testing.T) {
+	rep := &Report{
+		Name: "golden-trace",
+		Scenario: ScenarioRef{
+			Avail: "bursty", Policy: "slo-latency", Fleet: "homog",
+			Market: "ou", System: "spotserve", Seed: 7,
+		},
+		Horizon: 1200, SLO: 120, Seeds: 3,
+		Rows: []Row{
+			{Metric: MetricLatencyAvg, Observed: 47.25, Predicted: 46.9, AbsErr: 0.35, RelErr: 0.35 / 47.25,
+				Allowed: 2.8625, Tol: Tolerance{Abs: 0.5, Rel: 0.05}, Verdict: VerdictPass,
+				PredBand: "46.9 ±1.2 [45.1,48.8] n=3"},
+			{Metric: MetricLatencyP99, Observed: 90, Predicted: 108, AbsErr: 18, RelErr: 0.2,
+				Allowed: 15, Tol: Tolerance{Abs: 1.5, Rel: 0.15}, Verdict: VerdictWarn,
+				PredBand: "108.0 ±4.0 [101.2,114.1] n=3"},
+			{Metric: MetricSpendUSD, Observed: 10, Predicted: 19.5, AbsErr: 9.5, RelErr: 0.95,
+				Allowed: 1.25, Tol: Tolerance{Abs: 0.25, Rel: 0.1}, Verdict: VerdictFail,
+				PredBand: "19.5 ±0.2 [19.2,19.8] n=3"},
+			{Metric: "gpu_temperature_c", Observed: 71, Verdict: VerdictSkipped},
+		},
+		Pass: 1, Warn: 1, Fail: 1, Skipped: 1,
+		Verdict: VerdictFail,
+	}
+	checkGolden(t, "report_render.golden", rep.Render())
+
+	data, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "report_json.golden", string(data))
+}
+
+// TestGoldenCalibrationReportNoBands pins the band-free layout: when no row
+// carries a prediction band (single-seed replay), the band column must be
+// absent entirely, not rendered empty.
+func TestGoldenCalibrationReportNoBands(t *testing.T) {
+	rep := &Report{
+		Name: "golden-single-seed",
+		Scenario: ScenarioRef{
+			Avail: "diurnal", Policy: "fixed", Fleet: "homog", System: "spotserve", Seed: 1,
+		},
+		Horizon: 1200, SLO: 120, Seeds: 1,
+		Rows: []Row{
+			{Metric: MetricThroughputRPS, Observed: 0.44, Predicted: 0.44, AbsErr: 0, RelErr: 0,
+				Allowed: 0.094, Tol: Tolerance{Abs: 0.05, Rel: 0.1}, Verdict: VerdictPass},
+		},
+		Pass: 1, Verdict: VerdictPass,
+	}
+	checkGolden(t, "report_render_nobands.golden", rep.Render())
+}

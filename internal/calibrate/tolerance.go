@@ -1,0 +1,130 @@
+package calibrate
+
+import "fmt"
+
+// Canonical metric keys, in report order. Latency keys mirror
+// metrics.Summary; the rest are the scenario grid's headline columns, so a
+// calibration row and a grid column always mean the same quantity.
+const (
+	MetricLatencyAvg    = "latency_avg"
+	MetricLatencyP90    = "latency_p90"
+	MetricLatencyP95    = "latency_p95"
+	MetricLatencyP96    = "latency_p96"
+	MetricLatencyP97    = "latency_p97"
+	MetricLatencyP98    = "latency_p98"
+	MetricLatencyP99    = "latency_p99"
+	MetricThroughputRPS = "throughput_rps"
+	MetricCompleted     = "completed"
+	MetricSpendUSD      = "spend_usd"
+	MetricCostPer1kTok  = "cost_per_1k_tok"
+	MetricSLOPct        = "slo_pct"
+	MetricPreemptions   = "preemptions"
+	MetricOnDemand      = "on_demand"
+)
+
+// MetricOrder fixes the canonical rendering order; observed keys outside it
+// follow, sorted (see sortedExtraKeys).
+var MetricOrder = []string{
+	MetricLatencyAvg, MetricLatencyP90, MetricLatencyP95, MetricLatencyP96,
+	MetricLatencyP97, MetricLatencyP98, MetricLatencyP99,
+	MetricThroughputRPS, MetricCompleted, MetricSpendUSD, MetricCostPer1kTok,
+	MetricSLOPct, MetricPreemptions, MetricOnDemand,
+}
+
+// Tolerance is one metric's allowed prediction error: a deviation passes
+// when |predicted − observed| ≤ Abs + Rel·|observed| (the abs term absorbs
+// noise near zero, the rel term scales with the signal). WarnFactor
+// stretches the band into a warn zone before fail.
+type Tolerance struct {
+	Abs float64 `json:"abs"`
+	Rel float64 `json:"rel"`
+}
+
+// allowed is the tolerance band half-width around an observation.
+func (t Tolerance) allowed(observed float64) float64 {
+	o := observed
+	if o < 0 {
+		o = -o
+	}
+	return t.Abs + t.Rel*o
+}
+
+// String renders the band formula compactly ("0.5+10%").
+func (t Tolerance) String() string {
+	return fmt.Sprintf("%g+%g%%", t.Abs, t.Rel*100)
+}
+
+// WarnFactor stretches a tolerance band into the warn zone: an error within
+// allowed passes, within WarnFactor×allowed warns, beyond it fails.
+const WarnFactor = 2.0
+
+// DefaultTolerance bounds metrics without an explicit entry — generous,
+// because an unknown key carries no calibrated expectation.
+var DefaultTolerance = Tolerance{Abs: 0.5, Rel: 0.15}
+
+// DefaultTolerances is the per-metric tolerance table a report starts from.
+// Latency tails are noisier than means; counts get integer slack; economics
+// metrics track the 10% band the paper's cost comparisons resolve.
+func DefaultTolerances() map[string]Tolerance {
+	return map[string]Tolerance{
+		MetricLatencyAvg:    {Abs: 0.5, Rel: 0.05},
+		MetricLatencyP90:    {Abs: 1.0, Rel: 0.10},
+		MetricLatencyP95:    {Abs: 1.0, Rel: 0.10},
+		MetricLatencyP96:    {Abs: 1.0, Rel: 0.10},
+		MetricLatencyP97:    {Abs: 1.0, Rel: 0.10},
+		MetricLatencyP98:    {Abs: 1.0, Rel: 0.10},
+		MetricLatencyP99:    {Abs: 1.5, Rel: 0.15},
+		MetricThroughputRPS: {Abs: 0.05, Rel: 0.10},
+		MetricCompleted:     {Abs: 5, Rel: 0.05},
+		MetricSpendUSD:      {Abs: 0.25, Rel: 0.10},
+		MetricCostPer1kTok:  {Abs: 0.002, Rel: 0.10},
+		MetricSLOPct:        {Abs: 2, Rel: 0.05},
+		MetricPreemptions:   {Abs: 1, Rel: 0.25},
+		MetricOnDemand:      {Abs: 1, Rel: 0.50},
+	}
+}
+
+// MergeTolerances layers per-metric overrides: later maps win per key (the
+// report merges defaults ← trace overrides ← request overrides). Inputs are
+// never mutated.
+func MergeTolerances(layers ...map[string]Tolerance) map[string]Tolerance {
+	out := make(map[string]Tolerance)
+	for _, l := range layers {
+		for k, t := range l {
+			out[k] = t
+		}
+	}
+	return out
+}
+
+// toleranceFor resolves one metric's tolerance from the merged table.
+func toleranceFor(merged map[string]Tolerance, key string) Tolerance {
+	if t, ok := merged[key]; ok {
+		return t
+	}
+	return DefaultTolerance
+}
+
+// Verdict is one row's (or the whole report's) outcome.
+type Verdict string
+
+const (
+	VerdictPass Verdict = "pass"
+	VerdictWarn Verdict = "warn"
+	VerdictFail Verdict = "fail"
+	// VerdictSkipped marks an observed metric the simulator predicts
+	// nothing for; it never affects the overall verdict.
+	VerdictSkipped Verdict = "skipped"
+)
+
+// scoreVerdict classifies one metric's deviation against its band.
+func scoreVerdict(absErr, allowed float64) Verdict {
+	switch {
+	case absErr <= allowed:
+		return VerdictPass
+	case absErr <= WarnFactor*allowed:
+		return VerdictWarn
+	default:
+		return VerdictFail
+	}
+}

@@ -16,8 +16,16 @@ type Agg struct {
 	MinV, MaxV float64
 }
 
-// Add folds one observation into the aggregate.
+// Add folds one observation into the aggregate. Non-finite observations
+// (NaN, ±Inf) are dropped: a single poisoned sample would otherwise turn
+// every derived moment into NaN and propagate through merged partials into
+// rendered bands and calibration reports, where NaN also breaks JSON
+// encoding. Dropping keeps the aggregate a faithful summary of the finite
+// samples; the property tests pin this.
 func (a *Agg) Add(v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return
+	}
 	if a.N == 0 || v < a.MinV {
 		a.MinV = v
 	}

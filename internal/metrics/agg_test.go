@@ -198,3 +198,75 @@ func TestBandStringAdaptivePrecision(t *testing.T) {
 		t.Errorf("negative small = %q", got)
 	}
 }
+
+// TestAggNonFiniteGuard pins Add's non-finite drop: NaN and ±Inf
+// observations must leave the aggregate untouched, so a single poisoned
+// sample can never NaN-poison the moments, the rendered band, or a JSON
+// encoding downstream.
+func TestAggNonFiniteGuard(t *testing.T) {
+	var a Agg
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		a.Add(v)
+	}
+	if a != (Agg{}) {
+		t.Fatalf("non-finite Adds changed an empty aggregate: %+v", a)
+	}
+	a.Add(5)
+	before := a
+	a.Add(math.NaN())
+	a.Add(math.Inf(1))
+	a.Add(math.Inf(-1))
+	if a != before {
+		t.Fatalf("non-finite Adds changed a populated aggregate: %+v vs %+v", a, before)
+	}
+	if s := a.Band().String(); s != "5.0" {
+		t.Errorf("band after poisoned Adds renders %q, want \"5.0\"", s)
+	}
+}
+
+// TestAggNonFinitePropertyInterleaved is the property form of the guard:
+// finite samples interleaved with arbitrary NaN/Inf noise, split across
+// partial aggregates (some shards all-noise and therefore zero-count),
+// must merge to exactly the finite-only serial fold.
+func TestAggNonFinitePropertyInterleaved(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	noise := []float64{math.NaN(), math.Inf(1), math.Inf(-1)}
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(30)
+		finite := make([]float64, n)
+		for i := range finite {
+			finite[i] = (rng.Float64() - 0.5) * math.Pow(10, float64(rng.Intn(6)-2))
+		}
+		var serial Agg
+		for _, v := range finite {
+			serial.Add(v)
+		}
+		// Shard the finite values plus injected noise; one shard is kept
+		// all-noise so a zero-count partial participates in every merge.
+		k := 2 + rng.Intn(4)
+		parts := make([]Agg, k)
+		for _, v := range finite {
+			parts[1+rng.Intn(k-1)].Add(v)
+		}
+		for i := range parts {
+			for j := 0; j < rng.Intn(4); j++ {
+				parts[i].Add(noise[rng.Intn(len(noise))])
+			}
+		}
+		var merged Agg
+		for _, p := range parts {
+			merged.Merge(p)
+		}
+		if merged.N != serial.N || merged.MinV != serial.MinV || merged.MaxV != serial.MaxV {
+			t.Fatalf("trial %d: N/min/max diverge under noise: merged %+v serial %+v", trial, merged, serial)
+		}
+		if !closeULP(merged.Sum, serial.Sum) || !closeULP(merged.SumSq, serial.SumSq) {
+			t.Fatalf("trial %d: moments diverge under noise: merged %+v serial %+v", trial, merged, serial)
+		}
+		for _, v := range []float64{merged.Mean(), merged.Variance(), merged.Stderr()} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("trial %d: non-finite derived moment %v from %+v", trial, v, merged)
+			}
+		}
+	}
+}

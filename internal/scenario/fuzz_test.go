@@ -1,0 +1,57 @@
+package scenario
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzParseJobSpec hammers the JSON job-spec format accepted by the
+// spotserved daemon's POST /jobs and cmd/experiments' scenario flags:
+// arbitrary input must either yield a spec whose Grid resolves and that
+// survives a marshal→parse round trip, or return an error — never panic
+// and never hand back a spec a worker would later reject.
+func FuzzParseJobSpec(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"avail":["diurnal","bursty"],"policies":["fixed"],"fleets":["homog"],"systems":["spotserve"],"market":"ou","model":"GPT-20B","slo":120,"seed":1,"seeds":3}`))
+	f.Add([]byte(`{"avail":["no-such-model"]}`))
+	f.Add([]byte(`{"systems":["no-such-system"]}`))
+	f.Add([]byte(`{"market":"no-such-process"}`))
+	f.Add([]byte(`{"model":"GPT-999T"}`))
+	f.Add([]byte(`{"seeds":-1}`))
+	f.Add([]byte(`{"slo":-5}`))
+	f.Add([]byte(`{"deadline_ms":-1}`))
+	f.Add([]byte(`{"unknown_field":1}`))
+	f.Add([]byte(`{} trailing`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`not json`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := ParseJobSpec(data)
+		if err != nil {
+			return
+		}
+		// Anything accepted must resolve into a runnable grid.
+		g, err := spec.Grid()
+		if err != nil {
+			t.Fatalf("accepted spec fails Grid(): %v\ninput: %q", err, data)
+		}
+		cells, err := g.Cells()
+		if err != nil {
+			t.Fatalf("accepted spec fails Cells(): %v\ninput: %q", err, data)
+		}
+		if len(cells) == 0 {
+			t.Fatalf("accepted spec resolves to zero cells\ninput: %q", data)
+		}
+		if n := len(spec.Sweep().Seeds); n < 1 {
+			t.Fatalf("accepted spec resolves to %d seeds\ninput: %q", n, data)
+		}
+		// The accepted spec must round-trip.
+		out, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatalf("re-marshal of accepted spec failed: %v", err)
+		}
+		if _, err := ParseJobSpec(out); err != nil {
+			t.Fatalf("round trip rejected: %v\njson: %s", err, out)
+		}
+	})
+}

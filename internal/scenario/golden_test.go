@@ -1,0 +1,104 @@
+package scenario
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"spotserve/internal/experiments"
+	"spotserve/internal/metrics"
+)
+
+// update rewrites golden files with the current render output:
+//
+//	go test ./internal/scenario/ -run Golden -update
+//
+// Goldens pin rendering byte-for-byte; regenerate them only when a render
+// change is deliberate, and say why in the commit message.
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// checkGolden compares got against the named golden file, rewriting it
+// under -update.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden file unreadable (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("render diverged from golden %s (rerun with -update if deliberate):\ngot:\n%s\nwant:\n%s", path, got, want)
+	}
+}
+
+// aggOf folds values into an Agg for synthetic rows.
+func aggOf(vals ...float64) metrics.Agg {
+	var a metrics.Agg
+	for _, v := range vals {
+		a.Add(v)
+	}
+	return a
+}
+
+// TestGoldenRenderGridErrorFooter pins RenderGrid byte-for-byte on
+// synthetic rows exercising every layout branch at once: a replicated row
+// with bands and a market footer, a healthy unreplicated row, and two
+// fault-isolated failures rendering n/a plus the error footer.
+func TestGoldenRenderGridErrorFooter(t *testing.T) {
+	healthy := GridRow{
+		Avail: "diurnal", Policy: "fixed", Fleet: "homog", Market: "ou",
+		System:  experiments.SpotServe,
+		Summary: metrics.Summary{Count: 528, Avg: 47.6, P95: 80.1, P99: 94.4},
+		CostUSD: 19.83, OnDemand: 14, SLO: 120,
+		Reps: experiments.Replication{
+			Seeds: []int64{1, 2, 3},
+			Avg:   aggOf(47.6, 48.1, 46.9),
+			P95:   aggOf(80.1, 81.0, 79.2),
+			P99:   aggOf(94.4, 96.0, 92.1),
+			Cost:  aggOf(19.83, 20.01, 19.65),
+		},
+		CostPer1kTok: aggOf(0.298, 0.301, 0.295),
+		SLOPct:       aggOf(100, 99.5, 100),
+		CacheHitRate: aggOf(0.84, 0.86, 0.85),
+	}
+	single := GridRow{
+		Avail: "bursty", Policy: "slo-latency", Fleet: "homog",
+		System:  experiments.Reroute,
+		Summary: metrics.Summary{Count: 400, Avg: 52.0, P95: 88.5, P99: 101.2},
+		CostUSD: 17.40, OnDemand: 9, SLO: 120,
+		Reps: experiments.Replication{
+			Seeds: []int64{1},
+			Avg:   aggOf(52.0), P95: aggOf(88.5), P99: aggOf(101.2), Cost: aggOf(17.40),
+		},
+		CostPer1kTok: aggOf(0.264),
+		SLOPct:       aggOf(97.3),
+		CacheHitRate: aggOf(0.80),
+	}
+	failed1 := GridRow{
+		Avail: "crunch", Policy: "cost-cap", Fleet: "homog",
+		System: experiments.SpotServe, SLO: 120,
+		Err: "seed 2: simulated worker panic: chaos fault", Retries: 1,
+	}
+	failed2 := GridRow{
+		Avail: "multizone", Policy: "predictive", Fleet: "g4dn-half",
+		System: experiments.Reparallel, SLO: 120,
+		Err: "seed 1: injected cache corruption",
+	}
+
+	rows := []GridRow{healthy, single, failed1, failed2}
+	checkGolden(t, "rendergrid_error_footer.golden", RenderGrid(rows))
+
+	// The same rows without any replication pin the band-free layout (no
+	// band columns, no bands footer).
+	noBands := []GridRow{single, failed2}
+	checkGolden(t, "rendergrid_nobands.golden", RenderGrid(noBands))
+}

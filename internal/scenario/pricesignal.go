@@ -96,7 +96,15 @@ func (p PriceSignal) Trace(seed int64) trace.Trace {
 	if !ok {
 		panic(fmt.Sprintf("scenario: market process %q generated no curve for %q", p.Process, p.Type.Name))
 	}
-	b := &traceBuilder{name: fmt.Sprintf("price-signal/%s/%d", p.Process, seed), horizon: p.Horizon}
+	return p.TraceFromCurve(fmt.Sprintf("price-signal/%s/%d", p.Process, seed), curve)
+}
+
+// TraceFromCurve walks an already-generated price curve through the ladder
+// and emits the availability trace — the seam callers with their own price
+// process use (the calibration fitter drives candidate OU curves through
+// here), guaranteed to preempt exactly like Trace would on the same curve.
+func (p PriceSignal) TraceFromCurve(name string, curve market.Curve) trace.Trace {
+	b := &traceBuilder{name: name, horizon: p.Horizon}
 	for _, s := range curve.Samples {
 		b.add(s.At, p.CountAt(s.USDPerHour))
 	}

@@ -271,9 +271,11 @@ type GridRow struct {
 	Retries int `json:"retries,omitempty"`
 }
 
-// costPer1kTok converts one replica's accrued USD into $ per 1000
-// generated tokens (0 when nothing completed).
-func costPer1kTok(r experiments.Result) float64 {
+// CostPer1kTok converts one replica's accrued USD into $ per 1000
+// generated tokens (0 when nothing completed). Exported as the single
+// definition of the grid's economics column — internal/calibrate scores
+// observed traces against the exact same quantity.
+func CostPer1kTok(r experiments.Result) float64 {
 	tokens := r.GeneratedTokens()
 	if tokens <= 0 {
 		return 0
@@ -281,9 +283,11 @@ func costPer1kTok(r experiments.Result) float64 {
 	return r.Stats.CostUSD / tokens * 1000
 }
 
-// sloPct returns the percentage of one replica's completed requests whose
-// end-to-end latency met the objective.
-func sloPct(r experiments.Result, slo float64) float64 {
+// SLOPct returns the percentage of one replica's completed requests whose
+// end-to-end latency met the objective. Exported for the same reason as
+// CostPer1kTok: calibration reports must mean what the grid's SLO% column
+// means.
+func SLOPct(r experiments.Result, slo float64) float64 {
 	if r.Stats.Latencies == nil || r.Stats.Latencies.Count() == 0 {
 		return 0
 	}
@@ -315,12 +319,20 @@ func buildRow(rs []experiments.Result, slo float64) GridRow {
 		SLO:      slo,
 	}
 	for _, r := range rs {
-		row.CostPer1kTok.Add(costPer1kTok(r))
-		row.SLOPct.Add(sloPct(r, slo))
+		row.CostPer1kTok.Add(CostPer1kTok(r))
+		row.SLOPct.Add(SLOPct(r, slo))
 		row.CacheHitRate.Add(r.Stats.ReconfigCache.HitRate())
 		row.Fingerprints = append(row.Fingerprints, r.Fingerprint())
 	}
 	return row
+}
+
+// BuildRow folds one cell's seed replicas into its grid row — the exported
+// form of buildRow for callers outside the grid sweeps (the calibration
+// replay streams its single cell through this, so a daemon calibrate job's
+// row is shaped exactly like a grid job's).
+func BuildRow(rs []experiments.Result, slo float64) GridRow {
+	return buildRow(rs, slo)
 }
 
 // buildRowFT folds one cell's fault-isolated replicas into its grid row.

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"spotserve/internal/calibrate"
 	"spotserve/internal/scenario"
 )
 
@@ -50,12 +51,27 @@ type Row struct {
 	scenario.GridRow
 }
 
-// Job is one submitted grid sweep moving through the daemon's queue.
+// Job kinds: a grid sweep (the default) or a calibration replay.
+const (
+	KindGrid      = "grid"
+	KindCalibrate = "calibrate"
+)
+
+// Job is one submitted job moving through the daemon's queue: a grid sweep
+// (KindGrid) or a calibration replay (KindCalibrate). Both share the queue,
+// the cell cache and the NDJSON row stream; a calibrate job replays exactly
+// one cell and additionally carries a tolerance-scored report when done.
 type Job struct {
-	ID    string           `json:"id"`
+	ID string `json:"id"`
+	// Kind distinguishes grid sweeps from calibration replays ("" is
+	// treated as KindGrid for compatibility).
+	Kind  string           `json:"kind,omitempty"`
 	Spec  scenario.JobSpec `json:"spec"`
 	Cells int              `json:"cells"`
 	Seeds int              `json:"seeds_per_cell"`
+
+	// Observed is the calibrate job's input trace (nil for grid jobs).
+	Observed *calibrate.ObservedTrace `json:"observed,omitempty"`
 
 	// deadline bounds the run once it starts (0 = none); from the spec.
 	deadline time.Duration
@@ -65,6 +81,7 @@ type Job struct {
 	errMsg      string
 	rows        []Row // completion order
 	render      string
+	calibration *calibrate.Report
 	hits        int
 	misses      int
 	retries     int
@@ -91,6 +108,7 @@ func newJob(id string, spec scenario.JobSpec, cells, seeds int) *Job {
 // Status is the poll-endpoint view of a job.
 type Status struct {
 	ID           string           `json:"id"`
+	Kind         string           `json:"kind,omitempty"`
 	State        State            `json:"state"`
 	Error        string           `json:"error,omitempty"`
 	Spec         scenario.JobSpec `json:"spec"`
@@ -111,8 +129,13 @@ type Status struct {
 	// Render is the full rendered grid table — byte-identical to the
 	// equivalent `experiments -exp scenarios` run — present once the job
 	// reaches a terminal state with any rows (degraded/cancelled/deadline
-	// renders carry n/a rows for the cells that never completed).
+	// renders carry n/a rows for the cells that never completed). For a
+	// calibrate job it is the rendered calibration report, byte-identical
+	// to the `-exp calibrate` CLI output.
 	Render string `json:"render,omitempty"`
+	// Calibration is the calibrate job's tolerance-scored report (nil for
+	// grid jobs and until the job finishes).
+	Calibration *calibrate.Report `json:"calibration,omitempty"`
 }
 
 // status snapshots the job. withRows controls whether the (potentially
@@ -122,6 +145,7 @@ func (j *Job) status(withRows bool) Status {
 	defer j.mu.Unlock()
 	s := Status{
 		ID:              j.ID,
+		Kind:            j.Kind,
 		State:           j.state,
 		Error:           j.errMsg,
 		Spec:            j.Spec,
@@ -134,6 +158,7 @@ func (j *Job) status(withRows bool) Status {
 		FailedCells:     j.failedCells,
 		CancelRequested: j.cancelled && !terminal(j.state),
 		Render:          j.render,
+		Calibration:     j.calibration,
 	}
 	if withRows {
 		s.Rows = append([]Row(nil), j.rows...)
@@ -188,6 +213,7 @@ type outcome struct {
 	state       State
 	errMsg      string
 	render      string
+	calibration *calibrate.Report
 	hits        int
 	misses      int
 	retries     int
@@ -207,6 +233,7 @@ func (j *Job) finish(o outcome) {
 	j.state = o.state
 	j.errMsg = o.errMsg
 	j.render = o.render
+	j.calibration = o.calibration
 	j.hits, j.misses = o.hits, o.misses
 	j.retries, j.failedCells = o.retries, o.failedCells
 	for _, ch := range j.subs {

@@ -18,6 +18,11 @@
 //
 //	POST   /jobs        submit a scenario.JobSpec JSON body → 202 + job id
 //	                    (400 bad spec, 429 queue full, 503 shutting down)
+//	POST   /calibrate   submit an observed trace (calibrate.ParseObserved
+//	                    formats) → 202 + job id; the job replays the trace's
+//	                    scenario, streams its single row, and its terminal
+//	                    status carries the tolerance-scored report —
+//	                    byte-identical to `experiments -exp calibrate`
 //	GET    /jobs        list job statuses, submission order
 //	GET    /jobs/{id}   poll one job: state, rows done, cache hits, render
 //	DELETE /jobs/{id}   cancel a queued or running job cooperatively
@@ -45,6 +50,7 @@ import (
 	"strings"
 	"sync"
 
+	"spotserve/internal/calibrate"
 	"spotserve/internal/experiments"
 	"spotserve/internal/faults"
 	"spotserve/internal/scenario"
@@ -192,6 +198,9 @@ func (s *Server) runJob(job *Job) {
 				err = fmt.Errorf("job panicked: %v", r)
 			}
 		}()
+		if job.Kind == KindCalibrate {
+			return s.runCalibrate(job, &o)
+		}
 		grid, err := job.Spec.Grid()
 		if err != nil {
 			return err
@@ -200,15 +209,8 @@ func (s *Server) runJob(job *Job) {
 		sw.Parallel = s.opts.Parallel
 		sw.Context = ctx
 		sw.Retry = s.opts.Retry
-		var counting *countingCache
-		if s.cache != nil {
-			var rc experiments.ResultCache = s.cache
-			if s.opts.Faults != nil {
-				// Chaos mode: the outage wrapper sits between the counter
-				// and the store, so an outage is attributed as a miss.
-				rc = s.opts.Faults.WrapCache(rc)
-			}
-			counting = &countingCache{inner: rc}
+		counting := s.jobCache()
+		if counting != nil {
 			sw.Cache = counting
 		}
 		if s.opts.Faults != nil {
@@ -254,11 +256,56 @@ func (s *Server) runJob(job *Job) {
 	job.finish(o)
 }
 
+// jobCache assembles one job's counting cache view over the shared cell
+// store (nil when the cache is disabled). In chaos mode the outage wrapper
+// sits between the counter and the store, so an outage is attributed as a
+// miss. Shared by grid and calibrate jobs, so cache semantics cannot drift
+// between the two kinds.
+func (s *Server) jobCache() *countingCache {
+	if s.cache == nil {
+		return nil
+	}
+	var rc experiments.ResultCache = s.cache
+	if s.opts.Faults != nil {
+		rc = s.opts.Faults.WrapCache(rc)
+	}
+	return &countingCache{inner: rc}
+}
+
+// runCalibrate executes a calibrate job: replay the observed trace's
+// scenario through the shared cell cache, stream the single replayed row,
+// and record the tolerance-scored report. The render and report are
+// byte-identical to the `experiments -exp calibrate` CLI path — the
+// equivalence test pins it.
+func (s *Server) runCalibrate(job *Job, o *outcome) error {
+	opts := calibrate.Options{
+		Parallel: s.opts.Parallel,
+		OnRow: func(row scenario.GridRow) {
+			job.emit(Row{Cell: 0, GridRow: row})
+		},
+	}
+	counting := s.jobCache()
+	if counting != nil {
+		opts.Cache = counting
+	}
+	rep, err := calibrate.Run(*job.Observed, opts)
+	if err != nil {
+		return err
+	}
+	o.render = rep.Render()
+	o.calibration = rep
+	if counting != nil {
+		o.hits, o.misses = counting.counts()
+	}
+	return nil
+}
+
 // Handler returns the daemon's HTTP routes.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/jobs", s.handleJobs)
 	mux.HandleFunc("/jobs/", s.handleJob)
+	mux.HandleFunc("/calibrate", s.handleCalibrate)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/stats", s.handleStats)
 	return mux
@@ -280,16 +327,57 @@ func (s *Server) Submit(spec scenario.JobSpec) (*Job, error) {
 		return nil, err
 	}
 	seeds := len(spec.Sweep().Seeds)
+	return s.enqueue(func(id string) *Job {
+		return newJob(id, spec, len(cells), seeds)
+	})
+}
 
+// SubmitCalibrate validates and enqueues a calibration job for an observed
+// trace: the job replays the trace's scenario (one cell), streams its row,
+// and finishes with the tolerance-scored report in its status. It shares
+// the grid jobs' queue, backpressure and cell cache; the Spec recorded on
+// the job mirrors the trace's scenario reference for display.
+func (s *Server) SubmitCalibrate(obs calibrate.ObservedTrace) (*Job, error) {
+	if err := obs.Validate(); err != nil {
+		return nil, err
+	}
+	// Resolve the scenario now so a bad axis name fails the POST with the
+	// registry's error text, not the job later.
+	if err := obs.ResolveScenario(); err != nil {
+		return nil, err
+	}
+	ref := obs.Scenario.WithDefaults()
+	obsCopy := obs
+	spec := scenario.JobSpec{
+		Avail:    []string{ref.Avail},
+		Policies: []string{ref.Policy},
+		Fleets:   []string{ref.Fleet},
+		Systems:  []string{ref.System},
+		Market:   ref.Market,
+		Model:    ref.Model,
+		SLO:      ref.SLO,
+		Seed:     ref.Seed,
+		Seeds:    ref.Seeds,
+	}
+	return s.enqueue(func(id string) *Job {
+		job := newJob(id, spec, 1, ref.Seeds)
+		job.Kind = KindCalibrate
+		job.Observed = &obsCopy
+		return job
+	})
+}
+
+// enqueue registers and queues one job under the registry lock — the shared
+// tail of Submit and SubmitCalibrate. The queue slot is reserved while
+// holding the lock so a full queue never registers a job it cannot accept.
+func (s *Server) enqueue(build func(id string) *Job) (*Job, error) {
 	s.mu.Lock()
 	if s.closing {
 		s.mu.Unlock()
 		return nil, ErrShuttingDown
 	}
 	s.nextID++
-	job := newJob(fmt.Sprintf("job-%06d", s.nextID), spec, len(cells), seeds)
-	// Reserve the queue slot while holding the registry lock so a full
-	// queue never registers a job it cannot accept.
+	job := build(fmt.Sprintf("job-%06d", s.nextID))
 	select {
 	case s.queue <- job:
 	default:
@@ -393,6 +481,49 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Location", "/jobs/"+job.ID)
 	writeJSON(w, http.StatusAccepted, map[string]any{
 		"id":         job.ID,
+		"cells":      job.Cells,
+		"seeds":      job.Seeds,
+		"status_url": "/jobs/" + job.ID,
+		"stream_url": "/jobs/" + job.ID + "/stream",
+	})
+}
+
+// handleCalibrate accepts an observed trace (either calibrate.ParseObserved
+// format) and queues its calibration job, mirroring POST /jobs' error
+// mapping (400 bad trace, 429 queue full, 503 shutting down).
+func (s *Server) handleCalibrate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := readBody(r, s.opts.MaxBodyBytes)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	obs, err := calibrate.ParseObserved(body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	job, err := s.SubmitCalibrate(obs)
+	switch err {
+	case nil:
+	case ErrQueueFull:
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+		return
+	case ErrShuttingDown:
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	default:
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Location", "/jobs/"+job.ID)
+	writeJSON(w, http.StatusAccepted, map[string]any{
+		"id":         job.ID,
+		"kind":       job.Kind,
 		"cells":      job.Cells,
 		"seeds":      job.Seeds,
 		"status_url": "/jobs/" + job.ID,
