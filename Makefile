@@ -14,9 +14,9 @@ TIER1_BENCH = BenchmarkEndToEndSimulation$$|BenchmarkConfigOptimizer$$|Benchmark
 # against it.
 BENCH_BASELINE ?= BENCH_baseline.json
 
-.PHONY: ci build vet test race race-reconfig race-market race-serve chaos fuzz bench figures bench-baseline bench-check bench-record cover cover-floor examples daemon-smoke
+.PHONY: ci build vet test race race-engine race-reconfig race-market race-serve chaos fuzz bench figures bench-baseline bench-check bench-record cover cover-floor examples daemon-smoke
 
-ci: build vet race-reconfig race-market race-serve chaos race examples daemon-smoke cover bench-check
+ci: build vet race-engine race-reconfig race-market race-serve chaos race examples daemon-smoke cover bench-check
 
 # Smoke gate: every example must build and run to completion (stdout is
 # discarded; a non-zero exit or panic fails the gate). examples/daemon is
@@ -42,6 +42,13 @@ test:
 # suite under -race is the concurrency gate.
 race:
 	$(GO) test -race ./...
+
+# Focused race gate on the decode hot path: the span-commit engine and the
+# simulation kernel own the pooled state (span scratch buffers, event slabs,
+# free lists) that the sweep pool runs on every worker — fast to iterate on
+# when touching either.
+race-engine:
+	$(GO) test -race ./internal/engine/ ./internal/sim/
 
 # Focused race gate on the reconfiguration pipeline and the control plane
 # that drives it: the per-server memos and the process-wide shared cost
@@ -117,8 +124,9 @@ bench-baseline:
 	$(GO) run ./cmd/benchcheck -write -baseline $(BENCH_BASELINE) < bench-out.tmp; \
 		st=$$?; rm -f bench-out.tmp; exit $$st
 
-# Gate: BenchmarkEndToEndSimulation may not regress >10% ns/op vs the
-# baseline (other tier-1 benches are reported, not gated).
+# Gate: BenchmarkEndToEndSimulation may not regress >10% in ns/op OR
+# allocs/op vs the baseline (other tier-1 benches are reported, not gated).
+# Allocations gate alongside time so pooling wins cannot quietly erode.
 bench-check:
 	$(GO) test -run='^$$' -bench='$(TIER1_BENCH)' -benchmem -count=3 . > bench-out.tmp \
 		|| { cat bench-out.tmp; rm -f bench-out.tmp; exit 1; }

@@ -2,7 +2,8 @@
 //
 // It reads `go test -bench` output on stdin and either writes a JSON
 // baseline (-write) or compares against one (-check), failing when a gated
-// benchmark regresses beyond the allowed fraction:
+// benchmark's ns/op — or allocs/op, when both sides recorded allocations —
+// regresses beyond the allowed fraction:
 //
 //	go test -run='^$' -bench=... -benchmem -count=3 . | benchcheck -write -baseline BENCH_baseline.json
 //	go test -run='^$' -bench=... -benchmem -count=3 . | benchcheck -check -baseline BENCH_baseline.json
@@ -224,7 +225,26 @@ func main() {
 		}
 	}
 
-	failed := false
+	lines, errs, failed := compare(cur, base, gated, *maxRegress)
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+	for _, e := range errs {
+		fmt.Fprintln(os.Stderr, "benchcheck: "+e)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// compare evaluates current results against the baseline: gated benchmarks
+// fail when ns/op OR allocs/op regresses beyond maxRegress (allocations are
+// part of the performance contract — an alloc-pooling win must not quietly
+// erode while ns/op hides it in run-to-run noise). Allocs are gated only
+// when both sides recorded them, so pre-benchmem baselines keep working.
+// Returns the per-benchmark report lines, the error lines, and whether the
+// check failed.
+func compare(cur map[string]Result, base Baseline, gated map[string]bool, maxRegress float64) (lines, errs []string, failed bool) {
 	names := make([]string, 0, len(cur))
 	for n := range cur {
 		names = append(names, n)
@@ -237,31 +257,43 @@ func main() {
 			// A brand-new benchmark has nothing to regress against; that is
 			// only a failure when the check is supposed to gate it.
 			if gated[n] {
-				fmt.Fprintf(os.Stderr,
-					"benchcheck: gated benchmark %s has no entry in %s — refresh the baseline first (`make bench-baseline`)\n",
-					n, *baselinePath)
+				errs = append(errs, fmt.Sprintf(
+					"gated benchmark %s has no entry in the baseline — refresh it first (`make bench-baseline`)", n))
 				failed = true
 				continue
 			}
-			fmt.Printf("  %-50s %14.0f ns/op  (new, no baseline)\n", n, got.NsPerOp)
+			lines = append(lines, fmt.Sprintf("  %-50s %14.0f ns/op  (new, no baseline)", n, got.NsPerOp))
 			continue
 		}
 		ratio := got.NsPerOp / want.NsPerOp
 		status := "ok"
-		if gated[n] && ratio > 1+*maxRegress {
-			status = fmt.Sprintf("FAIL (> %+.0f%% allowed)", *maxRegress*100)
+		if gated[n] && ratio > 1+maxRegress {
+			status = fmt.Sprintf("FAIL (> %+.0f%% allowed)", maxRegress*100)
 			failed = true
 		}
-		fmt.Printf("  %-50s %14.0f ns/op  baseline %14.0f  (%+.1f%%)  %s\n",
-			n, got.NsPerOp, want.NsPerOp, (ratio-1)*100, status)
+		lines = append(lines, fmt.Sprintf("  %-50s %14.0f ns/op  baseline %14.0f  (%+.1f%%)  %s",
+			n, got.NsPerOp, want.NsPerOp, (ratio-1)*100, status))
+		if want.AllocsPerOp > 0 && got.AllocsPerOp > 0 {
+			aratio := got.AllocsPerOp / want.AllocsPerOp
+			astatus := "ok"
+			if gated[n] && aratio > 1+maxRegress {
+				astatus = fmt.Sprintf("FAIL (> %+.0f%% allowed)", maxRegress*100)
+				failed = true
+			}
+			lines = append(lines, fmt.Sprintf("  %-50s %14.0f allocs/op  baseline %11.0f  (%+.1f%%)  %s",
+				"", got.AllocsPerOp, want.AllocsPerOp, (aratio-1)*100, astatus))
+		}
 	}
+	gnames := make([]string, 0, len(gated))
 	for n := range gated {
+		gnames = append(gnames, n)
+	}
+	sort.Strings(gnames)
+	for _, n := range gnames {
 		if _, ok := cur[n]; !ok {
-			fmt.Fprintf(os.Stderr, "benchcheck: gated benchmark %s missing from input\n", n)
+			errs = append(errs, fmt.Sprintf("gated benchmark %s missing from input", n))
 			failed = true
 		}
 	}
-	if failed {
-		os.Exit(1)
-	}
+	return lines, errs, failed
 }

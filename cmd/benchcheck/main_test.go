@@ -1,0 +1,109 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+func parseString(t *testing.T, s string) map[string]Result {
+	t.Helper()
+	return parse(bufio.NewScanner(strings.NewReader(s)))
+}
+
+func TestParseKeepsFastestRunWithMemStats(t *testing.T) {
+	out := parseString(t, `
+goos: linux
+BenchmarkEndToEndSimulation-8   	     300	   4000000 ns/op	 1100000 B/op	    4000 allocs/op
+BenchmarkEndToEndSimulation-8   	     320	   3500000 ns/op	 1026420 B/op	    3444 allocs/op
+BenchmarkConfigOptimizer-8      	    1000	    900000 ns/op
+PASS
+`)
+	e, ok := out["BenchmarkEndToEndSimulation"]
+	if !ok {
+		t.Fatal("EndToEndSimulation not parsed")
+	}
+	if e.NsPerOp != 3500000 || e.AllocsPerOp != 3444 || e.BytesPerOp != 1026420 {
+		t.Fatalf("fastest run not kept: %+v", e)
+	}
+	if out["BenchmarkConfigOptimizer"].NsPerOp != 900000 {
+		t.Fatalf("memless benchmark mis-parsed: %+v", out["BenchmarkConfigOptimizer"])
+	}
+}
+
+func baselineOf(ns, allocs float64) Baseline {
+	return Baseline{Benchmarks: map[string]Result{
+		"BenchmarkGated": {NsPerOp: ns, AllocsPerOp: allocs},
+	}}
+}
+
+var gated = map[string]bool{"BenchmarkGated": true}
+
+func TestCompareWithinToleranceOK(t *testing.T) {
+	cur := map[string]Result{"BenchmarkGated": {NsPerOp: 1050, AllocsPerOp: 105}}
+	_, errs, failed := compare(cur, baselineOf(1000, 100), gated, 0.10)
+	if failed || len(errs) != 0 {
+		t.Fatalf("5%% regression failed a 10%% gate: errs=%v", errs)
+	}
+}
+
+func TestCompareNsRegressionFails(t *testing.T) {
+	cur := map[string]Result{"BenchmarkGated": {NsPerOp: 1200, AllocsPerOp: 100}}
+	lines, _, failed := compare(cur, baselineOf(1000, 100), gated, 0.10)
+	if !failed {
+		t.Fatalf("20%% ns/op regression passed the gate:\n%s", strings.Join(lines, "\n"))
+	}
+}
+
+func TestCompareAllocRegressionFails(t *testing.T) {
+	// ns/op improves, allocs/op regresses 20%: the gate must still fail —
+	// this is exactly the erosion the alloc gate exists to catch.
+	cur := map[string]Result{"BenchmarkGated": {NsPerOp: 900, AllocsPerOp: 120}}
+	lines, _, failed := compare(cur, baselineOf(1000, 100), gated, 0.10)
+	if !failed {
+		t.Fatalf("20%% allocs/op regression passed the gate:\n%s", strings.Join(lines, "\n"))
+	}
+	joined := strings.Join(lines, "\n")
+	if !strings.Contains(joined, "allocs/op") || !strings.Contains(joined, "FAIL") {
+		t.Fatalf("alloc failure not reported:\n%s", joined)
+	}
+}
+
+func TestCompareAllocGateSkippedWithoutBaselineAllocs(t *testing.T) {
+	// Pre-benchmem baselines carry no allocs; the gate must not invent one.
+	cur := map[string]Result{"BenchmarkGated": {NsPerOp: 1000, AllocsPerOp: 99999}}
+	_, _, failed := compare(cur, baselineOf(1000, 0), gated, 0.10)
+	if failed {
+		t.Fatal("alloc gate fired against a baseline with no recorded allocs")
+	}
+}
+
+func TestCompareUngatedRegressionReportsOnly(t *testing.T) {
+	base := Baseline{Benchmarks: map[string]Result{
+		"BenchmarkOther": {NsPerOp: 1000, AllocsPerOp: 100},
+	}}
+	cur := map[string]Result{"BenchmarkOther": {NsPerOp: 5000, AllocsPerOp: 500}}
+	lines, errs, failed := compare(cur, base, map[string]bool{}, 0.10)
+	if failed || len(errs) != 0 {
+		t.Fatalf("ungated-only comparison failed: errs=%v", errs)
+	}
+	if len(lines) != 2 { // ns line + allocs line
+		t.Fatalf("want report lines for ns and allocs, got:\n%s", strings.Join(lines, "\n"))
+	}
+}
+
+func TestCompareGatedMissingFails(t *testing.T) {
+	_, errs, failed := compare(map[string]Result{"BenchmarkOther": {NsPerOp: 1}},
+		Baseline{Benchmarks: map[string]Result{}}, gated, 0.10)
+	if !failed || len(errs) == 0 {
+		t.Fatal("missing gated benchmark did not fail the check")
+	}
+}
+
+func TestCompareGatedNewWithoutBaselineFails(t *testing.T) {
+	cur := map[string]Result{"BenchmarkGated": {NsPerOp: 1000}}
+	_, errs, failed := compare(cur, Baseline{Benchmarks: map[string]Result{}}, gated, 0.10)
+	if !failed || len(errs) == 0 {
+		t.Fatal("gated benchmark without a baseline entry did not fail the check")
+	}
+}

@@ -6,7 +6,7 @@
 //	experiments [-exp all|table1|fig5|fig6|fig7|fig8|fig9|minmem|scenarios|calibrate]
 //	            [-seed N] [-seeds K] [-parallel W]
 //	            [-avail a,b] [-policies p,q] [-fleets f,g] [-systems spotserve|baselines|all]
-//	            [-market ou|squeeze] [-slo S]
+//	            [-market ou|squeeze] [-slo S] [-full]
 //	            [-observed trace.json] [-fit] [-calib-export out.json]
 //
 // Each experiment prints a text rendition of the corresponding table or
@@ -23,7 +23,10 @@
 // registry names; empty = the default grid axes). -market bills every
 // cell's spot capacity against a registered price process (price-signal
 // cells default to their own driving process), and -slo sets the latency
-// objective behind the grid's SLO% column.
+// objective behind the grid's SLO% column. -full swaps in the scale-out
+// cross (scenario.FullGrid): every registered model plus a 12-variant bid
+// ladder × every policy × every fleet × flat billing plus every market
+// process — 1020 cells, aggregated streamingly in O(active cells) memory.
 //
 // -exp calibrate (docs/CALIBRATION.md; never part of -exp all) replays the
 // scenario of an observed serving trace (-observed trace.json) and prints
@@ -57,6 +60,7 @@ func main() {
 	fleets := flag.String("fleets", "", "scenario grid: comma-separated fleet presets (default: homog,hetero-speed)")
 	systems := flag.String("systems", "spotserve", "scenario grid: spotserve, baselines, or all")
 	marketName := flag.String("market", "", "scenario grid: spot-price process billing every cell (default: flat prices; price-signal cells use their own process)")
+	full := flag.Bool("full", false, "scenario grid: run the full 1000+-cell cross (all models + a 12-variant bid ladder × policies × fleets × markets) with streaming aggregation")
 	slo := flag.Float64("slo", 0, "scenario grid: latency objective in seconds for the SLO% column (default 120)")
 	observed := flag.String("observed", "", "calibrate: observed-trace JSON file to validate against (docs/CALIBRATION.md)")
 	fit := flag.Bool("fit", false, "calibrate: also fit the default market-parameter grid to the observed trace")
@@ -94,7 +98,35 @@ func main() {
 			Systems:  systemList(*systems),
 			Seed:     *seed,
 		}
-		rows, err := scenario.GridSweep(g, sw)
+		if *full {
+			// The full cross, with any explicit axis flags overriding the
+			// scale-out defaults. Rows aggregate as cells finish (streaming,
+			// O(active cells) memory); a progress line keeps the 1000+-cell
+			// run observable.
+			fg := scenario.FullGrid()
+			fg.SLO, fg.Seed = g.SLO, *seed
+			if len(g.Avail) > 0 {
+				fg.Avail = g.Avail
+			}
+			if len(g.Policies) > 0 {
+				fg.Policies = g.Policies
+			}
+			if len(g.Fleets) > 0 {
+				fg.Fleets = g.Fleets
+			}
+			if *marketName != "" {
+				fg.Markets = splitList(*marketName)
+			}
+			fg.Systems = systemList(*systems)
+			g = fg
+		}
+		done := 0
+		onRow := func(int, scenario.GridRow) {
+			if done++; *full && done%100 == 0 {
+				fmt.Fprintf(os.Stderr, "scenarios: %d cells done\n", done)
+			}
+		}
+		rows, err := scenario.GridSweepStream(g, sw, onRow)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "scenarios: %v\n", err)
 			os.Exit(2)

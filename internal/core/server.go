@@ -168,6 +168,13 @@ type Server struct {
 
 	arrivals []float64
 
+	// Arrival chain: when the workload's arrival times are nondecreasing,
+	// submissions run as one self-rescheduling event over the state slab
+	// instead of one closure per request.
+	arrivalStates []engine.RequestState
+	nextArrival   int
+	submitNextFn  func()
+
 	// reconfiguration state
 	pendingReconfig bool
 	reconfigReason  string
@@ -270,10 +277,30 @@ func (s *Server) LoadWorkload(reqs []workload.Request, horizon float64) {
 	if s.stats.Latencies == nil {
 		s.stats.Latencies = &metrics.Latencies{}
 	}
-	for _, r := range reqs {
-		r := r
+	// One slab holds every request's state: per-arrival allocations in
+	// submit would dominate the steady-state profile.
+	states := make([]engine.RequestState, len(reqs))
+	sorted := true
+	for i, r := range reqs {
+		states[i].Req = r
 		s.stats.Submitted++
-		s.sim.At(r.At, func() { s.submit(r) })
+		if i > 0 && r.At < reqs[i-1].At {
+			sorted = false
+		}
+	}
+	if sorted && len(states) > 0 {
+		// Nondecreasing arrivals (every generated trace): one
+		// self-rescheduling event walks the slab, so loading n requests
+		// costs O(1) closures instead of n.
+		s.arrivalStates = states
+		s.nextArrival = 0
+		s.submitNextFn = s.submitNext
+		s.sim.At(states[0].Req.At, s.submitNextFn)
+	} else {
+		for i := range states {
+			st := &states[i]
+			s.sim.At(st.Req.At, func() { s.submit(st) })
+		}
 	}
 	// Workload monitor ticks, continuing through the drain window so a
 	// poor configuration chosen near the horizon still gets corrected.
@@ -285,10 +312,23 @@ func (s *Server) LoadWorkload(reqs []workload.Request, horizon float64) {
 	s.sim.At(0, func() { s.bootstrap() })
 }
 
-func (s *Server) submit(r workload.Request) {
-	s.arrivals = append(s.arrivals, r.At)
-	s.queue = append(s.queue, &engine.RequestState{Req: r})
+func (s *Server) submit(r *engine.RequestState) {
+	s.arrivals = append(s.arrivals, r.Req.At)
+	s.queue = append(s.queue, r)
 	s.tryDispatch()
+}
+
+// submitNext submits the next slab request and schedules the one after it —
+// the arrival chain's single event callback. The successor is scheduled
+// before submission so same-time arrivals keep their FIFO order ahead of
+// any events the submission itself schedules.
+func (s *Server) submitNext() {
+	st := &s.arrivalStates[s.nextArrival]
+	s.nextArrival++
+	if s.nextArrival < len(s.arrivalStates) {
+		s.sim.At(s.arrivalStates[s.nextArrival].Req.At, s.submitNextFn)
+	}
+	s.submit(st)
 }
 
 // backlogDrainTarget is how quickly the optimizer should aim to drain a
@@ -333,6 +373,19 @@ func (s *Server) usableGPUs() []*cloud.GPU {
 		out = append(out, inst.GPUs...)
 	}
 	return out
+}
+
+// usableGPUCount returns len(usableGPUs()) without building the slice (the
+// periodic workload monitor only needs the count).
+func (s *Server) usableGPUCount() int {
+	n := 0
+	for _, inst := range s.cloud.Alive() {
+		if s.dying[inst.ID] || inst.State != cloud.Running {
+			continue
+		}
+		n += len(inst.GPUs)
+	}
+	return n
 }
 
 // usableSpeedFloor returns the slowest usable GPU's speed multiplier — the
@@ -670,12 +723,9 @@ func (s *Server) tryDispatch() {
 	if s.pendingReconfig || s.migrating {
 		return
 	}
-	ids := make([]int, 0, len(s.pipes))
-	for id := range s.pipes {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-	for _, id := range ids {
+	// Pipeline ids are dense 0..D-1 (applyMapping), so index order is id
+	// order without collecting and sorting keys.
+	for id := 0; id < len(s.pipes); id++ {
 		pipe := s.pipes[id]
 		if pipe.Busy() {
 			continue
@@ -694,8 +744,10 @@ func (s *Server) tryDispatch() {
 		if n > len(s.queue) {
 			n = len(s.queue)
 		}
-		b := &engine.Batch{Requests: s.queue[:n]}
-		s.queue = append([]*engine.RequestState(nil), s.queue[n:]...)
+		// The batch owns a copy of its n requests so queue appends can
+		// never alias its backing array; the queue just advances.
+		b := &engine.Batch{Requests: append(make([]*engine.RequestState, 0, n), s.queue[:n]...)}
+		s.queue = s.queue[n:]
 		pipe.Start(b)
 	}
 }
@@ -715,7 +767,7 @@ func (s *Server) workloadCheck() {
 	if !overload && !overProvisioned {
 		return
 	}
-	prop := s.propose(len(s.usableGPUs()))
+	prop := s.propose(s.usableGPUCount())
 	s.manageFleet(prop)
 	if prop.Config.IsZero() || prop.Config == s.cfg {
 		return
@@ -723,7 +775,7 @@ func (s *Server) workloadCheck() {
 	if overProvisioned && prop.Config.GPUs() >= s.cfg.GPUs() {
 		return // shrinking was the point
 	}
-	if prop.Config.GPUs() > len(s.usableGPUs()) {
+	if prop.Config.GPUs() > s.usableGPUCount() {
 		// Growth waits for instance acquisition (InstanceReady).
 		return
 	}
@@ -754,14 +806,10 @@ func (s *Server) beginReconfig(target config.Config, reason string, deadline flo
 		}
 	}
 	anyBusy := false
-	// Sorted order: interrupting a fast-forward run reschedules its
-	// boundary event, and event scheduling order must be deterministic.
-	ids := make([]int, 0, len(s.pipes))
-	for id := range s.pipes {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-	for _, id := range ids {
+	// Id order (pipeline ids are dense 0..D-1): interrupting a
+	// fast-forward run reschedules its boundary event, and event
+	// scheduling order must be deterministic.
+	for id := 0; id < len(s.pipes); id++ {
 		pipe := s.pipes[id]
 		if !pipe.Busy() {
 			continue
@@ -815,12 +863,7 @@ func (s *Server) estimateMigration(target config.Config) float64 {
 // stopAllPipelines requests a boundary stop on every busy pipeline in
 // deterministic order (stops may reschedule fast-forward boundary events).
 func (s *Server) stopAllPipelines() {
-	ids := make([]int, 0, len(s.pipes))
-	for id := range s.pipes {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-	for _, id := range ids {
+	for id := 0; id < len(s.pipes); id++ {
 		if pipe := s.pipes[id]; pipe.Busy() {
 			pipe.RequestStop()
 		}
@@ -1004,12 +1047,7 @@ func cacheBytesOf(spec model.Spec, b *engine.Batch) float64 {
 // parkAllBatches aborts everything and requeues requests (no capacity).
 func (s *Server) parkAllBatches() {
 	var requeue []*engine.RequestState
-	ids := make([]int, 0, len(s.pipes))
-	for id := range s.pipes {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-	for _, id := range ids {
+	for id := 0; id < len(s.pipes); id++ {
 		pipe := s.pipes[id]
 		var b *engine.Batch
 		if pipe.Busy() {
@@ -1054,8 +1092,8 @@ func (c *cloudEvents) InstanceReady(inst *cloud.Instance) {
 		}
 		// Capacity returning after a total outage: a real cold start —
 		// the reconfiguration will load parameters from storage.
-		prop := s.propose(len(s.usableGPUs()))
-		if !prop.Config.IsZero() && prop.Config.GPUs() <= len(s.usableGPUs()) {
+		prop := s.propose(s.usableGPUCount())
+		if !prop.Config.IsZero() && prop.Config.GPUs() <= s.usableGPUCount() {
 			s.beginReconfig(prop.Config, "recovery", 0)
 		}
 		return
@@ -1064,8 +1102,8 @@ func (c *cloudEvents) InstanceReady(inst *cloud.Instance) {
 	if s.pendingReconfig || s.migrating {
 		return // will be folded into the in-flight reconfiguration
 	}
-	prop := s.propose(len(s.usableGPUs()))
-	if prop.Config.IsZero() || prop.Config.GPUs() > len(s.usableGPUs()) {
+	prop := s.propose(s.usableGPUCount())
+	if prop.Config.IsZero() || prop.Config.GPUs() > s.usableGPUCount() {
 		return
 	}
 	if prop.Config == s.cfg {
@@ -1092,11 +1130,11 @@ func (c *cloudEvents) PreemptionNotice(inst *cloud.Instance, deadline float64) {
 		// A pool instance died; nothing to migrate.
 		return
 	}
-	prop := s.propose(len(s.usableGPUs()))
+	prop := s.propose(s.usableGPUCount())
 	s.manageFleet(prop)
 	target := prop.Config
-	if target.GPUs() > len(s.usableGPUs()) {
-		target = reconfig.FitToInstances(target, len(s.usableGPUs()))
+	if target.GPUs() > s.usableGPUCount() {
+		target = reconfig.FitToInstances(target, s.usableGPUCount())
 	}
 	s.beginReconfig(target, "preemption", deadline)
 }
@@ -1155,8 +1193,8 @@ func (c *cloudEvents) InstanceTerminated(inst *cloud.Instance) {
 	}
 	s.queue = append(requeue, s.queue...)
 	// Rebuild on the survivors.
-	prop := s.propose(len(s.usableGPUs()))
-	target := reconfig.FitToInstances(prop.Config, len(s.usableGPUs()))
+	prop := s.propose(s.usableGPUCount())
+	target := reconfig.FitToInstances(prop.Config, s.usableGPUCount())
 	s.epoch++
 	s.pendingReconfig = true
 	s.reconfigReason = "crash"
@@ -1233,8 +1271,8 @@ func (h *serverHooks) BatchPaused(p *engine.Pipeline, b *engine.Batch) {
 // pendingTarget recomputes the reconfiguration target at migration time
 // (the fleet may have changed while pipelines drained).
 func (s *Server) pendingTarget() config.Config {
-	prop := s.propose(len(s.usableGPUs()))
-	return reconfig.FitToInstances(prop.Config, len(s.usableGPUs()))
+	prop := s.propose(s.usableGPUCount())
+	return reconfig.FitToInstances(prop.Config, s.usableGPUCount())
 }
 
 func max(a, b int) int {

@@ -202,6 +202,44 @@ type Engine struct {
 	// ffPipes are the pipelines currently executing a fast-forward run, in
 	// deterministic (run-start) order; daemon reads sync them first.
 	ffPipes []*Pipeline
+	// spanScratch holds per-pipeline-ID span workspaces so the buffers a
+	// pipeline plans its fast-forward spans in survive reconfigurations
+	// (every reconfiguration rebuilds the pipeline set with the same small
+	// ID range). Ownership is handed over in scratchFor.
+	spanScratch []*spanScratch
+}
+
+// spanScratch is the reusable workspace a pipeline plans fast-forward spans
+// in: the boundary-time table and segment index of the current plan, plus
+// the per-request remaining/length vectors used during planning.
+type spanScratch struct {
+	times  []float64
+	segs   []ffSeg
+	rem    []int
+	lens   []int
+	holder *Pipeline
+}
+
+// scratchFor returns the span workspace for pipeline id, transferring
+// ownership to p. A still-running predecessor keeps its buffers (p gets
+// private ones); an idle predecessor is detached onto private buffers and
+// its plan invalidated, so even an out-of-contract restart stays correct.
+func (e *Engine) scratchFor(id int, p *Pipeline) *spanScratch {
+	for id >= len(e.spanScratch) {
+		e.spanScratch = append(e.spanScratch, &spanScratch{})
+	}
+	sc := e.spanScratch[id]
+	if old := sc.holder; old != nil && old != p {
+		if old.busy {
+			sc = &spanScratch{}
+			e.spanScratch[id] = sc
+		} else {
+			old.sc = &spanScratch{holder: old}
+			old.invalidateSpan()
+		}
+	}
+	sc.holder = p
+	return sc
 }
 
 // New builds an engine. Hooks must be installed before any pipeline runs.
@@ -277,12 +315,52 @@ type Pipeline struct {
 	// timings bit-identical to the untyped baseline.
 	slowdown float64
 
-	// Fast-forward run state: ffTimes holds the boundary times of the
-	// in-flight run (reused buffer), ffDone counts boundaries already
-	// committed by sync, ffActive marks a run in flight.
-	ffTimes  []float64
-	ffDone   int
-	ffActive bool
+	// Fast-forward span state. A span is the whole remaining life of the
+	// batch, planned once: sc.times holds every future iteration-boundary
+	// time, sc.segs partitions them into segments (the runs between
+	// consecutive request completions). ffCur is the current segment,
+	// ffDone the global index of the first uncommitted boundary, ffActive
+	// marks a segment event in flight, and ffPlanned/ffBatch guard reuse:
+	// a plan is only trusted after its current segment's live signature and
+	// start time validate exactly (beginFastForward), so any unplanned
+	// state change simply forces a cheap replan, never a wrong commit.
+	sc        *spanScratch
+	ffCur     int
+	ffDone    int
+	ffActive  bool
+	ffPlanned bool
+	ffBatch   *Batch
+
+	// completeFn / ffCompleteFn are the pipeline's event callbacks, bound
+	// once at construction so scheduling an iteration allocates nothing.
+	completeFn   func()
+	ffCompleteFn func()
+
+	// cacheRefs precomputes, per position, the device and cache rectangle a
+	// commit refreshes — the per-iteration daemon refresh then walks a
+	// slice instead of iterating the position map and recomputing rects.
+	cacheRefs []cacheRef
+}
+
+// ffSeg is one segment of a planned fast-forward span: the run of
+// iterations ending at the next request completion. end is one past the
+// segment's last boundary index in sc.times; bsz/n/la/ld are the live-batch
+// signature the segment was planned from (batch size, iterations, max
+// active length, max done length) and start its planned start time —
+// re-validated against the live batch before the segment is armed.
+type ffSeg struct {
+	end   int
+	bsz   int
+	n     int
+	la    int
+	ld    int
+	start float64
+}
+
+// cacheRef pairs a pipeline GPU with its precomputed cache rectangle.
+type cacheRef struct {
+	gpu  *cloud.GPU
+	rect model.Rect
 }
 
 // NewPipeline constructs a pipeline over the given position→GPU binding.
@@ -299,13 +377,27 @@ func (e *Engine) NewPipeline(id int, cfg config.Config, gpus map[config.Position
 			}
 		}
 	}
-	return &Pipeline{
+	p := &Pipeline{
 		eng:          e,
 		ID:           id,
 		Cfg:          cfg,
 		GPUs:         gpus,
 		StageReadyAt: make([]float64, cfg.P),
-	}, nil
+		cacheRefs:    make([]cacheRef, 0, cfg.P*cfg.M),
+	}
+	for sp := 0; sp < cfg.P; sp++ {
+		for m := 0; m < cfg.M; m++ {
+			pos := config.Position{D: id, P: sp, M: m}
+			p.cacheRefs = append(p.cacheRefs, cacheRef{
+				gpu:  gpus[pos],
+				rect: model.PositionRect(e.Est.Spec, cfg.P, cfg.M, sp, m),
+			})
+		}
+	}
+	p.completeFn = p.completeIteration
+	p.ffCompleteFn = p.ffComplete
+	p.sc = e.scratchFor(id, p)
+	return p, nil
 }
 
 // Busy reports whether a batch is executing.
@@ -391,11 +483,12 @@ func (p *Pipeline) scheduleNext(first bool) {
 		return
 	}
 	if !first && p.canFastForward() {
-		if n := minRemaining(b); n > 1 {
-			p.beginFastForward(n, bsz)
-			return
-		}
+		p.beginFastForward()
+		return
 	}
+	// An iteration outside the planned span desynchronizes its boundary
+	// times; drop the plan rather than rely on validation alone.
+	p.invalidateSpan()
 	dur := 0.0
 	if first {
 		// Fresh requests (Committed == 0) pay the initial phase; the
@@ -418,7 +511,7 @@ func (p *Pipeline) scheduleNext(first bool) {
 	dur = p.scaled(dur)
 	dur += p.gateDelay(dur)
 	p.iterEnd = p.eng.Sim.Now() + dur
-	p.iterEv = p.eng.Sim.After(dur, func() { p.completeIteration() })
+	p.iterEv = p.eng.Sim.After(dur, p.completeFn)
 }
 
 // canFastForward reports whether the next run of iterations may be
@@ -442,87 +535,160 @@ func (p *Pipeline) canFastForward() bool {
 	return true
 }
 
-// minRemaining returns the smallest Remaining among active requests — the
-// number of iterations until the earliest request completion, the next
-// point where batch composition (and hook activity) can change.
-func minRemaining(b *Batch) int {
-	first := true
-	m := 0
-	for _, r := range b.Requests {
-		if r.Done() {
-			continue
-		}
-		if rem := r.Remaining(); first || rem < m {
-			m = rem
-			first = false
-		}
-	}
-	return m
-}
-
-// beginFastForward precomputes the next n iteration boundaries and
-// schedules one event at the last of them. Boundary times accumulate with
-// exactly the floating-point operations of per-iteration scheduling
-// (t_k = t_{k-1} + DecodeIter at the batch's length after k commits), so
-// the committed timeline is bit-identical to stepping.
-func (p *Pipeline) beginFastForward(n, bsz int) {
+// beginFastForward arms the next fast-forward segment: the run of
+// iterations up to the next request completion, executed as ONE simulator
+// event at the segment's final boundary.
+//
+// Segments come from a span plan covering the batch's whole remaining life
+// (buildSpan). The plan is reused across segments as long as it stays
+// valid: the current segment's planned signature (batch size, iteration
+// count, sequence-length extrema) and start time must match the live batch
+// exactly, otherwise the span is replanned from the live state. Validation
+// is float-exact — this event fires at the stored boundary time, so a
+// matching start plus a matching signature implies the planned boundary
+// times are bit-identical to what per-iteration stepping would produce.
+func (p *Pipeline) beginFastForward() {
 	b := p.batch
-	// Sequence-length dynamics within the run: no request completes before
-	// the final boundary, so every active request grows by one token per
-	// iteration while completed requests stay fixed.
-	la, ld := 0, 0
+	// Live signature in one scan: active count, iterations to the next
+	// completion, and the sequence-length extrema that drive iteration
+	// durations (active requests grow one token per iteration; completed
+	// ones stay fixed).
+	bsz, n, la, ld := 0, 0, 0, 0
+	firstN := true
 	for _, r := range b.Requests {
 		l := r.Req.SeqIn + r.Committed
 		if r.Done() {
 			if l > ld {
 				ld = l
 			}
-		} else if l > la {
+			continue
+		}
+		bsz++
+		if rem := r.Remaining(); firstN || rem < n {
+			n = rem
+			firstN = false
+		}
+		if l > la {
 			la = l
 		}
 	}
-	times := p.ffTimes[:0]
-	cur := p.eng.Sim.Now()
-	// One bulk table read prices the whole run; the per-boundary values
-	// are the identical memo entries DecodeIter would return one by one.
-	lo := la
-	if ld > lo {
-		lo = ld
+	now := p.eng.Sim.Now()
+	if !p.ffPlanned || p.ffBatch != b || p.ffCur >= len(p.sc.segs) {
+		p.buildSpan()
+	} else if s := &p.sc.segs[p.ffCur]; s.bsz != bsz || s.n != n || s.la != la || s.ld != ld || s.start != now {
+		p.buildSpan()
 	}
-	hi := la + n - 1
-	if ld > hi {
-		hi = ld
-	}
-	iters := p.eng.Est.DecodeRange(p.Cfg.P, p.Cfg.M, bsz, lo, hi)
-	for k := 0; k < n; k++ {
-		curLen := la + k
-		if ld > curLen {
-			curLen = ld
-		}
-		cur += p.scaled(iters[curLen-lo])
-		times = append(times, cur)
-	}
-	p.ffTimes = times
-	p.ffDone = 0
+	seg := p.sc.segs[p.ffCur]
 	p.ffActive = true
 	p.eng.ffPipes = append(p.eng.ffPipes, p)
-	p.iterEnd = cur
-	p.iterEv = p.eng.Sim.At(cur, func() { p.completeFastForward() })
+	p.iterEnd = p.sc.times[seg.end-1]
+	p.iterEv = p.eng.Sim.At(p.iterEnd, p.ffCompleteFn)
 }
 
-// sync commits the boundaries of an in-flight fast-forward run that the
-// virtual clock has already passed, so external readers observe exactly the
-// state per-iteration stepping would have produced by now. The run's final
-// boundary is never committed here — its event owns the request
-// completions and hook calls.
+// buildSpan plans the batch's entire remaining life from the live state:
+// every future iteration-boundary time, partitioned into segments at
+// request completions. Boundary times accumulate with exactly the
+// floating-point operations of per-iteration scheduling (t_k = t_{k-1} +
+// DecodeIter at the batch's length after k commits), and each segment's
+// per-boundary durations are one bulk DecodeRange read — the identical
+// memo entries DecodeIter would return one by one — so the planned
+// timeline is bit-identical to stepping.
+func (p *Pipeline) buildSpan() {
+	b := p.batch
+	rem := p.sc.rem[:0]
+	lens := p.sc.lens[:0]
+	ld := 0
+	for _, r := range b.Requests {
+		l := r.Req.SeqIn + r.Committed
+		if r.Done() {
+			if l > ld {
+				ld = l
+			}
+			continue
+		}
+		rem = append(rem, r.Remaining())
+		lens = append(lens, l)
+	}
+	times := p.sc.times[:0]
+	segs := p.sc.segs[:0]
+	cur := p.eng.Sim.Now()
+	for {
+		bsz, n, la := 0, 0, 0
+		firstN := true
+		for i, rm := range rem {
+			if rm <= 0 {
+				continue
+			}
+			bsz++
+			if firstN || rm < n {
+				n = rm
+				firstN = false
+			}
+			if lens[i] > la {
+				la = lens[i]
+			}
+		}
+		if bsz == 0 {
+			break
+		}
+		seg := ffSeg{bsz: bsz, n: n, la: la, ld: ld, start: cur}
+		lo := la
+		if ld > lo {
+			lo = ld
+		}
+		hi := la + n - 1
+		if ld > hi {
+			hi = ld
+		}
+		iters := p.eng.Est.DecodeRange(p.Cfg.P, p.Cfg.M, bsz, lo, hi)
+		for k := 0; k < n; k++ {
+			curLen := la + k
+			if ld > curLen {
+				curLen = ld
+			}
+			cur += p.scaled(iters[curLen-lo])
+			times = append(times, cur)
+		}
+		seg.end = len(times)
+		segs = append(segs, seg)
+		for i := range rem {
+			if rem[i] <= 0 {
+				continue
+			}
+			rem[i] -= n
+			lens[i] += n
+			if rem[i] <= 0 && lens[i] > ld {
+				ld = lens[i]
+			}
+		}
+	}
+	p.sc.rem, p.sc.lens = rem, lens
+	p.sc.times, p.sc.segs = times, segs
+	p.ffCur = 0
+	p.ffDone = 0
+	p.ffBatch = b
+	p.ffPlanned = true
+}
+
+// invalidateSpan drops the span plan (the buffers stay for reuse).
+func (p *Pipeline) invalidateSpan() {
+	p.ffPlanned = false
+	p.ffBatch = nil
+}
+
+// sync commits the boundaries of the in-flight fast-forward segment that
+// the virtual clock has already passed, so external readers observe exactly
+// the state per-iteration stepping would have produced by now. The
+// segment's final boundary is never committed here — its event owns the
+// request completions and hook calls.
 func (p *Pipeline) sync() {
 	if !p.ffActive {
 		return
 	}
 	now := p.eng.Sim.Now()
 	k := p.ffDone
-	last := len(p.ffTimes) - 1 // final boundary stays with its event
-	for k < last && p.ffTimes[k] <= now {
+	last := p.sc.segs[p.ffCur].end - 1 // final boundary stays with its event
+	for k < last && p.sc.times[k] <= now {
 		k++
 	}
 	if k == p.ffDone {
@@ -566,14 +732,17 @@ func (p *Pipeline) endFastForward() {
 	}
 }
 
-// completeFastForward fires at the run's final boundary: interior
-// boundaries commit silently, then the final boundary goes through the
-// standard completion path (request completions, daemon refresh, hooks,
-// next schedule).
-func (p *Pipeline) completeFastForward() {
-	n := len(p.ffTimes)
-	p.commitThrough(n - 1)
+// ffComplete fires at the segment's final boundary: interior boundaries
+// commit silently, then the final boundary goes through the standard
+// completion path (request completions, daemon refresh, hooks, next
+// schedule). Advancing ffCur/ffDone first lets the re-schedule inside
+// completeIteration validate and arm the span's next segment directly.
+func (p *Pipeline) ffComplete() {
+	end := p.sc.segs[p.ffCur].end
+	p.commitThrough(end - 1)
 	p.endFastForward()
+	p.ffDone = end
+	p.ffCur++
 	p.completeIteration()
 }
 
@@ -588,17 +757,18 @@ func (p *Pipeline) Interrupt() {
 	}
 	p.sync()
 	next := p.ffDone
-	if next >= len(p.ffTimes)-1 {
-		// Only the final boundary remains and its event is already
-		// scheduled at the correct time; completeIteration will consult
-		// the hooks there.
+	if next >= p.sc.segs[p.ffCur].end-1 {
+		// Only the segment's final boundary remains and its event is
+		// already scheduled at the correct time; completeIteration will
+		// consult the hooks there.
 		return
 	}
 	p.iterEv.Cancel()
-	t := p.ffTimes[next]
+	t := p.sc.times[next]
 	p.endFastForward()
+	p.invalidateSpan()
 	p.iterEnd = t
-	p.iterEv = p.eng.Sim.At(t, func() { p.completeIteration() })
+	p.iterEv = p.eng.Sim.At(t, p.completeFn)
 }
 
 func maxSeqIn(b *Batch) int {
@@ -640,13 +810,13 @@ func (p *Pipeline) completeIteration() {
 }
 
 // refreshCacheDaemons records the batch's KV cache on this pipeline's
-// context daemons after a commit.
+// context daemons after a commit, walking the precomputed position refs.
 func (p *Pipeline) refreshCacheDaemons() {
 	tokens := p.batch.TotalTokens()
-	for pos, gpu := range p.GPUs {
-		d := p.eng.daemon(gpu)
+	for _, ref := range p.cacheRefs {
+		d := p.eng.daemon(ref.gpu)
 		d.CachePipeline = p.ID
-		d.CacheRect = model.PositionRect(p.eng.Est.Spec, p.Cfg.P, p.Cfg.M, pos.P, pos.M)
+		d.CacheRect = ref.rect
 		d.CacheTokens = tokens
 	}
 }
@@ -654,6 +824,7 @@ func (p *Pipeline) refreshCacheDaemons() {
 func (p *Pipeline) finish() {
 	p.busy = false
 	p.batch = nil
+	p.invalidateSpan()
 	// The completed batch's cache is dead weight; daemons drop it.
 	for _, gpu := range p.GPUs {
 		p.eng.daemon(gpu).DropCache()
@@ -665,6 +836,7 @@ func (p *Pipeline) pause() {
 	p.busy = false
 	b := p.batch
 	p.batch = nil
+	p.invalidateSpan()
 	p.eng.Hooks.BatchPaused(p, b)
 }
 
@@ -685,6 +857,7 @@ func (p *Pipeline) RequestStop() {
 func (p *Pipeline) Abort() *Batch {
 	p.sync()
 	p.endFastForward()
+	p.invalidateSpan()
 	p.iterEv.Cancel()
 	p.busy = false
 	b := p.batch

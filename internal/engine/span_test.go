@@ -1,0 +1,161 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"spotserve/internal/config"
+	"spotserve/internal/model"
+)
+
+// Span-level regression tests. A batch with staggered completions produces a
+// multi-segment span plan (one segment per run up to the next request
+// completion); these tests pin byte-identity to per-iteration stepping for
+// control actions that land beyond the first segment — the cases the
+// single-request fast-forward tests cannot reach.
+
+// staggeredBatch returns a batch whose requests finish at three distinct
+// times, so the span plan holds three segments.
+func staggeredBatch() *Batch {
+	b := mkBatch(3, 512, 40)
+	b.Requests[1].Committed = 25
+	b.Requests[2].Committed = 10
+	return b
+}
+
+// TestSpanInterruptAcrossSegments interrupts the staggered batch at times
+// landing in each of the span's segments (and exactly on boundaries): the
+// demotion to stepping must land on the same boundary with the same
+// committed progress as per-iteration stepping, wherever it hits.
+func TestSpanInterruptAcrossSegments(t *testing.T) {
+	for _, at := range []float64{0.3, 0.9, 1.5, 2.2, 3.0} {
+		at := at
+		t.Run(fmt.Sprintf("at=%v", at), func(t *testing.T) {
+			runBoth(t, func(f *fixture, h *ffHooks) {
+				cfg := config.Config{D: 1, P: 1, M: 4, B: 4}
+				p, _ := f.eng.NewPipeline(0, cfg, f.bind(0, cfg))
+				b := staggeredBatch()
+				stopping := false
+				h.allow = func(*Pipeline) bool { return !stopping }
+				remaining := 2
+				h.iterDone = func(*Pipeline) bool {
+					if !stopping {
+						return true
+					}
+					remaining--
+					return remaining > 0
+				}
+				f.sim.At(0, func() { p.Start(b) })
+				f.sim.At(at, func() {
+					stopping = true
+					p.Interrupt()
+				})
+				f.sim.RunAll()
+				h.log("final prog=%d busy=%v", b.Progress(), p.Busy())
+			})
+		})
+	}
+}
+
+// TestSpanAbortAfterCommittedSegments aborts the staggered batch at times in
+// later segments: every boundary the clock has passed — including whole
+// earlier segments and their request completions — must be committed exactly
+// as stepping would have, with at most the in-flight iteration lost.
+func TestSpanAbortAfterCommittedSegments(t *testing.T) {
+	for _, at := range []float64{0.5, 1.2, 2.0, 2.8} {
+		at := at
+		t.Run(fmt.Sprintf("at=%v", at), func(t *testing.T) {
+			runBoth(t, func(f *fixture, h *ffHooks) {
+				cfg := config.Config{D: 1, P: 1, M: 4, B: 4}
+				p, _ := f.eng.NewPipeline(0, cfg, f.bind(0, cfg))
+				b := staggeredBatch()
+				f.sim.At(0, func() { p.Start(b) })
+				f.sim.At(at, func() {
+					if ab := p.Abort(); ab != nil {
+						h.log("aborted prog=%d iters=%d size=%d", ab.Progress(), p.Iterations(), ab.Size())
+					} else {
+						h.log("nothing to abort prog=%d iters=%d", b.Progress(), p.Iterations())
+					}
+				})
+				f.sim.RunAll()
+			})
+		})
+	}
+}
+
+// TestSpanSyncOnReadLaterSegments reads daemon cache state at instants
+// spread across all three segments: sync-on-read must commit exactly the
+// boundaries passed on the virtual clock no matter which segment is armed.
+func TestSpanSyncOnReadLaterSegments(t *testing.T) {
+	runBoth(t, func(f *fixture, h *ffHooks) {
+		cfg := config.Config{D: 1, P: 1, M: 4, B: 4}
+		p, _ := f.eng.NewPipeline(0, cfg, f.bind(0, cfg))
+		b := staggeredBatch()
+		f.sim.At(0, func() { p.Start(b) })
+		for _, at := range []float64{0.2, 0.6, 1.1, 1.7, 2.4, 3.1} {
+			at := at
+			f.sim.At(at, func() {
+				d := f.eng.Daemon(f.gpus[0])
+				h.log("daemon tokens=%d prog=%d iters=%d",
+					d.CacheTokens, b.Progress(), p.Iterations())
+			})
+		}
+		f.sim.RunAll()
+	})
+}
+
+// TestSpanStopRestartReplans pauses the staggered batch mid-span and
+// restarts it: the restarted run must replan from the committed state (the
+// finished-request length extremum and per-request progress differ from the
+// original plan) and still match per-iteration stepping to the last bit.
+func TestSpanStopRestartReplans(t *testing.T) {
+	runBoth(t, func(f *fixture, h *ffHooks) {
+		cfg := config.Config{D: 1, P: 1, M: 4, B: 4}
+		p, _ := f.eng.NewPipeline(0, cfg, f.bind(0, cfg))
+		b := staggeredBatch()
+		f.sim.At(0, func() { p.Start(b) })
+		f.sim.At(1.0, func() { p.RequestStop() })
+		f.sim.At(4.0, func() {
+			if !p.Busy() && b.Size() > 0 {
+				p.Start(b)
+			}
+		})
+		f.sim.RunAll()
+		for i, r := range b.Requests {
+			h.log("req %d committed=%d restarts=%d", i, r.Committed, r.Restarts)
+		}
+	})
+}
+
+// TestSpanScratchReusedAcrossPipelines retires a pipeline and creates a new
+// one under the same ID: the engine hands the span scratch to the successor,
+// and the successor's runs must still be byte-identical to stepping.
+func TestSpanScratchReusedAcrossPipelines(t *testing.T) {
+	runBoth(t, func(f *fixture, h *ffHooks) {
+		cfg := config.Config{D: 1, P: 1, M: 4, B: 4}
+		p, _ := f.eng.NewPipeline(0, cfg, f.bind(0, cfg))
+		f.sim.At(0, func() { p.Start(staggeredBatch()) })
+		f.sim.RunAll()
+
+		p2, _ := f.eng.NewPipeline(0, cfg, f.bind(0, cfg))
+		b2 := mkBatch(2, 512, 30)
+		b2.Requests[1].Committed = 12
+		f.sim.At(f.sim.Now(), func() { p2.Start(b2) })
+		f.sim.RunAll()
+		h.log("second run prog=%d", b2.Progress())
+	})
+}
+
+// TestSpanOneEventPerSegment pins the mechanism: the three-completion batch
+// must run in one simulator event per segment (plus the start event), not
+// one per iteration.
+func TestSpanOneEventPerSegment(t *testing.T) {
+	f, _ := ffFixture(t, model.OPT6B7, 1, false)
+	cfg := config.Config{D: 1, P: 1, M: 4, B: 4}
+	p, _ := f.eng.NewPipeline(0, cfg, f.bind(0, cfg))
+	f.sim.At(0, func() { p.Start(staggeredBatch()) })
+	f.sim.RunAll()
+	if s := f.sim.Steps(); s > 8 {
+		t.Fatalf("steps = %d, want a handful (one event per completion segment)", s)
+	}
+}

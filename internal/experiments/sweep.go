@@ -231,26 +231,38 @@ func RunAll(scs []Scenario, parallel int) []Result {
 }
 
 func (sw Sweep) runAll(scs []Scenario) []Result {
-	results := make([]Result, len(scs))
+	return sw.runPool(scs, true)
+}
+
+// runPool is the worker pool behind runAll and the streaming entry points.
+// With retain=false no Result outlives its OnResult callback — the pool's
+// footprint is the in-flight jobs, whatever the job count.
+func (sw Sweep) runPool(scs []Scenario, retain bool) []Result {
+	var results []Result
+	if retain {
+		results = make([]Result, len(scs))
+	}
 	if len(scs) == 0 {
 		return results
 	}
 	// notifyMu serializes OnResult so callback bookkeeping (streaming rows,
 	// per-cell completion counts) needs no locking of its own.
 	var notifyMu sync.Mutex
-	runOne := func(i int) Result {
+	runOne := func(i int) {
 		r, fromCache := sw.runCached(scs[i])
+		if retain {
+			results[i] = r
+		}
 		if sw.OnResult != nil {
 			notifyMu.Lock()
 			sw.OnResult(i, r, fromCache)
 			notifyMu.Unlock()
 		}
-		return r
 	}
 	workers := sw.workers(len(scs))
 	if workers == 1 {
 		for i := range scs {
-			results[i] = runOne(i)
+			runOne(i)
 		}
 		return results
 	}
@@ -275,7 +287,7 @@ func (sw Sweep) runAll(scs []Scenario) []Result {
 				if i >= len(scs) || panicked.Load() != nil {
 					return
 				}
-				results[i] = runOne(i)
+				runOne(i)
 			}
 		}()
 	}
@@ -434,6 +446,17 @@ func (sw Sweep) RunCells(cells []Scenario) [][]Result {
 		out[i] = flat[i*perCell : (i+1)*perCell]
 	}
 	return out
+}
+
+// RunCellsStream runs every cell×seed job through the same pool as
+// RunCells — same flattening, same determinism, same callback ordering —
+// but retains nothing: each Result is observable only through OnResult and
+// is garbage the moment the callback returns. Peak memory is proportional
+// to the in-flight jobs rather than cells×seeds, which is what lets a
+// 1000+-cell grid stream through a bounded footprint.
+func (sw Sweep) RunCellsStream(cells []Scenario) {
+	jobs, _ := sw.cellJobs(cells)
+	sw.runPool(jobs, false)
 }
 
 // RunCellsIsolated is RunCells with per-cell fault isolation: every

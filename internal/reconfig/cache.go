@@ -44,10 +44,21 @@ func proposalKey(req Request, reserve int) propKey {
 
 // keyBuf builds canonical byte keys for the variable-length memos, folding
 // a word-wise FNV-style hash as it writes (byte-at-a-time hashing of the
-// multi-kilobyte device keys showed up in profiles).
+// multi-kilobyte device keys showed up in profiles). A keyBuf is reusable:
+// reset rewinds it, so the Engine keeps one per memo lookup instead of
+// allocating a fresh buffer per key; the memos copy the bytes they retain.
 type keyBuf struct {
 	b []byte
 	h uint64
+	// dh is a second hash folded over only the device-portion words (the
+	// fleet and its resident contexts, marked via setDev). A memo miss
+	// whose dh matches the previous lookup's means the fleet was unchanged
+	// and the *target or options* moved — the signature of a target shift
+	// during the JIT drain, as opposed to a cold fleet.
+	dh  uint64
+	dev bool
+	// order is scratch for mappingKey's device sort.
+	order []int
 }
 
 const (
@@ -55,13 +66,28 @@ const (
 	fnvPrime64  = 1099511628211
 )
 
-func newKeyBuf(capacity int) keyBuf {
-	return keyBuf{b: make([]byte, 0, capacity), h: fnvOffset64}
+// reset rewinds the buffer for a fresh key, keeping its backing storage.
+func (k *keyBuf) reset(capacity int) {
+	if cap(k.b) < capacity {
+		k.b = make([]byte, 0, capacity)
+	} else {
+		k.b = k.b[:0]
+	}
+	k.h = fnvOffset64
+	k.dh = fnvOffset64
+	k.dev = false
 }
+
+// setDev marks whether subsequent words belong to the device portion of the
+// key (folded into the secondary device hash).
+func (k *keyBuf) setDev(on bool) { k.dev = on }
 
 func (k *keyBuf) u64(v uint64) {
 	k.b = binary.LittleEndian.AppendUint64(k.b, v)
 	k.h = (k.h ^ v) * fnvPrime64
+	if k.dev {
+		k.dh = (k.dh ^ v) * fnvPrime64
+	}
 }
 func (k *keyBuf) i(v int)     { k.u64(uint64(int64(v))) }
 func (k *keyBuf) i64(v int64) { k.u64(uint64(v)) }
@@ -79,26 +105,37 @@ func (k *keyBuf) bool(v bool) {
 // hash returns the accumulated hash of the written words.
 func (k *keyBuf) hash() uint64 { return k.h }
 
+// devHash returns the accumulated hash of the device-portion words.
+func (k *keyBuf) devHash() uint64 { return k.dh }
+
 // mappingKey canonically encodes everything MapDevices depends on beyond
 // the engine's fixed spec: the device set (sorted by GPU ID — MapDevices
 // sorts its input, so input order is irrelevant), each device's model
 // context and speed, the target, the mapper switches, and — only when an
 // inheritance map is present, since edge weights ignore cache state
-// otherwise — the cache contexts and the inheritance pairs.
-func mappingKey(devs []DeviceContext, target config.Config, opt MapperOptions) keyBuf {
-	k := newKeyBuf(64 + len(devs)*13*8)
+// otherwise — the cache contexts and the inheritance pairs. The target's
+// batch size is deliberately absent: MapDevices reads the target only
+// through Validate/GPUs/Positions and the P/M fields, none of which depend
+// on B, so a mapping memoized at the estimate-time batch size is reused
+// verbatim when only B shifted during the JIT drain (the caller re-stamps
+// Mapping.Target).
+func mappingKey(k *keyBuf, devs []DeviceContext, target config.Config, opt MapperOptions) {
+	k.reset(64 + len(devs)*13*8)
 	k.i(target.D)
 	k.i(target.P)
 	k.i(target.M)
-	k.i(target.B)
 	k.bool(opt.UseKM)
 	k.bool(opt.Hierarchical)
-	order := make([]int, len(devs))
+	if cap(k.order) < len(devs) {
+		k.order = make([]int, len(devs))
+	}
+	order := k.order[:len(devs)]
 	for i := range order {
 		order[i] = i
 	}
 	sort.Slice(order, func(a, b int) bool { return devs[order[a]].GPU.ID < devs[order[b]].GPU.ID })
 	withCache := len(opt.Inherit) > 0
+	k.setDev(true)
 	for _, di := range order {
 		d := &devs[di]
 		k.i64(d.GPU.ID)
@@ -117,6 +154,7 @@ func mappingKey(devs []DeviceContext, target config.Config, opt MapperOptions) k
 			k.f64(d.CacheRect.FracHi)
 		}
 	}
+	k.setDev(false)
 	if withCache {
 		news := make([]int, 0, len(opt.Inherit))
 		for n := range opt.Inherit {
@@ -128,7 +166,6 @@ func mappingKey(devs []DeviceContext, target config.Config, opt MapperOptions) k
 			k.i(opt.Inherit[n])
 		}
 	}
-	return k
 }
 
 // planKey canonically encodes everything the parameter plan depends on:
@@ -137,18 +174,27 @@ func mappingKey(devs []DeviceContext, target config.Config, opt MapperOptions) k
 // target, and the planner's buffer model. KV-cache state and the
 // inheritance map are deliberately absent: cache transfers are recomputed
 // on every call, which is what lets the estimate made at preemption notice
-// be reused after the JIT drain even though decoding progressed.
-func planKey(devs []DeviceContext, mapping Mapping, opt PlanOptions) keyBuf {
+// be reused after the JIT drain even though decoding progressed. Two more
+// canonicalizations widen reuse across drain-window shifts without ever
+// aliasing distinct plans: the target's batch size is dropped (the plan
+// reads only P/M/Positions, all B-free), and devices that hold no model
+// context *and* are not placed by the mapping are skipped — such devices
+// can neither source nor receive a parameter transfer, so spare-pool churn
+// during the drain no longer invalidates the memoized plan.
+func planKey(k *keyBuf, devs []DeviceContext, mapping Mapping, opt PlanOptions) {
 	t := mapping.Target
-	k := newKeyBuf(64 + len(devs)*7*8 + t.GPUs()*8)
+	k.reset(64 + len(devs)*7*8 + t.GPUs()*8)
 	k.i(t.D)
 	k.i(t.P)
 	k.i(t.M)
-	k.i(t.B)
 	k.bool(opt.MemOpt)
 	k.f64(opt.UmaxBytes)
+	k.setDev(true)
 	for i := range devs {
 		d := &devs[i]
+		if d.ModelCtx.Empty() && !mapping.assigned(d.GPU.ID) {
+			continue
+		}
 		k.i64(d.GPU.ID)
 		k.i64(d.GPU.Inst.ID)
 		k.f64(d.GPU.Inst.MemScale())
@@ -157,6 +203,7 @@ func planKey(devs []DeviceContext, mapping Mapping, opt PlanOptions) keyBuf {
 		k.f64(d.ModelCtx.FracLo)
 		k.f64(d.ModelCtx.FracHi)
 	}
+	k.setDev(false)
 	if mapping.flat != nil {
 		for _, g := range mapping.flat {
 			if g == nil {
@@ -165,7 +212,7 @@ func planKey(devs []DeviceContext, mapping Mapping, opt PlanOptions) keyBuf {
 				k.i64(g.ID)
 			}
 		}
-		return k
+		return
 	}
 	for _, pos := range t.Positions() {
 		g := mapping.Assign[pos]
@@ -175,7 +222,6 @@ func planKey(devs []DeviceContext, mapping Mapping, opt PlanOptions) keyBuf {
 			k.i64(g.ID)
 		}
 	}
-	return k
 }
 
 type mappingEntry struct {
@@ -196,6 +242,13 @@ type cache struct {
 	plans     map[uint64][]planEntry
 	nPlans    int
 	stats     CacheStats
+	// lastMapDev / lastPlanDev remember the previous lookup's device hash,
+	// classifying each miss as a drain-window shift (same fleet, moved
+	// target) or a cold fleet. Diagnostic only — never keyed on.
+	lastMapDev  uint64
+	haveMapDev  bool
+	lastPlanDev uint64
+	havePlanDev bool
 }
 
 func newCache() *cache {
@@ -223,7 +276,9 @@ func (c *cache) storeProposal(key propKey, p Proposal) {
 	c.proposals[key] = p
 }
 
-func (c *cache) mapping(k keyBuf) (Mapping, bool) {
+func (c *cache) mapping(k *keyBuf) (Mapping, bool) {
+	sameFleet := c.haveMapDev && c.lastMapDev == k.devHash()
+	c.lastMapDev, c.haveMapDev = k.devHash(), true
 	h := k.hash()
 	for _, e := range c.mappings[h] {
 		if bytes.Equal(e.key, k.b) {
@@ -232,20 +287,26 @@ func (c *cache) mapping(k keyBuf) (Mapping, bool) {
 		}
 	}
 	c.stats.MappingMisses++
+	if sameFleet {
+		c.stats.MappingShiftMisses++
+	}
 	return Mapping{}, false
 }
 
-func (c *cache) storeMapping(k keyBuf, m Mapping) {
+func (c *cache) storeMapping(k *keyBuf, m Mapping) {
 	if c.nMappings >= maxMappingEntries {
 		c.mappings = make(map[uint64][]mappingEntry)
 		c.nMappings = 0
 	}
 	h := k.hash()
-	c.mappings[h] = append(c.mappings[h], mappingEntry{key: k.b, m: m})
+	key := append([]byte(nil), k.b...) // k is reused; entries own their bytes
+	c.mappings[h] = append(c.mappings[h], mappingEntry{key: key, m: m})
 	c.nMappings++
 }
 
-func (c *cache) plan(k keyBuf) (*paramPlan, bool) {
+func (c *cache) plan(k *keyBuf) (*paramPlan, bool) {
+	sameFleet := c.havePlanDev && c.lastPlanDev == k.devHash()
+	c.lastPlanDev, c.havePlanDev = k.devHash(), true
 	h := k.hash()
 	for _, e := range c.plans[h] {
 		if bytes.Equal(e.key, k.b) {
@@ -254,15 +315,19 @@ func (c *cache) plan(k keyBuf) (*paramPlan, bool) {
 		}
 	}
 	c.stats.PlanMisses++
+	if sameFleet {
+		c.stats.PlanShiftMisses++
+	}
 	return nil, false
 }
 
-func (c *cache) storePlan(k keyBuf, pp *paramPlan) {
+func (c *cache) storePlan(k *keyBuf, pp *paramPlan) {
 	if c.nPlans >= maxPlanEntries {
 		c.plans = make(map[uint64][]planEntry)
 		c.nPlans = 0
 	}
 	h := k.hash()
-	c.plans[h] = append(c.plans[h], planEntry{key: k.b, pp: pp})
+	key := append([]byte(nil), k.b...) // k is reused; entries own their bytes
+	c.plans[h] = append(c.plans[h], planEntry{key: key, pp: pp})
 	c.nPlans++
 }

@@ -103,7 +103,7 @@ func TestCacheEviction(t *testing.T) {
 	for i := 0; i < 3*maxMappingEntries; i++ {
 		var k keyBuf
 		k.i(i)
-		c.storeMapping(k, Mapping{})
+		c.storeMapping(&k, Mapping{})
 		if c.nMappings > maxMappingEntries {
 			t.Fatalf("mapping memo grew to %d entries (cap %d)", c.nMappings, maxMappingEntries)
 		}
@@ -111,7 +111,7 @@ func TestCacheEviction(t *testing.T) {
 	for i := 0; i < 3*maxPlanEntries; i++ {
 		var k keyBuf
 		k.i(i)
-		c.storePlan(k, &paramPlan{})
+		c.storePlan(&k, &paramPlan{})
 		if c.nPlans > maxPlanEntries {
 			t.Fatalf("plan memo grew to %d entries (cap %d)", c.nPlans, maxPlanEntries)
 		}
@@ -119,8 +119,8 @@ func TestCacheEviction(t *testing.T) {
 	// Entries stored after a reset stay retrievable.
 	var k keyBuf
 	k.i(12345)
-	c.storePlan(k, &paramPlan{totalBytes: 7})
-	if pp, ok := c.plan(k); !ok || pp.totalBytes != 7 {
+	c.storePlan(&k, &paramPlan{totalBytes: 7})
+	if pp, ok := c.plan(&k); !ok || pp.totalBytes != 7 {
 		t.Fatal("store after eviction reset lost the entry")
 	}
 }

@@ -90,6 +90,10 @@ type Engine struct {
 	optz  *Optimizer
 	cache *cache
 	km    *km.Cache
+	// kb is the reusable canonical-key builder for the mapping and plan
+	// memos; safe because the engine is single-owner and the memos copy
+	// the key bytes they retain.
+	kb keyBuf
 }
 
 // NewEngine builds an engine; the cache is armed unless opts.DisableCache.
@@ -163,15 +167,19 @@ func (e *Engine) Map(devs []DeviceContext, target config.Config, inherit map[int
 	if e.cache == nil {
 		return MapDevices(e.opts.Spec, devs, target, opt)
 	}
-	key := mappingKey(devs, target, opt)
-	if m, ok := e.cache.mapping(key); ok {
+	mappingKey(&e.kb, devs, target, opt)
+	if m, ok := e.cache.mapping(&e.kb); ok {
+		// The memo key drops target.B (the assignment is B-independent),
+		// so a hit may carry the batch size of an earlier target; re-stamp
+		// the caller's target on the returned value copy.
+		m.Target = target
 		return m, nil
 	}
 	m, err := MapDevices(e.opts.Spec, devs, target, opt)
 	if err != nil {
 		return m, err
 	}
-	e.cache.storeMapping(key, m)
+	e.cache.storeMapping(&e.kb, m)
 	return m, nil
 }
 
@@ -199,15 +207,15 @@ func (e *Engine) Plan(devs []DeviceContext, mapping Mapping, inherit map[int]int
 	if err := mapping.Target.Validate(); err != nil {
 		return nil, err
 	}
-	key := planKey(devs, mapping, opt)
-	pp, ok := e.cache.plan(key)
+	planKey(&e.kb, devs, mapping, opt)
+	pp, ok := e.cache.plan(&e.kb)
 	if !ok {
 		var err error
 		pp, err = buildParamPlan(e.opts.Spec, devs, mapping, opt)
 		if err != nil {
 			return nil, err
 		}
-		e.cache.storePlan(key, pp)
+		e.cache.storePlan(&e.kb, pp)
 	}
 	return assemblePlan(e.opts.Spec, pp, devs, mapping, opt), nil
 }
@@ -231,7 +239,19 @@ type CacheStats struct {
 	MappingHits, MappingMisses   int
 	PlanHits, PlanMisses         int
 	KMHits, KMMisses             int
+	// MappingShiftMisses / PlanShiftMisses classify the misses above by
+	// reason: a shift miss saw the same device fleet as the immediately
+	// preceding lookup but a moved target or options — the drain-window
+	// signature (the target config shifted between the estimate at
+	// preemption notice and the execution after the JIT drain). The
+	// remainder are cold misses (the fleet itself changed). Diagnostic
+	// only; never fingerprinted.
+	MappingShiftMisses int
+	PlanShiftMisses    int
 }
+
+// ShiftMisses is the total number of drain-window shift misses.
+func (s CacheStats) ShiftMisses() int { return s.MappingShiftMisses + s.PlanShiftMisses }
 
 // Lookups is the total number of memo consultations.
 func (s CacheStats) Lookups() int {

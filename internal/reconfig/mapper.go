@@ -16,6 +16,31 @@ import (
 // top-level matching, all through one pooled solver.
 var solverPool = sync.Pool{New: func() any { return km.NewSolver() }}
 
+// mapWS pools MapDevices' transient scratch — the sorted device copy, the
+// per-position rectangles, the used set and the matching workspaces (cost
+// matrices, instance grouping, per-pair assignments). Everything retained
+// by the returned Mapping (Assign, flat, Spare) stays freshly allocated:
+// mappings are memoized and shared, so only strictly call-local storage is
+// pooled.
+type mapWS struct {
+	devs  []DeviceContext
+	rects []model.Rect
+	used  []bool
+	bonus []float64
+	left  []int
+	// hierarchical/flat matching scratch.
+	mat       scratchMatrix
+	sub       scratchMatrix
+	instIdx   map[int64]int
+	instCnt   []int
+	instArena []int
+	instGPUs  [][]int
+	paStart   []int
+	paArena   []int
+}
+
+var mapWSPool = sync.Pool{New: func() any { return &mapWS{} }}
+
 // DeviceContext is the mapper's view of one GPU's context daemon: what
 // model and cache context the device currently holds.
 type DeviceContext struct {
@@ -77,6 +102,26 @@ func (m *Mapping) gpuAt(i int, pos config.Position) *cloud.GPU {
 	return m.Assign[pos]
 }
 
+// assigned reports whether GPU id is placed somewhere in the target mesh.
+// The mesh is small (Target.GPUs() positions), so a linear scan beats
+// building a set per query.
+func (m *Mapping) assigned(id int64) bool {
+	if m.flat != nil {
+		for _, g := range m.flat {
+			if g != nil && g.ID == id {
+				return true
+			}
+		}
+		return false
+	}
+	for _, g := range m.Assign {
+		if g != nil && g.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
 // edgeWeights computes the reusable model and cache bytes when placing
 // device u at position v of the target configuration, whose context
 // rectangle is want (precomputed once per matching).
@@ -105,8 +150,12 @@ func MapDevices(spec model.Spec, devices []DeviceContext, target config.Config, 
 	if len(devices) < need {
 		return Mapping{}, fmt.Errorf("reconfig: mapping needs %d GPUs, have %d", need, len(devices))
 	}
+	ws := mapWSPool.Get().(*mapWS)
+	defer mapWSPool.Put(ws)
+
 	// Deterministic input order.
-	devs := append([]DeviceContext(nil), devices...)
+	devs := append(ws.devs[:0], devices...)
+	ws.devs = devs
 	sort.Slice(devs, func(i, j int) bool { return devs[i].GPU.ID < devs[j].GPU.ID })
 	positions := target.Positions()
 
@@ -115,7 +164,10 @@ func MapDevices(spec model.Spec, devices []DeviceContext, target config.Config, 
 		Assign: make(map[config.Position]*cloud.GPU, need),
 	}
 	// Position rectangles are shared by every weight computation below.
-	rects := make([]model.Rect, len(positions))
+	if cap(ws.rects) < len(positions) {
+		ws.rects = make([]model.Rect, len(positions))
+	}
+	rects := ws.rects[:len(positions)]
 	for i, pos := range positions {
 		rects[i] = model.PositionRect(spec, target.P, target.M, pos.P, pos.M)
 		m.TotalModelBytes += rects[i].ParamBytes(spec)
@@ -133,29 +185,35 @@ func MapDevices(spec model.Spec, devices []DeviceContext, target config.Config, 
 		solve = sv.Solve
 	}
 
-	bonus := speedBonus(devs)
+	bonus := speedBonus(devs, ws)
 
 	var left []int // indices into devs chosen for the mesh, aligned to positions
 	var err error
 	switch {
 	case !opt.UseKM:
-		left = identityAssign(len(positions))
+		left = identityAssign(len(positions), ws)
 	case opt.Hierarchical:
-		left, err = hierarchicalMatch(solve, spec, devs, positions, rects, opt.Inherit, bonus)
+		left, err = hierarchicalMatch(solve, spec, devs, positions, rects, opt.Inherit, bonus, ws)
 		if err != nil {
 			// Irregular instance shapes (partially preempted instances,
 			// uneven blocks) break the block structure; fall back to the
 			// globally optimal flat matching.
-			left, err = flatMatch(solve, spec, devs, positions, rects, opt.Inherit, bonus)
+			left, err = flatMatch(solve, spec, devs, positions, rects, opt.Inherit, bonus, ws)
 		}
 	default:
-		left, err = flatMatch(solve, spec, devs, positions, rects, opt.Inherit, bonus)
+		left, err = flatMatch(solve, spec, devs, positions, rects, opt.Inherit, bonus, ws)
 	}
 	if err != nil {
 		return Mapping{}, err
 	}
 
-	used := make(map[int]bool, need)
+	if cap(ws.used) < len(devs) {
+		ws.used = make([]bool, len(devs))
+	}
+	used := ws.used[:len(devs)]
+	for i := range used {
+		used[i] = false
+	}
 	m.flat = make([]*cloud.GPU, len(positions))
 	for pi, di := range left {
 		pos := positions[pi]
@@ -174,9 +232,10 @@ func MapDevices(spec model.Spec, devices []DeviceContext, target config.Config, 
 	return m, nil
 }
 
-// identityAssign maps position i to device i.
-func identityAssign(n int) []int {
-	out := make([]int, n)
+// identityAssign maps position i to device i (pooled scratch; the caller
+// consumes the result before MapDevices returns).
+func identityAssign(n int, ws *mapWS) []int {
+	out := intsFor(&ws.left, n)
 	for i := range out {
 		out[i] = i
 	}
@@ -195,7 +254,7 @@ const speedBonusBytes = 16e6
 // devices and leaves the slow ones as spares. It returns nil for
 // speed-homogeneous fleets, so their cost matrices — and the golden
 // fingerprints — are bit-identical to the untyped baseline.
-func speedBonus(devs []DeviceContext) []float64 {
+func speedBonus(devs []DeviceContext, ws *mapWS) []float64 {
 	hetero := false
 	for _, d := range devs {
 		if d.GPU.Inst.GPUSpeed() != devs[0].GPU.Inst.GPUSpeed() {
@@ -206,16 +265,19 @@ func speedBonus(devs []DeviceContext) []float64 {
 	if !hetero {
 		return nil
 	}
-	out := make([]float64, len(devs))
+	out := floatsFor(&ws.bonus, len(devs))
 	for i, d := range devs {
 		out[i] = d.GPU.Inst.GPUSpeed() * speedBonusBytes
 	}
 	return out
 }
 
-// flatMatch runs one global KM over all devices × positions.
-func flatMatch(solve func(km.Matrix) (km.Assignment, error), spec model.Spec, devs []DeviceContext, positions []config.Position, rects []model.Rect, inherit map[int]int, bonus []float64) ([]int, error) {
-	w := km.NewMatrix(len(devs), len(positions))
+// flatMatch runs one global KM over all devices × positions. The cost
+// matrix and result live in pooled scratch (the KM memo hashes matrix
+// content without retaining it, and the caller consumes the result before
+// MapDevices returns).
+func flatMatch(solve func(km.Matrix) (km.Assignment, error), spec model.Spec, devs []DeviceContext, positions []config.Position, rects []model.Rect, inherit map[int]int, bonus []float64, ws *mapWS) ([]int, error) {
+	w := ws.mat.sized(len(devs), len(positions))
 	for i, u := range devs {
 		for j, v := range positions {
 			mb, cb := edgeWeights(spec, u, rects[j], v, inherit)
@@ -229,7 +291,7 @@ func flatMatch(solve func(km.Matrix) (km.Assignment, error), spec model.Spec, de
 	if err != nil {
 		return nil, err
 	}
-	out := make([]int, len(positions))
+	out := intsFor(&ws.left, len(positions))
 	for j, i := range a.Right {
 		if i < 0 {
 			return nil, fmt.Errorf("reconfig: position %v unmatched", positions[j])
@@ -245,57 +307,90 @@ func flatMatch(solve func(km.Matrix) (km.Assignment, error), spec model.Spec, de
 // per-pair GPU-level assignment. Consecutive positions share a stage
 // whenever M ≥ GPUs/instance, so tensor-parallel all-reduce groups land on
 // the fast intra-instance interconnect.
-func hierarchicalMatch(solve func(km.Matrix) (km.Assignment, error), spec model.Spec, devs []DeviceContext, positions []config.Position, rects []model.Rect, inherit map[int]int, bonus []float64) ([]int, error) {
-	// Group devices by instance (preserving device order).
-	instOrder := []int64{}
-	byInst := map[int64][]int{}
-	for i, d := range devs {
-		id := d.GPU.Inst.ID
-		if _, ok := byInst[id]; !ok {
-			instOrder = append(instOrder, id)
-		}
-		byInst[id] = append(byInst[id], i)
+func hierarchicalMatch(solve func(km.Matrix) (km.Assignment, error), spec model.Spec, devs []DeviceContext, positions []config.Position, rects []model.Rect, inherit map[int]int, bonus []float64, ws *mapWS) ([]int, error) {
+	// Group devices by instance (dense indices in first-touch order, which
+	// preserves device order): a counting pass sizes per-instance groups,
+	// then an arena holds them without per-instance allocations.
+	if ws.instIdx == nil {
+		ws.instIdx = map[int64]int{}
+	} else {
+		clear(ws.instIdx)
 	}
+	instIdx := ws.instIdx
+	cnt := ws.instCnt[:0]
+	for _, d := range devs {
+		id := d.GPU.Inst.ID
+		if gi, ok := instIdx[id]; ok {
+			cnt[gi]++
+		} else {
+			instIdx[id] = len(cnt)
+			cnt = append(cnt, 1)
+		}
+	}
+	ws.instCnt = cnt
+	ni := len(cnt)
 	per := 0
-	for _, g := range byInst {
-		if len(g) > per {
-			per = len(g)
+	for _, n := range cnt {
+		if n > per {
+			per = n
 		}
 	}
 	if per == 0 {
 		return nil, fmt.Errorf("reconfig: no devices")
 	}
-	// Position blocks of `per` consecutive positions.
-	var blocks [][]int
-	for s := 0; s < len(positions); s += per {
-		e := s + per
-		if e > len(positions) {
-			e = len(positions)
-		}
-		idx := make([]int, 0, e-s)
-		for k := s; k < e; k++ {
-			idx = append(idx, k)
-		}
-		blocks = append(blocks, idx)
+	arena := intsFor(&ws.instArena, len(devs))[:0]
+	if cap(ws.instGPUs) < ni {
+		ws.instGPUs = make([][]int, ni)
+	}
+	groups := ws.instGPUs[:ni]
+	off := 0
+	for gi, n := range cnt {
+		groups[gi] = arena[off:off : off+n]
+		off += n
+	}
+	for i, d := range devs {
+		gi := instIdx[d.GPU.Inst.ID]
+		groups[gi] = append(groups[gi], i)
 	}
 
-	// Block-level weight = optimal within-pair matching value. Pairs
-	// where the instance has fewer GPUs than the block needs are
-	// infeasible.
-	nb := len(blocks)
-	pairAssign := make([][]int, len(instOrder)*nb) // (instIdx, blockIdx) → per-position device index; nil = infeasible
-	w := km.NewMatrix(len(instOrder), nb)
-	var sub scratchMatrix // one buffer reused for every instance×block pair
-	for ii, instID := range instOrder {
-		gset := byInst[instID]
-		for bi, block := range blocks {
-			if len(gset) < len(block) {
+	// Position blocks are the `per`-sized consecutive ranges
+	// [bi*per, min((bi+1)*per, len)) — pure arithmetic, nothing to store.
+	np := len(positions)
+	nb := (np + per - 1) / per
+	blockLo := func(bi int) int { return bi * per }
+	blockHi := func(bi int) int {
+		if e := (bi + 1) * per; e < np {
+			return e
+		}
+		return np
+	}
+
+	// Block-level weight = optimal within-pair matching value. Pairs where
+	// the instance has fewer GPUs than the block needs are infeasible.
+	// Feasible per-pair assignments append into one arena; paStart
+	// remembers each pair's offset (-1 = infeasible).
+	if cap(ws.paStart) < ni*nb {
+		ws.paStart = make([]int, ni*nb)
+	}
+	paStart := ws.paStart[:ni*nb]
+	for i := range paStart {
+		paStart[i] = -1
+	}
+	paArena := ws.paArena[:0]
+	w := ws.mat.sized(ni, nb)
+	for ii := 0; ii < ni; ii++ {
+		gset := groups[ii]
+		for bi := 0; bi < nb; bi++ {
+			lo, hi := blockLo(bi), blockHi(bi)
+			bn := hi - lo
+			if len(gset) < bn {
 				w[ii][bi] = 0
 				continue
 			}
-			m := sub.sized(len(gset), len(block))
+			m := ws.sub.sized(len(gset), bn)
 			for a, di := range gset {
-				for b, pj := range block {
+				for b := 0; b < bn; b++ {
+					pj := lo + b
 					mb, cb := edgeWeights(spec, devs[di], rects[pj], positions[pj], inherit)
 					m[a][b] = mb + cb
 					if bonus != nil {
@@ -308,26 +403,27 @@ func hierarchicalMatch(solve func(km.Matrix) (km.Assignment, error), spec model.
 				return nil, err
 			}
 			w[ii][bi] = sa.Weight
-			assign := make([]int, len(block))
-			for b := range block {
-				assign[b] = gset[sa.Right[b]]
+			paStart[ii*nb+bi] = len(paArena)
+			for b := 0; b < bn; b++ {
+				paArena = append(paArena, gset[sa.Right[b]])
 			}
-			pairAssign[ii*nb+bi] = assign
 		}
 	}
+	ws.paArena = paArena
 	top, err := solve(w)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]int, len(positions))
-	for bi, block := range blocks {
+	out := intsFor(&ws.left, np)
+	for bi := 0; bi < nb; bi++ {
 		ii := top.Right[bi]
-		if ii < 0 || pairAssign[ii*nb+bi] == nil {
+		if ii < 0 || paStart[ii*nb+bi] < 0 {
 			return nil, fmt.Errorf("reconfig: block %d has no feasible instance", bi)
 		}
-		assign := pairAssign[ii*nb+bi]
-		for b, pj := range block {
-			out[pj] = assign[b]
+		lo, hi := blockLo(bi), blockHi(bi)
+		pa := paArena[paStart[ii*nb+bi]:]
+		for b := 0; b < hi-lo; b++ {
+			out[lo+b] = pa[b]
 		}
 	}
 	return out, nil

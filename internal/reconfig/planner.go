@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"spotserve/internal/cloud"
 	"spotserve/internal/config"
@@ -53,10 +54,12 @@ type Plan struct {
 	Cache []Transfer
 	// LayerOrder is the layer migration order O from Algorithm 2.
 	LayerOrder []int
-	// ByLayer groups parameter transfers per layer.
-	ByLayer map[int][]Transfer
-	// StageOfLayer maps each layer to its pipeline stage in Target.
-	StageOfLayer map[int]int
+	// ByLayer groups parameter transfers per layer, indexed by layer
+	// (empty for layers with nothing to move).
+	ByLayer [][]Transfer
+	// StageOfLayer maps each layer to its pipeline stage in Target,
+	// indexed by layer.
+	StageOfLayer []int
 	// TotalBytes / StorageBytes summarize data movement.
 	TotalBytes   float64
 	StorageBytes float64
@@ -70,13 +73,85 @@ type Plan struct {
 // mapping — not on KV-cache state. It is what the Engine memoizes, because
 // it stays valid while pipelines keep decoding through the JIT window.
 type paramPlan struct {
-	target       config.Config
-	byLayer      map[int][]Transfer
+	byLayer      [][]Transfer
 	layerOrder   []int
-	stageOfLayer map[int]int
+	stageOfLayer []int
 	totalBytes   float64
 	storageBytes float64
 	peakBuffer   map[int64]float64
+}
+
+// planWS pools every transient structure a plan build needs — the device
+// index, the per-layer counting passes, the source index and the whole of
+// Algorithm 2's ordering scratch. Only strictly call-local storage lives
+// here: everything the memoized paramPlan (or the returned Plan) retains
+// is allocated fresh, since plans are shared across cache hits.
+type planWS struct {
+	devOf     map[int64]int
+	counts    []int
+	src       sourceIndex
+	srcCounts []int
+	srcArena  []srcEntry
+	// orderLayers scratch.
+	newRect  []model.Rect
+	byID     []int
+	hcounts  []int
+	harena   []int
+	holders  [][]int
+	instIdx  map[int64]int
+	instIDs  []int64
+	instCap  []float64
+	dArena   []instDelta
+	dOff     []int
+	layerPos []int
+	scratch  []float64
+	touched  []int
+	usage    []float64
+	peaks    []float64
+	layers   []int
+	deferred []int
+}
+
+var planWSPool = sync.Pool{New: func() any { return &planWS{} }}
+
+// devMap returns the cleared reusable GPU-ID→device-index map.
+func (w *planWS) devMap(n int) map[int64]int {
+	if w.devOf == nil {
+		w.devOf = make(map[int64]int, n)
+	} else {
+		clear(w.devOf)
+	}
+	return w.devOf
+}
+
+// intsFor returns a zeroed int slice of length n backed by *buf.
+func intsFor(buf *[]int, n int) []int {
+	s := *buf
+	if cap(s) < n {
+		s = make([]int, n)
+	} else {
+		s = s[:n]
+		for i := range s {
+			s[i] = 0
+		}
+	}
+	*buf = s
+	return s
+}
+
+// floatsFor returns a zeroed float64 slice of length n backed by *buf.
+func floatsFor(buf *[]float64, n int) []float64 {
+	s := *buf
+	if cap(s) < n {
+		s = make([]float64, n)
+	} else {
+		s = s[:n]
+		for i := range s {
+			s[i] = 0
+		}
+	}
+	*buf = s
+	return s
 }
 
 // PlanMigration builds the migration plan that realizes `mapping` starting
@@ -100,20 +175,58 @@ type srcEntry struct {
 	fracLo, fracHi float64
 }
 
+// instDelta is one instance's net memory change when a layer migrates:
+// incoming transfer bytes minus releasable old context.
+type instDelta struct {
+	idx int
+	by  float64
+}
+
 // sourceIndex is the persistent rect→device structure behind source
 // selection: for every transformer layer, the devices holding context of
 // that layer with their shard-fraction intervals, in devices order. One
 // index is built per parameter plan (O(total held layers)) and replaces
-// the previous per-transfer scan over every device.
+// the previous per-transfer scan over every device. Its storage is pooled
+// workspace: a count pass sizes one arena and the per-layer lists are
+// views into it, so building the index allocates nothing in steady state.
 type sourceIndex struct {
 	devices []DeviceContext
 	holders [][]srcEntry // per layer
 }
 
-func newSourceIndex(spec model.Spec, devices []DeviceContext) *sourceIndex {
-	idx := &sourceIndex{
-		devices: devices,
-		holders: make([][]srcEntry, spec.Layers),
+func newSourceIndex(spec model.Spec, devices []DeviceContext, ws *planWS) *sourceIndex {
+	counts := intsFor(&ws.srcCounts, spec.Layers)
+	total := 0
+	for _, dc := range devices {
+		r := dc.ModelCtx
+		if r.Empty() {
+			continue
+		}
+		hi := r.LayerHi
+		if hi > spec.Layers {
+			hi = spec.Layers
+		}
+		for l := r.LayerLo; l < hi; l++ {
+			counts[l]++
+			total++
+		}
+	}
+	if cap(ws.srcArena) < total {
+		ws.srcArena = make([]srcEntry, 0, total)
+	}
+	arena := ws.srcArena[:0]
+	if cap(ws.src.holders) < spec.Layers {
+		ws.src.holders = make([][]srcEntry, spec.Layers)
+	}
+	holders := ws.src.holders[:spec.Layers]
+	off := 0
+	for l, n := range counts {
+		if n > 0 {
+			holders[l] = arena[off:off : off+n]
+			off += n
+		} else {
+			holders[l] = nil
+		}
 	}
 	for di, dc := range devices {
 		r := dc.ModelCtx
@@ -125,10 +238,12 @@ func newSourceIndex(spec model.Spec, devices []DeviceContext) *sourceIndex {
 			hi = spec.Layers
 		}
 		for l := r.LayerLo; l < hi; l++ {
-			idx.holders[l] = append(idx.holders[l], srcEntry{dev: di, fracLo: r.FracLo, fracHi: r.FracHi})
+			holders[l] = append(holders[l], srcEntry{dev: di, fracLo: r.FracLo, fracHi: r.FracHi})
 		}
 	}
-	return idx
+	ws.src.devices = devices
+	ws.src.holders = holders
+	return &ws.src
 }
 
 // findSource locates a live device holding model context overlapping the
@@ -198,23 +313,24 @@ func overlapsMissing(lo, hi, wantLo, wantHi, heldLo, heldHi float64) bool {
 // buildParamPlan computes the parameter transfers, their source selection
 // and Algorithm 2's layer order. It reads only the devices' model contexts.
 func buildParamPlan(spec model.Spec, devices []DeviceContext, mapping Mapping, opt PlanOptions) (*paramPlan, error) {
+	ws := planWSPool.Get().(*planWS)
+	defer planWSPool.Put(ws)
 	target := mapping.Target
-	devOf := make(map[int64]int, len(devices))
+	devOf := ws.devMap(len(devices))
 	for i, d := range devices {
 		devOf[d.GPU.ID] = i
 	}
 
 	pp := &paramPlan{
-		target:       target,
-		byLayer:      make(map[int][]Transfer),
-		stageOfLayer: make(map[int]int),
+		byLayer:      make([][]Transfer, spec.Layers),
+		stageOfLayer: make([]int, spec.Layers),
 		peakBuffer:   make(map[int64]float64),
 	}
 	for l := 0; l < spec.Layers; l++ {
 		pp.stageOfLayer[l] = model.StageOf(spec.Layers, target.P, l)
 	}
 
-	idx := newSourceIndex(spec, devices)
+	idx := newSourceIndex(spec, devices, ws)
 	layerParam := spec.LayerParamBytes()
 
 	// Deterministic position order.
@@ -223,7 +339,7 @@ func buildParamPlan(spec model.Spec, devices []DeviceContext, mapping Mapping, o
 	// Counting pass: transfers per layer, so the fill pass appends into
 	// exactly-sized arena slices instead of growing per-layer slices
 	// through the map.
-	counts := make([]int, spec.Layers)
+	counts := intsFor(&ws.counts, spec.Layers)
 	total := 0
 	for pi, pos := range positions {
 		gpu := mapping.gpuAt(pi, pos)
@@ -283,7 +399,7 @@ func buildParamPlan(spec model.Spec, devices []DeviceContext, mapping Mapping, o
 		}
 	}
 
-	pp.layerOrder = orderLayers(spec, pp, devices, devOf, mapping, positions, opt)
+	pp.layerOrder = orderLayers(spec, pp, devices, devOf, mapping, positions, opt, ws)
 	return pp, nil
 }
 
@@ -306,7 +422,9 @@ func assemblePlan(spec model.Spec, pp *paramPlan, devices []DeviceContext, mappi
 	// Cache transfers (prioritized): every position of an inheriting
 	// pipeline needs the cache slice of its (layers × frac) rectangle.
 	target := mapping.Target
-	devOf := make(map[int64]int, len(devices))
+	ws := planWSPool.Get().(*planWS)
+	defer planWSPool.Put(ws)
+	devOf := ws.devMap(len(devices))
 	for i, d := range devices {
 		devOf[d.GPU.ID] = i
 	}
@@ -374,12 +492,15 @@ func cacheSource(devices []DeviceContext, oldD int, want model.Rect) (int, *clou
 // instance's buffer beyond U_max are deferred and then emitted in min-max
 // order (line 19). The naive order (MemOpt=false) is plain layer order
 // with unbounded buffer.
-func orderLayers(spec model.Spec, pp *paramPlan, devices []DeviceContext, devOf map[int64]int, mapping Mapping, positions []config.Position, opt PlanOptions) []int {
-	layers := make([]int, 0, len(pp.byLayer))
-	for l := range pp.byLayer {
-		layers = append(layers, l)
+func orderLayers(spec model.Spec, pp *paramPlan, devices []DeviceContext, devOf map[int64]int, mapping Mapping, positions []config.Position, opt PlanOptions, ws *planWS) []int {
+	layers := ws.layers[:0]
+	for l, trs := range pp.byLayer {
+		if len(trs) > 0 {
+			layers = append(layers, l)
+		}
 	}
-	sort.Ints(layers)
+	ws.layers = layers
+	// byLayer is layer-indexed, so layers is already in ascending order.
 	if len(layers) == 0 {
 		return nil
 	}
@@ -388,7 +509,13 @@ func orderLayers(spec model.Spec, pp *paramPlan, devices []DeviceContext, devOf 
 
 	// newRect[devIdx] is the context each mapped device keeps after
 	// migration (empty when the device leaves the mesh).
-	newRect := make([]model.Rect, len(devices))
+	if cap(ws.newRect) < len(devices) {
+		ws.newRect = make([]model.Rect, len(devices))
+	}
+	newRect := ws.newRect[:len(devices)]
+	for i := range newRect {
+		newRect[i] = model.Rect{}
+	}
 	for pi, pos := range positions {
 		if di, ok := devOf[mapping.gpuAt(pi, pos).ID]; ok {
 			newRect[di] = model.PositionRect(spec, mapping.Target.P, mapping.Target.M, pos.P, pos.M)
@@ -397,7 +524,7 @@ func orderLayers(spec model.Spec, pp *paramPlan, devices []DeviceContext, devOf 
 
 	// byID fixes an iteration order so float accumulation (and thus the
 	// plan) is deterministic regardless of the devices' input order.
-	byID := make([]int, len(devices))
+	byID := intsFor(&ws.byID, len(devices))
 	for i := range byID {
 		byID[i] = i
 	}
@@ -406,7 +533,7 @@ func orderLayers(spec model.Spec, pp *paramPlan, devices []DeviceContext, devOf 
 	// holders[l] lists the devices holding layer l in byID order, so the
 	// release scan below touches only real holders instead of probing
 	// every device per layer.
-	hcounts := make([]int, spec.Layers)
+	hcounts := intsFor(&ws.hcounts, spec.Layers)
 	htotal := 0
 	for _, di := range byID {
 		r := devices[di].ModelCtx
@@ -422,13 +549,21 @@ func orderLayers(spec model.Spec, pp *paramPlan, devices []DeviceContext, devOf 
 			htotal++
 		}
 	}
-	harena := make([]int, htotal)
-	holders := make([][]int, spec.Layers)
+	if cap(ws.harena) < htotal {
+		ws.harena = make([]int, 0, htotal)
+	}
+	harena := ws.harena[:0]
+	if cap(ws.holders) < spec.Layers {
+		ws.holders = make([][]int, spec.Layers)
+	}
+	holders := ws.holders[:spec.Layers]
 	hoff := 0
 	for l, n := range hcounts {
 		if n > 0 {
 			holders[l] = harena[hoff:hoff : hoff+n]
 			hoff += n
+		} else {
+			holders[l] = nil
 		}
 	}
 	for _, di := range byID {
@@ -451,9 +586,14 @@ func orderLayers(spec model.Spec, pp *paramPlan, devices []DeviceContext, devOf 
 	// O(L²) times in the worst case. Each instance carries its own buffer
 	// cap: U_max scaled by its type's memory multiplier, so small-memory
 	// types defer layers earlier in mixed fleets.
-	instIdx := map[int64]int{}
-	instIDs := []int64{}
-	instCap := []float64{}
+	if ws.instIdx == nil {
+		ws.instIdx = map[int64]int{}
+	} else {
+		clear(ws.instIdx)
+	}
+	instIdx := ws.instIdx
+	instIDs := ws.instIDs[:0]
+	instCap := ws.instCap[:0]
 	idxOf := func(inst *cloud.Instance) int {
 		if i, ok := instIdx[inst.ID]; ok {
 			return i
@@ -465,19 +605,15 @@ func orderLayers(spec model.Spec, pp *paramPlan, devices []DeviceContext, devOf 
 		return i
 	}
 
-	// instDelta is one instance's net memory change when a layer migrates:
-	// incoming transfer bytes minus releasable old context.
-	type instDelta struct {
-		idx int
-		by  float64
-	}
-	// deltas[li] are layer layers[li]'s per-instance changes, computed once
-	// per layer — recomputing them inside every deferred-layer pass was
-	// O(L²) work.
-	deltas := make([][]instDelta, len(layers))
-	layerPos := make(map[int]int, len(layers))
-	var scratch []float64
-	var touched []int
+	// deltas for layers[li] live in one arena at dOff[li]:dOff[li+1],
+	// computed once per layer — recomputing them inside every
+	// deferred-layer pass was O(L²) work, and per-layer slices were
+	// per-plan allocations.
+	dArena := ws.dArena[:0]
+	dOff := append(ws.dOff[:0], 0)
+	layerPos := intsFor(&ws.layerPos, spec.Layers)
+	scratch := ws.scratch
+	touched := ws.touched[:0]
 	for li, l := range layers {
 		layerPos[l] = li
 		touched = touched[:0]
@@ -522,16 +658,22 @@ func orderLayers(spec model.Spec, pp *paramPlan, devices []DeviceContext, devOf 
 				scratch[idx] -= release
 			}
 		}
-		d := make([]instDelta, len(touched))
-		for i, idx := range touched {
-			d[i] = instDelta{idx: idx, by: scratch[idx]}
+		for _, idx := range touched {
+			dArena = append(dArena, instDelta{idx: idx, by: scratch[idx]})
 			scratch[idx] = 0
 		}
-		deltas[li] = d
+		dOff = append(dOff, len(dArena))
+	}
+	ws.instIDs, ws.instCap = instIDs, instCap
+	ws.dArena, ws.dOff = dArena, dOff
+	ws.scratch, ws.touched = scratch, touched
+	deltasOf := func(l int) []instDelta {
+		li := layerPos[l]
+		return dArena[dOff[li]:dOff[li+1]]
 	}
 
-	usage := make([]float64, len(instIDs))
-	peaks := make([]float64, len(instIDs))
+	usage := floatsFor(&ws.usage, len(instIDs))
+	peaks := floatsFor(&ws.peaks, len(instIDs))
 	// heteroCap is set when instance types scale U_max differently; the
 	// ordering score then becomes the worst per-instance cap excess instead
 	// of the global peak, so small-memory instances defer layers first. The
@@ -578,7 +720,7 @@ func orderLayers(spec model.Spec, pp *paramPlan, devices []DeviceContext, devOf 
 		curScore = peak
 	}
 	apply := func(l int) {
-		for _, d := range deltas[layerPos[l]] {
+		for _, d := range deltasOf(l) {
 			usage[d.idx] += d.by
 			if usage[d.idx] > peaks[d.idx] {
 				peaks[d.idx] = usage[d.idx]
@@ -595,14 +737,14 @@ func orderLayers(spec model.Spec, pp *paramPlan, devices []DeviceContext, devOf 
 	scoreAfter := func(l int) float64 {
 		worst := curScore
 		if heteroCap {
-			for _, d := range deltas[layerPos[l]] {
+			for _, d := range deltasOf(l) {
 				if v := usage[d.idx] + d.by - instCap[d.idx]; v > worst {
 					worst = v
 				}
 			}
 			return worst
 		}
-		for _, d := range deltas[layerPos[l]] {
+		for _, d := range deltasOf(l) {
 			if u := usage[d.idx] + d.by; u > worst {
 				worst = u
 			}
@@ -624,11 +766,13 @@ func orderLayers(spec model.Spec, pp *paramPlan, devices []DeviceContext, devOf 
 			apply(l)
 		}
 		flushPeaks()
-		return layers
+		// layers is pooled workspace; the order is retained by the
+		// memoized plan, so hand back an owned copy.
+		return append(make([]int, 0, len(layers)), layers...)
 	}
 
-	order := make([]int, 0, len(layers))
-	var deferred []int // kept sorted ascending; min-score ties pick the lowest layer
+	order := make([]int, 0, len(layers)) // retained as pp.layerOrder
+	deferred := ws.deferred[:0]          // kept sorted ascending; min-score ties pick the lowest layer
 	for _, l := range layers {
 		if scoreAfter(l) <= scoreLimit {
 			apply(l)
@@ -637,6 +781,7 @@ func orderLayers(spec model.Spec, pp *paramPlan, devices []DeviceContext, devOf 
 			deferred = append(deferred, l)
 		}
 	}
+	ws.deferred = deferred
 	for len(deferred) > 0 {
 		bestI := -1
 		bestV := 0.0

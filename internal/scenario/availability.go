@@ -379,10 +379,19 @@ func RegisterModel(m AvailabilityModel) {
 // order.
 func Models() []string { return append([]string(nil), availOrder...) }
 
-// ModelByName returns a registered availability model.
+// ModelByName returns a registered availability model. Parameter-encoded
+// ladder-variant names ("price-signal/<bid>x<spread>", see LadderName)
+// resolve without registration: the parameters are the identity, so the
+// variant space stays out of Models() — and out of DefaultGrid, whose cell
+// set mirrors the registry.
 func ModelByName(name string) (AvailabilityModel, bool) {
-	m, ok := availModels[name]
-	return m, ok
+	if m, ok := availModels[name]; ok {
+		return m, ok
+	}
+	if p, ok := ParseLadder(name); ok {
+		return p, true
+	}
+	return nil, false
 }
 
 func init() {

@@ -2,6 +2,8 @@ package scenario
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
 	"spotserve/internal/market"
 	"spotserve/internal/trace"
@@ -36,6 +38,10 @@ type PriceSignal struct {
 	Pool int
 	// Min is the floor that survives any spike.
 	Min int
+	// variant, when non-empty, is the parameter-encoded registry name a
+	// ladder variant answers to (see LadderName); the default model keeps
+	// the plain "price-signal" name.
+	variant string
 }
 
 // DefaultPriceSignal drives the paper-scale 12-instance pool from the
@@ -56,7 +62,72 @@ func DefaultPriceSignal() PriceSignal {
 }
 
 // Name implements AvailabilityModel.
-func (PriceSignal) Name() string { return "price-signal" }
+func (p PriceSignal) Name() string {
+	if p.variant != "" {
+		return p.variant
+	}
+	return "price-signal"
+}
+
+// ladderPrefix starts every parameter-encoded ladder-variant name.
+const ladderPrefix = "price-signal/"
+
+// LadderName encodes a bid-ladder variant of the price-signal model as a
+// registry-style name: "price-signal/<bid>x<spread>". Variant names resolve
+// through ModelByName without registration — the parameters ARE the name —
+// so a grid can fan out over whole bid ladders without touching the global
+// registry (or DefaultGrid, which mirrors it).
+func LadderName(bid, spread float64) string {
+	return ladderPrefix +
+		strconv.FormatFloat(bid, 'g', -1, 64) + "x" +
+		strconv.FormatFloat(spread, 'g', -1, 64)
+}
+
+// LadderNames encodes the full bids×spreads cross — the grid axis a ladder
+// sweep fans out over.
+func LadderNames(bids, spreads []float64) []string {
+	out := make([]string, 0, len(bids)*len(spreads))
+	for _, b := range bids {
+		for _, s := range spreads {
+			out = append(out, LadderName(b, s))
+		}
+	}
+	return out
+}
+
+// ParseLadder decodes a ladder-variant name into its PriceSignal: the
+// default model with the encoded bid and spread, answering Name() with the
+// encoded name (so fingerprints, cache keys and rendered rows all carry the
+// variant identity). Returns false for anything that is not a well-formed
+// variant name with positive parameters.
+func ParseLadder(name string) (PriceSignal, bool) {
+	rest, ok := strings.CutPrefix(name, ladderPrefix)
+	if !ok {
+		return PriceSignal{}, false
+	}
+	bs, ss, ok := strings.Cut(rest, "x")
+	if !ok {
+		return PriceSignal{}, false
+	}
+	bid, err := strconv.ParseFloat(bs, 64)
+	if err != nil || bid <= 0 {
+		return PriceSignal{}, false
+	}
+	spread, err := strconv.ParseFloat(ss, 64)
+	if err != nil || spread <= 0 {
+		return PriceSignal{}, false
+	}
+	// Round-trip exactness: the name is the identity, so a name that does
+	// not re-encode to itself (1e0, 2.10, +2.1) is rejected rather than
+	// silently aliasing another variant's cache entries.
+	p := DefaultPriceSignal()
+	p.Bid, p.Spread = bid, spread
+	p.variant = LadderName(bid, spread)
+	if p.variant != name {
+		return PriceSignal{}, false
+	}
+	return p, true
+}
 
 // CountAt returns the ladder capacity at a price: the rungs bidding at or
 // above it, clamped to [Min, Pool].

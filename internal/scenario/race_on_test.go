@@ -1,0 +1,8 @@
+//go:build race
+
+package scenario
+
+// raceEnabled reports whether the race detector is compiled in; the
+// 1000+-cell sweep skips under it (4-6× slower with no extra coverage —
+// the focused race gates exercise the same pool on small grids).
+const raceEnabled = true

@@ -153,6 +153,11 @@ type Grid struct {
 	// Market names a spot-price process applied to every cell ("" = flat
 	// billing, except price-signal cells, which bill their own process).
 	Market string
+	// Markets promotes the spot-price process to a full grid axis: every
+	// combination runs once per entry, with "" meaning flat billing as
+	// above. Empty falls back to the single Market value, so existing
+	// grids keep their exact cell sets.
+	Markets []string
 	// SLO is the end-to-end latency objective in seconds behind the SLO%
 	// column (<= 0 = DefaultSLO). It only scores results; the slo-latency
 	// policy carries its own target.
@@ -184,7 +189,7 @@ func DefaultGrid() Grid {
 }
 
 // Cells expands the grid into sweep-ready experiments cells in
-// deterministic axis-major order (avail, policy, fleet, system).
+// deterministic axis-major order (avail, policy, fleet, market, system).
 func (g Grid) Cells() ([]experiments.Scenario, error) {
 	def := DefaultGrid()
 	if len(g.Avail) == 0 {
@@ -205,31 +210,53 @@ func (g Grid) Cells() ([]experiments.Scenario, error) {
 	if g.Seed == 0 {
 		g.Seed = def.Seed
 	}
+	markets := g.Markets
+	if len(markets) == 0 {
+		markets = []string{g.Market}
+	}
 	var out []experiments.Scenario
 	for _, av := range g.Avail {
 		for _, po := range g.Policies {
 			for _, fl := range g.Fleets {
-				for _, sys := range g.Systems {
-					// The baselines do not consult autoscaling policies
-					// (their fleet logic is part of what they baseline);
-					// skip those combinations rather than rendering rows
-					// whose policy label would be a no-op.
-					if sys != experiments.SpotServe && po != "fixed" {
-						continue
+				for _, mk := range markets {
+					for _, sys := range g.Systems {
+						// The baselines do not consult autoscaling policies
+						// (their fleet logic is part of what they baseline);
+						// skip those combinations rather than rendering rows
+						// whose policy label would be a no-op.
+						if sys != experiments.SpotServe && po != "fixed" {
+							continue
+						}
+						sc, err := Scenario{
+							Avail: av, Policy: po, Fleet: fl, Market: mk,
+							System: sys, Model: g.Model, Seed: g.Seed,
+						}.Cell()
+						if err != nil {
+							return nil, err
+						}
+						out = append(out, sc)
 					}
-					sc, err := Scenario{
-						Avail: av, Policy: po, Fleet: fl, Market: g.Market,
-						System: sys, Model: g.Model, Seed: g.Seed,
-					}.Cell()
-					if err != nil {
-						return nil, err
-					}
-					out = append(out, sc)
 				}
 			}
 		}
 	}
 	return out, nil
+}
+
+// FullGrid is the scale-out cross: every registered availability model
+// plus a 12-variant bid ladder (LadderNames), every policy, every fleet
+// preset, and flat billing plus every market process — 17×5×4×3 = 1020
+// cells under SpotServe. The grid sweeps stream rows with peak memory
+// proportional to in-flight cells, not the grid, so this scale runs in a
+// bounded footprint.
+func FullGrid() Grid {
+	g := DefaultGrid()
+	g.Avail = append(Models(), LadderNames(
+		[]float64{2.0, 2.2, 2.4},
+		[]float64{0.3, 0.6, 0.9, 1.2})...)
+	g.Fleets = Fleets()
+	g.Markets = append([]string{""}, market.Processes()...)
+	return g
 }
 
 // GridRow is one grid cell's outcome: the first-seed replica's headline
@@ -256,6 +283,11 @@ type GridRow struct {
 	// across the cell's seed replicas (a diagnostic — hit rates never
 	// change results, so they are not fingerprinted).
 	CacheHitRate metrics.Agg
+	// CacheShiftRate aggregates the share of memo lookups that missed
+	// because the target shifted during a drain window (same fleet,
+	// moved target — reconfig.CacheStats.ShiftMisses) rather than from a
+	// cold fleet change. Diagnostic like CacheHitRate; never fingerprinted.
+	CacheShiftRate metrics.Agg
 	// Fingerprints are the per-seed replica digests in sweep-seed order —
 	// the determinism contract a served row is checked against (a daemon
 	// job's rows must fingerprint-match the equivalent CLI run).
@@ -321,7 +353,13 @@ func buildRow(rs []experiments.Result, slo float64) GridRow {
 	for _, r := range rs {
 		row.CostPer1kTok.Add(CostPer1kTok(r))
 		row.SLOPct.Add(SLOPct(r, slo))
-		row.CacheHitRate.Add(r.Stats.ReconfigCache.HitRate())
+		cs := r.Stats.ReconfigCache
+		row.CacheHitRate.Add(cs.HitRate())
+		if l := cs.Lookups(); l > 0 {
+			row.CacheShiftRate.Add(float64(cs.ShiftMisses()) / float64(l))
+		} else {
+			row.CacheShiftRate.Add(0)
+		}
 		row.Fingerprints = append(row.Fingerprints, r.Fingerprint())
 	}
 	return row
@@ -430,6 +468,7 @@ func GridSweepTolerant(g Grid, sw experiments.Sweep, onRow func(cell int, row Gr
 			pending[cell][i%perCell] = cr
 			if remaining[cell]--; remaining[cell] == 0 {
 				onRow(cell, buildRowFT(cells[cell], pending[cell], slo))
+				pending[cell] = nil // released; the final rows fold the pool's own copies
 			}
 		}
 	}
@@ -448,36 +487,48 @@ func GridSweepTolerant(g Grid, sw experiments.Sweep, onRow func(cell int, row Gr
 // order under parallelism, but each streamed row is byte-identical to the
 // row at the same index in the returned slice — the serving daemon streams
 // partial grid results through this hook.
+//
+// Aggregation is streaming and memory-bounded: raw replica Results are held
+// only while their cell is in flight and released the moment the cell's row
+// folds, so peak memory is O(active cells × seeds), not O(grid × seeds) —
+// a 1000+-cell grid keeps the footprint of the handful of cells the worker
+// pool is actually running. A caller-installed sw.OnResult still fires,
+// before the grid's own bookkeeping, for every replica.
 func GridSweepStream(g Grid, sw experiments.Sweep, onRow func(cell int, row GridRow)) ([]GridRow, error) {
 	cells, sw, slo, err := g.resolve(sw)
 	if err != nil {
 		return nil, err
 	}
-	if onRow != nil {
-		// RunCells flattens jobs cell-major: flat index i is cell i/perCell,
-		// replica i%perCell. Track per-cell completion and assemble a cell's
-		// row the moment its last replica lands; runAll serializes OnResult,
-		// so the bookkeeping below needs no extra locking.
-		perCell := len(sw.Seeds)
-		pending := make([][]experiments.Result, len(cells))
-		remaining := make([]int, len(cells))
-		for i := range cells {
-			pending[i] = make([]experiments.Result, perCell)
-			remaining[i] = perCell
+	// The pool flattens jobs cell-major: flat index i is cell i/perCell,
+	// replica i%perCell. Pending buffers are allocated on a cell's first
+	// replica and dropped with its last; the pool serializes OnResult, so
+	// the bookkeeping needs no extra locking.
+	perCell := len(sw.Seeds)
+	rows := make([]GridRow, len(cells))
+	pending := make([][]experiments.Result, len(cells))
+	remaining := make([]int, len(cells))
+	for i := range cells {
+		remaining[i] = perCell
+	}
+	prev := sw.OnResult
+	sw.OnResult = func(i int, r experiments.Result, fromCache bool) {
+		if prev != nil {
+			prev(i, r, fromCache)
 		}
-		sw.OnResult = func(i int, r experiments.Result, _ bool) {
-			cell := i / perCell
-			pending[cell][i%perCell] = r
-			if remaining[cell]--; remaining[cell] == 0 {
-				onRow(cell, buildRow(pending[cell], slo))
+		cell := i / perCell
+		if pending[cell] == nil {
+			pending[cell] = make([]experiments.Result, perCell)
+		}
+		pending[cell][i%perCell] = r
+		if remaining[cell]--; remaining[cell] == 0 {
+			rows[cell] = buildRow(pending[cell], slo)
+			pending[cell] = nil // release: the row keeps aggregates, not Results
+			if onRow != nil {
+				onRow(cell, rows[cell])
 			}
 		}
 	}
-	reps := sw.RunCells(cells)
-	rows := make([]GridRow, len(cells))
-	for i, rs := range reps {
-		rows[i] = buildRow(rs, slo)
-	}
+	sw.RunCellsStream(cells)
 	return rows, nil
 }
 
@@ -493,7 +544,7 @@ func RenderGrid(rows []GridRow) string {
 		}
 	}
 	fmt.Fprintf(&b, "Scenario grid: availability × policy × fleet\n")
-	fmt.Fprintf(&b, "%-12s %-15s %-13s %-18s %8s %8s %9s %8s %6s %4s %7s",
+	fmt.Fprintf(&b, "%-20s %-15s %-13s %-18s %8s %8s %9s %8s %6s %4s %8s",
 		"Avail", "Policy", "Fleet", "System", "Avg", "P99", "Cost", "$/1ktok", "SLO%", "OD", "Cache%")
 	if bands {
 		fmt.Fprintf(&b, "  %-30s %-30s %-30s", "P99 band", "Cost band", "$/1ktok band")
@@ -505,7 +556,7 @@ func RenderGrid(rows []GridRow) string {
 		if r.Err != "" {
 			// A fault-isolated failure: the axes identify the cell, every
 			// stat is unknowable, and the error footer below explains why.
-			fmt.Fprintf(&b, "%-12s %-15s %-13s %-18s %8s %8s %9s %8s %6s %4s %7s",
+			fmt.Fprintf(&b, "%-20s %-15s %-13s %-18s %8s %8s %9s %8s %6s %4s %8s",
 				r.Avail, r.Policy, r.Fleet, r.System,
 				"n/a", "n/a", "n/a", "n/a", "n/a", "n/a", "n/a")
 			if bands {
@@ -515,11 +566,14 @@ func RenderGrid(rows []GridRow) string {
 			failed = append(failed, r)
 			continue
 		}
-		fmt.Fprintf(&b, "%-12s %-15s %-13s %-18s %7.1fs %7.1fs %8.2f$ %8.4f %5.1f%% %4d %6.0f%%",
+		// Cache% breaks the memo diagnostic into hit rate / drain-window
+		// shift-miss share: "93/2%" reads "93% hits, 2% of lookups missed
+		// only because the target shifted mid-drain".
+		fmt.Fprintf(&b, "%-20s %-15s %-13s %-18s %7.1fs %7.1fs %8.2f$ %8.4f %5.1f%% %4d %8s",
 			r.Avail, r.Policy, r.Fleet, r.System,
 			r.Summary.Avg, r.Summary.P99, r.CostUSD,
 			r.CostPer1kTok.Mean(), r.SLOPct.Mean(), r.OnDemand,
-			r.CacheHitRate.Mean()*100)
+			fmt.Sprintf("%.0f/%.0f%%", r.CacheHitRate.Mean()*100, r.CacheShiftRate.Mean()*100))
 		if bands {
 			fmt.Fprintf(&b, "  %-30s %-30s %-30s",
 				r.Reps.P99.Band(), r.Reps.Cost.Band(), r.CostPer1kTok.Band())
@@ -560,6 +614,6 @@ func RenderGrid(rows []GridRow) string {
 		fmt.Fprintf(&b, "(market: spot billing integrates the %s price process(es); flat-price rows unmarked)\n",
 			strings.Join(names, ", "))
 	}
-	fmt.Fprintf(&b, "(Cache%%: mean reconfiguration-memo hit rate across seeds; diagnostic only, never affects results)\n")
+	fmt.Fprintf(&b, "(Cache%%: mean reconfiguration-memo hit rate / drain-window shift-miss share across seeds; diagnostic only, never affects results)\n")
 	return b.String()
 }

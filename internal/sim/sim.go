@@ -99,9 +99,15 @@ type Simulator struct {
 	seq     uint64
 	queue   eventQueue
 	free    []*item
+	slab    []item
 	stopped bool
 	steps   uint64
 }
+
+// slabSize is the bump-allocation chunk for cold-path item creation: a
+// workload that schedules thousands of arrival events up front costs
+// O(events/slabSize) allocations instead of one per event.
+const slabSize = 64
 
 // New returns a simulator with the clock at zero.
 func New() *Simulator {
@@ -122,7 +128,14 @@ func (s *Simulator) alloc() *item {
 		s.free = s.free[:n-1]
 		return it
 	}
-	return &item{owner: s, index: -1}
+	if len(s.slab) == 0 {
+		s.slab = make([]item, slabSize)
+	}
+	it := &s.slab[0]
+	s.slab = s.slab[1:]
+	it.owner = s
+	it.index = -1
+	return it
 }
 
 // release recycles an item: the generation bump invalidates every Handle
