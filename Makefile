@@ -14,9 +14,9 @@ TIER1_BENCH = BenchmarkEndToEndSimulation$$|BenchmarkConfigOptimizer$$|Benchmark
 # against it.
 BENCH_BASELINE ?= BENCH_baseline.json
 
-.PHONY: ci build vet test race race-engine race-reconfig race-market race-serve chaos fuzz bench figures bench-baseline bench-check bench-record cover cover-floor examples daemon-smoke
+.PHONY: ci build vet lint test race race-engine race-reconfig race-market race-serve chaos fuzz bench figures bench-baseline bench-check bench-record cover cover-floor examples daemon-smoke
 
-ci: build vet race-engine race-reconfig race-market race-serve chaos race examples daemon-smoke cover bench-check
+ci: build vet lint race-engine race-reconfig race-market race-serve chaos race examples daemon-smoke cover bench-check
 
 # Smoke gate: every example must build and run to completion (stdout is
 # discarded; a non-zero exit or panic fails the gate). examples/daemon is
@@ -34,6 +34,16 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Determinism lint: detlint statically enforces the byte-identity
+# contract (no order-sensitive map iteration, wall-clock reads or
+# non-canonical float formatting in the kernel packages; no global rand
+# anywhere in internal/). Exits non-zero on any unsuppressed finding;
+# suppressions require `//detlint:allow <analyzer> — <reason>`. See
+# docs/ANALYSIS.md. Also usable as `go vet -vettool`:
+#   go build -o /tmp/detlint ./cmd/detlint && go vet -vettool=/tmp/detlint ./...
+lint:
+	$(GO) run ./cmd/detlint ./...
 
 test:
 	$(GO) test ./...

@@ -63,7 +63,7 @@ func main() {
 		floorPath = flag.String("floor", "COVER_floor.json", "floor JSON path")
 		write     = flag.Bool("write", false, "write the floor file from stdin results")
 		check     = flag.Bool("check", false, "compare stdin results against the floor file")
-		gate      = flag.String("gate", "spotserve/internal/calibrate,spotserve/internal/scenario,spotserve/internal/serve",
+		gate      = flag.String("gate", "spotserve/internal/analysis,spotserve/internal/calibrate,spotserve/internal/scenario,spotserve/internal/serve",
 			"comma-separated packages recorded by -write (the -check gate is whatever the floor file lists)")
 	)
 	flag.Parse()

@@ -1,0 +1,204 @@
+// Package analysistest runs detlint analyzers over fixture packages and
+// checks their findings against `// want` expectations, mirroring the
+// x/tools package of the same name on a standard-library-only footing.
+//
+// Fixtures live under internal/analysis/testdata/src/<analyzer>/; each
+// directory below that root containing Go files is loaded as one package
+// whose import path is its path relative to the root, so a fixture at
+// testdata/src/maprange/spotserve/internal/engine/ type-checks as the
+// kernel package spotserve/internal/engine and exercises the analyzer's
+// package scoping exactly as production code would.
+//
+// An expectation is a comment of the form
+//
+//	// want "regexp" "another regexp"
+//
+// attached to the line it appears on: every regexp must match a distinct
+// finding reported on that line, every finding must be matched by some
+// expectation, and both directions are errors.
+package analysistest
+
+import (
+	"fmt"
+	"io/fs"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"spotserve/internal/analysis"
+)
+
+// Run loads every fixture package under testdata/src/<a.Name> (relative
+// to the test's working directory) and checks a's findings against the
+// fixtures' want expectations.
+func Run(t *testing.T, a *analysis.Analyzer) {
+	t.Helper()
+	root := filepath.Join("testdata", "src", a.Name)
+	dirs := fixtureDirs(t, root)
+	if len(dirs) == 0 {
+		t.Fatalf("no fixture packages under %s", root)
+	}
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		importPath := filepath.ToSlash(rel)
+		t.Run(importPath, func(t *testing.T) {
+			pkg, err := analysis.LoadFixture(importPath, dir)
+			if err != nil {
+				t.Fatalf("loading fixture %s: %v", dir, err)
+			}
+			check(t, pkg, analysis.RunAnalyzers(pkg, []*analysis.Analyzer{a}))
+		})
+	}
+}
+
+// fixtureDirs returns every directory under root holding Go files.
+func fixtureDirs(t *testing.T, root string) []string {
+	t.Helper()
+	seen := map[string]bool{}
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasSuffix(path, ".go") {
+			dir := filepath.Dir(path)
+			if !seen[dir] {
+				seen[dir] = true
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("walking %s: %v", root, err)
+	}
+	sort.Strings(dirs)
+	return dirs
+}
+
+// expectation is one want regexp at a file line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+}
+
+// check compares findings against want comments.
+func check(t *testing.T, pkg *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := collectWants(t, pkg)
+
+	matched := make([]bool, len(wants))
+	for _, d := range diags {
+		ok := false
+		for i, w := range wants {
+			if matched[i] || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				matched[i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("%s: unexpected finding: %s: %s", d.Pos, d.Analyzer, d.Message)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s:%d: no finding matched want %q", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// collectWants parses every `// want ...` comment in the package.
+func collectWants(t *testing.T, pkg *analysis.Package) []expectation {
+	t.Helper()
+	var wants []expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue
+				}
+				rest, ok := strings.CutPrefix(strings.TrimSpace(text), "want ")
+				if !ok {
+					// A want may trail another directive in the same line
+					// comment (e.g. after a //detlint:allow under test),
+					// since a line comment runs to end of line.
+					if i := strings.Index(text, "// want "); i >= 0 {
+						rest = text[i+len("// want "):]
+					} else {
+						continue
+					}
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				patterns, err := parseWantPatterns(rest)
+				if err != nil {
+					t.Fatalf("%s: malformed want comment: %v", pos, err)
+				}
+				for _, p := range patterns {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, p, err)
+					}
+					wants = append(wants, expectation{file: pos.Filename, line: pos.Line, re: re, raw: p})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// parseWantPatterns reads a sequence of Go string literals (quoted or
+// backquoted) from a want comment's payload.
+func parseWantPatterns(s string) ([]string, error) {
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out, nil
+		}
+		switch s[0] {
+		case '"':
+			end := -1
+			for i := 1; i < len(s); i++ {
+				if s[i] == '\\' {
+					i++
+					continue
+				}
+				if s[i] == '"' {
+					end = i
+					break
+				}
+			}
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated string in %q", s)
+			}
+			lit, err := strconv.Unquote(s[:end+1])
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, lit)
+			s = s[end+1:]
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated raw string in %q", s)
+			}
+			out = append(out, s[1:end+1])
+			s = s[end+2:]
+		default:
+			return nil, fmt.Errorf("expected string literal at %q", s)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+// Annotation grammar: a finding may be suppressed with a written reason
+// by placing, on the offending line or the line directly above it,
+//
+//	//detlint:allow <analyzer>[,<analyzer>...] — <reason>
+//
+// The separator is an em dash or `--`; the reason is mandatory. An
+// annotation with an empty reason suppresses nothing and is itself
+// reported by each analyzer it names. Annotations naming analyzers that
+// are not part of the run are ignored (they suppress nothing, so a typo
+// can never hide a real finding — the finding still fires).
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// An allowAnnot is one parsed //detlint:allow directive.
+type allowAnnot struct {
+	pos       token.Position
+	analyzers []string
+	reason    string
+}
+
+// annotIndex indexes a package's allow annotations by file and line.
+type annotIndex struct {
+	// byLine maps filename -> line of the annotation comment.
+	byLine map[string]map[int]*allowAnnot
+	all    []*allowAnnot
+}
+
+// parseAllow parses the text of a single comment (with the leading `//`
+// already stripped). It returns nil when the comment is not a detlint
+// directive at all.
+func parseAllow(text string) (analyzers []string, reason string, ok bool) {
+	const prefix = "detlint:allow"
+	if !strings.HasPrefix(text, prefix) {
+		return nil, "", false
+	}
+	rest := text[len(prefix):]
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return nil, "", false // e.g. detlint:allowance — not ours
+	}
+	// Split names from reason at the first em dash or `--`.
+	names := rest
+	if i := strings.Index(rest, "—"); i >= 0 {
+		names, reason = rest[:i], rest[i+len("—"):]
+	} else if i := strings.Index(rest, "--"); i >= 0 {
+		names, reason = rest[:i], rest[i+2:]
+	}
+	for _, f := range strings.FieldsFunc(names, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) {
+		analyzers = append(analyzers, f)
+	}
+	return analyzers, strings.TrimSpace(reason), true
+}
+
+// collectAnnotations scans every comment in the package's files.
+func collectAnnotations(fset *token.FileSet, files []*ast.File) *annotIndex {
+	idx := &annotIndex{byLine: map[string]map[int]*allowAnnot{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, isLine := strings.CutPrefix(c.Text, "//")
+				if !isLine {
+					continue // /* ... */ comments are not directives
+				}
+				names, reason, ok := parseAllow(text)
+				if !ok || len(names) == 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				a := &allowAnnot{pos: pos, analyzers: names, reason: reason}
+				idx.all = append(idx.all, a)
+				lines := idx.byLine[pos.Filename]
+				if lines == nil {
+					lines = map[int]*allowAnnot{}
+					idx.byLine[pos.Filename] = lines
+				}
+				lines[pos.Line] = a
+			}
+		}
+	}
+	return idx
+}
+
+// allows reports whether a finding of the named analyzer at pos is
+// suppressed: an annotation naming it, with a non-empty reason, sits on
+// the finding's line (trailing comment) or the line directly above.
+func (idx *annotIndex) allows(analyzer string, pos token.Position) bool {
+	lines := idx.byLine[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range [2]int{pos.Line, pos.Line - 1} {
+		a := lines[line]
+		if a == nil || a.reason == "" {
+			continue
+		}
+		for _, name := range a.analyzers {
+			if name == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// missingReason returns the positions of annotations that name analyzer
+// but carry no reason, in file order.
+func (idx *annotIndex) missingReason(analyzer string) []token.Position {
+	var out []token.Position
+	for _, a := range idx.all {
+		if a.reason != "" {
+			continue
+		}
+		for _, name := range a.analyzers {
+			if name == analyzer {
+				out = append(out, a.pos)
+				break
+			}
+		}
+	}
+	return out
+}

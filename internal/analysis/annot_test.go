@@ -1,0 +1,35 @@
+package analysis
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseAllow(t *testing.T) {
+	cases := []struct {
+		text      string
+		analyzers []string
+		reason    string
+		ok        bool
+	}{
+		{"detlint:allow maprange — keys feed an unordered set", []string{"maprange"}, "keys feed an unordered set", true},
+		{"detlint:allow maprange -- ascii separator works too", []string{"maprange"}, "ascii separator works too", true},
+		{"detlint:allow maprange,wallclock — two analyzers, one reason", []string{"maprange", "wallclock"}, "two analyzers, one reason", true},
+		{"detlint:allow maprange, wallclock — comma+space split", []string{"maprange", "wallclock"}, "comma+space split", true},
+		{"detlint:allow maprange", []string{"maprange"}, "", true},
+		{"detlint:allow maprange —", []string{"maprange"}, "", true},
+		{"detlint:allow maprange —   ", []string{"maprange"}, "", true},
+		{"detlint:allow", nil, "", true},
+		{"detlint:allowance — not our directive", nil, "", false},
+		{" detlint:allow maprange — leading space is not a directive", nil, "", false},
+		{"nolint:maprange", nil, "", false},
+		{"just a comment", nil, "", false},
+	}
+	for _, c := range cases {
+		analyzers, reason, ok := parseAllow(c.text)
+		if ok != c.ok || reason != c.reason || !reflect.DeepEqual(analyzers, c.analyzers) {
+			t.Errorf("parseAllow(%q) = (%v, %q, %v), want (%v, %q, %v)",
+				c.text, analyzers, reason, ok, c.analyzers, c.reason, c.ok)
+		}
+	}
+}

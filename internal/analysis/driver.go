@@ -1,0 +1,32 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+	"path/filepath"
+)
+
+// RunStandalone loads the packages matched by patterns (relative to dir),
+// runs the analyzers over each, and writes findings to w as
+// `file:line:col: analyzer: message` — one line per finding, sorted by
+// package then position, with paths relative to dir when possible so
+// terminal output is clickable from the module root. It returns the
+// number of findings.
+func RunStandalone(dir string, patterns []string, analyzers []*Analyzer, w io.Writer) (int, error) {
+	pkgs, err := Load(dir, patterns...)
+	if err != nil {
+		return 0, err
+	}
+	findings := 0
+	for _, pkg := range pkgs {
+		for _, d := range RunAnalyzers(pkg, analyzers) {
+			file := d.Pos.Filename
+			if rel, err := filepath.Rel(dir, file); err == nil && !filepath.IsAbs(rel) && rel != "" && rel[0] != '.' {
+				file = rel
+			}
+			fmt.Fprintf(w, "%s:%d:%d: %s: %s\n", file, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+			findings++
+		}
+	}
+	return findings, nil
+}

@@ -1,0 +1,279 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// FPDigest guards the fingerprint byte contract at its most fragile
+// point: floating-point values formatted into digest material. Shortest
+// `%v`/`%g` float formatting is the classic silent-fingerprint-drift bug —
+// a 1-ulp change in an intermediate flips "0.3" to "0.30000000000000004",
+// the digest changes, and nothing says why. Inside kernel-package digest
+// sinks (functions whose name contains fingerprint/digest/hash, or fmt
+// writes whose writer is a hash.Hash), every float-bearing argument must
+// go through a canonical bit-exact formatter: the `%x`/`%X`/`%b` hex/binary
+// float verbs, or strconv.FormatFloat/AppendFloat before the value
+// reaches fmt.
+var FPDigest = &Analyzer{
+	Name: "fpdigest",
+	Doc: "flag float64/float32 values formatted with %v/%g/%f into fingerprint/digest " +
+		"sinks in kernel packages; digests must use bit-exact float encodings " +
+		"(%x, %b, strconv.FormatFloat) so fingerprints cannot silently drift.",
+	Run: runFPDigest,
+}
+
+// digestFuncName marks a function as digest-building by name.
+var digestFuncName = regexp.MustCompile(`(?i)(fingerprint|digest|hash)`)
+
+// fmtFormatFuncs maps fmt function name -> index of its format-string
+// argument (after any writer). fmtPrintFuncs are the verb-less variants
+// that format every operand with %v.
+var fmtFormatFuncs = map[string]int{
+	"Sprintf": 0, "Fprintf": 1, "Appendf": 1, "Printf": 0, "Errorf": 0,
+}
+var fmtPrintFuncs = map[string]int{
+	"Sprint": 0, "Sprintln": 0, "Fprint": 1, "Fprintln": 1,
+	"Append": 1, "Appendln": 1, "Print": 0, "Println": 0,
+}
+
+func runFPDigest(pass *Pass) {
+	if !IsKernelPackage(pass.Path) {
+		return
+	}
+	for _, f := range pass.Files {
+		// Digest context by enclosing function name.
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			inDigestFunc := digestFuncName.MatchString(fd.Name.Name)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				checkFmtCall(pass, call, inDigestFunc)
+				return true
+			})
+		}
+	}
+}
+
+// checkFmtCall flags non-canonical float formatting when the call is a
+// digest sink: either it sits inside a fingerprint/digest/hash function,
+// or its writer argument is a hash.Hash.
+func checkFmtCall(pass *Pass, call *ast.CallExpr, inDigestFunc bool) {
+	fn := calledPackageFunc(pass, call)
+	if fn == nil || fn.Pkg().Path() != "fmt" {
+		return
+	}
+	formatIdx, formatted := fmtFormatFuncs[fn.Name()]
+	operandIdx, printed := fmtPrintFuncs[fn.Name()]
+	if !formatted && !printed {
+		return
+	}
+	sink := inDigestFunc
+	if !sink {
+		// fmt.Fprintf(h, ...) where h is a hash.Hash is a digest sink
+		// wherever it appears.
+		idx := formatIdx
+		if printed {
+			idx = operandIdx
+		}
+		if idx == 1 && len(call.Args) > 0 && isHashWriter(pass.TypeOf(call.Args[0])) {
+			sink = true
+		}
+	}
+	if !sink {
+		return
+	}
+
+	if printed {
+		// Sprint-style: every operand (past any writer) renders with %v.
+		for _, arg := range call.Args[operandIdx:] {
+			if t := pass.TypeOf(arg); t != nil && containsFloat(t, nil) {
+				reportFloat(pass, arg.Pos(), "%v")
+			}
+		}
+		return
+	}
+
+	if formatIdx >= len(call.Args) {
+		return
+	}
+	format, ok := constantString(pass, call.Args[formatIdx])
+	args := call.Args[formatIdx+1:]
+	if !ok {
+		// Non-constant format string: we cannot prove the verbs are
+		// canonical, so any float-bearing operand is flagged.
+		for _, arg := range args {
+			if t := pass.TypeOf(arg); t != nil && containsFloat(t, nil) {
+				reportFloat(pass, arg.Pos(), "a non-constant format")
+			}
+		}
+		return
+	}
+	for _, v := range parseVerbs(format) {
+		if v.arg >= len(args) {
+			break // malformed call; go vet's printf check owns this
+		}
+		if canonicalFloatVerb(v.verb) {
+			continue
+		}
+		arg := args[v.arg]
+		if t := pass.TypeOf(arg); t != nil && containsFloat(t, nil) {
+			reportFloat(pass, arg.Pos(), "%"+string(v.verb))
+		}
+	}
+}
+
+func reportFloat(pass *Pass, pos token.Pos, verb string) {
+	pass.Reportf(pos,
+		"float value formatted with %s into a digest sink: shortest float formatting drifts silently; use the bit-exact %%x verb or strconv.FormatFloat (`//detlint:allow fpdigest — <reason>` to suppress)",
+		verb)
+}
+
+// canonicalFloatVerb reports whether the verb renders floats bit-exactly:
+// %x/%X (hex float) and %b (binary exponent) are injective encodings of
+// the float bits.
+func canonicalFloatVerb(verb byte) bool {
+	return verb == 'x' || verb == 'X' || verb == 'b'
+}
+
+// A fmtVerb is one %-directive in a format string, resolved to the
+// operand index it consumes.
+type fmtVerb struct {
+	verb byte
+	arg  int
+}
+
+// parseVerbs walks a printf format string, tracking `*` width/precision
+// operands, and returns each formatting verb with its operand index.
+func parseVerbs(format string) []fmtVerb {
+	var out []fmtVerb
+	arg := 0
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		// flags, width, precision — `*` consumes an operand.
+		for i < len(format) {
+			c := format[i]
+			if c == '*' {
+				arg++
+				i++
+				continue
+			}
+			if strings.IndexByte("+-# 0123456789.", c) >= 0 {
+				i++
+				continue
+			}
+			break
+		}
+		if i >= len(format) {
+			break
+		}
+		verb := format[i]
+		if verb == '%' {
+			continue
+		}
+		out = append(out, fmtVerb{verb: verb, arg: arg})
+		arg++
+	}
+	return out
+}
+
+// constantString extracts e's compile-time string value.
+func constantString(pass *Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// isHashWriter reports whether t satisfies the hash.Hash method set
+// (Write, Sum, Reset, Size, BlockSize), checked structurally so the
+// analyzer does not need the hash package's type object.
+func isHashWriter(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	need := map[string]bool{"Write": true, "Sum": true, "Reset": true, "Size": true, "BlockSize": true}
+	ms := types.NewMethodSet(t)
+	for i := 0; i < ms.Len(); i++ {
+		delete(need, ms.At(i).Obj().Name())
+	}
+	return len(need) == 0
+}
+
+// containsFloat reports whether a value of type t carries float32/64 or
+// complex components that fmt would render with float formatting.
+// Recursion covers named types, struct fields, arrays/slices, map keys
+// and elements, and pointers; interfaces are unknowable statically and
+// not flagged. Types implementing fmt.Stringer or error format through
+// their own method, not raw float rendering, and are skipped.
+func containsFloat(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil {
+		return false
+	}
+	if seen[t] {
+		return false
+	}
+	if seen == nil {
+		seen = map[types.Type]bool{}
+	}
+	seen[t] = true
+	if hasStringMethod(t) {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Info()&(types.IsFloat|types.IsComplex) != 0
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsFloat(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Slice:
+		return containsFloat(u.Elem(), seen)
+	case *types.Array:
+		return containsFloat(u.Elem(), seen)
+	case *types.Map:
+		return containsFloat(u.Key(), seen) || containsFloat(u.Elem(), seen)
+	case *types.Pointer:
+		return containsFloat(u.Elem(), seen)
+	}
+	return false
+}
+
+// hasStringMethod reports whether t (or *t) has a String() string or
+// Error() string method, meaning fmt delegates formatting to it.
+func hasStringMethod(t types.Type) bool {
+	for _, name := range [2]string{"String", "Error"} {
+		for _, tt := range [2]types.Type{t, types.NewPointer(t)} {
+			ms := types.NewMethodSet(tt)
+			for i := 0; i < ms.Len(); i++ {
+				m := ms.At(i).Obj()
+				if m.Name() != name {
+					continue
+				}
+				sig, ok := m.Type().(*types.Signature)
+				if ok && sig.Params().Len() == 0 && sig.Results().Len() == 1 {
+					if b, ok := sig.Results().At(0).Type().Underlying().(*types.Basic); ok && b.Kind() == types.String {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}

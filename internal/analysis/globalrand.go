@@ -1,0 +1,148 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GlobalRand forbids the process-global math/rand source everywhere under
+// internal/: the global source is shared mutable state seeded outside the
+// scenario, so any draw from it is unreproducible by construction and —
+// worse — racy under the parallel sweep pool. Every random draw in this
+// module must come from an explicitly seeded *rand.Rand threaded down
+// from the scenario/replica seed. Seeding any source from the wall clock
+// (rand.NewSource(time.Now().UnixNano()) and friends) is flagged for the
+// same reason.
+var GlobalRand = &Analyzer{
+	Name: "globalrand",
+	Doc: "forbid top-level math/rand functions (rand.Int, rand.Float64, rand.Shuffle, ...) " +
+		"and wall-clock-seeded sources anywhere in internal/; randomness must come from " +
+		"an explicitly seeded *rand.Rand threaded from the scenario/replica seed.",
+	Run: runGlobalRand,
+}
+
+// globalRandFuncs lists the package-level draws on the implicit global
+// source, per rand package flavor. Constructors (New, NewSource, NewPCG,
+// NewZipf) are allowed — they are how seeded randomness is built.
+var globalRandFuncs = map[string]map[string]bool{
+	"math/rand": {
+		"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+		"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+		"Float32": true, "Float64": true, "Perm": true, "Shuffle": true,
+		"Read": true, "Seed": true, "ExpFloat64": true, "NormFloat64": true,
+	},
+	"math/rand/v2": {
+		"Int": true, "IntN": true, "Int32": true, "Int32N": true,
+		"Int64": true, "Int64N": true, "Uint": true, "UintN": true,
+		"Uint32": true, "Uint32N": true, "Uint64": true, "Uint64N": true,
+		"Float32": true, "Float64": true, "Perm": true, "Shuffle": true,
+		"N": true, "ExpFloat64": true, "NormFloat64": true,
+	},
+}
+
+// randConstructors are the seeded-source constructors whose arguments
+// must not involve the wall clock.
+var randConstructors = map[string]map[string]bool{
+	"math/rand":    {"New": true, "NewSource": true},
+	"math/rand/v2": {"New": true, "NewPCG": true},
+}
+
+func runGlobalRand(pass *Pass) {
+	if !IsInternalPackage(pass.Path) {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.Ident:
+				fn := usedPackageFunc(pass, n)
+				if fn == nil {
+					return true
+				}
+				set := globalRandFuncs[fn.Pkg().Path()]
+				if set == nil || !set[fn.Name()] {
+					return true
+				}
+				pass.Reportf(n.Pos(),
+					"use of global %s.%s: draws from the process-global source are unseeded and racy under the sweep pool; thread an explicitly seeded *rand.Rand from the scenario/replica seed",
+					fn.Pkg().Path(), fn.Name())
+			case *ast.CallExpr:
+				fn := calledPackageFunc(pass, n)
+				if fn == nil {
+					return true
+				}
+				set := randConstructors[fn.Pkg().Path()]
+				if set == nil || !set[fn.Name()] {
+					return true
+				}
+				if pos, found := findWallClockUse(pass, n.Args); found {
+					pass.Reportf(pos,
+						"wall-clock-seeded RNG (%s.%s seeded from time.Now): seeds must derive from the scenario/replica seed so runs are reproducible",
+						fn.Pkg().Path(), fn.Name())
+				}
+			}
+			return true
+		})
+	}
+}
+
+// usedPackageFunc resolves an identifier use to a package-level function
+// object (methods excluded), or nil.
+func usedPackageFunc(pass *Pass, id *ast.Ident) *types.Func {
+	fn, ok := pass.Info.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return nil
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return nil
+	}
+	return fn
+}
+
+// unparen strips any number of enclosing parentheses.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// calledPackageFunc resolves a call's callee to a package-level function
+// object, looking through parens and qualified identifiers.
+func calledPackageFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return usedPackageFunc(pass, fun)
+	case *ast.SelectorExpr:
+		return usedPackageFunc(pass, fun.Sel)
+	}
+	return nil
+}
+
+// findWallClockUse scans the argument expressions for any reference to
+// time.Now (directly or via time.Since etc.).
+func findWallClockUse(pass *Pass, args []ast.Expr) (pos token.Pos, found bool) {
+	for _, arg := range args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn := usedPackageFunc(pass, id)
+			if fn != nil && fn.Pkg().Path() == "time" && wallClockFuncs["time"][fn.Name()] {
+				pos = id.Pos()
+				found = true
+				return false
+			}
+			return !found
+		})
+		if found {
+			break
+		}
+	}
+	return pos, found
+}

@@ -1,0 +1,196 @@
+package analysis_test
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+
+	"spotserve/internal/analysis"
+)
+
+// badEngineSource deliberately violates all four invariants inside a
+// kernel package: an order-sensitive map range feeding a digest, a %v
+// float in a fingerprint, a wall-clock read, and a global-source draw.
+const badEngineSource = `package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+func Fingerprint(m map[string]float64) string {
+	var s string
+	for k, v := range m {
+		s += fmt.Sprintf("%s=%v;", k, v)
+	}
+	return s
+}
+
+func Jitter() float64 { return rand.Float64() }
+
+func Stamp() time.Time { return time.Now() }
+`
+
+// writeSeededModule builds a throwaway module named spotserve whose
+// internal/engine package is badEngineSource, so the kernel scoping
+// rules apply exactly as in the real tree.
+func writeSeededModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module spotserve\n\ngo 1.21\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkgDir := filepath.Join(dir, "internal", "engine")
+	if err := os.MkdirAll(pkgDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(pkgDir, "bad.go"), []byte(badEngineSource), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestSeededViolations is the acceptance check for the suite: deliberate
+// violations of each invariant must surface under the analyzer with the
+// expected name.
+func TestSeededViolations(t *testing.T) {
+	dir := writeSeededModule(t)
+	pkgs, err := analysis.Load(dir, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Path != "spotserve/internal/engine" {
+		t.Fatalf("loaded %d packages, want exactly spotserve/internal/engine", len(pkgs))
+	}
+	diags := analysis.RunAnalyzers(pkgs[0], analysis.All())
+	byAnalyzer := map[string]int{}
+	for _, d := range diags {
+		byAnalyzer[d.Analyzer]++
+	}
+	for _, name := range []string{"maprange", "wallclock", "globalrand", "fpdigest"} {
+		if byAnalyzer[name] == 0 {
+			t.Errorf("seeded violation of %s was not reported; findings: %v", name, diags)
+		}
+	}
+}
+
+// buildDetlint compiles cmd/detlint into a temp binary for driver tests.
+func buildDetlint(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "detlint")
+	if runtime.GOOS == "windows" {
+		bin += ".exe"
+	}
+	cmd := exec.Command("go", "build", "-o", bin, "spotserve/cmd/detlint")
+	cmd.Dir = repoRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building detlint: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// repoRoot locates the module root from the test's working directory
+// (internal/analysis → two levels up).
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Dir(filepath.Dir(wd))
+}
+
+// TestDetlintStandalone runs the built binary over the seeded module and
+// checks the exit code and the file:line: analyzer: message output shape.
+func TestDetlintStandalone(t *testing.T) {
+	bin := buildDetlint(t)
+	dir := writeSeededModule(t)
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 1 {
+		t.Fatalf("detlint ./... err = %v (stderr: %s), want exit code 1", err, stderr.String())
+	}
+	out := stdout.String()
+	for _, name := range []string{"maprange", "wallclock", "globalrand", "fpdigest"} {
+		if !strings.Contains(out, ": "+name+": ") {
+			t.Errorf("standalone output missing %s finding:\n%s", name, out)
+		}
+	}
+	first := strings.SplitN(out, "\n", 2)[0]
+	if !strings.HasPrefix(first, filepath.Join("internal", "engine", "bad.go")+":") {
+		t.Errorf("findings not dir-relative file:line-prefixed: %q", first)
+	}
+}
+
+// TestDetlintCleanTree pins the tree-is-clean property the lint gate
+// relies on: the real repository must produce zero findings.
+func TestDetlintCleanTree(t *testing.T) {
+	bin := buildDetlint(t)
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = repoRoot(t)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("detlint over the repo found problems (the tree must stay lint-clean):\n%s", out)
+	}
+}
+
+// TestDetlintUnknownAnalyzer: a typo'd -run filter must fail loudly, not
+// silently run nothing.
+func TestDetlintUnknownAnalyzer(t *testing.T) {
+	bin := buildDetlint(t)
+	cmd := exec.Command(bin, "-run", "nosuch", "./...")
+	cmd.Dir = repoRoot(t)
+	out, err := cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 2 {
+		t.Fatalf("detlint -run nosuch err = %v, want exit code 2\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "unknown analyzer") {
+		t.Errorf("error output does not name the problem:\n%s", out)
+	}
+}
+
+// TestVettool runs detlint through the real `go vet -vettool` protocol
+// over the seeded module: -V=full handshake, -flags probe, unit.cfg
+// analysis, diagnostics on stderr, nonzero exit.
+func TestVettool(t *testing.T) {
+	bin := buildDetlint(t)
+	dir := writeSeededModule(t)
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() == 0 {
+		t.Fatalf("go vet -vettool err = %v, want nonzero exit\n%s", err, out)
+	}
+	text := string(out)
+	for _, name := range []string{"maprange", "wallclock", "globalrand", "fpdigest"} {
+		if !strings.Contains(text, ": "+name+": ") {
+			t.Errorf("vettool output missing %s finding:\n%s", name, text)
+		}
+	}
+}
+
+// TestVettoolCleanTree: the protocol path must agree with the standalone
+// driver that the real tree is clean (test files are excluded in both).
+func TestVettoolCleanTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("vetting the whole repository is not short")
+	}
+	bin := buildDetlint(t)
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = repoRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool over the repo found problems:\n%s", out)
+	}
+}

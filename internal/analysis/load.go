@@ -1,0 +1,265 @@
+// Package loading for the standalone driver: `go list -deps -export`
+// enumerates the requested packages plus the full dependency graph and
+// compiles export data for every dependency into the build cache; the
+// loader then parses the root packages from source and type-checks them
+// with a gc-export-data importer, exactly as the compiler itself would.
+// No code outside the standard library is involved, and no network: the
+// module is dependency-free and export data for std comes from the local
+// toolchain.
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// A Package is one parsed and type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// Load runs `go list` in dir over patterns (default `./...`), then
+// parses and type-checks every non-dependency, non-standard package with
+// at least one non-test Go file. Results are sorted by import path.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{
+		"list", "-e", "-deps", "-export",
+		"-json=ImportPath,Dir,GoFiles,Export,Standard,DepOnly,Incomplete,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	index := map[string]*listPackage{}
+	var roots []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		index[p.ImportPath] = p
+		if !p.DepOnly && !p.Standard {
+			roots = append(roots, p)
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].ImportPath < roots[j].ImportPath })
+
+	var pkgs []*Package
+	for _, root := range roots {
+		if len(root.GoFiles) == 0 {
+			// e.g. the module root, which holds only _test.go files;
+			// nothing to analyze and nothing imports it.
+			continue
+		}
+		if root.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", root.ImportPath, root.Error.Err)
+		}
+		pkg, err := typecheck(root.ImportPath, root.Dir, root.GoFiles, exportLookup(index))
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// exportLookup resolves an import path to its compiled export data via
+// the `go list -export` index.
+func exportLookup(index map[string]*listPackage) func(path string) (io.ReadCloser, error) {
+	return func(path string) (io.ReadCloser, error) {
+		p := index[path]
+		if p == nil || p.Export == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(p.Export)
+	}
+}
+
+// stdExportCache memoizes `go list -export` lookups of standard-library
+// export data for fixture loading, shared across every LoadFixture call
+// in a test process.
+var stdExportCache = struct {
+	sync.Mutex
+	files map[string]string // import path -> export data file ("" = unresolvable)
+}{files: map[string]string{}}
+
+// stdExports resolves the given standard-library import paths to export
+// data files, invoking `go list -export` once for the uncached ones.
+func stdExports(paths []string) (map[string]string, error) {
+	stdExportCache.Lock()
+	defer stdExportCache.Unlock()
+	var missing []string
+	for _, p := range paths {
+		if _, ok := stdExportCache.files[p]; !ok {
+			missing = append(missing, p)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		args := append([]string{"list", "-e", "-export", "-json=ImportPath,Export"}, missing...)
+		cmd := exec.Command("go", args...)
+		var stderr bytes.Buffer
+		cmd.Stderr = &stderr
+		out, err := cmd.Output()
+		if err != nil {
+			return nil, fmt.Errorf("go list -export %s: %v\n%s", strings.Join(missing, " "), err, stderr.String())
+		}
+		dec := json.NewDecoder(bytes.NewReader(out))
+		for {
+			p := new(listPackage)
+			if err := dec.Decode(p); err == io.EOF {
+				break
+			} else if err != nil {
+				return nil, err
+			}
+			stdExportCache.files[p.ImportPath] = p.Export
+		}
+		for _, p := range missing {
+			if _, ok := stdExportCache.files[p]; !ok {
+				stdExportCache.files[p] = ""
+			}
+		}
+	}
+	out := make(map[string]string, len(paths))
+	for _, p := range paths {
+		out[p] = stdExportCache.files[p]
+	}
+	return out, nil
+}
+
+// LoadFixture parses and type-checks a single directory of Go files as
+// importPath, resolving imports — standard library only, by design:
+// fixture packages simulate kernel import paths but may only depend on
+// std — through `go list -export`. It backs the analysistest runner.
+func LoadFixture(importPath, dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var goFiles []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			goFiles = append(goFiles, e.Name())
+		}
+	}
+	sort.Strings(goFiles)
+	if len(goFiles) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	// Pre-resolve the import set so one `go list` serves the package.
+	fset := token.NewFileSet()
+	imports := map[string]bool{}
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, err
+		}
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			imports[path] = true
+		}
+	}
+	var paths []string
+	for p := range imports {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	exports, err := stdExports(paths)
+	if err != nil {
+		return nil, err
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		file := exports[path]
+		if file == "" {
+			return nil, fmt.Errorf("fixture import %q is not resolvable (fixtures may import only the standard library)", path)
+		}
+		return os.Open(file)
+	}
+	return typecheck(importPath, dir, goFiles, lookup)
+}
+
+// typecheck parses the named files (which may be absolute or relative to
+// dir) and type-checks them as importPath, resolving imports through
+// lookup. It is shared by the standalone loader, the vettool unit mode
+// and the fixture runner.
+func typecheck(importPath, dir string, goFiles []string, lookup func(string) (io.ReadCloser, error)) (*Package, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range goFiles {
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	var softErrs []error
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", lookup),
+		Error:    func(err error) { softErrs = append(softErrs, err) },
+	}
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", importPath, errors.Join(softErrs...))
+	}
+	return &Package{
+		Path:  importPath,
+		Dir:   dir,
+		Fset:  fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}

@@ -1,0 +1,331 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapRange flags `for range` over a map inside the deterministic kernel
+// packages. Go randomizes map iteration order per run, so any map range
+// whose body is order-sensitive is a direct byte-identity violation —
+// exactly the class of bug the parallel==serial fingerprint tests catch
+// only on exercised paths. A loop survives the lint when it is
+// order-insensitive under a deliberately conservative whitelist (pure
+// counting/summing into integer accumulators, boolean any/all folds), or
+// when it carries a written justification:
+//
+//	//detlint:allow maprange — <reason>
+var MapRange = &Analyzer{
+	Name: "maprange",
+	Doc: "flag map iteration in kernel packages: map order is randomized per run, " +
+		"so any order-sensitive body (appends, float accumulation, last-writer-wins " +
+		"assignments) breaks byte-identical determinism. Extract and sort the keys, " +
+		"or annotate a provably order-insensitive loop with a reason.",
+	Run: runMapRange,
+}
+
+func runMapRange(pass *Pass) {
+	if !IsKernelPackage(pass.Path) {
+		return
+	}
+	for _, f := range pass.Files {
+		bodies := functionBodies(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if orderInsensitiveBody(pass, rs.Body) {
+				return true
+			}
+			if extractThenSort(pass, rs, innermostBody(bodies, rs.Pos())) {
+				return true
+			}
+			pass.Reportf(rs.Pos(),
+				"range over map %s: iteration order is randomized per run; extract+sort the keys, or annotate `//detlint:allow maprange — <reason>` if provably order-insensitive",
+				types.TypeString(t, types.RelativeTo(pass.Pkg)))
+			return true
+		})
+	}
+}
+
+// functionBodies collects every function body in the file (declarations
+// and literals) so a range statement can be resolved to its innermost
+// enclosing function.
+func functionBodies(f *ast.File) []*ast.BlockStmt {
+	var out []*ast.BlockStmt
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				out = append(out, n.Body)
+			}
+		case *ast.FuncLit:
+			out = append(out, n.Body)
+		}
+		return true
+	})
+	return out
+}
+
+// innermostBody returns the smallest body containing pos.
+func innermostBody(bodies []*ast.BlockStmt, pos token.Pos) *ast.BlockStmt {
+	var best *ast.BlockStmt
+	for _, b := range bodies {
+		if b.Pos() <= pos && pos < b.End() {
+			if best == nil || b.Pos() > best.Pos() {
+				best = b
+			}
+		}
+	}
+	return best
+}
+
+// sortFuncs lists the sorting entry points that discharge the
+// extract-then-sort idiom.
+var sortFuncs = map[string]map[string]bool{
+	"sort":   {"Ints": true, "Strings": true, "Float64s": true, "Slice": true, "SliceStable": true, "Sort": true, "Stable": true},
+	"slices": {"Sort": true, "SortFunc": true, "SortStableFunc": true},
+}
+
+// extractThenSort recognizes the canonical fix for a map range — extract
+// the keys (or key/value pairs) into a slice, then sort it:
+//
+//	ids := make([]int, 0, len(m))
+//	for id := range m {
+//		ids = append(ids, id)
+//	}
+//	sort.Ints(ids)
+//
+// The loop body must consist solely of `x = append(x, <pure args>)`
+// statements, and every appended-to slice must be passed to a sort.* /
+// slices.Sort* call later in the same function. The slice's order is
+// nondeterministic between the loop and the sort, which is why the sort
+// must follow the loop; uses in between are not modeled — the idiom is a
+// convenience for the overwhelmingly common fix shape, and anything
+// cleverer should carry an annotation instead.
+func extractThenSort(pass *Pass, rs *ast.RangeStmt, fnBody *ast.BlockStmt) bool {
+	if fnBody == nil || rs.Body == nil || len(rs.Body.List) == 0 {
+		return false
+	}
+	// Collect the append targets; every statement must be one.
+	targets := map[types.Object]bool{}
+	for _, s := range rs.Body.List {
+		as, ok := s.(*ast.AssignStmt)
+		if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return false
+		}
+		lhs, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return false
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || len(call.Args) < 2 {
+			return false
+		}
+		fun, ok := call.Fun.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		if b, ok := pass.Info.Uses[fun].(*types.Builtin); !ok || b.Name() != "append" {
+			return false
+		}
+		dst, ok := call.Args[0].(*ast.Ident)
+		if !ok || dst.Name != lhs.Name {
+			return false
+		}
+		for _, arg := range call.Args[1:] {
+			if !pureExpr(pass, arg) {
+				return false
+			}
+		}
+		obj := pass.Info.Uses[lhs]
+		if obj == nil {
+			obj = pass.Info.Defs[lhs]
+		}
+		if obj == nil {
+			return false
+		}
+		targets[obj] = true
+	}
+	if len(targets) == 0 {
+		return false
+	}
+	// Every target must reach a sort call after the loop.
+	sorted := map[types.Object]bool{}
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		fn := calledPackageFunc(pass, call)
+		if fn == nil {
+			return true
+		}
+		set := sortFuncs[fn.Pkg().Path()]
+		if set == nil || !set[fn.Name()] {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(an ast.Node) bool {
+				if id, ok := an.(*ast.Ident); ok {
+					if obj := pass.Info.Uses[id]; obj != nil && targets[obj] {
+						sorted[obj] = true
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+	for obj := range targets {
+		if !sorted[obj] {
+			return false
+		}
+	}
+	return true
+}
+
+// orderInsensitiveBody reports whether every statement in the loop body
+// is on the commutative-accumulator whitelist. The whitelist is
+// deliberately narrow — when in doubt the loop is flagged:
+//
+//   - x++ / x-- on an integer accumulator (counting)
+//   - x += e / x |= e / x &= e / x ^= e with an integer x and a pure e
+//     (integer addition and bitwise folds are associative+commutative;
+//     float += is NOT whitelisted — float addition does not associate,
+//     so a float sum over map order drifts bytes)
+//   - x = x || e and x = x && e with pure e (boolean any/all folds)
+//   - set[k] = <constant> with pure k (set building: every visit order
+//     produces the identical final map)
+//   - if <pure cond> { <whitelisted> } [else <whitelisted>]
+//   - continue, empty statements and nested blocks of the above
+//
+// "Pure" expressions contain no calls (except the len/cap builtins), no
+// function literals, and no channel operations.
+func orderInsensitiveBody(pass *Pass, body *ast.BlockStmt) bool {
+	if body == nil {
+		return true
+	}
+	for _, s := range body.List {
+		if !orderInsensitiveStmt(pass, s) {
+			return false
+		}
+	}
+	return true
+}
+
+func orderInsensitiveStmt(pass *Pass, s ast.Stmt) bool {
+	switch s := s.(type) {
+	case nil, *ast.EmptyStmt:
+		return true
+	case *ast.BranchStmt:
+		return s.Tok == token.CONTINUE && s.Label == nil
+	case *ast.BlockStmt:
+		return orderInsensitiveBody(pass, s)
+	case *ast.IfStmt:
+		if s.Init != nil || !pureExpr(pass, s.Cond) {
+			return false
+		}
+		if !orderInsensitiveBody(pass, s.Body) {
+			return false
+		}
+		return s.Else == nil || orderInsensitiveStmt(pass, s.Else)
+	case *ast.IncDecStmt:
+		return isIntegerExpr(pass, s.X)
+	case *ast.AssignStmt:
+		if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+			return false
+		}
+		lhs, rhs := s.Lhs[0], s.Rhs[0]
+		switch s.Tok {
+		case token.ADD_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+			return isIntegerExpr(pass, lhs) && pureExpr(pass, rhs)
+		case token.ASSIGN:
+			// set[k] = <constant>: set-building writes commute — each key
+			// ends at the same constant no matter the visit order.
+			if ix, ok := lhs.(*ast.IndexExpr); ok {
+				if t := pass.TypeOf(ix.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						tv := pass.Info.Types[rhs]
+						return tv.Value != nil && pureExpr(pass, ix.X) && pureExpr(pass, ix.Index)
+					}
+				}
+				return false
+			}
+			// x = x || e / x = x && e: commutative, associative,
+			// idempotent boolean folds.
+			bin, ok := rhs.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.LOR && bin.Op != token.LAND) {
+				return false
+			}
+			return sameSimpleExpr(lhs, bin.X) && pureExpr(pass, bin.Y)
+		}
+		return false
+	}
+	return false
+}
+
+// isIntegerExpr reports whether e has integer type (signed or unsigned).
+func isIntegerExpr(pass *Pass, e ast.Expr) bool {
+	t := pass.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// pureExpr reports whether e is free of side effects and nondeterminism
+// sources: no calls (len/cap excepted), no function literals, no channel
+// receives.
+func pureExpr(pass *Pass, e ast.Expr) bool {
+	pure := true
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			id, ok := n.Fun.(*ast.Ident)
+			if !ok {
+				pure = false
+				return false
+			}
+			if b, ok := pass.Info.Uses[id].(*types.Builtin); !ok || (b.Name() != "len" && b.Name() != "cap") {
+				pure = false
+				return false
+			}
+		case *ast.FuncLit:
+			pure = false
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				pure = false
+				return false
+			}
+		}
+		return pure
+	})
+	return pure
+}
+
+// sameSimpleExpr reports whether two expressions are the same plain
+// identifier or selector chain (x, x.y, x.y.z) — enough to recognize the
+// `x = x || e` fold without full expression equivalence.
+func sameSimpleExpr(a, b ast.Expr) bool {
+	switch a := a.(type) {
+	case *ast.Ident:
+		b, ok := b.(*ast.Ident)
+		return ok && a.Name == b.Name
+	case *ast.SelectorExpr:
+		b, ok := b.(*ast.SelectorExpr)
+		return ok && a.Sel.Name == b.Sel.Name && sameSimpleExpr(a.X, b.X)
+	}
+	return false
+}

@@ -1,0 +1,83 @@
+// Fixture: fpdigest in a kernel package.
+package metrics
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"strconv"
+)
+
+type summary struct {
+	Count int
+	Mean  float64
+}
+
+// Fingerprint is a digest sink by name: non-canonical float formatting
+// inside it is flagged.
+func Fingerprint(x float64, s summary) string {
+	a := fmt.Sprintf("x=%v", x)         // want `float value formatted with %v into a digest sink`
+	b := fmt.Sprintf("mean=%g", s.Mean) // want `float value formatted with %g into a digest sink`
+	c := fmt.Sprintf("x=%.6f", x)       // want `float value formatted with %f into a digest sink`
+	d := fmt.Sprintf("s=%+v", s)        // want `float value formatted with %v into a digest sink`
+	return a + b + c + d
+}
+
+// FingerprintCanonical uses only bit-exact encodings and passes.
+func FingerprintCanonical(x float64, s summary) string {
+	a := fmt.Sprintf("x=%x", x)
+	b := fmt.Sprintf("x=%b", x)
+	c := fmt.Sprintf("count=%d name=%s", s.Count, "lat")
+	d := fmt.Sprintf("pre=%s", strconv.FormatFloat(x, 'x', -1, 64))
+	return a + b + c + d
+}
+
+// digestHeader exercises the Sprint family: every operand renders with
+// %v, so a float-bearing operand is a finding.
+func digestHeader(x float64, n int) string {
+	return fmt.Sprint("x=", x, " n=", n) // want `float value formatted with %v into a digest sink`
+}
+
+// hashKey exercises a non-constant format string: verbs are unprovable,
+// so float-bearing operands are flagged.
+func hashKey(format string, x float64) string {
+	return fmt.Sprintf(format, x) // want `float value formatted with a non-constant format into a digest sink`
+}
+
+// stamped has a String method: fmt delegates to it, so rendering one
+// with %v is the type's own (stable) formatting, not raw float bytes.
+type stamped struct{ v float64 }
+
+func (s stamped) String() string { return strconv.FormatFloat(s.v, 'x', -1, 64) }
+
+func digestStamped(s stamped) string {
+	return fmt.Sprintf("s=%v", s)
+}
+
+// render is NOT a digest sink by name and writes to no hash: float
+// formatting here is fingerprint-irrelevant display output.
+func render(x float64) string {
+	return fmt.Sprintf("mean=%.2f ms", x)
+}
+
+// accumulate writes into a hash.Hash: a digest sink wherever it appears,
+// regardless of the enclosing function's name.
+func accumulate(x float64) [32]byte {
+	h := sha256.New()
+	fmt.Fprintf(h, "x=%v", x) // want `float value formatted with %v into a digest sink`
+	fmt.Fprintf(h, "x=%x", x)
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// annotated carries a written reason and is suppressed.
+func annotatedDigest(x float64) string {
+	//detlint:allow fpdigest — fixture: x is a scenario input constant, bytes pinned by goldens
+	return fmt.Sprintf("x=%g", x)
+}
+
+// annotatedEmptyReason suppresses nothing.
+func annotatedEmptyReasonDigest(x float64) string {
+	//detlint:allow fpdigest // want `missing its reason`
+	return fmt.Sprintf("x=%g", x) // want `float value formatted with %g into a digest sink`
+}

@@ -1,0 +1,10 @@
+// Fixture: fpdigest does not apply outside the kernel packages — the
+// daemon may format floats into its own response digests however it
+// likes (no `want` expectations here).
+package serve
+
+import "fmt"
+
+func responseFingerprint(x float64) string {
+	return fmt.Sprintf("x=%v", x)
+}

@@ -1,0 +1,7 @@
+// Fixture: globalrand scopes to internal/ only; cmd/ binaries may use
+// the global source (no `want` expectations here).
+package main
+
+import "math/rand"
+
+func pickPort() int { return 20000 + rand.Intn(1000) }

@@ -1,0 +1,50 @@
+// Fixture: globalrand applies to ALL of internal/, not just the kernel
+// packages — this import path (spotserve/internal/traceio) is outside the
+// kernel list and is still policed.
+package traceio
+
+import (
+	"math/rand"
+	"time"
+)
+
+func unseededDraw() float64 {
+	return rand.Float64() // want `use of global math/rand\.Float64`
+}
+
+func unseededShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `use of global math/rand\.Shuffle`
+}
+
+func reseedsGlobal(seed int64) {
+	rand.Seed(seed) // want `use of global math/rand\.Seed`
+}
+
+// storedReference: passing the global draw as a value is flagged too.
+var draw = rand.Int63 // want `use of global math/rand\.Int63`
+
+// seededSource is the sanctioned pattern: an explicit source built from a
+// scenario seed, drawn via methods. Constructors are allowed; method
+// calls on a *rand.Rand are not package-level functions.
+func seededSource(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+func clockSeeded() *rand.Rand {
+	// Both the outer New and the inner NewSource see the wall clock in
+	// their argument trees, so the line carries two findings.
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `wall-clock-seeded RNG \(math/rand\.New seeded` `wall-clock-seeded RNG \(math/rand\.NewSource seeded`
+}
+
+// annotated carries a written reason and is suppressed.
+func annotated() float64 {
+	//detlint:allow globalrand — fixture: jitter for a log-rotation ticker, never touches sim state
+	return rand.Float64()
+}
+
+// annotatedEmptyReason suppresses nothing.
+func annotatedEmptyReason() float64 {
+	//detlint:allow globalrand // want `missing its reason`
+	return rand.Float64() // want `use of global math/rand\.Float64`
+}

@@ -1,0 +1,129 @@
+// Fixture: maprange in a kernel package (import path simulates
+// spotserve/internal/engine, so the strict analyzers apply).
+package engine
+
+import "sort"
+
+// orderSensitiveAppend leaks map order into a slice.
+func orderSensitiveAppend(m map[string]int) []int {
+	var out []int
+	for _, v := range m { // want `range over map map\[string\]int`
+		out = append(out, v)
+	}
+	return out
+}
+
+// floatSum is NOT whitelisted: float addition does not associate, so the
+// sum's bits depend on visit order.
+func floatSum(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m { // want `range over map map\[string\]float64`
+		total += v
+	}
+	return total
+}
+
+// lastWriterWins picks whichever key the iterator visits last.
+func lastWriterWins(m map[string]int) (best string) {
+	for k := range m { // want `range over map`
+		best = k
+	}
+	return best
+}
+
+// intCount is whitelisted: counting into an integer accumulator commutes.
+func intCount(m map[string]int) (n int) {
+	for range m {
+		n++
+	}
+	return n
+}
+
+// intSum is whitelisted: integer addition is associative and commutative.
+func intSum(m map[string]int) (total int) {
+	for _, v := range m {
+		if v > 0 {
+			total += v
+		}
+	}
+	return total
+}
+
+// boolFold is whitelisted: x = x || e is an order-free any().
+func boolFold(m map[string]int) bool {
+	found := false
+	for _, v := range m {
+		found = found || v < 0
+	}
+	return found
+}
+
+// setBuild is whitelisted: set[k] = true produces the same map under
+// every visit order.
+func setBuild(m map[string]int) map[string]bool {
+	set := map[string]bool{}
+	for k := range m {
+		set[k] = true
+	}
+	return set
+}
+
+// extractThenSort is the canonical fix shape and passes without
+// annotation: keys land in a slice that is sorted before use.
+func extractThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// extractWithoutSort looks like the idiom but never sorts — flagged.
+func extractWithoutSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // want `range over map`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// annotated carries a written reason and is suppressed.
+func annotated(m map[string]int) []int {
+	var out []int
+	//detlint:allow maprange — fixture: consumer treats out as an unordered multiset
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}
+
+// annotatedTrailing suppresses via a same-line trailing annotation.
+func annotatedTrailing(m map[string]int) []int {
+	var out []int
+	for _, v := range m { //detlint:allow maprange — fixture: trailing form, consumer is order-free
+		out = append(out, v)
+	}
+	return out
+}
+
+// annotatedEmptyReason suppresses nothing and is itself a finding.
+func annotatedEmptyReason(m map[string]int) []int {
+	var out []int
+	//detlint:allow maprange // want `missing its reason`
+	for _, v := range m { // want `range over map`
+		out = append(out, v)
+	}
+	return out
+}
+
+// annotatedWrongAnalyzer names a different analyzer; the maprange
+// finding still fires.
+func annotatedWrongAnalyzer(m map[string]int) []int {
+	var out []int
+	//detlint:allow wallclock — fixture: names the wrong analyzer
+	for _, v := range m { // want `range over map`
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,12 @@
+// Fixture: maprange does not apply outside the kernel packages — the
+// daemon layer may iterate maps freely (no `want` expectations here, so
+// the test fails if anything is reported).
+package serve
+
+func routeTable(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,12 @@
+// Fixture: the daemon layer is exempt from wallclock — real time and
+// environment reads are its job (no `want` expectations here).
+package serve
+
+import (
+	"os"
+	"time"
+)
+
+func uptimeSince() time.Time { return time.Now() }
+
+func listenAddr() string { return os.Getenv("SPOTSERVE_ADDR") }

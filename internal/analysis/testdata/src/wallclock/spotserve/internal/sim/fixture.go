@@ -1,0 +1,53 @@
+// Fixture: wallclock in a kernel package.
+package sim
+
+import (
+	"os"
+	"time"
+)
+
+func readsClock() time.Time {
+	return time.Now() // want `wall-clock read time\.Now in kernel package`
+}
+
+func measures(start time.Time) time.Duration {
+	return time.Since(start) // want `wall-clock read time\.Since in kernel package`
+}
+
+func naps() {
+	time.Sleep(time.Millisecond) // want `wall-clock read time\.Sleep in kernel package`
+}
+
+func readsEnv() string {
+	return os.Getenv("SPOTSERVE_MODE") // want `environment read os\.Getenv in kernel package`
+}
+
+// storedReference: referencing the function without calling it is the
+// same leak one step removed and is flagged too.
+var clock = time.Now // want `wall-clock read time\.Now in kernel package`
+
+// durationMath uses only time's deterministic types and constants — the
+// time package itself is not forbidden, only the wall-clock entry points.
+func durationMath(d time.Duration) time.Duration {
+	return d * 2 * time.Second
+}
+
+// localMethod: a method named Now on a local type is not time.Now.
+type fakeClock struct{ t time.Time }
+
+func (c fakeClock) Now() time.Time { return c.t }
+
+func usesFake(c fakeClock) time.Time { return c.Now() }
+
+// annotated carries a written reason and is suppressed.
+func annotated() time.Time {
+	//detlint:allow wallclock — fixture: host-side watchdog, never feeds sim state
+	return time.Now()
+}
+
+// annotatedEmptyReason suppresses nothing; both the malformed annotation
+// and the underlying read are findings.
+func annotatedEmptyReason() time.Time {
+	//detlint:allow wallclock // want `missing its reason`
+	return time.Now() // want `wall-clock read time\.Now in kernel package`
+}

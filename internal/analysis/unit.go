@@ -1,0 +1,90 @@
+// The `go vet -vettool` side of the driver. go vet drives an external
+// tool with a three-verb command-line protocol (see the vendored
+// x/tools unitchecker, whose JSON config schema this mirrors):
+//
+//	detlint -flags      describe supported flags as JSON
+//	detlint -V=full     describe the executable for build caching
+//	detlint unit.cfg    analyze one compilation unit
+//
+// Per unit, the build system hands us a JSON config naming the package's
+// files and the export-data file of every dependency it already
+// compiled, so unit mode needs no `go list` at all.
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// UnitConfig is the JSON compilation-unit description `go vet` writes
+// (a subset of the unitchecker Config schema — unknown fields are
+// ignored by encoding/json).
+type UnitConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string // source import path -> canonical package path
+	PackageFile               map[string]string // canonical package path -> export data file
+	VetxOutput                string            // fact file go vet expects us to write
+	SucceedOnTypecheckFailure bool
+}
+
+// RunUnit analyzes the single compilation unit described by the cfg file
+// and returns its findings. Test files are excluded so `go vet
+// -vettool=detlint` reports exactly what the standalone driver reports:
+// the determinism contract binds shipped kernel code; tests prove it at
+// runtime instead. The (empty) fact file go vet expects is always
+// written, even for units we skip, so caching works.
+func RunUnit(cfgPath string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(UnitConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("decoding vet config %s: %v", cfgPath, err)
+	}
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Compiler != "" && cfg.Compiler != "gc" {
+		return nil, fmt.Errorf("unsupported compiler %q (detlint reads gc export data)", cfg.Compiler)
+	}
+
+	var goFiles []string
+	for _, f := range cfg.GoFiles {
+		if strings.HasSuffix(f, "_test.go") {
+			continue
+		}
+		goFiles = append(goFiles, f)
+	}
+	if len(goFiles) == 0 {
+		return nil, nil // external test package: all files are tests
+	}
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		if canonical, ok := cfg.ImportMap[path]; ok {
+			path = canonical
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	pkg, err := typecheck(cfg.ImportPath, cfg.Dir, goFiles, lookup)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, nil // the compiler will report it better
+		}
+		return nil, err
+	}
+	return RunAnalyzers(pkg, analyzers), nil
+}

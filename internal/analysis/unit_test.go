@@ -1,0 +1,221 @@
+package analysis_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"spotserve/internal/analysis"
+)
+
+// stdExportFiles resolves std import paths to export-data files the way
+// go vet's build system would, via `go list -export`.
+func stdExportFiles(t *testing.T, dir string, paths ...string) map[string]string {
+	t.Helper()
+	args := append([]string{"list", "-e", "-export", "-json=ImportPath,Export"}, paths...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("go list -export: %v", err)
+	}
+	files := map[string]string{}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p struct{ ImportPath, Export string }
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		if p.Export == "" {
+			t.Fatalf("no export data for %s", p.ImportPath)
+		}
+		files[p.ImportPath] = p.Export
+	}
+	return files
+}
+
+// writeUnitCfg marshals a UnitConfig for the seeded module's engine
+// package, mimicking the JSON go vet hands a vettool.
+func writeUnitCfg(t *testing.T, dir string, cfg analysis.UnitConfig) string {
+	t.Helper()
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "unit.cfg")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRunUnit drives the vet-protocol unit analysis in-process with a
+// hand-built config: findings surface, test files are excluded, and the
+// fact file go vet expects is written.
+func TestRunUnit(t *testing.T) {
+	dir := writeSeededModule(t)
+	pkgDir := filepath.Join(dir, "internal", "engine")
+	// A test file that would violate wallclock if unit mode forgot to
+	// exclude _test.go (the standalone driver never sees test files, and
+	// the two modes must agree).
+	testFile := filepath.Join(pkgDir, "bad_test.go")
+	if err := os.WriteFile(testFile, []byte("package engine\n\nimport \"time\"\n\nvar testClock = time.Now\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	vetx := filepath.Join(t.TempDir(), "unit.vetx")
+	cfgPath := writeUnitCfg(t, dir, analysis.UnitConfig{
+		ID:          "spotserve/internal/engine",
+		Compiler:    "gc",
+		Dir:         pkgDir,
+		ImportPath:  "spotserve/internal/engine",
+		GoFiles:     []string{filepath.Join(pkgDir, "bad.go"), testFile},
+		ImportMap:   map[string]string{"fmt": "fmt", "math/rand": "math/rand", "time": "time"},
+		PackageFile: stdExportFiles(t, dir, "fmt", "math/rand", "time"),
+		VetxOutput:  vetx,
+	})
+	diags, err := analysis.RunUnit(cfgPath, analysis.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byAnalyzer := map[string]int{}
+	for _, d := range diags {
+		byAnalyzer[d.Analyzer]++
+		if strings.HasSuffix(d.Pos.Filename, "_test.go") {
+			t.Errorf("unit mode reported a finding in a test file: %s", d)
+		}
+	}
+	for _, name := range []string{"maprange", "wallclock", "globalrand", "fpdigest"} {
+		if byAnalyzer[name] == 0 {
+			t.Errorf("unit mode missed the seeded %s violation; findings: %v", name, diags)
+		}
+	}
+	if _, err := os.Stat(vetx); err != nil {
+		t.Errorf("fact file was not written: %v", err)
+	}
+}
+
+// TestRunUnitEdgeCases covers the protocol's degenerate units.
+func TestRunUnitEdgeCases(t *testing.T) {
+	dir := writeSeededModule(t)
+	pkgDir := filepath.Join(dir, "internal", "engine")
+
+	t.Run("all-test-files", func(t *testing.T) {
+		vetx := filepath.Join(t.TempDir(), "u.vetx")
+		cfgPath := writeUnitCfg(t, dir, analysis.UnitConfig{
+			ImportPath: "spotserve/internal/engine_test",
+			Dir:        pkgDir,
+			GoFiles:    []string{filepath.Join(pkgDir, "x_test.go")},
+			VetxOutput: vetx,
+		})
+		diags, err := analysis.RunUnit(cfgPath, analysis.All())
+		if err != nil || len(diags) != 0 {
+			t.Fatalf("external test unit: diags=%v err=%v, want none", diags, err)
+		}
+		if _, err := os.Stat(vetx); err != nil {
+			t.Errorf("fact file must be written even for skipped units: %v", err)
+		}
+	})
+
+	t.Run("non-gc-compiler", func(t *testing.T) {
+		cfgPath := writeUnitCfg(t, dir, analysis.UnitConfig{
+			Compiler:   "gccgo",
+			ImportPath: "spotserve/internal/engine",
+			Dir:        pkgDir,
+			GoFiles:    []string{filepath.Join(pkgDir, "bad.go")},
+		})
+		if _, err := analysis.RunUnit(cfgPath, analysis.All()); err == nil {
+			t.Fatal("gccgo unit accepted; detlint reads gc export data only")
+		}
+	})
+
+	t.Run("typecheck-failure-tolerated", func(t *testing.T) {
+		// No PackageFile entries: imports cannot resolve. With
+		// SucceedOnTypecheckFailure the unit is skipped silently — the
+		// compiler proper owns the error.
+		cfgPath := writeUnitCfg(t, dir, analysis.UnitConfig{
+			ImportPath:                "spotserve/internal/engine",
+			Dir:                       pkgDir,
+			GoFiles:                   []string{filepath.Join(pkgDir, "bad.go")},
+			SucceedOnTypecheckFailure: true,
+		})
+		diags, err := analysis.RunUnit(cfgPath, analysis.All())
+		if err != nil || len(diags) != 0 {
+			t.Fatalf("tolerated unit: diags=%v err=%v, want none", diags, err)
+		}
+	})
+
+	t.Run("typecheck-failure-reported", func(t *testing.T) {
+		cfgPath := writeUnitCfg(t, dir, analysis.UnitConfig{
+			ImportPath: "spotserve/internal/engine",
+			Dir:        pkgDir,
+			GoFiles:    []string{filepath.Join(pkgDir, "bad.go")},
+		})
+		if _, err := analysis.RunUnit(cfgPath, analysis.All()); err == nil {
+			t.Fatal("unresolvable imports accepted without SucceedOnTypecheckFailure")
+		}
+	})
+
+	t.Run("missing-cfg", func(t *testing.T) {
+		if _, err := analysis.RunUnit(filepath.Join(t.TempDir(), "nope.cfg"), analysis.All()); err == nil {
+			t.Fatal("missing cfg file accepted")
+		}
+	})
+
+	t.Run("malformed-cfg", func(t *testing.T) {
+		path := filepath.Join(t.TempDir(), "bad.cfg")
+		if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := analysis.RunUnit(path, analysis.All()); err == nil {
+			t.Fatal("malformed cfg accepted")
+		}
+	})
+}
+
+// TestRunStandaloneInProcess pins the driver's output contract: one
+// `file:line:col: analyzer: message` line per finding, dir-relative.
+func TestRunStandaloneInProcess(t *testing.T) {
+	dir := writeSeededModule(t)
+	var buf bytes.Buffer
+	n, err := analysis.RunStandalone(dir, []string{"./..."}, analysis.All(), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if n == 0 || len(lines) != n {
+		t.Fatalf("RunStandalone: n=%d but %d output lines", n, len(lines))
+	}
+	rel := filepath.Join("internal", "engine", "bad.go")
+	for _, line := range lines {
+		if !strings.HasPrefix(line, rel+":") {
+			t.Errorf("finding not dir-relative: %q", line)
+		}
+		parts := strings.SplitN(line, ": ", 3)
+		if len(parts) != 3 {
+			t.Errorf("finding not file:line:col: analyzer: message shaped: %q", line)
+		}
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	dir := writeSeededModule(t)
+	pkgs, err := analysis.Load(dir, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := analysis.RunAnalyzers(pkgs[0], analysis.All())
+	if len(diags) == 0 {
+		t.Fatal("no findings")
+	}
+	s := diags[0].String()
+	if !strings.Contains(s, "bad.go:") || !strings.Contains(s, ": ") {
+		t.Errorf("Diagnostic.String() = %q, want file:pos: analyzer: message", s)
+	}
+}

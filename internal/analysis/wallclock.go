@@ -1,0 +1,67 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WallClock forbids wall-clock and environment reads in the kernel
+// packages: simulated time must flow exclusively from the event clock,
+// and configuration must be explicit parameters, or two runs of the same
+// scenario can observe different worlds. The daemon and CLI layers
+// (internal/serve, cmd/...) legitimately read real time and environment
+// and are exempt by not being kernel packages.
+var WallClock = &Analyzer{
+	Name: "wallclock",
+	Doc: "forbid time.Now/Since/Sleep-style wall-clock reads and os.Getenv-style " +
+		"environment reads in kernel packages; sim time comes from the event clock " +
+		"and configuration from explicit parameters.",
+	Run: runWallClock,
+}
+
+// wallClockFuncs maps package path -> forbidden package-level functions.
+// Any reference counts, not just calls: storing time.Now in a variable is
+// the same leak one step removed.
+var wallClockFuncs = map[string]map[string]bool{
+	"time": {
+		"Now": true, "Since": true, "Until": true, "Sleep": true,
+		"After": true, "AfterFunc": true, "Tick": true,
+		"NewTimer": true, "NewTicker": true,
+	},
+	"os": {
+		"Getenv": true, "LookupEnv": true, "Environ": true,
+	},
+}
+
+func runWallClock(pass *Pass) {
+	if !IsKernelPackage(pass.Path) {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[id].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			set := wallClockFuncs[fn.Pkg().Path()]
+			if set == nil || !set[fn.Name()] {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true // a method that happens to share the name
+			}
+			kind := "wall-clock read"
+			if fn.Pkg().Path() == "os" {
+				kind = "environment read"
+			}
+			pass.Reportf(id.Pos(),
+				"%s %s.%s in kernel package: sim time must flow through the event clock and configuration through explicit parameters (`//detlint:allow wallclock — <reason>` to suppress)",
+				kind, fn.Pkg().Path(), fn.Name())
+			return true
+		})
+	}
+}

@@ -658,6 +658,7 @@ func (s *Server) manageFleet(prop reconfig.Proposal) {
 
 // instanceInUse reports whether any GPU of inst is in the current mesh.
 func (s *Server) instanceInUse(inst *cloud.Instance) bool {
+	//detlint:allow maprange — existential scan with pure reads: the answer is whether ANY assigned GPU belongs to inst, identical under every visit order
 	for _, g := range s.assign {
 		if g.Inst.ID == inst.ID {
 			return true
@@ -710,6 +711,7 @@ func (s *Server) applyMapping(cfg config.Config, mapping reconfig.Mapping, ready
 		s.pipes[d] = pipe
 	}
 	// Daemons now hold their new model context.
+	//detlint:allow maprange — each Assign entry names a distinct GPU, so the per-daemon ModelCtx writes are disjoint; no order can change the final state
 	for pos, g := range mapping.Assign {
 		d := s.eng.Daemon(g)
 		d.ModelCtx = model.PositionRect(s.opts.Spec, cfg.P, cfg.M, pos.P, pos.M)
@@ -872,6 +874,7 @@ func (s *Server) stopAllPipelines() {
 
 // pipelinesIdle reports whether every pipeline stopped decoding.
 func (s *Server) pipelinesIdle() bool {
+	//detlint:allow maprange — existential scan: Busy() is a pure read and the loop only answers whether any pipeline still decodes
 	for _, pipe := range s.pipes {
 		if pipe.Busy() {
 			return false
@@ -957,7 +960,11 @@ func (s *Server) executeMigration(target config.Config) {
 func (s *Server) collectBatches(target config.Config) (map[int]*engine.Batch, map[int]int) {
 	paused := map[int]*engine.Batch{}
 	progress := map[int]int{}
-	for id, pipe := range s.pipes {
+	// Pipeline ids are dense 0..D-1 (see stopAllPipelines); iterate in id
+	// order so aborts — which mutate engine state — happen in a fixed
+	// sequence rather than map order.
+	for id := 0; id < len(s.pipes); id++ {
+		pipe := s.pipes[id]
 		var b *engine.Batch
 		if pipe.Busy() {
 			b = pipe.Abort() // only sub-iteration work is lost
@@ -1027,6 +1034,7 @@ func (s *Server) collectBatches(target config.Config) (map[int]*engine.Batch, ma
 func PipelineSlowdown(bind map[config.Position]*cloud.GPU) float64 {
 	minSpeed := 1.0
 	first := true
+	//detlint:allow maprange — min-fold over pure reads: the minimum of a set is the same value under every visit order (float comparison is exact)
 	for _, g := range bind {
 		if sp := g.Inst.GPUSpeed(); first || sp < minSpeed {
 			minSpeed = sp

@@ -123,13 +123,19 @@ func (p Params) Validate() error {
 	if p.GPUsPerInstance <= 0 {
 		return fmt.Errorf("cost: GPUsPerInstance = %d", p.GPUsPerInstance)
 	}
-	for name, v := range map[string]float64{
-		"GPUMemBytes": p.GPUMemBytes, "UsableGPUMemBytes": p.UsableGPUMemBytes,
-		"MemBWBytes": p.MemBWBytes, "MemBWEff": p.MemBWEff,
-		"FlopsFP16": p.FlopsFP16, "ComputeEff": p.ComputeEff,
-		"IntraBWBytes": p.IntraBWBytes, "InterBWBytes": p.InterBWBytes,
-		"StorageBWPerGPU": p.StorageBWPerGPU,
+	// A slice, not a map: with several invalid fields the error must name
+	// the same one on every run (map order would pick one at random).
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"GPUMemBytes", p.GPUMemBytes}, {"UsableGPUMemBytes", p.UsableGPUMemBytes},
+		{"MemBWBytes", p.MemBWBytes}, {"MemBWEff", p.MemBWEff},
+		{"FlopsFP16", p.FlopsFP16}, {"ComputeEff", p.ComputeEff},
+		{"IntraBWBytes", p.IntraBWBytes}, {"InterBWBytes", p.InterBWBytes},
+		{"StorageBWPerGPU", p.StorageBWPerGPU},
 	} {
+		name, v := f.name, f.v
 		if v <= 0 {
 			return fmt.Errorf("cost: %s = %v must be positive", name, v)
 		}

@@ -253,6 +253,27 @@ func TestValidateParams(t *testing.T) {
 	}
 }
 
+// Regression: with several fields invalid at once, Validate must name the
+// same field on every run. It used to iterate a map literal, so the
+// reported field — and anything fingerprinting the error text — varied
+// with Go's per-run map iteration order.
+func TestValidateDeterministicFieldOrder(t *testing.T) {
+	p := DefaultParams()
+	p.ComputeEff = 0
+	p.MemBWBytes = -1
+	p.StorageBWPerGPU = 0
+	want := "cost: MemBWBytes = -1 must be positive" // declaration order: MemBWBytes precedes the others
+	for i := 0; i < 50; i++ {
+		err := p.Validate()
+		if err == nil {
+			t.Fatal("invalid params accepted")
+		}
+		if err.Error() != want {
+			t.Fatalf("run %d: Validate() = %q, want %q", i, err.Error(), want)
+		}
+	}
+}
+
 // Property: Exec is monotone in S_out and additive in iteration count.
 func TestQuickExecMonotone(t *testing.T) {
 	e := est(t, model.OPT6B7)

@@ -826,6 +826,7 @@ func (p *Pipeline) finish() {
 	p.batch = nil
 	p.invalidateSpan()
 	// The completed batch's cache is dead weight; daemons drop it.
+	//detlint:allow maprange — DropCache touches only the one daemon owned by each distinct GPU; the per-daemon effects are disjoint and commute
 	for _, gpu := range p.GPUs {
 		p.eng.daemon(gpu).DropCache()
 	}

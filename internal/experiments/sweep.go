@@ -425,7 +425,7 @@ func (sw Sweep) backoff(ctx context.Context, d time.Duration) {
 		sw.Retry.Sleep(d)
 		return
 	}
-	t := time.NewTimer(d)
+	t := time.NewTimer(d) //detlint:allow wallclock — retry backoff paces the host-side worker pool between attempts; simulated results never observe it (TestIsolatedMatchesRunAll pins identity under retries)
 	defer t.Stop()
 	select {
 	case <-t.C:
@@ -536,8 +536,8 @@ func (r Result) Fingerprint() string {
 	var b strings.Builder
 	sc := r.Scenario
 	fmt.Fprintf(&b, "sys=%s spec=%s trace=%s odn=%d rate=%g cv=%g mix=%v drain=%g seed=%d\n",
-		sc.System, sc.Spec.Name, sc.Trace.Name, sc.OnDemandN, sc.Rate, sc.CV,
-		sc.AllowOnDemand, sc.Drain, sc.Seed)
+		sc.System, sc.Spec.Name, sc.Trace.Name, sc.OnDemandN, sc.Rate, sc.CV, //detlint:allow fpdigest — Rate/CV are scenario INPUTS, never computed, so shortest-%g cannot drift; the bytes are pinned by the committed goldens
+		sc.AllowOnDemand, sc.Drain, sc.Seed) //detlint:allow fpdigest — Drain is a scenario input constant; %g bytes are golden-pinned
 	if sc.Features != nil {
 		fmt.Fprintf(&b, "features=%+v\n", *sc.Features)
 	}

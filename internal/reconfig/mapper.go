@@ -114,6 +114,7 @@ func (m *Mapping) assigned(id int64) bool {
 		}
 		return false
 	}
+	//detlint:allow maprange — existential scan with pure reads: answers whether any position holds GPU id, identical under every visit order
 	for _, g := range m.Assign {
 		if g != nil && g.ID == id {
 			return true
